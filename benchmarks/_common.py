@@ -1,0 +1,44 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper.  Results
+are written to ``benchmarks/results/`` *and* echoed to the real stdout
+(bypassing pytest's capture) so ``pytest benchmarks/ --benchmark-only``
+shows the reproduced numbers inline.
+
+``VPPB_BENCH_SCALE`` controls the workload problem scale (default 0.2 —
+minutes, shapes intact; 1.0 reproduces the paper's 60-210 s uni-processor
+runs and takes correspondingly longer).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: problem scale for the SPLASH-2 models (1.0 = paper-sized)
+BENCH_SCALE = float(os.environ.get("VPPB_BENCH_SCALE", "0.2"))
+
+#: ground-truth runs per configuration (the paper uses five)
+BENCH_RUNS = int(os.environ.get("VPPB_BENCH_RUNS", "5"))
+
+#: the paper's processor counts
+CPU_COUNTS = (2, 4, 8)
+
+
+def emit(text: str, *, artifact: str | None = None) -> None:
+    """Print *text* to the real stdout and optionally save it."""
+    print(text, file=sys.__stdout__)
+    sys.__stdout__.flush()
+    if artifact:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / artifact).write_text(text + "\n")
+
+
+def save_artifact(name: str, content: str) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(content)
+    return path

@@ -1,0 +1,203 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+Not a paper table — these sweeps quantify the §3.2 model ingredients so a
+user can see what each knob buys:
+
+* **bound-thread cost multipliers** (x6.7 create / x5.9 sync, the paper's
+  only hard constants): how much they slow a fine-grained program;
+* **LWP pool size**: the throttle between user threads and processors;
+* **communication delay**: sensitivity of a synchronisation-heavy
+  program to cross-CPU wake-up latency;
+* **TS time slicing**: classic dispatch table vs no preemption — the
+  fairness/makespan trade;
+* **probe overhead**: how recording intrusion propagates into prediction
+  error (the §4 intrusion argument, quantified).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Program,
+    SimConfig,
+    ThreadPolicy,
+    compile_trace,
+    predict,
+    record_program,
+)
+from repro.program.ops import Compute, MutexLock, MutexUnlock, ThrCreate, ThrJoin
+from repro.program.uniexec import unmonitored_run
+from repro.solaris.dispatch import DispatchTable
+from repro.workloads import get_workload
+
+from _common import BENCH_SCALE, emit
+
+
+def _finegrained(nthreads: int = 4, iters: int = 50) -> Program:
+    def worker(ctx):
+        for _ in range(iters):
+            yield Compute(500)
+            yield MutexLock("m")
+            yield Compute(20)
+            yield MutexUnlock("m")
+
+    def main(ctx):
+        tids = []
+        for _ in range(nthreads):
+            tids.append((yield ThrCreate(worker)))
+        for tid in tids:
+            yield ThrJoin(tid)
+
+    return Program("finegrained", main)
+
+
+@pytest.fixture(scope="module")
+def finegrained_trace():
+    return record_program(_finegrained()).trace
+
+
+def test_ablation_bound_costs(benchmark, finegrained_trace):
+    """The paper's x6.7/x5.9 multipliers on a fine-grained program."""
+    plan = compile_trace(finegrained_trace)
+    unbound_cfg = SimConfig(cpus=4)
+    bound_cfg = SimConfig(
+        cpus=4, thread_policies={4 + i: ThreadPolicy(bound=True) for i in range(4)}
+    )
+    unbound = predict(finegrained_trace, unbound_cfg, plan=plan)
+    bound = benchmark.pedantic(
+        lambda: predict(finegrained_trace, bound_cfg, plan=plan),
+        rounds=1,
+        iterations=1,
+    )
+    slowdown = bound.makespan_us / unbound.makespan_us
+    emit(
+        f"\nablation: binding all threads to LWPs slows the fine-grained "
+        f"program by {slowdown:.3f}x (x6.7 create / x5.9 sync costs)",
+        artifact="ablation_bound.txt",
+    )
+    assert slowdown > 1.01  # the multipliers must be visible
+
+
+def test_ablation_lwp_pool(benchmark, finegrained_trace):
+    plan = compile_trace(finegrained_trace)
+    rows = ["ablation: LWP pool size on 4 CPUs (fine-grained program)"]
+    makespans = {}
+    for lwps in (1, 2, 3, 4, None):
+        res = predict(finegrained_trace, SimConfig(cpus=4, lwps=lwps), plan=plan)
+        makespans[lwps] = res.makespan_us
+        label = "on-demand" if lwps is None else str(lwps)
+        rows.append(f"  lwps={label:<10} makespan {res.makespan_us / 1e3:8.2f} ms")
+    benchmark.pedantic(
+        lambda: predict(finegrained_trace, SimConfig(cpus=4, lwps=2), plan=plan),
+        rounds=1,
+        iterations=1,
+    )
+    emit("\n" + "\n".join(rows), artifact="ablation_lwps.txt")
+    assert makespans[1] > makespans[2] > makespans[4] * 0.99
+    assert makespans[None] <= makespans[1]
+
+
+def test_ablation_comm_delay(benchmark):
+    """A lock-passing kernel degrades as cross-CPU wake-ups get slower."""
+    trace = record_program(
+        get_workload("water").make_program(4, BENCH_SCALE / 2)
+    ).trace
+    plan = compile_trace(trace)
+    rows = ["ablation: communication delay (water kernel, 4 CPUs)"]
+    makespans = []
+    for delay in (0, 100, 1_000, 10_000):
+        res = predict(
+            trace, SimConfig(cpus=4, comm_delay_us=delay), plan=plan
+        )
+        makespans.append(res.makespan_us)
+        rows.append(f"  delay {delay:>6} us -> makespan {res.makespan_us / 1e3:9.2f} ms")
+    benchmark.pedantic(
+        lambda: predict(trace, SimConfig(cpus=4, comm_delay_us=100), plan=plan),
+        rounds=1,
+        iterations=1,
+    )
+    emit("\n" + "\n".join(rows), artifact="ablation_commdelay.txt")
+    assert makespans == sorted(makespans)  # monotone degradation
+
+
+def test_ablation_time_slicing(benchmark):
+    """Classic TS quanta vs run-to-block: fairness costs context switches."""
+    program = _finegrained(nthreads=6, iters=80)
+    classic = unmonitored_run(program)
+    cfg = SimConfig(cpus=2, lwps=2, dispatch=DispatchTable.fixed_quantum(2_000))
+    from repro.core.simulator import simulate_program
+
+    sliced = benchmark.pedantic(
+        lambda: simulate_program(program, cfg), rounds=1, iterations=1
+    )
+    no_slice = simulate_program(
+        program, SimConfig(cpus=2, lwps=2, time_slicing=False)
+    )
+    emit(
+        "\nablation: time slicing (6 threads, 2 CPUs, 2 LWPs)\n"
+        f"  2 ms quanta : makespan {sliced.makespan_us / 1e3:8.2f} ms, "
+        f"engine events {sliced.engine_events}\n"
+        f"  run-to-block: makespan {no_slice.makespan_us / 1e3:8.2f} ms, "
+        f"engine events {no_slice.engine_events}",
+        artifact="ablation_timeslice.txt",
+    )
+    del classic
+    # preemption adds engine events but must not change total work much
+    assert abs(sliced.makespan_us - no_slice.makespan_us) < 0.2 * no_slice.makespan_us
+
+
+def test_ablation_probe_overhead(benchmark):
+    """Recording intrusion propagates into the prediction (§4)."""
+    program = get_workload("ocean").make_program(4, BENCH_SCALE / 2)
+    rows = ["ablation: probe overhead -> predicted 4-CPU makespan (ocean)"]
+    makespans = {}
+    for overhead in (0, 15, 60, 240):
+        run = record_program(program, overhead_us=overhead)
+        res = predict(run.trace, SimConfig(cpus=4))
+        makespans[overhead] = res.makespan_us
+        rows.append(
+            f"  overhead {overhead:>3} us/record -> "
+            f"{res.makespan_us / 1e3:9.2f} ms predicted"
+        )
+    benchmark.pedantic(
+        lambda: record_program(program, overhead_us=15), rounds=1, iterations=1
+    )
+    emit("\n" + "\n".join(rows), artifact="ablation_probe.txt")
+    # more intrusion -> slower predicted execution, monotonically
+    values = [makespans[k] for k in sorted(makespans)]
+    assert values == sorted(values)
+    # at the default 15 us the distortion is well under the paper's 3%
+    assert makespans[15] / makespans[0] < 1.03
+
+
+def test_ablation_lwp_switch_overhead(benchmark, finegrained_trace):
+    """§6: the paper's simulator ignores LWP context-switch overhead on
+    the multiprocessor.  Quantify what that approximation is worth."""
+    from repro.solaris.costs import CostModel
+
+    plan = compile_trace(finegrained_trace)
+    rows = ["ablation: kernel LWP-switch cost (fine-grained, 2 CPUs, 4 LWPs)"]
+    makespans = {}
+    for cost in (0, 50, 200, 1_000):
+        cfg = SimConfig(cpus=2, lwps=4, costs=CostModel(lwp_switch_us=cost))
+        res = predict(finegrained_trace, cfg, plan=plan)
+        makespans[cost] = res.makespan_us
+        rows.append(
+            f"  lwp switch {cost:>5} us -> makespan {res.makespan_us / 1e3:8.2f} ms"
+        )
+    benchmark.pedantic(
+        lambda: predict(
+            finegrained_trace,
+            SimConfig(cpus=2, lwps=4, costs=CostModel(lwp_switch_us=50)),
+            plan=plan,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("\n" + "\n".join(rows), artifact="ablation_lwpswitch.txt")
+    values = [makespans[k] for k in sorted(makespans)]
+    assert values == sorted(values)  # overhead only ever slows things
+    # the paper-faithful default (0) differs from a realistic 50 us by
+    # little — supporting the paper's decision to ignore it
+    assert makespans[50] / makespans[0] < 1.05

@@ -1,0 +1,106 @@
+"""Figures 2, 4 and 5: the worked example and the Visualizer views.
+
+* **fig. 2** — the example program's recorded event list (the right-hand
+  side of the figure): ``main`` creates ``thr_a``/``thr_b`` (ids 4 and 5),
+  joins both; the log shows create/join/exit events in the same order;
+* **fig. 4** — the Simulator's first stage: the global log sorted into
+  one event list per thread;
+* **fig. 5** — the parallelism graph over the execution flow graph,
+  rendered as SVG and ASCII artifacts.
+
+The benchmark timings wrap the rendering calls.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Program, SimConfig, predict, record_program
+from repro.core.events import Phase, Primitive
+from repro.core.timebase import format_us
+from repro.program.ops import Compute, ThrCreate, ThrExit, ThrJoin
+from repro.recorder import logfile
+from repro.visualizer import render_ascii, render_svg
+
+from _common import emit, save_artifact
+
+
+def _fig2_program() -> Program:
+    def thread(ctx):
+        yield Compute(100_000)
+
+    def main(ctx):
+        thr_a = yield ThrCreate(thread, name="thread")
+        thr_b = yield ThrCreate(thread, name="thread")
+        yield ThrJoin(thr_a)
+        yield ThrJoin(thr_b)
+        yield ThrExit()
+
+    return Program("fig2", main)
+
+
+@pytest.fixture(scope="module")
+def fig2_run():
+    return record_program(_fig2_program())
+
+
+def test_fig2_recorder_output(benchmark, fig2_run):
+    """Regenerate the fig. 2 log listing and check its structure."""
+    text = benchmark.pedantic(
+        lambda: logfile.dumps(fig2_run.trace), rounds=3, iterations=1
+    )
+    emit("\nfig. 2 — recorded information:\n" + text, artifact="fig2_log.txt")
+
+    trace = fig2_run.trace
+    # the paper's thread numbering: main = 1, thr_a = 4, thr_b = 5
+    assert sorted(int(t) for t in trace.thread_ids()) == [1, 4, 5]
+    creates = [r for r in trace if r.primitive is Primitive.THR_CREATE and r.is_ret]
+    assert [int(r.target) for r in creates] == [4, 5]
+    # ... and the log ends with main's thr_exit (before end_collect)
+    exits = [r for r in trace if r.primitive is Primitive.THR_EXIT]
+    assert int(exits[-1].tid) == 1
+
+
+def test_fig4_per_thread_sorting(benchmark, fig2_run):
+    """Regenerate fig. 4: the per-thread event lists."""
+    trace = fig2_run.trace
+    per_thread = benchmark.pedantic(trace.per_thread, rounds=3, iterations=1)
+
+    lines = ["fig. 4 — the Simulator's sorting of the log file:"]
+    for tid, records in sorted(per_thread.items(), key=lambda kv: int(kv[0])):
+        lines.append(f"\nT{int(tid)}'s event list:")
+        for rec in records:
+            lines.append(f"  {format_us(rec.time_us, decimals=6)}  {rec.brief()}")
+    emit("\n" + "\n".join(lines), artifact="fig4_sorted.txt")
+
+    assert set(int(t) for t in per_thread) == {1, 4, 5}
+    for tid, records in per_thread.items():
+        assert all(r.tid == tid for r in records)
+        times = [r.time_us for r in records]
+        assert times == sorted(times)
+    # T1 keeps the creates and joins; T4/T5 the start/exit markers
+    t1_prims = {r.primitive for r in per_thread[min(per_thread, key=int)]}
+    assert Primitive.THR_CREATE in t1_prims and Primitive.THR_JOIN in t1_prims
+
+
+def test_fig5_graphs(benchmark, fig2_run):
+    """Render the fig. 5 view of the predicted 2-CPU execution."""
+    result = predict(fig2_run.trace, SimConfig(cpus=2))
+
+    svg = benchmark.pedantic(
+        lambda: render_svg(result, title="fig. 5: fig2 example on 2 CPUs"),
+        rounds=3,
+        iterations=1,
+    )
+    path = save_artifact("fig5_view.svg", svg)
+    ascii_view = render_ascii(result, width=78)
+    emit(
+        "\nfig. 5 — parallelism and execution flow graphs "
+        f"(SVG at {path}):\n" + ascii_view,
+        artifact="fig5_view.txt",
+    )
+
+    assert svg.startswith("<svg")
+    # the view shows all three threads and both workers' parallel phase
+    assert "T1 main" in svg and "T4 thread" in svg and "T5 thread" in svg
+    assert "parallelism" in ascii_view

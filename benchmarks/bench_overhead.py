@@ -1,0 +1,70 @@
+"""§4 recording overhead: "the execution time overhead for doing the
+recordings was very small.  The maximum overhead, which was obtained for
+Ocean, was 2.6 % of the total execution time" (and < 3 % for all five).
+
+For each kernel we run the uni-processor execution with and without the
+Recorder's probes and report the relative prolongation.  The benchmark
+timing wraps the monitored recording itself (how expensive is it to make
+a log).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import recording_overhead
+from repro.program.uniexec import record_program, unmonitored_run
+from repro.workloads import get_workload
+
+from _common import BENCH_SCALE, emit
+
+KERNELS = ("ocean", "water", "fft", "radix", "lu")
+
+#: the paper's bound: "less than 3% for all five programs"
+OVERHEAD_LIMIT = 0.03
+
+
+@pytest.fixture(scope="module")
+def overhead_data():
+    data = {}
+    for name in KERNELS:
+        program = get_workload(name).make_program(8, BENCH_SCALE)
+        plain = unmonitored_run(program)
+        monitored = record_program(program)
+        data[name] = (
+            recording_overhead(monitored.monitored_makespan_us, plain.makespan_us),
+            monitored,
+            plain.makespan_us,
+        )
+    return data
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_recording_overhead(benchmark, overhead_data, kernel):
+    program = get_workload(kernel).make_program(8, BENCH_SCALE)
+    benchmark.pedantic(lambda: record_program(program), rounds=1, iterations=1)
+    overhead, _, _ = overhead_data[kernel]
+    assert 0 <= overhead < OVERHEAD_LIMIT, f"{kernel}: {overhead:.2%}"
+
+
+def test_overhead_report(benchmark, overhead_data):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [
+        f"Recording overhead (scale {BENCH_SCALE}; paper: max 2.6%, Ocean)",
+        f"{'kernel':<8} {'plain (s)':>10} {'monitored (s)':>14} "
+        f"{'events':>8} {'overhead':>9}",
+    ]
+    worst = ("", 0.0)
+    for name, (overhead, monitored, plain_us) in overhead_data.items():
+        lines.append(
+            f"{name:<8} {plain_us / 1e6:>10.3f} "
+            f"{monitored.monitored_makespan_us / 1e6:>14.3f} "
+            f"{monitored.n_events:>8} {overhead:>8.2%}"
+        )
+        if overhead > worst[1]:
+            worst = (name, overhead)
+    lines.append(f"max overhead: {worst[0]} at {worst[1]:.2%}")
+    emit("\n" + "\n".join(lines), artifact="overhead.txt")
+    assert worst[1] < OVERHEAD_LIMIT
+    # the paper's shape: Ocean (most events/s) pays the most
+    assert worst[0] == "ocean"

@@ -1,0 +1,88 @@
+"""§4's closing observation: "the time required for obtaining the
+predicted speed-up values ... increases for large log files" (the authors
+experimented with logs up to 15 MB).
+
+We sweep synthetic workloads over an order of magnitude of event counts
+and measure the wall-clock cost of the prediction pipeline (parse +
+compile + replay).  The regenerated series must grow roughly linearly in
+the number of events — the paper's qualitative claim.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import SimConfig, compile_trace, predict
+from repro.program.uniexec import record_program
+from repro.recorder import logfile
+from repro.workloads.synthetic import event_rate_program
+
+from _common import emit
+
+SYNC_OPS = (250, 1_000, 4_000)
+
+
+@pytest.fixture(scope="module")
+def scaling_data():
+    data = []
+    for ops in SYNC_OPS:
+        program = event_rate_program(nthreads=8, sync_ops=ops, work_per_op_us=500)
+        run = record_program(program)
+        text = logfile.dumps(run.trace)
+
+        t0 = time.perf_counter()
+        trace = logfile.loads(text)
+        plan = compile_trace(trace)
+        result = predict(trace, SimConfig(cpus=8), plan=plan)
+        elapsed = time.perf_counter() - t0
+
+        data.append(
+            {
+                "sync_ops": ops,
+                "events": len(run.trace),
+                "bytes": len(text.encode()),
+                "predict_s": elapsed,
+                "makespan_us": result.makespan_us,
+            }
+        )
+    return data
+
+
+@pytest.mark.parametrize("ops", SYNC_OPS)
+def test_prediction_cost(benchmark, ops):
+    """Benchmark parse+compile+replay for one log size."""
+    program = event_rate_program(nthreads=8, sync_ops=ops, work_per_op_us=500)
+    run = record_program(program)
+    text = logfile.dumps(run.trace)
+
+    def pipeline():
+        trace = logfile.loads(text)
+        plan = compile_trace(trace)
+        return predict(trace, SimConfig(cpus=8), plan=plan)
+
+    result = benchmark.pedantic(pipeline, rounds=2, iterations=1)
+    assert result.makespan_us > 0
+
+
+def test_scaling_report(benchmark, scaling_data):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [
+        "Prediction cost vs log size (paper: grows with log size; "
+        "15 MB logs were workable)",
+        f"{'sync ops':>9} {'events':>8} {'log bytes':>10} {'predict (s)':>12}",
+    ]
+    for row in scaling_data:
+        lines.append(
+            f"{row['sync_ops']:>9} {row['events']:>8} {row['bytes']:>10} "
+            f"{row['predict_s']:>12.3f}"
+        )
+    emit("\n" + "\n".join(lines), artifact="scaling.txt")
+
+    # qualitative claim: bigger logs take longer, roughly linearly
+    times = [row["predict_s"] for row in scaling_data]
+    events = [row["events"] for row in scaling_data]
+    assert times[0] < times[-1]
+    growth = (times[-1] / times[0]) / (events[-1] / events[0])
+    assert 0.2 < growth < 5.0, f"non-linear scaling: factor {growth:.2f}"

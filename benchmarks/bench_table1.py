@@ -1,0 +1,114 @@
+"""Table 1: measured and predicted speed-ups for the five SPLASH-2 kernels.
+
+For each kernel and each processor count (2, 4, 8):
+
+* **Real** — five seeded ground-truth executions on the simulated
+  multiprocessor (middle value plus min-max spread, the paper's protocol);
+* **Pred.** — the VPPB pipeline: one monitored uni-processor run of the
+  P-thread program, compiled and replayed on the P-CPU machine;
+* **Error** — §4's ``(real - predicted)/real``.
+
+Pass criterion (the paper's headline): every error within ±6 %-ish — we
+allow 8 % to absorb miniaturisation noise at the default bench scale.
+
+The pytest-benchmark timing wraps the *prediction* step (trace compile +
+replay), i.e. how long VPPB itself takes to predict one configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import compile_trace, predict, predict_speedup, record_program
+from repro.analysis import Table1, Table1Cell, Table1Row, format_table1
+from repro.core.config import SimConfig
+from repro.program.mpexec import measure_speedup
+from repro.workloads import PAPER_TABLE1, get_workload
+
+from _common import BENCH_RUNS, BENCH_SCALE, CPU_COUNTS, emit
+
+KERNELS = ("ocean", "water", "fft", "radix", "lu")
+
+#: tolerated |error|: the paper's worst case is 6.2 % (Ocean at 8 CPUs)
+ERROR_TOLERANCE = 0.08
+
+
+@pytest.fixture(scope="module")
+def table1_data():
+    """Run the whole Table 1 experiment once; benches assert against it."""
+    rows = []
+    traces = {}
+    for name in KERNELS:
+        workload = get_workload(name)
+        sequential = workload.make_program(1, BENCH_SCALE)
+        baseline = record_program(sequential, overhead_us=0)
+        cells = []
+        for cpus in CPU_COUNTS:
+            program = workload.make_program(cpus, BENCH_SCALE)
+            run = record_program(program)
+            traces[(name, cpus)] = run.trace
+            pred = predict_speedup(
+                run.trace, cpus, baseline_us=baseline.monitored_makespan_us
+            )
+            real = measure_speedup(
+                program, cpus, runs=BENCH_RUNS, baseline_program=sequential
+            )
+            cells.append(Table1Cell(cpus=cpus, real=real, predicted=pred))
+        rows.append(Table1Row(application=name, cells=cells))
+    return Table1(rows=rows), traces
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("cpus", CPU_COUNTS)
+def test_table1_cell(benchmark, table1_data, kernel, cpus):
+    """One Table 1 cell: benchmark the prediction, assert the error."""
+    table, traces = table1_data
+    trace = traces[(kernel, cpus)]
+    plan = compile_trace(trace)
+
+    benchmark.pedantic(
+        lambda: predict(trace, SimConfig(cpus=cpus), plan=plan),
+        rounds=1,
+        iterations=1,
+    )
+
+    cell = table.row(kernel).cell(cpus)
+    assert abs(cell.error) <= ERROR_TOLERANCE, (
+        f"{kernel}@{cpus}p error {cell.error:.1%} "
+        f"(real {cell.real.speedup:.2f}, pred {cell.predicted.speedup:.2f})"
+    )
+
+
+def test_table1_report(benchmark, table1_data):
+    """Assemble and print the full table next to the paper's numbers."""
+    table, _ = table1_data
+    text = benchmark.pedantic(
+        lambda: format_table1(
+            table,
+            paper=PAPER_TABLE1,
+            title=(
+                "Table 1: Measured and predicted speed-ups "
+                f"(scale {BENCH_SCALE}, {BENCH_RUNS} real runs)"
+            ),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("\n" + text, artifact="table1.txt")
+    assert table.max_abs_error <= ERROR_TOLERANCE
+
+    # the paper's shape: FFT is the worst scaler, Radix the best, and
+    # Ocean owns the largest prediction error at 8 CPUs.  The Ocean error
+    # comes from trylock contention timing, so its magnitude depends on
+    # the phase/fold size ratio: at the default bench scale (which also
+    # matches the paper's events-per-second regime) Ocean is strictly the
+    # worst; at other scales we require it among the top two.
+    at8 = {row.application: row.cell(8).predicted.speedup for row in table.rows}
+    assert at8["fft"] == min(at8.values())
+    assert at8["radix"] == max(at8.values())
+    errors_at_8 = {row.application: abs(row.cell(8).error) for row in table.rows}
+    ranked = sorted(errors_at_8, key=errors_at_8.get, reverse=True)
+    if abs(BENCH_SCALE - 0.2) < 1e-9:
+        assert ranked[0] == "ocean", ranked
+    else:
+        assert "ocean" in ranked[:2], ranked

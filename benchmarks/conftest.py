@@ -1,0 +1,35 @@
+"""Benchmark-suite plumbing.
+
+* makes the benchmarks directory importable (the shared `_common` module);
+* after the run, prints every regenerated text table from
+  ``benchmarks/results/`` into the terminal summary, so
+  ``pytest benchmarks/ --benchmark-only`` ends with the paper's
+  reproduced numbers (pytest's fd-level capture would otherwise swallow
+  them mid-run).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not config.getoption("--benchmark-only", default=False):
+        return
+    tables = sorted(RESULTS.glob("*.txt")) if RESULTS.is_dir() else []
+    if not tables:
+        return
+    terminalreporter.section("reproduced paper tables (benchmarks/results/)")
+    for path in tables:
+        terminalreporter.write_line(f"--- {path.name} ---")
+        for line in path.read_text().splitlines():
+            terminalreporter.write_line(line)
+        terminalreporter.write_line("")
+    svgs = sorted(RESULTS.glob("*.svg"))
+    if svgs:
+        terminalreporter.write_line(
+            "figures: " + ", ".join(p.name for p in svgs)
+        )

@@ -1,0 +1,78 @@
+"""Capacity planning from one recorded run (the what-if extension).
+
+VPPB's promise is "inspect the behaviour ... as if it had been run on a
+multiprocessor without even having one".  This example pushes that to its
+practical conclusion: given one monitored run of a mixed CPU/I-O service,
+answer the purchasing question — how many processors is this program
+worth? — and show where the remaining time goes.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import Program, SimConfig, predict, record_program
+from repro.analysis import find_knee, lwp_sensitivity, parallelism_profile, speedup_curve
+from repro.program.ops import Compute, IoWait, MutexLock, MutexUnlock, ThrCreate, ThrJoin
+from repro.visualizer import format_thread_stats
+
+
+def worker(ctx):
+    for _ in range(5):
+        yield IoWait(6_000)  # fetch a request
+        yield Compute(9_000)  # handle it
+        yield MutexLock("journal")
+        yield Compute(400)  # append to the shared journal
+        yield MutexUnlock("journal")
+
+
+def main_thread(ctx):
+    tids = []
+    for _ in range(6):
+        tids.append((yield ThrCreate(worker)))
+    for tid in tids:
+        yield ThrJoin(tid)
+
+
+def main() -> None:
+    program = Program("service", main_thread)
+    run = record_program(program)
+    print(
+        f"recorded {run.n_events} events; monitored run "
+        f"{run.monitored_makespan_us / 1e6:.3f} s\n"
+    )
+
+    # how much parallelism does the trace even contain?
+    profile = parallelism_profile(run.trace)
+    print(
+        f"inherent parallelism: average {profile.average_parallelism:.2f}, "
+        f"peak {profile.peak_parallelism}, serial fraction "
+        f"{profile.serial_fraction:.0%}\n"
+    )
+
+    # the speed-up curve, 1..8 CPUs
+    print("CPUs  predicted speed-up")
+    for pred in speedup_curve(run.trace, 8):
+        bar = "#" * round(pred.speedup * 8)
+        print(f"{pred.cpus:>4}  {pred.speedup:>5.2f}  {bar}")
+
+    # the purchasing answer
+    knee = find_knee(run.trace, target_fraction=0.85)
+    print(
+        f"\nrecommendation: {knee.cpus} CPU(s) reach {knee.speedup:.2f}x of "
+        f"an achievable {knee.bound:.2f}x ({knee.fraction_of_bound:.0%})"
+    )
+
+    # does the LWP pool matter at that size?
+    sens = lwp_sensitivity(run.trace, knee.cpus, lwp_counts=(1, 2, knee.cpus, None))
+    print("\nLWP pool sensitivity at that machine size:")
+    for lwps, makespan in sens.items():
+        label = "on-demand" if lwps is None else str(lwps)
+        print(f"  lwps={label:<10} {makespan / 1e3:8.2f} ms")
+
+    # and where the time goes on the recommended machine
+    result = predict(run.trace, SimConfig(cpus=knee.cpus))
+    print(f"\nper-thread decomposition on {knee.cpus} CPU(s):")
+    print(format_thread_stats(result))
+
+
+if __name__ == "__main__":
+    main()

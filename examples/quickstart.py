@@ -1,0 +1,58 @@
+"""Quickstart: the paper's fig. 2 example, end to end.
+
+Builds the small program from fig. 2 (``main`` creates ``thr_a`` and
+``thr_b`` and joins them), performs the monitored uni-processor execution,
+prints the recorded log (compare with the right-hand side of fig. 2),
+predicts the two-processor execution and draws both §3.3 graphs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Program, SimConfig, predict, predict_speedup, record_program
+from repro.core.timebase import format_us
+from repro.program.ops import Compute, ThrCreate, ThrExit, ThrJoin
+from repro.recorder import logfile
+from repro.visualizer import EventInspector, render_ascii
+
+
+def thread(ctx):
+    """The worker: fig. 2's ``void* thread(void*) { work(); }``."""
+    yield Compute(100_000)  # work(): 100 ms of CPU
+
+
+def main_thread(ctx):
+    thr_a = yield ThrCreate(thread, name="thread")
+    thr_b = yield ThrCreate(thread, name="thread")
+    yield ThrJoin(thr_a)
+    yield ThrJoin(thr_b)
+    yield ThrExit()
+
+
+def main() -> None:
+    program = Program("fig2-example", main_thread)
+
+    # (b)-(d): monitored uni-processor execution -> recorded information
+    run = record_program(program)
+    print("=== recorded log (fig. 2, right) ===")
+    print(logfile.dumps(run.trace))
+
+    # (e)-(g): simulate a 2-processor machine
+    prediction = predict_speedup(run.trace, cpus=2)
+    print(f"monitored uni-processor run : {format_us(run.monitored_makespan_us)} s")
+    print(f"predicted on 2 processors   : {format_us(prediction.makespan_us)} s")
+    print(f"predicted speed-up          : {prediction.speedup:.2f}\n")
+
+    # (h): visualize the predicted execution
+    result = predict(run.trace, SimConfig(cpus=2))
+    print("=== predicted execution (fig. 5 view) ===")
+    print(render_ascii(result, width=78))
+
+    # the §3.3 popup: inspect the join event the paper circles in fig. 5
+    inspector = EventInspector(result)
+    join = next(ev for ev in result.events if ev.primitive.value == "thr_join")
+    print("\n=== event popup (the circled thr_join of fig. 5) ===")
+    print(inspector.popup(join.index).describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""Exploring the §3.2 scheduling knobs from one recorded log.
+
+The whole point of VPPB is that a single monitored run can be re-simulated
+under any machine and scheduling configuration.  This example records one
+program and then answers a battery of what-if questions:
+
+* how does the LWP pool size throttle the program?
+* what does binding threads to CPUs do (load balancing by hand)?
+* how much does inter-CPU communication delay cost?
+* do thread priorities rearrange the execution?
+* what do bound threads' higher synchronisation costs (x6.7 creation,
+  x5.9 sync) do to a fine-grained program?
+
+Run:  python examples/scheduling_explorer.py
+"""
+
+from repro import (
+    Program,
+    SimConfig,
+    ThreadPolicy,
+    compile_trace,
+    predict,
+    record_program,
+)
+from repro.program.ops import Compute, MutexLock, MutexUnlock, ThrCreate, ThrJoin
+
+
+def worker(ctx):
+    for _ in range(20):
+        yield Compute(2_000)
+        yield MutexLock("shared")
+        yield Compute(100)
+        yield MutexUnlock("shared")
+
+
+def main_thread(ctx):
+    tids = []
+    for _ in range(4):
+        tids.append((yield ThrCreate(worker)))
+    for tid in tids:
+        yield ThrJoin(tid)
+
+
+def show(label: str, makespan_us: int, base_us: int) -> None:
+    print(f"  {label:<46} {makespan_us/1e3:>9.2f} ms  ({base_us/makespan_us:.2f}x)")
+
+
+def main() -> None:
+    program = Program("explorer", main_thread)
+    run = record_program(program)
+    plan = compile_trace(run.trace)
+    base = run.monitored_makespan_us
+    print(f"monitored uni-processor run: {base/1e3:.2f} ms\n")
+
+    print("LWP pool size on a 4-CPU machine (thr_setconcurrency ignored):")
+    for lwps in (1, 2, 4, None):
+        cfg = SimConfig(cpus=4, lwps=lwps)
+        res = predict(run.trace, cfg, plan=plan)
+        show(f"lwps={'on-demand' if lwps is None else lwps}", res.makespan_us, base)
+
+    print("\nCPU binding (§3.2: 'determine which thread to bind to which CPU'):")
+    spread = {4 + i: ThreadPolicy(cpu=i % 2) for i in range(4)}
+    piled = {4 + i: ThreadPolicy(cpu=0) for i in range(4)}
+    for label, policies in (("4 threads over 2 CPUs", spread), ("all on CPU 0", piled)):
+        cfg = SimConfig(cpus=2, thread_policies=policies)
+        res = predict(run.trace, cfg, plan=plan)
+        show(label, res.makespan_us, base)
+
+    print("\ninter-CPU communication delay (4 CPUs):")
+    for delay in (0, 50, 500, 5_000):
+        cfg = SimConfig(cpus=4, comm_delay_us=delay)
+        res = predict(run.trace, cfg, plan=plan)
+        show(f"comm delay {delay} us", res.makespan_us, base)
+
+    print("\nthread priorities (1 CPU, 1 LWP: the queue order flips):")
+    for label, policies in (
+        ("all equal (T7 runs last)", {}),
+        ("T7 prioritised (runs first)", {7: ThreadPolicy(priority=10)}),
+    ):
+        cfg = SimConfig(cpus=1, lwps=1, thread_policies=policies)
+        res = predict(run.trace, cfg, plan=plan)
+        t7 = next(s for t, s in res.summaries.items() if int(t) == 7)
+        print(
+            f"  {label:<46} T7 finishes at {t7.end_us/1e3:>8.2f} ms "
+            f"(makespan {res.makespan_us/1e3:.2f} ms)"
+        )
+
+    print("\nreal-time class (what if the LAST thread were RT?):")
+    for label, policies in (
+        ("all time-sharing", {}),
+        ("T7 real-time", {7: ThreadPolicy(rt_priority=10)}),
+    ):
+        cfg = SimConfig(cpus=1, lwps=1, thread_policies=policies)
+        res = predict(run.trace, cfg, plan=plan)
+        t7 = next(s for t, s in res.summaries.items() if int(t) == 7)
+        print(
+            f"  {label:<46} T7 finishes at {t7.end_us/1e3:>8.2f} ms "
+            f"(makespan {res.makespan_us/1e3:.2f} ms)"
+        )
+
+    print("\nbinding threads to LWPs (x6.7 creation, x5.9 sync costs):")
+    for label, policies in (
+        ("all unbound", {}),
+        ("all bound", {4 + i: ThreadPolicy(bound=True) for i in range(4)}),
+    ):
+        cfg = SimConfig(cpus=4, thread_policies=policies)
+        res = predict(run.trace, cfg, plan=plan)
+        show(label, res.makespan_us, base)
+
+
+if __name__ == "__main__":
+    main()

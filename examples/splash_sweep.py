@@ -1,0 +1,77 @@
+"""Speed-up sweep over a SPLASH-2 kernel — one Table 1 row, interactively.
+
+Records the chosen kernel once per processor count (the SPLASH-2 programs
+create one thread per processor, so "one log file were made for each
+processor setup", §4), predicts each speed-up, validates against five
+seeded ground-truth runs, and writes the predicted 8-processor execution
+as an SVG.
+
+Run:  python examples/splash_sweep.py [ocean|water|fft|radix|lu]
+      [--scale 0.2] [--svg out.svg]
+"""
+
+import argparse
+
+from repro import SimConfig, measure_speedup, predict, predict_speedup, record_program
+from repro.visualizer import save_svg
+from repro.workloads import PAPER_TABLE1, get_workload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("kernel", nargs="?", default="ocean")
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--cpus", type=int, nargs="+", default=[2, 4, 8])
+    parser.add_argument("--svg", default=None, help="write the predicted run as SVG")
+    args = parser.parse_args()
+
+    workload = get_workload(args.kernel)
+    print(f"{workload.name}: {workload.description} (scale {args.scale})\n")
+
+    # the sequential baseline (SPLASH speed-ups are vs the 1-thread run)
+    sequential = workload.make_program(1, args.scale)
+    baseline = record_program(sequential, overhead_us=0)
+    print(
+        f"sequential baseline: {baseline.monitored_makespan_us / 1e6:.2f} s "
+        f"simulated"
+    )
+
+    paper = PAPER_TABLE1.get(workload.name)
+    header = f"{'CPUs':>4}  {'predicted':>9}  {'real (min-mid-max)':>22}  {'error':>7}"
+    if paper:
+        header += f"  {'paper real':>10}"
+    print(header)
+
+    last_trace = None
+    for cpus in args.cpus:
+        program = workload.make_program(cpus, args.scale)
+        run = record_program(program)
+        last_trace = run.trace
+        pred = predict_speedup(
+            run.trace, cpus, baseline_us=baseline.monitored_makespan_us
+        )
+        real = measure_speedup(
+            program, cpus, runs=5, baseline_program=sequential
+        )
+        error = (real.speedup - pred.speedup) / real.speedup
+        line = (
+            f"{cpus:>4}  {pred.speedup:>9.2f}  {real.speedups.brief():>22}  "
+            f"{error * 100:>6.1f}%"
+        )
+        if paper and cpus in paper.real:
+            line += f"  {paper.real[cpus]:>10.2f}"
+        print(line)
+
+    if args.svg and last_trace is not None:
+        result = predict(last_trace, SimConfig(cpus=args.cpus[-1]))
+        save_svg(
+            result,
+            args.svg,
+            title=f"{workload.name} on {args.cpus[-1]} CPUs (predicted)",
+            compress_threads=True,
+        )
+        print(f"\nwrote {args.svg}")
+
+
+if __name__ == "__main__":
+    main()

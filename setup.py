@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows editable installs on systems without the ``wheel`` package (where
+PEP 660 editable builds fail with "invalid command 'bdist_wheel'"):
+``pip install -e . --no-use-pep517`` or ``python setup.py develop``.
+All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""repro — a reproduction of VPPB (Broberg, Lundberg, Grahn, IPPS 1998).
+
+VPPB (*Visualization of Parallel Program Behaviour*) predicts the
+multiprocessor speed-up of a multithreaded Solaris program from a single
+monitored uni-processor execution, and visualises the predicted execution
+so serialisation bottlenecks can be found and fixed.
+
+The package mirrors the tool's three parts plus the substrates they need:
+
+* :mod:`repro.recorder` — the Recorder: probe records, log-file format,
+  and a live Python ``threading`` interposer;
+* :mod:`repro.core` — the Simulator: event-driven multiprocessor
+  simulation over the Solaris scheduling model, plus the trace→replay
+  compiler (the predictor);
+* :mod:`repro.visualizer` — the Visualizer: parallelism and execution-flow
+  graphs, zooming, event inspection, SVG/ASCII rendering;
+* :mod:`repro.solaris` — the Solaris 2.5 two-level scheduler model
+  (threads → LWPs → CPUs, TS dispatch table, synchronisation objects);
+* :mod:`repro.program` — the virtual-program DSL and its monitored
+  uni-processor / ground-truth multiprocessor executors;
+* :mod:`repro.workloads` — SPLASH-2-style validation programs and the §5
+  producer-consumer case study;
+* :mod:`repro.analysis` — speed-up/error metrics and reports.
+
+Quick start::
+
+    from repro import (
+        Program, record_program, predict_speedup, measure_speedup,
+    )
+    from repro.workloads import radix
+
+    program = radix.make_program(nthreads=8)
+    run = record_program(program)              # monitored uni-processor run
+    pred = predict_speedup(run.trace, cpus=8)  # VPPB's prediction
+    real = measure_speedup(program, cpus=8)    # "real machine" (5 runs)
+    print(pred.speedup, real.speedup)
+"""
+
+from repro.core.config import SimConfig, ThreadPolicy
+from repro.core.predictor import (
+    SpeedupPrediction,
+    compile_trace,
+    predict,
+    predict_speedup,
+    sweep_speedup,
+)
+from repro.core.result import SimulationResult
+from repro.core.simulator import ReplayPlan, Simulator, simulate_program
+from repro.core.trace import Trace, TraceMeta
+from repro.program.mpexec import (
+    GroundTruth,
+    PerturbationModel,
+    measure_speedup,
+    run_multiprocessor,
+)
+from repro.program.program import Program, ThreadCtx, barrier
+from repro.program.uniexec import RecordingRun, record_program, unmonitored_run
+from repro.recorder.recorder import Recorder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimConfig",
+    "ThreadPolicy",
+    "SpeedupPrediction",
+    "compile_trace",
+    "predict",
+    "predict_speedup",
+    "sweep_speedup",
+    "SimulationResult",
+    "ReplayPlan",
+    "Simulator",
+    "simulate_program",
+    "Trace",
+    "TraceMeta",
+    "GroundTruth",
+    "PerturbationModel",
+    "measure_speedup",
+    "run_multiprocessor",
+    "Program",
+    "ThreadCtx",
+    "barrier",
+    "RecordingRun",
+    "record_program",
+    "unmonitored_run",
+    "Recorder",
+    "__version__",
+]

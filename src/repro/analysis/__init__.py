@@ -1,0 +1,62 @@
+"""Analysis: speed-up/error metrics, bottleneck and critical-path tools."""
+
+from repro.analysis.compare import (
+    ComparisonReport,
+    ObjectDelta,
+    compare_results,
+    format_comparison,
+)
+from repro.analysis.critical_path import (
+    ParallelismSummary,
+    critical_path_us,
+    max_speedup,
+    parallelism_profile,
+)
+from repro.analysis.metrics import (
+    ObjectContention,
+    contention_by_object,
+    prediction_error,
+    recording_overhead,
+    top_bottleneck,
+)
+from repro.analysis.report import Table1, Table1Cell, Table1Row, format_table1
+from repro.analysis.transform import (
+    scale_compute,
+    scale_critical_sections,
+    scale_io,
+    split_lock,
+)
+from repro.analysis.whatif import (
+    KneePoint,
+    find_knee,
+    lwp_sensitivity,
+    speedup_curve,
+)
+
+__all__ = [
+    "ComparisonReport",
+    "ObjectDelta",
+    "compare_results",
+    "format_comparison",
+    "ParallelismSummary",
+    "critical_path_us",
+    "max_speedup",
+    "parallelism_profile",
+    "ObjectContention",
+    "contention_by_object",
+    "prediction_error",
+    "recording_overhead",
+    "top_bottleneck",
+    "scale_compute",
+    "scale_critical_sections",
+    "scale_io",
+    "split_lock",
+    "KneePoint",
+    "find_knee",
+    "lwp_sensitivity",
+    "speedup_curve",
+    "Table1",
+    "Table1Cell",
+    "Table1Row",
+    "format_table1",
+]

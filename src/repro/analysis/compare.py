@@ -1,0 +1,125 @@
+"""Before/after comparison of two simulated executions (the §5 loop).
+
+The paper's tuning workflow is iterative: "the developer may detect
+problems in the program and can modify the source code.  Then the
+developer can re-run the execution to inspect the performance change."
+This module makes the *inspect the change* step first-class: given the
+predicted executions of the program before and after a modification (on
+the same machine configuration), it reports what moved — makespan,
+per-object blocking, thread utilisation — in one structured diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import ObjectContention, contention_by_object
+from repro.core.ids import SyncObjectId
+from repro.core.result import SimulationResult
+from repro.core.timebase import to_seconds
+
+__all__ = ["ObjectDelta", "ComparisonReport", "compare_results", "format_comparison"]
+
+
+@dataclass(frozen=True)
+class ObjectDelta:
+    """Blocking change on one synchronisation object."""
+
+    obj: SyncObjectId
+    before_blocked_us: int
+    after_blocked_us: int
+
+    @property
+    def delta_us(self) -> int:
+        return self.after_blocked_us - self.before_blocked_us
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """The §5 'performance change' between two predicted executions."""
+
+    before_makespan_us: int
+    after_makespan_us: int
+    object_deltas: List[ObjectDelta]
+    before_utilisation: float
+    after_utilisation: float
+
+    @property
+    def improvement(self) -> float:
+        """Relative makespan reduction (positive = the change helped)."""
+        if self.before_makespan_us == 0:
+            return 0.0
+        return 1.0 - self.after_makespan_us / self.before_makespan_us
+
+    @property
+    def speedup_of_change(self) -> float:
+        if self.after_makespan_us == 0:
+            return float("inf")
+        return self.before_makespan_us / self.after_makespan_us
+
+    def biggest_win(self) -> Optional[ObjectDelta]:
+        """The object whose blocking shrank the most."""
+        wins = [d for d in self.object_deltas if d.delta_us < 0]
+        return min(wins, key=lambda d: d.delta_us) if wins else None
+
+    def biggest_regression(self) -> Optional[ObjectDelta]:
+        losses = [d for d in self.object_deltas if d.delta_us > 0]
+        return max(losses, key=lambda d: d.delta_us) if losses else None
+
+
+def compare_results(
+    before: SimulationResult, after: SimulationResult
+) -> ComparisonReport:
+    """Diff two simulated executions of (variants of) one program.
+
+    They should share a machine configuration for the makespan numbers to
+    be meaningful; a mismatch raises.
+    """
+    if before.config.cpus != after.config.cpus:
+        raise ValueError(
+            f"comparing different machines: {before.config.cpus} vs "
+            f"{after.config.cpus} CPUs"
+        )
+
+    def by_obj(result: SimulationResult) -> Dict[SyncObjectId, ObjectContention]:
+        return {p.obj: p for p in contention_by_object(result)}
+
+    b, a = by_obj(before), by_obj(after)
+    deltas = [
+        ObjectDelta(
+            obj=obj,
+            before_blocked_us=b[obj].total_blocked_us if obj in b else 0,
+            after_blocked_us=a[obj].total_blocked_us if obj in a else 0,
+        )
+        for obj in sorted(set(b) | set(a), key=str)
+    ]
+    deltas.sort(key=lambda d: d.delta_us)
+    return ComparisonReport(
+        before_makespan_us=before.makespan_us,
+        after_makespan_us=after.makespan_us,
+        object_deltas=deltas,
+        before_utilisation=before.utilisation(),
+        after_utilisation=after.utilisation(),
+    )
+
+
+def format_comparison(report: ComparisonReport, *, top: int = 5) -> str:
+    """Human-readable §5-style change summary."""
+    lines = [
+        f"makespan: {to_seconds(report.before_makespan_us):.4f}s -> "
+        f"{to_seconds(report.after_makespan_us):.4f}s "
+        f"({report.speedup_of_change:.2f}x, {report.improvement:+.1%})",
+        f"machine utilisation: {report.before_utilisation:.0%} -> "
+        f"{report.after_utilisation:.0%}",
+    ]
+    interesting = [d for d in report.object_deltas if d.delta_us != 0][:top]
+    if interesting:
+        lines.append("largest blocking changes:")
+        for d in interesting:
+            lines.append(
+                f"  {str(d.obj):<24} {to_seconds(d.before_blocked_us):.4f}s -> "
+                f"{to_seconds(d.after_blocked_us):.4f}s "
+                f"({d.delta_us / 1e6:+.4f}s)"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Critical-path and parallelism-bound analysis (extension).
+
+The paper's Visualizer shows *where* parallelism is lost; a natural
+extension (listed as such in DESIGN.md) is to quantify the best any
+machine could do with a given trace:
+
+* :func:`critical_path_us` — the trace's makespan on an idealised machine
+  with one processor per thread (no processor ever contended), i.e. the
+  schedule-constrained critical path through the recorded computation;
+* :func:`max_speedup` — the uni-processor runtime over that critical
+  path: an upper bound on achievable speed-up, handy to compare against
+  the §3.2 sweeps (if ``predict_speedup(trace, 8)`` is already at the
+  bound, more processors cannot help — the program must change instead);
+* :func:`parallelism_profile` — average/peak parallelism of the ideal
+  run, the numeric form of the §3.3 parallelism graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import SimConfig
+from repro.core.predictor import compile_trace, predict
+from repro.core.trace import Trace
+from repro.program.uniexec import uniprocessor_config
+from repro.visualizer.parallelism import ParallelismGraph
+
+__all__ = [
+    "critical_path_us",
+    "max_speedup",
+    "ParallelismSummary",
+    "parallelism_profile",
+]
+
+
+def _ideal_config(trace: Trace, base: Optional[SimConfig] = None) -> SimConfig:
+    base = base or SimConfig()
+    nthreads = max(1, len(trace.thread_ids()))
+    return SimConfig(
+        cpus=nthreads,
+        lwps=None,
+        comm_delay_us=0,
+        costs=base.costs,
+        dispatch=base.dispatch,
+        time_slicing=base.time_slicing,
+    )
+
+
+def critical_path_us(trace: Trace, *, base_config: Optional[SimConfig] = None) -> int:
+    """Makespan with a processor always free for every thread."""
+    plan = compile_trace(trace)
+    res = predict(trace, _ideal_config(trace, base_config), plan=plan)
+    return res.makespan_us
+
+
+def max_speedup(trace: Trace, *, base_config: Optional[SimConfig] = None) -> float:
+    """Upper bound on the traced program's speed-up on any machine."""
+    plan = compile_trace(trace)
+    uni = predict(trace, uniprocessor_config(base_config), plan=plan)
+    ideal = predict(trace, _ideal_config(trace, base_config), plan=plan)
+    if ideal.makespan_us == 0:
+        return 1.0
+    return uni.makespan_us / ideal.makespan_us
+
+
+@dataclass(frozen=True)
+class ParallelismSummary:
+    """Numeric summary of the ideal run's parallelism graph."""
+
+    critical_path_us: int
+    average_parallelism: float
+    peak_parallelism: int
+    serial_fraction: float  # share of the ideal run with <= 1 thread running
+
+
+def parallelism_profile(
+    trace: Trace, *, base_config: Optional[SimConfig] = None
+) -> ParallelismSummary:
+    """Profile the trace's inherent parallelism on the ideal machine."""
+    plan = compile_trace(trace)
+    res = predict(trace, _ideal_config(trace, base_config), plan=plan)
+    graph = ParallelismGraph.from_result(res)
+    serial = sum(b - a for a, b in graph.bottleneck_intervals(max_running=1))
+    return ParallelismSummary(
+        critical_path_us=res.makespan_us,
+        average_parallelism=graph.average_running(),
+        peak_parallelism=graph.max_running(),
+        serial_fraction=serial / res.makespan_us if res.makespan_us else 0.0,
+    )

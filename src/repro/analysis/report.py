@@ -1,0 +1,118 @@
+"""Table-1-style reporting.
+
+Assembles and formats the validation experiment exactly the way the
+paper's Table 1 presents it: per application and processor count, the
+real speed-up (middle of five seeded runs, with the min-max spread in
+parentheses), the predicted speed-up, and the §4 error
+``(real - predicted) / real``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import prediction_error
+from repro.core.predictor import SpeedupPrediction
+from repro.program.mpexec import GroundTruth
+
+__all__ = ["Table1Cell", "Table1Row", "Table1", "format_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Cell:
+    """One (application, #CPUs) cell: real vs predicted."""
+
+    cpus: int
+    real: GroundTruth
+    predicted: SpeedupPrediction
+
+    @property
+    def error(self) -> float:
+        return prediction_error(self.real.speedup, self.predicted.speedup)
+
+
+@dataclass
+class Table1Row:
+    """One application's row across the processor counts."""
+
+    application: str
+    cells: List[Table1Cell] = field(default_factory=list)
+
+    def cell(self, cpus: int) -> Table1Cell:
+        for c in self.cells:
+            if c.cpus == cpus:
+                return c
+        raise KeyError(f"no cell for {cpus} CPUs")
+
+    @property
+    def max_abs_error(self) -> float:
+        return max(abs(c.error) for c in self.cells) if self.cells else 0.0
+
+
+@dataclass
+class Table1:
+    """The whole measured-vs-predicted table."""
+
+    rows: List[Table1Row] = field(default_factory=list)
+
+    def row(self, application: str) -> Table1Row:
+        for r in self.rows:
+            if r.application == application:
+                return r
+        raise KeyError(f"no row for {application!r}")
+
+    @property
+    def max_abs_error(self) -> float:
+        return max((r.max_abs_error for r in self.rows), default=0.0)
+
+    def cpu_counts(self) -> List[int]:
+        counts: List[int] = []
+        for r in self.rows:
+            for c in r.cells:
+                if c.cpus not in counts:
+                    counts.append(c.cpus)
+        return sorted(counts)
+
+
+def format_table1(
+    table: Table1,
+    *,
+    paper: Optional[Dict[str, "object"]] = None,
+    title: str = "Table 1: Measured and predicted speed-ups",
+) -> str:
+    """Render the table as text, mirroring the paper's layout.
+
+    When *paper* (a ``workloads.PAPER_TABLE1``-style mapping) is given, a
+    ``paper`` line is added per application for side-by-side comparison.
+    """
+    cpu_counts = table.cpu_counts()
+    header = ["Application/Speed-up"] + [f"{n} processors" for n in cpu_counts]
+    widths = [max(22, len(header[0]))] + [max(18, len(h)) for h in header[1:]]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    lines = [title, fmt_row(header), fmt_row(["-" * w for w in widths])]
+    for row in table.rows:
+        real_cells = []
+        pred_cells = []
+        err_cells = []
+        for n in cpu_counts:
+            cell = row.cell(n)
+            stats = cell.real.speedups
+            real_cells.append(
+                f"{stats.median:.2f} ({stats.minimum:.2f}-{stats.maximum:.2f})"
+            )
+            pred_cells.append(f"{cell.predicted.speedup:.2f}")
+            err_cells.append(f"{cell.error * 100:.1f}%")
+        lines.append(fmt_row([f"{row.application}  Real"] + real_cells))
+        lines.append(fmt_row(["  Pred."] + pred_cells))
+        lines.append(fmt_row(["  Error"] + err_cells))
+        if paper is not None and row.application in paper:
+            ref = paper[row.application]
+            ref_cells = [f"{ref.real[n]:.2f}" for n in cpu_counts]
+            lines.append(fmt_row(["  (paper real)"] + ref_cells))
+        lines.append("")
+    lines.append(f"max |error| = {table.max_abs_error * 100:.1f}%")
+    return "\n".join(lines)

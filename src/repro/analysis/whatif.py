@@ -1,0 +1,120 @@
+"""What-if sweeps over one trace (extension utilities).
+
+The tool's core promise — "the developer can inspect the behaviour of the
+application as if it had been run on a multiprocessor without even having
+one" — invites batch questions.  These helpers answer the common ones:
+
+* :func:`speedup_curve` — the full speed-up curve over a CPU range;
+* :func:`find_knee` — the smallest machine achieving a target fraction of
+  the trace's maximum achievable speed-up (buy-this-many-CPUs advice);
+* :func:`lwp_sensitivity` — how the program responds to LWP-pool limits
+  on a fixed machine (the ``thr_setconcurrency`` tuning question).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.critical_path import max_speedup
+from repro.core.config import SimConfig
+from repro.core.predictor import SpeedupPrediction, compile_trace, predict, predict_speedup
+from repro.core.trace import Trace
+
+__all__ = ["speedup_curve", "KneePoint", "find_knee", "lwp_sensitivity"]
+
+
+def speedup_curve(
+    trace: Trace,
+    max_cpus: int,
+    *,
+    base_config: Optional[SimConfig] = None,
+) -> List[SpeedupPrediction]:
+    """Predicted speed-up for every machine size from 1 to *max_cpus*."""
+    if max_cpus < 1:
+        raise ValueError(f"max_cpus must be >= 1, got {max_cpus}")
+    plan = compile_trace(trace)
+    return [
+        predict_speedup(trace, cpus, base_config=base_config, plan=plan)
+        for cpus in range(1, max_cpus + 1)
+    ]
+
+
+@dataclass(frozen=True)
+class KneePoint:
+    """The sweet-spot machine for a traced program."""
+
+    cpus: int
+    speedup: float
+    bound: float  # the trace's maximum achievable speed-up
+
+    @property
+    def fraction_of_bound(self) -> float:
+        return self.speedup / self.bound if self.bound else 0.0
+
+
+def find_knee(
+    trace: Trace,
+    *,
+    target_fraction: float = 0.8,
+    max_cpus: int = 32,
+    base_config: Optional[SimConfig] = None,
+) -> KneePoint:
+    """Smallest CPU count reaching *target_fraction* of the achievable
+    speed-up.
+
+    Doubles the machine until the target is met (or ``max_cpus`` is hit),
+    then walks back linearly — cheap because replays are fast relative to
+    recording.
+    """
+    if not 0 < target_fraction <= 1:
+        raise ValueError(f"target_fraction must be in (0, 1], got {target_fraction}")
+    bound = max_speedup(trace, base_config=base_config)
+    plan = compile_trace(trace)
+    target = bound * target_fraction
+
+    # exponential probe
+    cpus = 1
+    last = predict_speedup(trace, cpus, base_config=base_config, plan=plan)
+    while last.speedup < target and cpus < max_cpus:
+        cpus = min(max_cpus, cpus * 2)
+        last = predict_speedup(trace, cpus, base_config=base_config, plan=plan)
+    if last.speedup < target:
+        return KneePoint(cpus=cpus, speedup=last.speedup, bound=bound)
+
+    # walk back to the smallest machine still meeting the target
+    lo, hi = max(1, cpus // 2), cpus
+    best = (cpus, last.speedup)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        pred = predict_speedup(trace, mid, base_config=base_config, plan=plan)
+        if pred.speedup >= target:
+            best = (mid, pred.speedup)
+            hi = mid
+        else:
+            lo = mid + 1
+    return KneePoint(cpus=best[0], speedup=best[1], bound=bound)
+
+
+def lwp_sensitivity(
+    trace: Trace,
+    cpus: int,
+    lwp_counts: Sequence[Optional[int]] = (1, 2, 4, 8, None),
+    *,
+    base_config: Optional[SimConfig] = None,
+) -> Dict[Optional[int], int]:
+    """Makespan under each LWP-pool limit (None = on-demand)."""
+    base = base_config or SimConfig()
+    plan = compile_trace(trace)
+    out: Dict[Optional[int], int] = {}
+    for lwps in lwp_counts:
+        config = SimConfig(
+            cpus=cpus,
+            lwps=lwps,
+            comm_delay_us=base.comm_delay_us,
+            costs=base.costs,
+            dispatch=base.dispatch,
+            time_slicing=base.time_slicing,
+        )
+        out[lwps] = predict(trace, config, plan=plan).makespan_us
+    return out

@@ -1,0 +1,380 @@
+"""``vppb`` command-line interface.
+
+Mirrors the fig. 1 workflow for the bundled workloads and for log files
+on disk:
+
+* ``vppb record <workload> -p 8 -o run.log`` — monitored uni-processor
+  execution of a bundled workload, written as a log file;
+* ``vppb predict run.log --cpus 8 [--lwps N] [--comm-delay US]`` —
+  simulate the traced program on a configured machine and print the
+  predicted speed-up;
+* ``vppb visualize run.log --cpus 8 -o run.svg`` — render the predicted
+  execution's parallelism and flow graphs (SVG, or ASCII to stdout);
+* ``vppb report run.log --cpus 2,4,8`` — a speed-up sweep plus the
+  bottleneck table;
+* ``vppb stats run.log --cpus 8`` — the per-thread time decomposition of
+  the predicted execution;
+* ``vppb knee run.log`` — the smallest machine reaching 80 % of the
+  trace's achievable speed-up;
+* ``vppb compare before.log after.log --cpus 8`` — the §5 tuning loop's
+  "inspect the performance change" step;
+* ``vppb whatif run.log --shard-lock buffer:16 --scale-cs buffer:0.5`` —
+  preview a tuning hypothesis by transforming the trace itself;
+* ``vppb workloads`` — list the bundled programs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.metrics import contention_by_object
+from repro.core.config import SimConfig
+from repro.core.predictor import compile_trace, predict, predict_speedup
+from repro.core.timebase import to_seconds
+from repro.recorder import logfile
+from repro.visualizer.ascii_render import render_ascii
+from repro.visualizer.svg_render import save_svg
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_cpus(text: str) -> List[int]:
+    try:
+        counts = [int(part) for part in text.split(",") if part]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad CPU list {text!r}")
+    if not counts or any(n < 1 for n in counts):
+        raise argparse.ArgumentTypeError(f"bad CPU list {text!r}")
+    return counts
+
+
+def _config_from(args: argparse.Namespace, cpus: int) -> SimConfig:
+    return SimConfig(
+        cpus=cpus,
+        lwps=args.lwps,
+        comm_delay_us=args.comm_delay,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="vppb",
+        description="VPPB reproduction: record, predict and visualize "
+        "multithreaded program behaviour (Broberg/Lundberg/Grahn, IPPS'98)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_rec = sub.add_parser("record", help="monitored uni-processor run of a workload")
+    p_rec.add_argument("workload", help="bundled workload name (see 'vppb workloads')")
+    p_rec.add_argument("-p", "--threads", type=int, default=4, help="worker threads")
+    p_rec.add_argument("-s", "--scale", type=float, default=0.1, help="problem scale")
+    p_rec.add_argument("-o", "--output", required=True, help="log file to write")
+    p_rec.add_argument(
+        "--overhead", type=int, default=None, help="probe overhead per record (µs)"
+    )
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("log", help="log file from 'vppb record'")
+    common.add_argument("--lwps", type=int, default=None, help="LWP pool size")
+    common.add_argument(
+        "--comm-delay", type=int, default=0, help="inter-CPU wake delay (µs)"
+    )
+
+    p_pred = sub.add_parser("predict", parents=[common], help="predict speed-up")
+    p_pred.add_argument("--cpus", type=_parse_cpus, default=[2, 4, 8])
+
+    p_vis = sub.add_parser("visualize", parents=[common], help="render the graphs")
+    p_vis.add_argument("--cpus", type=int, default=4)
+    p_vis.add_argument("-o", "--output", default=None, help="SVG path (else ASCII)")
+    p_vis.add_argument("--width", type=int, default=1000)
+    p_vis.add_argument("--compress", action="store_true", help="hide idle threads")
+    p_vis.add_argument(
+        "--chrome",
+        action="store_true",
+        help="write Trace Event JSON (chrome://tracing) instead of SVG",
+    )
+    p_vis.add_argument(
+        "--html",
+        action="store_true",
+        help="write a standalone HTML report instead of SVG",
+    )
+
+    p_rep = sub.add_parser("report", parents=[common], help="sweep + bottlenecks")
+    p_rep.add_argument("--cpus", type=_parse_cpus, default=[2, 4, 8])
+
+    p_stats = sub.add_parser(
+        "stats", parents=[common], help="per-thread time decomposition"
+    )
+    p_stats.add_argument("--cpus", type=int, default=4)
+    p_stats.add_argument(
+        "--top", type=int, default=None, help="show only the N worst-utilised"
+    )
+
+    p_knee = sub.add_parser(
+        "knee", parents=[common], help="smallest machine near the speed-up bound"
+    )
+    p_knee.add_argument(
+        "--target", type=float, default=0.8, help="fraction of the bound to reach"
+    )
+    p_knee.add_argument("--max-cpus", type=int, default=32)
+
+    p_what = sub.add_parser(
+        "whatif", parents=[common], help="preview tuning hypotheses on the trace"
+    )
+    p_what.add_argument("--cpus", type=int, default=8)
+    p_what.add_argument(
+        "--scale-compute", type=float, default=None, metavar="F",
+        help="scale every CPU burst by F",
+    )
+    p_what.add_argument(
+        "--scale-io", type=float, default=None, metavar="F",
+        help="scale every recorded I/O wait by F",
+    )
+    p_what.add_argument(
+        "--scale-cs", default=None, metavar="LOCK:F",
+        help="scale the work held under LOCK by F",
+    )
+    p_what.add_argument(
+        "--shard-lock", default=None, metavar="LOCK:N",
+        help="split LOCK into N round-robin shards",
+    )
+
+    p_cmp = sub.add_parser(
+        "compare", help="diff two logs' predicted executions (before/after)"
+    )
+    p_cmp.add_argument("before", help="log file before the change")
+    p_cmp.add_argument("after", help="log file after the change")
+    p_cmp.add_argument("--cpus", type=int, default=8)
+    p_cmp.add_argument("--lwps", type=int, default=None)
+    p_cmp.add_argument("--comm-delay", type=int, default=0)
+
+    sub.add_parser("workloads", help="list bundled workloads")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from repro.program.uniexec import record_program
+    from repro.recorder.recorder import DEFAULT_PROBE_OVERHEAD_US
+    from repro.workloads import get_workload
+
+    try:
+        workload = get_workload(args.workload)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    program = workload.make_program(args.threads, args.scale)
+    overhead = (
+        DEFAULT_PROBE_OVERHEAD_US if args.overhead is None else args.overhead
+    )
+    run = record_program(program, overhead_us=overhead)
+    size = logfile.dump(run.trace, args.output)
+    stats = run.trace.stats(serialized_bytes=size)
+    print(
+        f"recorded {program.name}: {stats.n_events} events, "
+        f"{stats.n_threads} threads, {to_seconds(stats.duration_us):.3f}s "
+        f"monitored, {size} bytes -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    trace = logfile.load(args.log)
+    plan = compile_trace(trace)
+    print(f"{trace.meta.program}: {len(trace)} events, "
+          f"{len(trace.thread_ids())} threads")
+    for cpus in args.cpus:
+        pred = predict_speedup(
+            trace, cpus, base_config=_config_from(args, cpus), plan=plan
+        )
+        print(
+            f"  {cpus:>2} CPUs: predicted speed-up {pred.speedup:.2f} "
+            f"({to_seconds(pred.makespan_us):.3f}s vs "
+            f"{to_seconds(pred.uniprocessor_us):.3f}s on one)"
+        )
+    return 0
+
+
+def _cmd_visualize(args: argparse.Namespace) -> int:
+    trace = logfile.load(args.log)
+    result = predict(trace, _config_from(args, args.cpus))
+    if args.chrome:
+        from repro.visualizer.chrome_trace import save_chrome_trace
+
+        out = args.output or "trace.json"
+        save_chrome_trace(result, out, program=trace.meta.program)
+        print(f"wrote {out} (open in chrome://tracing or ui.perfetto.dev)")
+        return 0
+    if args.html:
+        from repro.visualizer.html_report import save_html_report
+
+        out = args.output or "report.html"
+        save_html_report(
+            result,
+            out,
+            title=f"{trace.meta.program} on {args.cpus} CPUs (predicted)",
+            compress_threads=args.compress,
+        )
+        print(f"wrote {out}")
+        return 0
+    if args.output:
+        save_svg(
+            result,
+            args.output,
+            width=args.width,
+            compress_threads=args.compress,
+            title=f"{trace.meta.program} on {args.cpus} CPUs (predicted)",
+        )
+        print(f"wrote {args.output}")
+    else:
+        print(render_ascii(result, width=args.width if args.width < 300 else 100))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    trace = logfile.load(args.log)
+    plan = compile_trace(trace)
+    print(f"speed-up prediction for {trace.meta.program}")
+    for cpus in args.cpus:
+        pred = predict_speedup(
+            trace, cpus, base_config=_config_from(args, cpus), plan=plan
+        )
+        print(f"  {cpus:>2} CPUs: {pred.speedup:.2f}")
+    worst = max(args.cpus)
+    result = predict(trace, _config_from(args, worst))
+    profiles = contention_by_object(result)[:5]
+    if profiles:
+        print(f"top blocking objects on {worst} CPUs:")
+        for p in profiles:
+            print(
+                f"  {str(p.obj):<24} blocked {to_seconds(p.total_blocked_us):.4f}s "
+                f"over {p.blocking_operations}/{p.operations} ops"
+            )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.visualizer.stats import format_thread_stats
+
+    trace = logfile.load(args.log)
+    result = predict(trace, _config_from(args, args.cpus))
+    print(
+        f"{trace.meta.program} on {args.cpus} CPUs (predicted), "
+        f"makespan {to_seconds(result.makespan_us):.3f}s:"
+    )
+    print(format_thread_stats(result, top=args.top))
+    return 0
+
+
+def _cmd_knee(args: argparse.Namespace) -> int:
+    from repro.analysis.whatif import find_knee
+
+    trace = logfile.load(args.log)
+    knee = find_knee(
+        trace,
+        target_fraction=args.target,
+        max_cpus=args.max_cpus,
+        base_config=_config_from(args, 1),
+    )
+    print(
+        f"{trace.meta.program}: {knee.cpus} CPU(s) reach "
+        f"{knee.speedup:.2f}x of an achievable {knee.bound:.2f}x "
+        f"({knee.fraction_of_bound:.0%} of the bound)"
+    )
+    return 0
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import compare_results, format_comparison
+    from repro.analysis.transform import (
+        scale_compute,
+        scale_critical_sections,
+        scale_io,
+        split_lock,
+    )
+    from repro.core.simulator import Simulator
+
+    trace = logfile.load(args.log)
+    plan = compile_trace(trace)
+    transformed = plan
+    applied = []
+    if args.scale_compute is not None:
+        transformed = scale_compute(transformed, args.scale_compute)
+        applied.append(f"compute x{args.scale_compute}")
+    if args.scale_io is not None:
+        transformed = scale_io(transformed, args.scale_io)
+        applied.append(f"io x{args.scale_io}")
+    if args.scale_cs is not None:
+        lock, _, factor = args.scale_cs.rpartition(":")
+        transformed = scale_critical_sections(transformed, lock, float(factor))
+        applied.append(f"critical section of {lock!r} x{factor}")
+    if args.shard_lock is not None:
+        lock, _, ways = args.shard_lock.rpartition(":")
+        transformed = split_lock(transformed, lock, int(ways))
+        applied.append(f"{lock!r} split {ways} ways")
+    if not applied:
+        print("no transformation requested (see --help)", file=sys.stderr)
+        return 2
+
+    config = _config_from(args, args.cpus)
+    before = Simulator(config).run_replay(plan)
+    after = Simulator(config).run_replay(transformed)
+    print(f"what-if on {args.cpus} CPUs: " + "; ".join(applied))
+    print(format_comparison(compare_results(before, after)))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import compare_results, format_comparison
+
+    config = _config_from(args, args.cpus)
+    before = predict(logfile.load(args.before), config)
+    after = predict(logfile.load(args.after), config)
+    report = compare_results(before, after)
+    print(f"performance change on {args.cpus} CPUs (predicted):")
+    print(format_comparison(report))
+    return 0
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    from repro.workloads import all_workloads
+
+    for w in all_workloads():
+        print(f"{w.name:<16} {w.description}")
+    return 0
+
+
+_COMMANDS = {
+    "record": _cmd_record,
+    "predict": _cmd_predict,
+    "visualize": _cmd_visualize,
+    "report": _cmd_report,
+    "stats": _cmd_stats,
+    "knee": _cmd_knee,
+    "whatif": _cmd_whatif,
+    "compare": _cmd_compare,
+    "workloads": _cmd_workloads,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early — not an error
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

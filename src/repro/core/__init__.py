@@ -1,0 +1,40 @@
+"""The Simulator core: event engine, configuration, prediction."""
+
+from repro.core.config import SimConfig, ThreadPolicy
+from repro.core.predictor import (
+    SpeedupPrediction,
+    compile_trace,
+    predict,
+    predict_speedup,
+    sweep_speedup,
+)
+from repro.core.result import (
+    PlacedEvent,
+    SegmentKind,
+    SimulationResult,
+    ThreadSegment,
+    ThreadSummary,
+)
+from repro.core.simulator import ReplayPlan, Simulator, simulate_program
+from repro.core.trace import Trace, TraceMeta, TraceStats
+
+__all__ = [
+    "SimConfig",
+    "ThreadPolicy",
+    "SpeedupPrediction",
+    "compile_trace",
+    "predict",
+    "predict_speedup",
+    "sweep_speedup",
+    "PlacedEvent",
+    "SegmentKind",
+    "SimulationResult",
+    "ThreadSegment",
+    "ThreadSummary",
+    "ReplayPlan",
+    "Simulator",
+    "simulate_program",
+    "Trace",
+    "TraceMeta",
+    "TraceStats",
+]

@@ -1,0 +1,137 @@
+"""Simulation configuration — the paper's user-supplied parameters.
+
+Figure 1 feeds the Simulator two parameter blocks besides the recorded
+information: the **hardware configuration** (e: number of processors,
+communication delays) and the **scheduling policies** (f: number of LWPs,
+thread priorities, binding of threads).  §3.2 enumerates the per-thread
+manipulations: each thread can individually be unbound, bound to an LWP, or
+bound to a certain CPU (which implies an LWP binding), and can be assigned
+a priority that overrides every ``thr_setprio`` in the log.
+
+:class:`SimConfig` carries all of that, validated eagerly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.core.errors import ConfigError
+from repro.solaris.costs import CostModel
+from repro.solaris.dispatch import DispatchTable
+
+__all__ = ["ThreadPolicy", "SimConfig"]
+
+
+@dataclass(frozen=True)
+class ThreadPolicy:
+    """Per-thread scheduling manipulation (§3.2).
+
+    ``bound=True`` gives the thread its own LWP (creation ×6.7, sync ×5.9).
+    ``cpu`` pins the thread to a processor and implies ``bound``.
+    ``priority`` overrides the thread's priority for the whole run; its
+    ``thr_setprio`` events in the log are then ignored.
+    ``rt_priority`` puts the thread's LWP in the Solaris real-time (RT)
+    scheduling class at that fixed priority: RT LWPs run above every
+    time-sharing LWP, are never aged by the dispatcher, and round-robin
+    among equals on a fixed quantum.  An RT thread needs a dedicated LWP
+    (``priocntl`` operates on LWPs), so it implies ``bound``.
+    """
+
+    bound: Optional[bool] = None
+    cpu: Optional[int] = None
+    priority: Optional[int] = None
+    rt_priority: Optional[int] = None
+
+    def effective_bound(self) -> Optional[bool]:
+        if self.cpu is not None or self.rt_priority is not None:
+            return True
+        return self.bound
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Full parameter set for one simulated multiprocessor execution.
+
+    Attributes
+    ----------
+    cpus:
+        Number of processors in the simulated machine.
+    lwps:
+        Size of the unbound-LWP pool.  ``None`` lets the pool grow on
+        demand (one LWP per runnable unbound thread — the behaviour of a
+        generous ``thr_setconcurrency``).  When set, every
+        ``thr_setconcurrency`` in the log "has no effect" (§3.2).
+    comm_delay_us:
+        Inter-CPU communication delay: "affects how fast an event on one
+        CPU is propagated to another CPU" — a wake-up crossing CPUs is
+        delivered this much later.
+    thread_policies:
+        Per-thread-id overrides (binding, CPU pinning, priority).
+    costs:
+        The synchronisation cost model (paper multipliers inside).
+    dispatch:
+        The TS dispatch table governing LWP quanta and priority aging.
+    time_slicing:
+        Disable to let LWPs run to block (FIFO kernel scheduling); on by
+        default, as in Solaris.
+    rt_quantum_us:
+        Round-robin time slice for real-time-class LWPs (the RT
+        dispatch table's ``rt_quantum``; 100 ms default, matching the
+        stock table's mid-range).
+    """
+
+    cpus: int = 1
+    lwps: Optional[int] = None
+    comm_delay_us: int = 0
+    thread_policies: Dict[int, ThreadPolicy] = field(default_factory=dict)
+    costs: CostModel = field(default_factory=CostModel)
+    dispatch: DispatchTable = field(default_factory=DispatchTable.classic)
+    time_slicing: bool = True
+    rt_quantum_us: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.cpus < 1:
+            raise ConfigError(f"cpus must be >= 1, got {self.cpus}")
+        if self.lwps is not None and self.lwps < 1:
+            raise ConfigError(f"lwps must be >= 1 or None, got {self.lwps}")
+        if self.comm_delay_us < 0:
+            raise ConfigError(f"comm_delay_us must be >= 0, got {self.comm_delay_us}")
+        if self.rt_quantum_us < 1:
+            raise ConfigError(f"rt_quantum_us must be >= 1, got {self.rt_quantum_us}")
+        for tid, pol in self.thread_policies.items():
+            if pol.cpu is not None and not (0 <= pol.cpu < self.cpus):
+                raise ConfigError(
+                    f"thread {tid} bound to CPU {pol.cpu}, but machine has "
+                    f"{self.cpus} CPUs"
+                )
+            if pol.rt_priority is not None and not (0 <= pol.rt_priority <= 59):
+                raise ConfigError(
+                    f"thread {tid} RT priority {pol.rt_priority} outside 0..59"
+                )
+
+    # ------------------------------------------------------------------
+
+    def policy_for(self, tid: int) -> ThreadPolicy:
+        return self.thread_policies.get(tid, ThreadPolicy())
+
+    def with_cpus(self, cpus: int) -> "SimConfig":
+        """Copy with a different processor count (speed-up sweeps)."""
+        return replace(self, cpus=cpus)
+
+    def with_policy(self, tid: int, policy: ThreadPolicy) -> "SimConfig":
+        policies = dict(self.thread_policies)
+        policies[tid] = policy
+        return replace(self, thread_policies=policies)
+
+    def describe(self) -> str:
+        """One-line human summary for reports."""
+        lwps = "on-demand" if self.lwps is None else str(self.lwps)
+        parts = [f"{self.cpus} CPU(s)", f"LWPs={lwps}"]
+        if self.comm_delay_us:
+            parts.append(f"comm-delay={self.comm_delay_us}us")
+        if self.thread_policies:
+            parts.append(f"{len(self.thread_policies)} thread override(s)")
+        if not self.time_slicing:
+            parts.append("no-timeslice")
+        return ", ".join(parts)

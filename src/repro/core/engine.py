@@ -1,0 +1,156 @@
+"""Discrete-event simulation core.
+
+"Our simulation technique is an ordinary event-driven approach" (§3.2).
+This module provides that core: a monotonically advancing integer-µs clock
+and a priority queue of scheduled actions.  The Solaris scheduling model
+sits on top (:mod:`repro.solaris.scheduler`); this layer knows nothing
+about threads or CPUs.
+
+Scheduled actions are cancellable (needed for quantum expiry timers that a
+block cancels, and for timed waits a signal cancels).  Ties are broken by
+insertion order so runs are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional
+
+from repro.core.errors import LivelockError, SimulationError
+
+__all__ = ["ScheduledEvent", "EventQueue", "Engine"]
+
+
+class ScheduledEvent:
+    """Handle to an action scheduled on the engine.
+
+    ``cancel()`` marks the event dead; dead events are skipped when popped
+    (lazy deletion — O(1) cancel, and the heap stays a heap).
+    """
+
+    __slots__ = ("time_us", "seq", "action", "label", "cancelled")
+
+    def __init__(self, time_us: int, seq: int, action: Callable[[], None], label: str):
+        self.time_us = time_us
+        self.seq = seq
+        self.action = action
+        self.label = label
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time_us, self.seq) < (other.time_us, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " CANCELLED" if self.cancelled else ""
+        return f"<event {self.label!r} @{self.time_us}us{state}>"
+
+
+class EventQueue:
+    """A lazy-deletion binary heap of :class:`ScheduledEvent`."""
+
+    def __init__(self) -> None:
+        self._heap: List[ScheduledEvent] = []
+        self._counter = itertools.count()
+
+    def push(self, time_us: int, action: Callable[[], None], label: str = "") -> ScheduledEvent:
+        ev = ScheduledEvent(time_us, next(self._counter), action, label)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Optional[ScheduledEvent]:
+        """Pop the earliest live event, or None when the queue is drained."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if not ev.cancelled:
+                return ev
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the earliest live event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time_us if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None
+
+
+class Engine:
+    """The event loop: a clock plus an :class:`EventQueue`.
+
+    Parameters
+    ----------
+    max_events:
+        Safety valve against livelock: if more than this many events execute
+        the run aborts with :class:`~repro.core.errors.LivelockError`.  The
+        paper notes (§6) that a thread spinning on a variable livelocks the
+        one-LWP monitored run; our DSL cannot spin, but a buggy behaviour
+        could schedule zero-length work forever, and this bound catches it.
+    max_time_us:
+        Optional wall-clock ceiling on simulated time.
+    """
+
+    def __init__(self, *, max_events: int = 50_000_000, max_time_us: Optional[int] = None):
+        self.now_us: int = 0
+        self.queue = EventQueue()
+        self.max_events = max_events
+        self.max_time_us = max_time_us
+        self.events_executed = 0
+
+    # ------------------------------------------------------------------
+
+    def schedule_at(self, time_us: int, action: Callable[[], None], label: str = "") -> ScheduledEvent:
+        """Schedule *action* at absolute simulated time *time_us*."""
+        if time_us < self.now_us:
+            raise SimulationError(
+                f"cannot schedule in the past: now={self.now_us} target={time_us} ({label})"
+            )
+        return self.queue.push(time_us, action, label)
+
+    def schedule_in(self, delay_us: int, action: Callable[[], None], label: str = "") -> ScheduledEvent:
+        """Schedule *action* *delay_us* µs from now."""
+        if delay_us < 0:
+            raise SimulationError(f"negative delay {delay_us} ({label})")
+        return self.queue.push(self.now_us + delay_us, action, label)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> int:
+        """Run until the queue drains; return the final simulated time."""
+        while True:
+            ev = self.queue.pop()
+            if ev is None:
+                return self.now_us
+            if ev.time_us < self.now_us:
+                raise SimulationError(
+                    f"time went backwards: now={self.now_us}, event={ev!r}"
+                )
+            self.now_us = ev.time_us
+            self.events_executed += 1
+            if self.events_executed > self.max_events:
+                raise LivelockError(
+                    f"exceeded {self.max_events} events at t={self.now_us}us; "
+                    "simulation is likely livelocked"
+                )
+            if self.max_time_us is not None and self.now_us > self.max_time_us:
+                raise LivelockError(
+                    f"simulated time exceeded ceiling {self.max_time_us}us"
+                )
+            ev.action()
+
+    def step(self) -> bool:
+        """Execute a single event; return False when the queue is empty."""
+        ev = self.queue.pop()
+        if ev is None:
+            return False
+        self.now_us = ev.time_us
+        self.events_executed += 1
+        ev.action()
+        return True

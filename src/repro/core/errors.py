@@ -1,0 +1,95 @@
+"""Exception hierarchy for the VPPB reproduction.
+
+Every error raised by this package derives from :class:`VppbError`, so
+callers can catch one type.  Sub-hierarchies mirror the three tool parts:
+recording, simulation, and visualisation, plus trace/log-format errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "VppbError",
+    "TraceError",
+    "LogFormatError",
+    "RecorderError",
+    "MonitorabilityError",
+    "SimulationError",
+    "DeadlockError",
+    "LivelockError",
+    "ReplayDivergenceError",
+    "ConfigError",
+    "VisualizationError",
+    "ProgramError",
+]
+
+
+class VppbError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class TraceError(VppbError):
+    """A trace is malformed or internally inconsistent."""
+
+
+class LogFormatError(TraceError):
+    """A log file could not be parsed.
+
+    Carries the offending line number and text when available.
+    """
+
+    def __init__(self, message: str, *, lineno: int | None = None, line: str | None = None):
+        self.lineno = lineno
+        self.line = line
+        if lineno is not None:
+            message = f"line {lineno}: {message}"
+        super().__init__(message)
+
+
+class RecorderError(VppbError):
+    """The Recorder could not monitor the program."""
+
+
+class MonitorabilityError(RecorderError):
+    """The program cannot run on a single LWP (§6).
+
+    Raised for the failure modes that excluded Barnes/Radiosity/Cholesky/FMM
+    (spinning on a variable livelocks the single LWP) and Raytrace/Volrend
+    (task stealing degenerates to one thread doing all work) from the
+    paper's validation.
+    """
+
+
+class SimulationError(VppbError):
+    """The Simulator reached an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """No runnable thread exists but threads are still blocked."""
+
+    def __init__(self, message: str, *, blocked: tuple[int, ...] = ()):
+        self.blocked = blocked
+        super().__init__(message)
+
+
+class LivelockError(SimulationError):
+    """Simulated time stopped advancing (e.g. a spin loop on one LWP)."""
+
+
+class ReplayDivergenceError(SimulationError):
+    """A replayed event could not be applied to the simulated state.
+
+    Signals that the trace and the simulator's synchronisation model
+    disagree — e.g. a mutex unlock by a thread that does not hold it.
+    """
+
+
+class ConfigError(VppbError):
+    """A simulation configuration is invalid (§3.2 parameters)."""
+
+
+class VisualizationError(VppbError):
+    """A visualisation request is invalid (bad interval, unknown event...)."""
+
+
+class ProgramError(VppbError):
+    """A virtual program misused the DSL (bad op, unknown object...)."""

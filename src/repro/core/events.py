@@ -1,0 +1,251 @@
+"""Thread-library primitive taxonomy and recorded-event structure.
+
+The Recorder (§3.1 of the paper) interposes on every call the program makes
+to the Solaris thread library and logs, for each call, a *call* record and a
+*return* record carrying: the timestamp (µs), the identity of the calling
+thread, the primitive's name, the object the call concerns (which mutex,
+which semaphore...), the outcome, and the source-code location of the call.
+
+This module defines that vocabulary:
+
+* :class:`Primitive` — every thread-library entry point VPPB traces,
+* :class:`Phase` — call vs. return record,
+* :class:`Status` — the outcome stamped on return records,
+* :class:`SourceLocation` — the ``file:line`` the call was made from
+  (the paper recovers this from the SPARC ``%i7`` return address plus a
+  debugger; we capture it directly), and
+* :class:`EventRecord` — one immutable log record.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.ids import SyncObjectId, ThreadId
+
+__all__ = [
+    "Primitive",
+    "Phase",
+    "Status",
+    "SourceLocation",
+    "EventRecord",
+    "BLOCKING_PRIMITIVES",
+    "TRY_PRIMITIVES",
+]
+
+
+class Primitive(enum.Enum):
+    """Every thread-library entry point the Recorder traces.
+
+    Names follow the Solaris 2.x ``libthread``/``libc`` API that the paper
+    instruments.  ``START_COLLECT`` / ``END_COLLECT`` are the Recorder's own
+    markers delimiting the monitored interval (``start_collect`` appears at
+    time 0.00 in the paper's fig. 2 log).
+    """
+
+    # --- recorder markers -------------------------------------------------
+    START_COLLECT = "start_collect"
+    END_COLLECT = "end_collect"
+    #: Emitted by the interposed start routine the moment a created thread
+    #: first runs.  The real Recorder wraps the function pointer passed to
+    #: ``thr_create`` (§3.1), so it observes exactly this moment; the
+    #: Simulator needs it to attribute the thread's first CPU burst.
+    THREAD_START = "thread_start"
+
+    # --- I/O (the §6 "future work" extension: the paper's technique
+    # "does not model I/O"; this primitive lifts that, recording blocking
+    # I/O waits so replay can overlap them across processors) -----------
+    IO_WAIT = "io_wait"
+
+    # --- thread management -------------------------------------------------
+    THR_CREATE = "thr_create"
+    THR_EXIT = "thr_exit"
+    THR_JOIN = "thr_join"
+    THR_YIELD = "thr_yield"
+    THR_SETPRIO = "thr_setprio"
+    THR_SETCONCURRENCY = "thr_setconcurrency"
+
+    # --- mutexes -----------------------------------------------------------
+    MUTEX_LOCK = "mutex_lock"
+    MUTEX_TRYLOCK = "mutex_trylock"
+    MUTEX_UNLOCK = "mutex_unlock"
+
+    # --- counting semaphores -----------------------------------------------
+    SEMA_INIT = "sema_init"
+    SEMA_WAIT = "sema_wait"
+    SEMA_TRYWAIT = "sema_trywait"
+    SEMA_POST = "sema_post"
+
+    # --- condition variables -----------------------------------------------
+    COND_WAIT = "cond_wait"
+    COND_TIMEDWAIT = "cond_timedwait"
+    COND_SIGNAL = "cond_signal"
+    COND_BROADCAST = "cond_broadcast"
+
+    # --- readers/writer locks ----------------------------------------------
+    RW_RDLOCK = "rw_rdlock"
+    RW_WRLOCK = "rw_wrlock"
+    RW_TRYRDLOCK = "rw_tryrdlock"
+    RW_TRYWRLOCK = "rw_trywrlock"
+    RW_UNLOCK = "rw_unlock"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Primitives that can block the calling thread on a uni-processor.
+BLOCKING_PRIMITIVES = frozenset(
+    {
+        Primitive.THR_JOIN,
+        Primitive.MUTEX_LOCK,
+        Primitive.SEMA_WAIT,
+        Primitive.COND_WAIT,
+        Primitive.COND_TIMEDWAIT,
+        Primitive.RW_RDLOCK,
+        Primitive.RW_WRLOCK,
+    }
+)
+
+#: Non-blocking "try" variants whose recorded outcome pins the replay (§3.2).
+TRY_PRIMITIVES = frozenset(
+    {
+        Primitive.MUTEX_TRYLOCK,
+        Primitive.SEMA_TRYWAIT,
+        Primitive.RW_TRYRDLOCK,
+        Primitive.RW_TRYWRLOCK,
+    }
+)
+
+
+class Phase(enum.Enum):
+    """Whether a record was taken before (call) or after (return) the call."""
+
+    CALL = "call"
+    RET = "ret"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class Status(enum.Enum):
+    """Outcome stamped on a return record.
+
+    ``OK`` — the call succeeded (the paper's log prints ``ok``).
+    ``BUSY`` — a try-operation failed to acquire the object (``EBUSY``).
+    ``TIMEOUT`` — ``cond_timedwait`` expired (``ETIME``); replayed as a
+    pure delay per §3.2.
+    """
+
+    OK = "ok"
+    BUSY = "busy"
+    TIMEOUT = "timeout"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class SourceLocation:
+    """Source position of a thread-library call.
+
+    The real Recorder saves the caller's return address (SPARC ``%i7``) and
+    later maps it to ``file:line`` with a debugger; we capture the location
+    directly at probe time.  ``function`` is filled for ``thr_create`` (the
+    start routine's name, which the Visualizer shows in event popups).
+    """
+
+    file: str
+    line: int
+    function: str = ""
+
+    def __str__(self) -> str:
+        text = f"{self.file}:{self.line}"
+        if self.function:
+            text += f" ({self.function})"
+        return text
+
+
+@dataclass(frozen=True, slots=True)
+class EventRecord:
+    """One record in the Recorder's log.
+
+    Attributes
+    ----------
+    time_us:
+        Wall-clock timestamp in integer microseconds (1 µs resolution, §3.1).
+    tid:
+        Identity of the thread that generated the event.
+    phase:
+        :attr:`Phase.CALL` (probe fired before the library call) or
+        :attr:`Phase.RET` (after it returned).
+    primitive:
+        Which thread-library entry point was called.
+    obj:
+        The synchronisation object concerned, if any.
+    obj2:
+        A secondary object for primitives taking two: the mutex argument
+        of ``cond_wait`` / ``cond_timedwait``.
+    target:
+        Peer thread id: the created thread for ``thr_create``, the joined
+        thread for ``thr_join`` (``None`` means a wildcard join, §6).
+    arg:
+        Integer argument: new priority for ``thr_setprio``, concurrency
+        level for ``thr_setconcurrency``, timeout in µs for
+        ``cond_timedwait`` call records.
+    status:
+        Outcome; only meaningful on return records.
+    source:
+        Where in the program the call was made.
+    """
+
+    time_us: int
+    tid: ThreadId
+    phase: Phase
+    primitive: Primitive
+    obj: Optional[SyncObjectId] = None
+    obj2: Optional[SyncObjectId] = None
+    target: Optional[ThreadId] = None
+    arg: Optional[int] = None
+    status: Optional[Status] = None
+    source: Optional[SourceLocation] = None
+
+    def __post_init__(self) -> None:
+        if self.time_us < 0:
+            raise ValueError(f"negative timestamp: {self.time_us}")
+
+    # -- convenience predicates -------------------------------------------
+
+    @property
+    def is_call(self) -> bool:
+        return self.phase is Phase.CALL
+
+    @property
+    def is_ret(self) -> bool:
+        return self.phase is Phase.RET
+
+    @property
+    def is_marker(self) -> bool:
+        return self.primitive in (
+            Primitive.START_COLLECT,
+            Primitive.END_COLLECT,
+            Primitive.THREAD_START,
+        )
+
+    def shifted(self, delta_us: int) -> "EventRecord":
+        """Return a copy with the timestamp moved by *delta_us*."""
+        return replace(self, time_us=self.time_us + delta_us)
+
+    def brief(self) -> str:
+        """One-line human-readable rendering (used in log dumps and tests)."""
+        parts = [f"T{int(self.tid)}", str(self.phase), str(self.primitive)]
+        if self.obj is not None:
+            parts.append(str(self.obj))
+        if self.target is not None:
+            parts.append(f"T{int(self.target)}")
+        if self.arg is not None:
+            parts.append(str(self.arg))
+        if self.status is not None:
+            parts.append(str(self.status))
+        return " ".join(parts)

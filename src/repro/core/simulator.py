@@ -1,0 +1,819 @@
+"""The VPPB Simulator (§3.2).
+
+Drives thread behaviours over the Solaris scheduling model:
+
+* each running thread is executed as a sequence of *steps* — a CPU burst
+  followed by one thread-library operation;
+* the operation's cost (from the :class:`~repro.solaris.costs.CostModel`,
+  with the paper's bound-thread multipliers) is charged as CPU time at the
+  end of the burst, then its semantics are applied against the simulated
+  synchronisation objects;
+* blocking operations take the thread off its processor; the return from
+  the call (and its return-probe overhead, when recording) happens when the
+  thread is scheduled again — exactly the timing a real interposed library
+  exhibits.
+
+The same class performs three roles from the paper's figure 1:
+
+* **monitored uni-processor execution** — ``Simulator(uniprocessor config,
+  probe=Recorder)`` running a live program *is* the Recorder run: the probe
+  writes the log and its overhead is charged into the simulated timeline
+  (that is the §4 "intrusion");
+* **ground-truth multiprocessor execution** — a live program on an N-CPU
+  configuration (optionally with OS-noise perturbation) stands in for the
+  paper's real Sun E4000 runs;
+* **prediction** — a :class:`ReplayPlan` compiled from a recorded trace by
+  :mod:`repro.core.predictor` replayed under any configuration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Protocol
+
+from repro.core.config import SimConfig
+from repro.core.engine import Engine
+from repro.core.errors import (
+    DeadlockError,
+    ProgramError,
+    SimulationError,
+)
+from repro.core.events import EventRecord, Phase, Primitive, Status
+from repro.core.ids import MAIN_THREAD_ID, ThreadId
+from repro.core.result import ResultBuilder, SimulationResult, ThreadSummary
+from repro.program import ops as op_mod
+from repro.program.behavior import LiveBehavior, ReplayBehavior, Step, ThreadBehavior
+from repro.program.program import Program, ThreadCtx
+from repro.solaris.scheduler import Scheduler
+from repro.solaris.sync import NO_RESULT, SyncObjectTable
+from repro.solaris.thread_model import (
+    DEFAULT_USER_PRIORITY,
+    SimThread,
+    ThreadState,
+)
+
+__all__ = ["ProbeAPI", "ReplayThreadMeta", "ReplayPlan", "Simulator", "simulate_program"]
+
+
+class ProbeAPI(Protocol):
+    """What the Simulator needs from a Recorder probe (§3.1)."""
+
+    @property
+    def overhead_us(self) -> int:
+        """CPU time one probe record costs the monitored program."""
+        ...
+
+    def record(self, rec: EventRecord) -> None:
+        """Store one log record."""
+
+    def note_thread_function(self, tid: int, func_name: str) -> None:
+        """Remember the start routine passed to ``thr_create``."""
+
+
+@dataclass(frozen=True)
+class ReplayThreadMeta:
+    """Per-thread attributes reconstructed from a trace."""
+
+    tid: int
+    func_name: str = ""
+    bound: bool = False
+
+
+@dataclass
+class ReplayPlan:
+    """A compiled trace: per-thread step lists plus thread attributes.
+
+    Produced by :func:`repro.core.predictor.compile_trace`; consumed by
+    :meth:`Simulator.run_replay`.
+    """
+
+    steps: Dict[int, List[Step]]
+    meta: Dict[int, ReplayThreadMeta]
+    program_name: str = "a.out"
+
+    def total_steps(self) -> int:
+        return sum(len(s) for s in self.steps.values())
+
+
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ThreadRt:
+    """Transient per-thread simulation state."""
+
+    behavior: ThreadBehavior
+    ctx: Optional[ThreadCtx] = None
+    current_op: Optional[op_mod.Op] = None
+    op_cost_us: int = 0
+    op_call_time_us: int = 0
+    #: a blocking op returned control; its RET record / placed event are due
+    #: when the thread next reaches a processor
+    pending_ret: bool = False
+    pending_result: object = NO_RESULT
+    #: extra CPU to fold into the next burst (return-probe overhead etc.)
+    extra_us: int = 0
+    started: bool = False
+
+
+class Simulator:
+    """One simulated execution (live program or trace replay)."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        *,
+        probe: Optional[ProbeAPI] = None,
+        perturb: Optional[Callable[[int], int]] = None,
+        max_events: int = 50_000_000,
+    ):
+        self.config = config
+        self.probe = probe
+        self.perturb = perturb
+        self.engine = Engine(max_events=max_events)
+        self.builder = ResultBuilder(config)
+        self.scheduler = Scheduler(self.engine, config, self.builder, self)
+        self.sync = SyncObjectTable()
+
+        self.threads: Dict[int, SimThread] = {}
+        self._rt: Dict[int, _ThreadRt] = {}
+        self._next_tid = itertools.count(4)  # Solaris hands user threads 4, 5, ...
+        self._block_reason: Dict[int, str] = {}
+        self._current_cpu: Optional[int] = None
+
+        # join bookkeeping
+        self._zombie_order: List[int] = []
+        self._joiners: Dict[int, List[SimThread]] = {}
+        self._wildcard_joiners: List[SimThread] = []
+
+        # live-program context
+        self._program: Optional[Program] = None
+        self._shared: Optional[dict] = None
+        # replay context
+        self._replay_plan: Optional[ReplayPlan] = None
+
+        self._finished = False
+
+    # ==================================================================
+    # public entry points
+    # ==================================================================
+
+    def run_program(self, program: Program) -> SimulationResult:
+        """Execute a live virtual program to completion."""
+        self._program = program
+        self._shared = program.make_shared()
+        for name, count in program.semaphores.items():
+            self.sync.sema(name, count)
+        ctx = ThreadCtx(
+            tid=int(MAIN_THREAD_ID),
+            shared=self._shared,
+            rng=program.make_rng(int(MAIN_THREAD_ID)),
+        )
+        behavior = LiveBehavior(program.main(ctx), perturb=self.perturb)
+        return self._run(behavior, ctx=ctx, program_name=program.name)
+
+    def run_replay(self, plan: ReplayPlan) -> SimulationResult:
+        """Replay a compiled trace (the paper's prediction run)."""
+        self._replay_plan = plan
+        if int(MAIN_THREAD_ID) not in plan.steps:
+            raise SimulationError("replay plan lacks the main thread (tid 1)")
+        behavior = ReplayBehavior(plan.steps[int(MAIN_THREAD_ID)])
+        return self._run(behavior, ctx=None, program_name=plan.program_name)
+
+    # ==================================================================
+    # run loop
+    # ==================================================================
+
+    def _run(
+        self,
+        main_behavior: ThreadBehavior,
+        *,
+        ctx: Optional[ThreadCtx],
+        program_name: str,
+    ) -> SimulationResult:
+        if self._finished:
+            raise SimulationError("a Simulator instance runs exactly once")
+        main = SimThread(tid=MAIN_THREAD_ID, func_name="main")
+        self.threads[int(MAIN_THREAD_ID)] = main
+        self._rt[int(MAIN_THREAD_ID)] = _ThreadRt(behavior=main_behavior, ctx=ctx)
+        if self.probe is not None:
+            self._emit_marker(Primitive.START_COLLECT, main)
+        self.scheduler.register_thread(main, waker_cpu=None)
+        self.engine.run()
+        self._finished = True
+
+        makespan = 0
+        blocked = []
+        for thread in self.threads.values():
+            if thread.alive:
+                blocked.append(
+                    f"T{int(thread.tid)} ({thread.state.value}: "
+                    f"{self._block_reason.get(int(thread.tid), '?')})"
+                )
+            if thread.end_time_us is not None:
+                makespan = max(makespan, thread.end_time_us)
+        if blocked:
+            raise DeadlockError(
+                "simulation ended with live threads: " + ", ".join(blocked),
+                blocked=tuple(int(t.tid) for t in self.threads.values() if t.alive),
+            )
+        if self.probe is not None:
+            self.probe.record(
+                EventRecord(
+                    time_us=makespan,
+                    tid=MAIN_THREAD_ID,
+                    phase=Phase.CALL,
+                    primitive=Primitive.END_COLLECT,
+                )
+            )
+        summaries = {
+            t.tid: ThreadSummary(
+                tid=t.tid,
+                func_name=t.func_name,
+                created_at_us=t.created_at_us,
+                start_us=t.start_time_us,
+                end_us=t.end_time_us,
+                work_us=t.cpu_time_us,
+            )
+            for t in self.threads.values()
+        }
+        return self.builder.build(
+            makespan_us=makespan,
+            summaries=summaries,
+            engine_events=self.engine.events_executed,
+        )
+
+    # ==================================================================
+    # SchedulerListener
+    # ==================================================================
+
+    def need_step(self, thread: SimThread) -> None:
+        """The thread reached a processor with nothing in flight."""
+        rt = self._rt[int(thread.tid)]
+        now = self.engine.now_us
+
+        if not rt.started:
+            rt.started = True
+            if int(thread.tid) != int(MAIN_THREAD_ID):
+                # the interposed start routine announces the thread (§3.1)
+                self._emit_marker(Primitive.THREAD_START, thread)
+
+        if rt.current_op is not None and not rt.pending_ret:
+            # The previous burst was fully consumed, but a preemption at
+            # the very same microsecond cancelled its completion event
+            # before the operation could be applied.  The thread is back
+            # on a processor now — apply the operation here.
+            self.burst_complete(thread)
+            return
+
+        if rt.pending_ret:
+            # deferred return of a blocking call: record it now
+            op = rt.current_op
+            assert op is not None
+            status = self._ret_status(op, rt.pending_result)
+            target = None
+            if isinstance(op, op_mod.ThrJoin) and isinstance(rt.pending_result, int):
+                target = rt.pending_result  # wildcard join: who we joined
+            self._finish_op(thread, op, status, end_us=now, target=target)
+            rt.pending_ret = False
+            rt.current_op = None
+
+        result = None
+        if rt.pending_result is not NO_RESULT:
+            result = rt.pending_result
+            rt.pending_result = NO_RESULT
+
+        step = rt.behavior.next_step(result)
+        if step is None:
+            step = Step(0, op_mod.ThrExit())
+        self._begin_step(thread, rt, step)
+
+    def _begin_step(self, thread: SimThread, rt: _ThreadRt, step: Step) -> None:
+        op = step.op
+        rt.current_op = op
+        rt.op_cost_us = self._op_cost(thread, op)
+        burst = step.work_us + rt.op_cost_us + rt.extra_us
+        rt.extra_us = 0
+        if self.probe is not None and op.primitive is not None:
+            burst += self.probe.overhead_us  # the call-side probe
+        self.scheduler.begin_burst(thread, burst)
+
+    def burst_complete(self, thread: SimThread) -> None:
+        """The burst (work + call cost) elapsed: apply the operation."""
+        rt = self._rt[int(thread.tid)]
+        op = rt.current_op
+        if op is None:
+            raise SimulationError(f"burst completed with no op for T{int(thread.tid)}")
+        self.scheduler.begin_atomic()
+        self._current_cpu = thread.last_cpu
+        try:
+            rt.op_call_time_us = self.engine.now_us - rt.op_cost_us
+            self._emit_record(
+                thread,
+                op,
+                Phase.CALL,
+                rt.op_call_time_us,
+                target=self._op_target(op),
+            )
+            self._apply(thread, rt, op)
+        finally:
+            self._current_cpu = None
+            self.scheduler.end_atomic()
+
+    # ==================================================================
+    # KernelAPI (used by the sync objects)
+    # ==================================================================
+
+    @property
+    def now_us(self) -> int:
+        return self.engine.now_us
+
+    def block(self, thread: SimThread, reason: str) -> None:
+        self._block_reason[int(thread.tid)] = reason
+        self.scheduler.block_current(thread)
+
+    def wake(self, thread: SimThread, result: object = NO_RESULT) -> None:
+        if result is not NO_RESULT:
+            self._rt[int(thread.tid)].pending_result = result
+        self.scheduler.make_runnable(
+            thread, waker_cpu=self._current_cpu, boost=True
+        )
+
+    def post_result(self, thread: SimThread, result: object) -> None:
+        self._rt[int(thread.tid)].pending_result = result
+
+    def arm_timer(self, delay_us: int, action: Callable[[], None], label: str):
+        return self.engine.schedule_in(delay_us, action, label)
+
+    def cancel_timer(self, handle) -> None:
+        handle.cancel()
+
+    # ==================================================================
+    # operation semantics
+    # ==================================================================
+
+    def _apply(self, thread: SimThread, rt: _ThreadRt, op: op_mod.Op) -> None:
+        """Dispatch on the op type.  Exactly one of these happens:
+
+        * the op completes now → RET record + placed event + next step;
+        * the thread blocked    → deferred return (``rt.pending_ret``);
+        * the thread exited     → single-record ``thr_exit`` handling.
+        """
+        handler = self._HANDLERS.get(type(op))
+        if handler is None:
+            raise ProgramError(f"unhandled op {type(op).__name__}")
+        handler(self, thread, rt, op)
+
+    # -- helpers ---------------------------------------------------------
+
+    def _complete_now(
+        self,
+        thread: SimThread,
+        rt: _ThreadRt,
+        op: op_mod.Op,
+        result: object,
+        status: Status = Status.OK,
+        *,
+        target: Optional[int] = None,
+    ) -> None:
+        """Non-blocking completion: finish the op and start the next step."""
+        self._finish_op(thread, op, status, end_us=self.engine.now_us, target=target)
+        rt.current_op = None
+        rt.pending_result = result
+        self.need_step(thread)
+
+    def _blocked(self, rt: _ThreadRt) -> None:
+        rt.pending_ret = True
+
+    def _finish_op(
+        self,
+        thread: SimThread,
+        op: op_mod.Op,
+        status: Status,
+        *,
+        end_us: int,
+        target: Optional[int] = None,
+    ) -> None:
+        """Emit the return-side record, placed event and probe charge."""
+        rt = self._rt[int(thread.tid)]
+        if target is None:
+            target = self._op_target(op)
+        if op.primitive is not None:
+            self._emit_record(thread, op, Phase.RET, end_us, status=status, target=target)
+            if self.probe is not None:
+                rt.extra_us += self.probe.overhead_us  # the return-side probe
+            self.builder.event_placed(
+                tid=thread.tid,
+                primitive=op.primitive,
+                start_us=rt.op_call_time_us,
+                end_us=end_us,
+                cpu=thread.last_cpu,
+                obj=op.obj,
+                target=ThreadId(target) if target is not None else None,
+                status=status,
+                source=op.source,
+            )
+
+    def _ret_status(self, op: op_mod.Op, result: object) -> Status:
+        if isinstance(op, op_mod.CondTimedWait) and result is False:
+            return Status.TIMEOUT
+        return Status.OK
+
+    @staticmethod
+    def _op_target(op: op_mod.Op) -> Optional[int]:
+        if isinstance(op, op_mod.ThrJoin) and op.tid is not None:
+            return op.tid
+        if isinstance(op, op_mod.ThrCreate) and op.replay_tid is not None:
+            return op.replay_tid
+        return None
+
+    def _op_cost(self, thread: SimThread, op: op_mod.Op) -> int:
+        costs = self.config.costs
+        if isinstance(op, op_mod.Noop):
+            prim = op.noop_primitive
+            return costs.op_cost(prim, bound=thread.bound) if prim else 0
+        if op.primitive is None:
+            return 0
+        if op.primitive is Primitive.THR_CREATE:
+            # the creation multiplier follows the *child's* boundness (§3.2)
+            assert isinstance(op, op_mod.ThrCreate)
+            child_bound = op.bound
+            tid = op.replay_tid
+            if tid is not None:
+                policy = self.config.policy_for(tid)
+                if policy.effective_bound() is not None:
+                    child_bound = bool(policy.effective_bound())
+            return costs.op_cost(Primitive.THR_CREATE, bound=child_bound)
+        return costs.op_cost(op.primitive, bound=thread.bound)
+
+    # -- per-op handlers ---------------------------------------------------
+
+    def _h_mutex_lock(self, thread, rt, op: op_mod.MutexLock) -> None:
+        if self.sync.mutex(op.name).lock(thread, self):
+            self._complete_now(thread, rt, op, None)
+        else:
+            self._blocked(rt)
+
+    def _h_mutex_trylock(self, thread, rt, op: op_mod.MutexTrylock) -> None:
+        ok = self.sync.mutex(op.name).trylock(thread)
+        self._complete_now(thread, rt, op, ok, Status.OK if ok else Status.BUSY)
+
+    def _h_mutex_unlock(self, thread, rt, op: op_mod.MutexUnlock) -> None:
+        self.sync.mutex(op.name).unlock(thread, self)
+        self._complete_now(thread, rt, op, None)
+
+    def _h_sema_init(self, thread, rt, op: op_mod.SemaInit) -> None:
+        self.sync.sema(op.name, op.count)
+        self._complete_now(thread, rt, op, None)
+
+    def _h_sema_wait(self, thread, rt, op: op_mod.SemaWait) -> None:
+        if self.sync.sema(op.name).wait(thread, self):
+            self._complete_now(thread, rt, op, None)
+        else:
+            self._blocked(rt)
+
+    def _h_sema_trywait(self, thread, rt, op: op_mod.SemaTryWait) -> None:
+        ok = self.sync.sema(op.name).trywait(thread)
+        self._complete_now(thread, rt, op, ok, Status.OK if ok else Status.BUSY)
+
+    def _h_sema_post(self, thread, rt, op: op_mod.SemaPost) -> None:
+        self.sync.sema(op.name).post(self)
+        self._complete_now(thread, rt, op, None)
+
+    def _h_cond_wait(self, thread, rt, op: op_mod.CondWait) -> None:
+        mutex = self.sync.mutex(op.mutex) if op.mutex else None
+        self.sync.cond(op.name).wait(thread, mutex, self)
+        self._blocked(rt)
+
+    def _h_cond_timedwait(self, thread, rt, op: op_mod.CondTimedWait) -> None:
+        if op.forced_timeout:
+            # §3.2: a wait that timed out in the log replays as a delay
+            rt.pending_result = False
+            self._blocked(rt)
+            self.scheduler.sleep_current(thread, op.timeout_us)
+            return
+        mutex = self.sync.mutex(op.mutex) if op.mutex else None
+        cond = self.sync.cond(op.name)
+        cond.wait(
+            thread,
+            mutex,
+            self,
+            timeout_us=op.timeout_us,
+            on_timeout=lambda t, c=cond: self._cond_timeout(c, t),
+        )
+        self._blocked(rt)
+
+    def _cond_timeout(self, cond, thread: SimThread) -> None:
+        """The timed wait expired before a signal arrived."""
+        mutex = cond.cancel_wait(thread, self)
+        self.post_result(thread, False)
+        if mutex is None or mutex.enqueue_blocked(thread):
+            self.scheduler.make_runnable(thread, boost=True)
+        # else: queued on the mutex; the hand-off will wake it
+
+    def _h_cond_signal(self, thread, rt, op: op_mod.CondSignal) -> None:
+        self.sync.cond(op.name).signal(self)
+        self._complete_now(thread, rt, op, None)
+
+    def _h_cond_broadcast(self, thread, rt, op: op_mod.CondBroadcast) -> None:
+        held = None
+        if op.expected_waiters is not None:
+            # A blocking §6 barrier broadcast happens inside the barrier's
+            # critical section: hand the most recently acquired mutex to
+            # the condition variable so the waiters it is waiting for can
+            # get in (it is re-acquired before the broadcaster resumes).
+            held = self._most_recent_mutex_of(thread)
+        proceeded = self.sync.cond(op.name).broadcast(
+            thread, self, expected_waiters=op.expected_waiters, held_mutex=held
+        )
+        if proceeded:
+            self._complete_now(thread, rt, op, None)
+        else:
+            self._blocked(rt)
+
+    def _most_recent_mutex_of(self, thread: SimThread):
+        held = [m for m in self.sync.all_mutexes().values() if m.owner is thread]
+        if not held:
+            return None
+        return max(held, key=lambda m: m.acquired_seq)
+
+    def _h_rw_rdlock(self, thread, rt, op: op_mod.RwRdLock) -> None:
+        if self.sync.rwlock(op.name).rdlock(thread, self):
+            self._complete_now(thread, rt, op, None)
+        else:
+            self._blocked(rt)
+
+    def _h_rw_wrlock(self, thread, rt, op: op_mod.RwWrLock) -> None:
+        if self.sync.rwlock(op.name).wrlock(thread, self):
+            self._complete_now(thread, rt, op, None)
+        else:
+            self._blocked(rt)
+
+    def _h_rw_tryrdlock(self, thread, rt, op: op_mod.RwTryRdLock) -> None:
+        ok = self.sync.rwlock(op.name).tryrdlock(thread)
+        self._complete_now(thread, rt, op, ok, Status.OK if ok else Status.BUSY)
+
+    def _h_rw_trywrlock(self, thread, rt, op: op_mod.RwTryWrLock) -> None:
+        ok = self.sync.rwlock(op.name).trywrlock(thread)
+        self._complete_now(thread, rt, op, ok, Status.OK if ok else Status.BUSY)
+
+    def _h_rw_unlock(self, thread, rt, op: op_mod.RwUnlock) -> None:
+        self.sync.rwlock(op.name).unlock(thread, self)
+        self._complete_now(thread, rt, op, None)
+
+    def _h_resched(self, thread, rt, op: op_mod.Resched) -> None:
+        # internal scheduling point: no record, no cost, stay on the CPU
+        rt.current_op = None
+        rt.pending_result = None
+        self.need_step(thread)
+
+    def _h_delay(self, thread, rt, op: op_mod.Delay) -> None:
+        rt.current_op = None  # not a library call: nothing to record
+        self.scheduler.sleep_current(thread, op.duration_us)
+
+    def _h_io_wait(self, thread, rt, op: op_mod.IoWait) -> None:
+        # the §6 extension: a recorded blocking I/O — the thread sleeps
+        # without a processor and the return is stamped when it resumes
+        self._blocked(rt)
+        self.scheduler.sleep_current(thread, op.duration_us)
+
+    def _h_noop(self, thread, rt, op: op_mod.Noop) -> None:
+        status = Status.BUSY if op.busy else Status.OK
+        self._complete_now(thread, rt, op, not op.busy, status)
+
+    def _h_thr_create(self, thread, rt, op: op_mod.ThrCreate) -> None:
+        child = self._spawn(thread, op)
+        self._complete_now(thread, rt, op, int(child.tid), target=int(child.tid))
+
+    def _h_thr_join(self, thread, rt, op: op_mod.ThrJoin) -> None:
+        if op.tid is None:
+            if self._zombie_order:
+                tid = self._zombie_order.pop(0)
+                self._reap(tid)
+                self._complete_now(thread, rt, op, tid, target=tid)
+            else:
+                if not self._any_joinable():
+                    raise DeadlockError(
+                        f"T{int(thread.tid)} joins but no joinable thread exists"
+                    )
+                self._wildcard_joiners.append(thread)
+                self.block(thread, "thr_join <any>")
+                self._blocked(rt)
+            return
+        target = self.threads.get(op.tid)
+        if target is None:
+            raise SimulationError(f"thr_join of unknown thread T{op.tid}")
+        if target.state is ThreadState.DEAD:
+            raise SimulationError(f"thr_join of already-joined T{op.tid}")
+        if target.state is ThreadState.ZOMBIE:
+            self._reap(op.tid)
+            self._complete_now(thread, rt, op, op.tid)
+        else:
+            self._joiners.setdefault(op.tid, []).append(thread)
+            self.block(thread, f"thr_join T{op.tid}")
+            self._blocked(rt)
+
+    def _any_joinable(self) -> bool:
+        return any(
+            t.alive and int(t.tid) != int(MAIN_THREAD_ID) for t in self.threads.values()
+        )
+
+    def _h_thr_exit(self, thread, rt, op: op_mod.ThrExit) -> None:
+        # single-record primitive: the probe's final act is to call the
+        # real thr_exit, which never returns (paper fig. 3)
+        if op.primitive is not None:
+            self.builder.event_placed(
+                tid=thread.tid,
+                primitive=op.primitive,
+                start_us=rt.op_call_time_us,
+                end_us=self.engine.now_us,
+                cpu=thread.last_cpu,
+                source=op.source,
+            )
+        rt.current_op = None
+        self.scheduler.thread_exited(thread)
+        self._notify_joiners(thread)
+
+    def _h_thr_yield(self, thread, rt, op: op_mod.ThrYield) -> None:
+        self._blocked(rt)  # the call returns when the thread runs again
+        self.scheduler.yield_current(thread)
+
+    def _h_thr_setprio(self, thread, rt, op: op_mod.ThrSetPrio) -> None:
+        thread.set_priority(op.priority)
+        self._complete_now(thread, rt, op, None)
+
+    def _h_thr_setconcurrency(self, thread, rt, op: op_mod.ThrSetConcurrency) -> None:
+        self.scheduler.set_concurrency(op.level)
+        self._complete_now(thread, rt, op, None)
+
+    _HANDLERS = {
+        op_mod.MutexLock: _h_mutex_lock,
+        op_mod.MutexTrylock: _h_mutex_trylock,
+        op_mod.MutexUnlock: _h_mutex_unlock,
+        op_mod.SemaInit: _h_sema_init,
+        op_mod.SemaWait: _h_sema_wait,
+        op_mod.SemaTryWait: _h_sema_trywait,
+        op_mod.SemaPost: _h_sema_post,
+        op_mod.CondWait: _h_cond_wait,
+        op_mod.CondTimedWait: _h_cond_timedwait,
+        op_mod.CondSignal: _h_cond_signal,
+        op_mod.CondBroadcast: _h_cond_broadcast,
+        op_mod.RwRdLock: _h_rw_rdlock,
+        op_mod.RwWrLock: _h_rw_wrlock,
+        op_mod.RwTryRdLock: _h_rw_tryrdlock,
+        op_mod.RwTryWrLock: _h_rw_trywrlock,
+        op_mod.RwUnlock: _h_rw_unlock,
+        op_mod.Resched: _h_resched,
+        op_mod.Delay: _h_delay,
+        op_mod.IoWait: _h_io_wait,
+        op_mod.Noop: _h_noop,
+        op_mod.ThrCreate: _h_thr_create,
+        op_mod.ThrJoin: _h_thr_join,
+        op_mod.ThrExit: _h_thr_exit,
+        op_mod.ThrYield: _h_thr_yield,
+        op_mod.ThrSetPrio: _h_thr_setprio,
+        op_mod.ThrSetConcurrency: _h_thr_setconcurrency,
+    }
+
+    # ==================================================================
+    # thread creation / exit plumbing
+    # ==================================================================
+
+    def _spawn(self, creator: SimThread, op: op_mod.ThrCreate) -> SimThread:
+        if self._replay_plan is not None:
+            if op.replay_tid is None:
+                raise SimulationError("replay thr_create without a thread id")
+            tid = op.replay_tid
+            if tid not in self._replay_plan.steps:
+                raise SimulationError(f"replay plan has no steps for T{tid}")
+            meta = self._replay_plan.meta.get(tid, ReplayThreadMeta(tid))
+            behavior: ThreadBehavior = ReplayBehavior(self._replay_plan.steps[tid])
+            func_name = meta.func_name
+            bound = op.bound or meta.bound
+            ctx = None
+        else:
+            if op.func is None:
+                raise ProgramError("thr_create without a start routine")
+            tid = next(self._next_tid)
+            func_name = op.name or getattr(op.func, "__name__", "thread")
+            bound = op.bound
+            assert self._program is not None and self._shared is not None
+            ctx = ThreadCtx(
+                tid=tid,
+                shared=self._shared,
+                rng=self._program.make_rng(tid),
+                args=tuple(op.args),
+            )
+            behavior = LiveBehavior(op.func(ctx), perturb=self.perturb)
+        if tid in self.threads:
+            raise SimulationError(f"duplicate thread id {tid}")
+        child = SimThread(
+            tid=ThreadId(tid),
+            func_name=func_name,
+            priority=op.priority if op.priority is not None else DEFAULT_USER_PRIORITY,
+            bound=bound,
+            bound_cpu=op.cpu,
+        )
+        self.threads[tid] = child
+        self._rt[tid] = _ThreadRt(behavior=behavior, ctx=ctx)
+        if self.probe is not None:
+            self.probe.note_thread_function(tid, func_name)
+        self.scheduler.register_thread(child, waker_cpu=self._current_cpu)
+        return child
+
+    def _notify_joiners(self, exited: SimThread) -> None:
+        tid = int(exited.tid)
+        joiners = self._joiners.pop(tid, [])
+        if joiners:
+            joiner = joiners.pop(0)
+            if joiners:
+                self._joiners[tid] = joiners
+            self._reap(tid)
+            self.wake(joiner, result=tid)
+            return
+        if self._wildcard_joiners:
+            joiner = self._wildcard_joiners.pop(0)
+            self._reap(tid)
+            self.wake(joiner, result=tid)
+            return
+        self._zombie_order.append(tid)
+
+    def _reap(self, tid: int) -> None:
+        thread = self.threads[tid]
+        if thread.state is not ThreadState.ZOMBIE:
+            raise SimulationError(f"reaping non-zombie T{tid}")
+        thread.state = ThreadState.DEAD
+        if tid in self._zombie_order:
+            self._zombie_order.remove(tid)
+
+    # ==================================================================
+    # recording (the probe)
+    # ==================================================================
+
+    def _emit_marker(self, primitive: Primitive, thread: SimThread) -> None:
+        if self.probe is None:
+            return
+        self.probe.record(
+            EventRecord(
+                time_us=self.engine.now_us,
+                tid=thread.tid,
+                phase=Phase.CALL,
+                primitive=primitive,
+            )
+        )
+        self._rt[int(thread.tid)].extra_us += self.probe.overhead_us
+
+    def _emit_record(
+        self,
+        thread: SimThread,
+        op: op_mod.Op,
+        phase: Phase,
+        time_us: int,
+        *,
+        status: Optional[Status] = None,
+        target: Optional[int] = None,
+    ) -> None:
+        if self.probe is None or op.primitive is None:
+            return
+        obj2 = None
+        arg = None
+        if isinstance(op, (op_mod.CondWait, op_mod.CondTimedWait)) and op.mutex:
+            obj2 = op_mod.mutex_id(op.mutex)
+        if isinstance(op, op_mod.CondTimedWait):
+            arg = op.timeout_us
+        elif isinstance(op, op_mod.IoWait):
+            arg = op.duration_us
+        elif isinstance(op, op_mod.SemaInit):
+            arg = op.count
+        elif isinstance(op, op_mod.ThrSetPrio):
+            arg = op.priority
+        elif isinstance(op, op_mod.ThrSetConcurrency):
+            arg = op.level
+        elif isinstance(op, op_mod.ThrCreate):
+            arg = 1 if op.bound else 0
+        self.probe.record(
+            EventRecord(
+                time_us=time_us,
+                tid=thread.tid,
+                phase=phase,
+                primitive=op.primitive,
+                obj=op.obj,
+                obj2=obj2,
+                target=ThreadId(target) if target is not None else None,
+                arg=arg,
+                status=status,
+                source=op.source,
+            )
+        )
+
+
+def simulate_program(
+    program: Program,
+    config: SimConfig,
+    *,
+    probe: Optional[ProbeAPI] = None,
+    perturb: Optional[Callable[[int], int]] = None,
+) -> SimulationResult:
+    """Convenience wrapper: one live execution of *program* under *config*."""
+    return Simulator(config, probe=probe, perturb=perturb).run_program(program)

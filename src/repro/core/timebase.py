@@ -1,0 +1,84 @@
+"""Simulated time base.
+
+All simulated time in this package is kept as *integer microseconds*
+(``int``).  The paper's Recorder stamps events with wall-clock time at a
+resolution of 1 microsecond (§3.1), and using integers end-to-end removes
+every floating-point comparison hazard from the discrete-event core: two
+events scheduled for "the same time" really compare equal, and replaying a
+trace is bit-reproducible.
+
+Helpers here convert between human-friendly units and the internal
+representation, and format timestamps for logs and rendered graphs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "US_PER_MS",
+    "US_PER_SECOND",
+    "from_seconds",
+    "from_millis",
+    "to_seconds",
+    "to_millis",
+    "format_us",
+    "check_time",
+    "check_duration",
+]
+
+US_PER_MS = 1_000
+US_PER_SECOND = 1_000_000
+
+
+def from_seconds(seconds: float) -> int:
+    """Convert seconds to integer microseconds (rounding to nearest)."""
+    return round(seconds * US_PER_SECOND)
+
+
+def from_millis(millis: float) -> int:
+    """Convert milliseconds to integer microseconds (rounding to nearest)."""
+    return round(millis * US_PER_MS)
+
+
+def to_seconds(us: int) -> float:
+    """Convert integer microseconds to float seconds."""
+    return us / US_PER_SECOND
+
+
+def to_millis(us: int) -> float:
+    """Convert integer microseconds to float milliseconds."""
+    return us / US_PER_MS
+
+
+def format_us(us: int, *, decimals: int = 6) -> str:
+    """Render a microsecond timestamp as fixed-point seconds.
+
+    This is the format used in the paper's log listings (``0.53``,
+    ``0.74`` ...) and in our log files, with a configurable number of
+    decimal places.
+    """
+    if decimals < 0 or decimals > 6:
+        raise ValueError("decimals must be in [0, 6]")
+    negative = us < 0
+    us = abs(us)
+    whole, frac = divmod(us, US_PER_SECOND)
+    text = f"{whole}.{frac:06d}"
+    if decimals < 6:
+        # Truncate (not round) so the text never overstates precision.
+        text = text[: len(text) - (6 - decimals)]
+        if decimals == 0:
+            text = text.rstrip(".")
+    return f"-{text}" if negative else text
+
+
+def check_time(us: object, name: str = "time") -> int:
+    """Validate that *us* is a non-negative integer timestamp and return it."""
+    if isinstance(us, bool) or not isinstance(us, int):
+        raise TypeError(f"{name} must be an int (µs), got {type(us).__name__}")
+    if us < 0:
+        raise ValueError(f"{name} must be >= 0, got {us}")
+    return us
+
+
+def check_duration(us: object, name: str = "duration") -> int:
+    """Validate that *us* is a non-negative integer duration and return it."""
+    return check_time(us, name)

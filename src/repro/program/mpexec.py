@@ -1,0 +1,177 @@
+"""Ground-truth multiprocessor execution (the paper's "real" runs).
+
+The paper validates VPPB against real executions on a Sun Ultra Enterprise
+4000 and reports, for each configuration, the middle value of five runs
+plus the min/max spread (Table 1).  We have no E4000, so the ground truth
+is the *same live program* executed on the N-CPU scheduler model — but,
+unlike the trace replay, (a) its behaviour is genuinely schedule-dependent
+(generators read shared state, try-locks really fail under contention) and
+(b) a seeded :class:`PerturbationModel` adds the OS noise a real machine
+exhibits (multiplicative jitter on every compute burst, standing in for
+daemons, interrupts and cache variation).
+
+:func:`measure_speedup` therefore reproduces the Table 1 "Real" column
+protocol: five seeded runs, report (min, median, max).
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.config import SimConfig
+from repro.core.result import SimulationResult
+from repro.core.simulator import Simulator
+from repro.program.program import Program
+from repro.program.uniexec import uniprocessor_config
+
+__all__ = [
+    "PerturbationModel",
+    "RunStatistics",
+    "GroundTruth",
+    "run_multiprocessor",
+    "measure_speedup",
+]
+
+#: Default relative jitter: ±1 % per compute burst, roughly the spread the
+#: paper's Table 1 shows between the five real runs.
+DEFAULT_JITTER = 0.01
+
+#: Number of real runs per configuration in the paper's protocol.
+DEFAULT_RUNS = 5
+
+
+class PerturbationModel:
+    """Deterministic OS-noise model for ground-truth runs.
+
+    Scales every compute burst by a factor drawn uniformly from
+    ``[1 - jitter, 1 + jitter]`` using a stream seeded from *seed* — the
+    same seed reproduces the same "machine day".  ``jitter=0`` yields the
+    noise-free execution.
+    """
+
+    def __init__(self, seed: int, jitter: float = DEFAULT_JITTER):
+        if jitter < 0 or jitter >= 1:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self._rng = random.Random(f"vppb-perturb-{seed}")
+        self.jitter = jitter
+
+    def __call__(self, duration_us: int) -> int:
+        if self.jitter == 0.0 or duration_us == 0:
+            return duration_us
+        factor = 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+        return max(0, round(duration_us * factor))
+
+
+def run_multiprocessor(
+    program: Program,
+    config: SimConfig,
+    *,
+    seed: Optional[int] = None,
+    jitter: float = DEFAULT_JITTER,
+    max_events: int = 50_000_000,
+) -> SimulationResult:
+    """One ground-truth execution of *program* under *config*.
+
+    With ``seed=None`` the run is noise-free (exact).
+    """
+    perturb = PerturbationModel(seed, jitter) if seed is not None else None
+    sim = Simulator(config, perturb=perturb, max_events=max_events)
+    return sim.run_program(program)
+
+
+@dataclass(frozen=True)
+class RunStatistics:
+    """Min / median / max over repeated runs — Table 1's presentation."""
+
+    values: Sequence[float]
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.values)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values)
+
+    def brief(self, fmt: str = "{:.2f}") -> str:
+        return (
+            f"{fmt.format(self.median)} "
+            f"({fmt.format(self.minimum)}-{fmt.format(self.maximum)})"
+        )
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Measured ("real") speed-up of a program on a machine size."""
+
+    cpus: int
+    speedups: RunStatistics
+    uniprocessor_us: RunStatistics
+    makespans_us: RunStatistics
+
+    @property
+    def speedup(self) -> float:
+        """The paper's headline number: the middle value of the runs."""
+        return self.speedups.median
+
+
+def measure_speedup(
+    program: Program,
+    cpus: int,
+    *,
+    base_config: Optional[SimConfig] = None,
+    runs: int = DEFAULT_RUNS,
+    jitter: float = DEFAULT_JITTER,
+    seed0: int = 1,
+    max_events: int = 50_000_000,
+    baseline_program: Optional[Program] = None,
+) -> GroundTruth:
+    """Table 1 "Real" protocol: *runs* seeded executions on *cpus* CPUs.
+
+    Each run pairs a jittered uni-processor execution with a jittered
+    multiprocessor execution of the same seed (one "day at the machine"),
+    the speed-up being their ratio; the statistics over the runs give the
+    (min mid max) triple the paper reports.
+
+    ``baseline_program`` selects what runs on the uni-processor for the
+    denominator.  By default it is *program* itself; the Table 1 harness
+    passes the *sequential* (one-thread) version, which is the SPLASH-2
+    speed-up convention.
+    """
+    base = base_config or SimConfig()
+    baseline = baseline_program or program
+    speedups: List[float] = []
+    unis: List[float] = []
+    mps: List[float] = []
+    for i in range(runs):
+        seed = seed0 + i
+        uni = run_multiprocessor(
+            baseline,
+            uniprocessor_config(base),
+            seed=seed,
+            jitter=jitter,
+            max_events=max_events,
+        )
+        mp = run_multiprocessor(
+            program,
+            base.with_cpus(cpus),
+            seed=seed,
+            jitter=jitter,
+            max_events=max_events,
+        )
+        unis.append(uni.makespan_us)
+        mps.append(mp.makespan_us)
+        speedups.append(uni.makespan_us / mp.makespan_us)
+    return GroundTruth(
+        cpus=cpus,
+        speedups=RunStatistics(tuple(speedups)),
+        uniprocessor_us=RunStatistics(tuple(unis)),
+        makespans_us=RunStatistics(tuple(mps)),
+    )

@@ -1,0 +1,508 @@
+"""Operation vocabulary of the virtual-program DSL.
+
+A virtual program's threads are Python generators that *yield* operations:
+CPU bursts (:class:`Compute`) and thread-library calls (everything else).
+The same vocabulary is consumed from two sources:
+
+* **live programs** (ground truth, :mod:`repro.program.behavior`), where the
+  generator decides each next op from real shared state — so behaviour is
+  genuinely schedule-dependent; and
+* **trace replay** (:mod:`repro.core.predictor`), where the per-thread op
+  sequence is compiled from a recorded log with the paper's §3.2 replay
+  rules (try-operations pinned to their logged outcome, a timed-out
+  ``cond_timedwait`` replayed as a pure delay via ``forced_timeout``,
+  ``cond_broadcast`` barrier-style with an expected waiter count).
+
+Each op maps onto a :class:`~repro.core.events.Primitive` so the Recorder
+can log it and the Visualizer can symbolise it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+from repro.core.events import Primitive, SourceLocation
+from repro.core.ids import SyncObjectId
+
+__all__ = [
+    "Op",
+    "Noop",
+    "Compute",
+    "Delay",
+    "Resched",
+    "IoWait",
+    "MutexLock",
+    "MutexTrylock",
+    "MutexUnlock",
+    "SemaInit",
+    "SemaWait",
+    "SemaTryWait",
+    "SemaPost",
+    "CondWait",
+    "CondTimedWait",
+    "CondSignal",
+    "CondBroadcast",
+    "RwRdLock",
+    "RwWrLock",
+    "RwTryRdLock",
+    "RwTryWrLock",
+    "RwUnlock",
+    "ThrCreate",
+    "ThrJoin",
+    "ThrExit",
+    "ThrYield",
+    "ThrSetPrio",
+    "ThrSetConcurrency",
+    "mutex_id",
+    "sema_id",
+    "cond_id",
+    "rwlock_id",
+]
+
+
+def mutex_id(name: str) -> SyncObjectId:
+    return SyncObjectId("mutex", name)
+
+
+def sema_id(name: str) -> SyncObjectId:
+    return SyncObjectId("sema", name)
+
+
+def cond_id(name: str) -> SyncObjectId:
+    return SyncObjectId("cond", name)
+
+
+def rwlock_id(name: str) -> SyncObjectId:
+    return SyncObjectId("rwlock", name)
+
+
+@dataclass(slots=True)
+class Op:
+    """Base class for all DSL operations.
+
+    ``source`` is filled in automatically by the live behaviour driver from
+    the generator's current frame (our analogue of saving the SPARC ``%i7``
+    return address, §3.1) or copied from the log during replay.
+    """
+
+    source: Optional[SourceLocation] = field(default=None, kw_only=True)
+
+    #: Overridden by subclasses that correspond to a traced primitive.
+    primitive: Primitive | None = field(default=None, init=False, repr=False)
+
+    @property
+    def obj(self) -> Optional[SyncObjectId]:
+        """The synchronisation object this op concerns, if any."""
+        return None
+
+
+# ---------------------------------------------------------------------------
+# CPU and idle time
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Compute(Op):
+    """Consume ``duration_us`` of CPU time (no library call, not traced)."""
+
+    duration_us: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration_us < 0:
+            raise ValueError(f"negative compute duration {self.duration_us}")
+
+
+@dataclass(slots=True)
+class Resched(Op):
+    """Internal scheduling point (not a library call, never recorded).
+
+    Emitted by the live behaviour driver when a thread body yields very
+    many consecutive :class:`Compute` ops (a polling/spin loop): it lets
+    simulated time advance between polls *without* giving up the
+    processor — exactly how a spin behaves on real hardware.  On the
+    monitored one-LWP machine the spinner therefore still starves
+    everyone else (the §6 livelock, caught by the engine's event guard),
+    while on a multiprocessor the other threads run concurrently and can
+    satisfy the spin condition.
+    """
+
+
+@dataclass(slots=True)
+class Delay(Op):
+    """Sleep for ``duration_us`` without consuming CPU.
+
+    Used by the replay rules for a ``cond_timedwait`` that timed out in the
+    log (§3.2: "handled as a delay if the operation timed out").
+    """
+
+    duration_us: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration_us < 0:
+            raise ValueError(f"negative delay duration {self.duration_us}")
+
+
+@dataclass(slots=True)
+class IoWait(Op):
+    """Blocking I/O of ``duration_us`` (disk, network...).
+
+    The thread sleeps without consuming CPU, and unlike :class:`Delay`
+    the wait is *recorded* (primitive ``io_wait`` with the duration as
+    ``arg``), so replay reproduces it on any machine — the §6 extension
+    that makes VPPB applicable beyond purely CPU-intensive programs.
+    """
+
+    duration_us: int = 0
+
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.IO_WAIT
+        if self.duration_us < 0:
+            raise ValueError(f"negative io duration {self.duration_us}")
+
+
+# ---------------------------------------------------------------------------
+# mutexes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class MutexLock(Op):
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.MUTEX_LOCK
+
+    @property
+    def obj(self) -> SyncObjectId:
+        return mutex_id(self.name)
+
+
+@dataclass(slots=True)
+class MutexTrylock(Op):
+    """Try to lock; yields ``True`` (acquired) or ``False`` back to the
+    generator.  In replay the outcome is pinned from the log."""
+
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.MUTEX_TRYLOCK
+
+    @property
+    def obj(self) -> SyncObjectId:
+        return mutex_id(self.name)
+
+
+@dataclass(slots=True)
+class MutexUnlock(Op):
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.MUTEX_UNLOCK
+
+    @property
+    def obj(self) -> SyncObjectId:
+        return mutex_id(self.name)
+
+
+# ---------------------------------------------------------------------------
+# counting semaphores
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class SemaInit(Op):
+    """Initialise semaphore ``name`` with ``count`` tokens (``sema_init``).
+
+    Recorded with the count as ``arg`` so replay can reconstruct the
+    semaphore's starting state.
+    """
+
+    name: str = ""
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.SEMA_INIT
+        if self.count < 0:
+            raise ValueError(f"negative semaphore count {self.count}")
+
+    @property
+    def obj(self) -> SyncObjectId:
+        return sema_id(self.name)
+
+
+@dataclass(slots=True)
+class SemaWait(Op):
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.SEMA_WAIT
+
+    @property
+    def obj(self) -> SyncObjectId:
+        return sema_id(self.name)
+
+
+@dataclass(slots=True)
+class SemaTryWait(Op):
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.SEMA_TRYWAIT
+
+    @property
+    def obj(self) -> SyncObjectId:
+        return sema_id(self.name)
+
+
+@dataclass(slots=True)
+class SemaPost(Op):
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.SEMA_POST
+
+    @property
+    def obj(self) -> SyncObjectId:
+        return sema_id(self.name)
+
+
+# ---------------------------------------------------------------------------
+# condition variables
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class CondWait(Op):
+    """Wait on condition variable ``name``; ``mutex`` is released while
+    waiting and re-acquired before the op completes (Solaris semantics)."""
+
+    name: str = ""
+    mutex: str = ""
+
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.COND_WAIT
+
+    @property
+    def obj(self) -> SyncObjectId:
+        return cond_id(self.name)
+
+
+@dataclass(slots=True)
+class CondTimedWait(Op):
+    """As :class:`CondWait` but gives up after ``timeout_us``.
+
+    The generator receives ``True`` if signalled, ``False`` on timeout.
+    ``forced_timeout`` is set by the replay compiler when the log shows the
+    wait timed out: §3.2 replays it "as a delay" — the thread simply
+    sleeps for the timeout and never touches the condition variable.
+    """
+
+    name: str = ""
+    mutex: str = ""
+    timeout_us: int = 0
+    forced_timeout: bool = False
+
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.COND_TIMEDWAIT
+        if self.timeout_us < 0:
+            raise ValueError(f"negative timeout {self.timeout_us}")
+
+    @property
+    def obj(self) -> SyncObjectId:
+        return cond_id(self.name)
+
+
+@dataclass(slots=True)
+class CondSignal(Op):
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.COND_SIGNAL
+
+    @property
+    def obj(self) -> SyncObjectId:
+        return cond_id(self.name)
+
+
+@dataclass(slots=True)
+class CondBroadcast(Op):
+    """Wake all waiters of condition variable ``name``.
+
+    ``expected_waiters`` implements the §6 barrier replay rule: when set
+    (replay mode only), the *broadcasting* thread blocks until that many
+    threads are waiting on the condition, then releases them all — "the
+    last thread arriving at the barrier releases all the waiting threads".
+    Live programs leave it ``None`` (plain Solaris broadcast semantics).
+    """
+
+    name: str = ""
+    expected_waiters: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.COND_BROADCAST
+
+    @property
+    def obj(self) -> SyncObjectId:
+        return cond_id(self.name)
+
+
+# ---------------------------------------------------------------------------
+# readers/writer locks
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class RwRdLock(Op):
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.RW_RDLOCK
+
+    @property
+    def obj(self) -> SyncObjectId:
+        return rwlock_id(self.name)
+
+
+@dataclass(slots=True)
+class RwWrLock(Op):
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.RW_WRLOCK
+
+    @property
+    def obj(self) -> SyncObjectId:
+        return rwlock_id(self.name)
+
+
+@dataclass(slots=True)
+class RwTryRdLock(Op):
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.RW_TRYRDLOCK
+
+    @property
+    def obj(self) -> SyncObjectId:
+        return rwlock_id(self.name)
+
+
+@dataclass(slots=True)
+class RwTryWrLock(Op):
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.RW_TRYWRLOCK
+
+    @property
+    def obj(self) -> SyncObjectId:
+        return rwlock_id(self.name)
+
+
+@dataclass(slots=True)
+class RwUnlock(Op):
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.RW_UNLOCK
+
+    @property
+    def obj(self) -> SyncObjectId:
+        return rwlock_id(self.name)
+
+
+# ---------------------------------------------------------------------------
+# thread management
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class ThrCreate(Op):
+    """Create a new thread running generator function ``func``.
+
+    Yields the new thread's id back to the generator.  ``bound`` requests a
+    bound thread (its own LWP; creation costs ×6.7 and synchronisation ×5.9,
+    §3.2); ``cpu`` binds it to a processor (which implies ``bound``).
+    In replay mode ``func`` is ``None`` and ``replay_tid`` carries the
+    thread id from the log.
+    """
+
+    func: Optional[Callable] = None
+    args: Tuple = ()
+    name: str = ""
+    bound: bool = False
+    priority: Optional[int] = None
+    cpu: Optional[int] = None
+    replay_tid: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.THR_CREATE
+        if self.cpu is not None:
+            self.bound = True  # binding to a CPU implies binding to an LWP
+
+
+@dataclass(slots=True)
+class ThrJoin(Op):
+    """Wait for thread ``tid`` to exit; ``tid=None`` is the wildcard join
+    (waits for *any* thread, which in replay "may not be the one that
+    exited in the log file", §6)."""
+
+    tid: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.THR_JOIN
+
+
+@dataclass(slots=True)
+class ThrExit(Op):
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.THR_EXIT
+
+
+@dataclass(slots=True)
+class ThrYield(Op):
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.THR_YIELD
+
+
+@dataclass(slots=True)
+class ThrSetPrio(Op):
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.THR_SETPRIO
+
+
+@dataclass(slots=True)
+class Noop(Op):
+    """Record-only operation: charges the primitive's cost and places an
+    event, with no semantic effect.
+
+    Used by the replay compiler for failed try-operations — §3.2: "If the
+    thread gained access to the lock in the log file, the simulation will
+    do a mutex_lock, otherwise no action is taken" — while still showing
+    the attempt in the Visualizer.
+    """
+
+    noop_primitive: Optional[Primitive] = None
+    noop_obj: Optional[SyncObjectId] = None
+    busy: bool = True
+
+    def __post_init__(self) -> None:
+        self.primitive = self.noop_primitive
+
+    @property
+    def obj(self) -> Optional[SyncObjectId]:
+        return self.noop_obj
+
+
+@dataclass(slots=True)
+class ThrSetConcurrency(Op):
+    """Request ``level`` LWPs for the process.  Ignored when the user fixes
+    the LWP count in the simulation configuration (§3.2)."""
+
+    level: int = 1
+
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.THR_SETCONCURRENCY

@@ -1,0 +1,141 @@
+"""Virtual multithreaded programs.
+
+A :class:`Program` is our stand-in for the paper's "C or C++ source code
+compiled to a binary": a deterministic, executable model of a multithreaded
+Solaris application.  Thread bodies are Python generator functions taking a
+:class:`ThreadCtx` and yielding :mod:`repro.program.ops` operations::
+
+    def worker(ctx):
+        yield Compute(1_000)            # 1 ms of CPU work
+        yield MutexLock("m")
+        ctx.shared["total"] += 1        # real shared state
+        yield MutexUnlock("m")
+
+    def main(ctx):
+        tids = []
+        for _ in range(4):
+            tid = yield ThrCreate(worker)
+            tids.append(tid)
+        for tid in tids:
+            yield ThrJoin(tid)
+
+Because generators manipulate genuine shared state between yields, program
+behaviour is *schedule-dependent* exactly like a real program: a
+``mutex_trylock`` can fail under contention, a work queue can be drained in
+different orders, a convergence flag can be seen late.  That is what makes
+the ground-truth multiprocessor execution differ from the trace-driven
+prediction — the gap the paper measures.
+
+:func:`barrier` builds the canonical condition-variable barrier (§6 notes
+that barriers are commonly implemented with condition variables, and the
+Simulator's replay heuristic is designed around this exact structure).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator
+
+from repro.program.ops import (
+    CondBroadcast,
+    CondWait,
+    MutexLock,
+    MutexUnlock,
+    Op,
+)
+
+__all__ = ["ThreadCtx", "Program", "ThreadGen", "barrier"]
+
+#: A thread body: generator yielding ops, receiving op results.
+ThreadGen = Generator[Op, object, None]
+
+
+@dataclass
+class ThreadCtx:
+    """Per-thread execution context handed to every thread body.
+
+    Attributes
+    ----------
+    tid:
+        The Solaris-style thread id assigned at creation.
+    shared:
+        The program-wide shared state (one dict per program *run*).  This
+        is "memory": reads and writes between yields are genuine and
+        schedule-dependent.
+    rng:
+        A per-thread deterministic random stream (seeded from the program
+        seed and the thread id) for data-dependent work generation.
+    args:
+        Arguments given at ``ThrCreate``.
+    """
+
+    tid: int
+    shared: dict
+    rng: random.Random
+    args: tuple = ()
+
+
+@dataclass
+class Program:
+    """A complete virtual program.
+
+    Attributes
+    ----------
+    name:
+        Program name (becomes the trace's ``program`` metadata).
+    main:
+        The ``main()`` thread body (generator function of one
+        :class:`ThreadCtx` argument).
+    semaphores:
+        Initial semaphore counts, applied before ``main`` starts (the
+        moral equivalent of static ``sema_init`` calls; threads may also
+        issue :class:`~repro.program.ops.SemaInit` dynamically).
+    shared_factory:
+        Builds the initial shared state for one run.  A fresh dict per run
+        keeps executions independent.
+    seed:
+        Seed for the per-thread RNG streams.
+    """
+
+    name: str
+    main: Callable[[ThreadCtx], ThreadGen]
+    semaphores: Dict[str, int] = field(default_factory=dict)
+    shared_factory: Callable[[], dict] = dict
+    seed: int = 0
+
+    def make_shared(self) -> dict:
+        return self.shared_factory()
+
+    def make_rng(self, tid: int) -> random.Random:
+        return random.Random(f"{self.name}-{self.seed}-T{int(tid)}")
+
+
+def barrier(ctx: ThreadCtx, name: str, n: int) -> ThreadGen:
+    """The canonical sense-reversing (generation-counting) barrier.
+
+    Built from one mutex and one condition variable, the way §6 assumes:
+    every arriving thread takes the mutex and bumps a counter; the last
+    arrival resets the counter, bumps the generation and broadcasts; the
+    others wait on the condition until the generation changes.
+
+    Use as ``yield from barrier(ctx, "phase", nthreads)``.
+    """
+    if n < 1:
+        raise ValueError(f"barrier of {n} threads")
+    mtx = f"__bar_{name}_m"
+    cv = f"__bar_{name}_c"
+    count_key = ("barrier", name, "count")
+    gen_key = ("barrier", name, "gen")
+    yield MutexLock(mtx)
+    generation = ctx.shared.setdefault(gen_key, 0)
+    arrived = ctx.shared.get(count_key, 0) + 1
+    ctx.shared[count_key] = arrived
+    if arrived == n:
+        ctx.shared[count_key] = 0
+        ctx.shared[gen_key] = generation + 1
+        yield CondBroadcast(cv)
+    else:
+        while ctx.shared[gen_key] == generation:
+            yield CondWait(cv, mtx)
+    yield MutexUnlock(mtx)

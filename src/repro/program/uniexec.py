@@ -1,0 +1,113 @@
+"""The monitored uni-processor execution (fig. 1 (b)-(d)).
+
+"After that, the program is executed on a uni-processor.  When starting
+the monitored execution, the Recorder is automatically placed between the
+program and the standard thread library."  And crucially (§3.1/§6): "we
+are forced to do the monitoring on one single LWP" — so the monitored run
+is a 1-CPU, 1-LWP execution, threads switching only at synchronisation
+points.
+
+:func:`record_program` performs that run on a virtual program: it executes
+the program live under the uni-processor configuration with a
+:class:`~repro.recorder.recorder.Recorder` plugged into the probe port.
+The probe overhead is charged into the simulated timeline, so the recorded
+log is *intruded* exactly like a real one — downstream predictions inherit
+that error, and the §4 overhead experiment measures it by comparing
+against an overhead-free run.
+
+§6's monitorability limits are detected rather than silently hit: a
+program that spins (Barnes, Radiosity...) livelocks the single LWP and is
+reported as :class:`~repro.core.errors.MonitorabilityError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import SimConfig
+from repro.core.errors import LivelockError, MonitorabilityError
+from repro.core.result import SimulationResult
+from repro.core.simulator import Simulator
+from repro.core.trace import Trace
+from repro.program.program import Program
+from repro.recorder.recorder import DEFAULT_PROBE_OVERHEAD_US, Recorder
+
+__all__ = ["RecordingRun", "uniprocessor_config", "record_program", "unmonitored_run"]
+
+
+def uniprocessor_config(base: Optional[SimConfig] = None) -> SimConfig:
+    """The Recorder's machine model: one CPU, one LWP.
+
+    Time-slicing is irrelevant with a single LWP but left on; user threads
+    switch only at library calls, exactly as on real Solaris under the
+    Recorder.
+    """
+    base = base or SimConfig()
+    return SimConfig(
+        cpus=1,
+        lwps=1,
+        comm_delay_us=0,
+        costs=base.costs,
+        dispatch=base.dispatch,
+        time_slicing=base.time_slicing,
+    )
+
+
+@dataclass
+class RecordingRun:
+    """Product of one monitored uni-processor execution."""
+
+    trace: Trace
+    result: SimulationResult
+
+    @property
+    def monitored_makespan_us(self) -> int:
+        """Duration of the monitored run (includes probe intrusion)."""
+        return self.result.makespan_us
+
+    @property
+    def n_events(self) -> int:
+        return len(self.trace)
+
+
+def record_program(
+    program: Program,
+    *,
+    overhead_us: int = DEFAULT_PROBE_OVERHEAD_US,
+    base_config: Optional[SimConfig] = None,
+    max_events: int = 50_000_000,
+) -> RecordingRun:
+    """Execute *program* on the monitored uni-processor and collect its log.
+
+    Raises :class:`MonitorabilityError` when the program cannot make
+    progress on a single LWP (§6 failure modes).
+    """
+    recorder = Recorder(program.name, overhead_us=overhead_us)
+    sim = Simulator(
+        uniprocessor_config(base_config), probe=recorder, max_events=max_events
+    )
+    try:
+        result = sim.run_program(program)
+    except LivelockError as exc:
+        raise MonitorabilityError(
+            f"program {program.name!r} cannot be monitored on one LWP "
+            f"(livelocked: {exc}); see §6 — spinning threads never yield "
+            "the only LWP"
+        ) from exc
+    return RecordingRun(trace=recorder.trace(), result=result)
+
+
+def unmonitored_run(
+    program: Program,
+    *,
+    base_config: Optional[SimConfig] = None,
+) -> SimulationResult:
+    """The same uni-processor execution without the Recorder.
+
+    This is the §4 overhead baseline: "the monitored uni-processor
+    execution takes somewhat longer than an ordinary uni-processor
+    execution"; comparing the two makespans gives the recording overhead.
+    """
+    sim = Simulator(uniprocessor_config(base_config))
+    return sim.run_program(program)

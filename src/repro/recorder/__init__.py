@@ -1,0 +1,19 @@
+"""The Recorder (§3.1): probes, log files, live interposition."""
+
+from repro.recorder.logfile import dump, dumps, load, loads
+from repro.recorder.pythreads import PyThreadsRecorder
+from repro.recorder.recorder import DEFAULT_PROBE_OVERHEAD_US, Recorder
+from repro.recorder.srcmap import AddressMap, RawCallSite, capture_call_site
+
+__all__ = [
+    "dump",
+    "dumps",
+    "load",
+    "loads",
+    "PyThreadsRecorder",
+    "DEFAULT_PROBE_OVERHEAD_US",
+    "Recorder",
+    "AddressMap",
+    "RawCallSite",
+    "capture_call_site",
+]

@@ -1,0 +1,267 @@
+"""The log-file format ("recorded information", fig. 1 (d)).
+
+A versioned, line-oriented text format close to the listing in the paper's
+fig. 2.  One record per line::
+
+    0.000113 T1 ret thr_create target=T4 arg=0 status=ok src=ex.c|12|main
+
+* column 1 — timestamp in seconds with µs resolution (``format_us``),
+* column 2 — thread id (``T`` + integer),
+* column 3 — phase (``call`` / ``ret``),
+* column 4 — primitive name,
+* remaining columns — ``key=value`` attributes: ``obj`` / ``obj2``
+  (``kind:name``), ``target`` (``T`` + id), ``arg`` (int), ``status``,
+  and ``src`` (``file|line|function``, percent-encoded).
+
+Header lines start with ``#`` and carry the metadata: format version,
+program name, probe overhead and the ``thr_create`` function-name table
+resolved by the debugger in the real tool (§3.1).
+
+§4 reports log sizes (Ocean: 1.4 MB) and notes they can reach 15 MB for
+long fine-grained runs; :func:`dumps`/:func:`loads` are the size and
+round-trip surface those experiments measure.
+"""
+
+from __future__ import annotations
+
+import io
+import urllib.parse
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.core.errors import LogFormatError
+from repro.core.events import EventRecord, Phase, SourceLocation, Status
+from repro.recorder.posix import primitive_for_name, to_posix_name
+from repro.core.ids import SyncObjectId, ThreadId
+from repro.core.timebase import US_PER_SECOND, format_us
+from repro.core.trace import Trace, TraceMeta
+
+__all__ = ["FORMAT_VERSION", "dump", "dumps", "load", "loads"]
+
+FORMAT_VERSION = 1
+
+_PHASES_BY_NAME = {p.value: p for p in Phase}
+_STATUS_BY_NAME = {s.value: s for s in Status}
+
+
+# ---------------------------------------------------------------------------
+# serialisation
+# ---------------------------------------------------------------------------
+
+
+def _encode_source(src: SourceLocation) -> str:
+    quote = urllib.parse.quote
+    return f"{quote(src.file, safe='/.')}|{src.line}|{quote(src.function, safe='')}"
+
+
+def _decode_source(text: str, lineno: int) -> SourceLocation:
+    parts = text.split("|")
+    if len(parts) != 3:
+        raise LogFormatError(f"bad src field {text!r}", lineno=lineno)
+    unquote = urllib.parse.unquote
+    try:
+        line = int(parts[1])
+    except ValueError as exc:
+        raise LogFormatError(f"bad src line number {parts[1]!r}", lineno=lineno) from exc
+    return SourceLocation(file=unquote(parts[0]), line=line, function=unquote(parts[2]))
+
+
+def _record_line(rec: EventRecord, *, posix_names: bool = False) -> str:
+    name = to_posix_name(rec.primitive) if posix_names else rec.primitive.value
+    fields = [
+        format_us(rec.time_us),
+        f"T{int(rec.tid)}",
+        rec.phase.value,
+        name,
+    ]
+    if rec.obj is not None:
+        fields.append(f"obj={rec.obj.kind}:{rec.obj.name}")
+    if rec.obj2 is not None:
+        fields.append(f"obj2={rec.obj2.kind}:{rec.obj2.name}")
+    if rec.target is not None:
+        fields.append(f"target=T{int(rec.target)}")
+    if rec.arg is not None:
+        fields.append(f"arg={rec.arg}")
+    if rec.status is not None:
+        fields.append(f"status={rec.status.value}")
+    if rec.source is not None:
+        fields.append(f"src={_encode_source(rec.source)}")
+    return " ".join(fields)
+
+
+def dumps(trace: Trace, *, posix_names: bool = False) -> str:
+    """Serialise a trace to log-file text.
+
+    ``posix_names=True`` renders primitives under their POSIX spellings
+    (``pthread_mutex_lock`` ...) — the §6 portability hook; the parser
+    accepts both conventions either way.
+    """
+    out = io.StringIO()
+    out.write(f"# vppb-log {FORMAT_VERSION}\n")
+    out.write(f"# program: {trace.meta.program}\n")
+    out.write(f"# probe-overhead-us: {trace.meta.probe_overhead_us}\n")
+    for tid, func in sorted(trace.meta.thread_functions.items()):
+        out.write(f"# thread-function: {tid} {urllib.parse.quote(func, safe='')}\n")
+    if trace.meta.comment:
+        out.write(f"# comment: {trace.meta.comment}\n")
+    for rec in trace:
+        out.write(_record_line(rec, posix_names=posix_names))
+        out.write("\n")
+    return out.getvalue()
+
+
+def dump(trace: Trace, path: Union[str, Path]) -> int:
+    """Write the log file; returns its size in bytes (§4 statistic)."""
+    text = dumps(trace)
+    data = text.encode()
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+# ---------------------------------------------------------------------------
+# parsing
+# ---------------------------------------------------------------------------
+
+
+def _parse_time(text: str, lineno: int) -> int:
+    try:
+        if "." in text:
+            whole, frac = text.split(".", 1)
+            frac = (frac + "000000")[:6]
+            return int(whole) * US_PER_SECOND + int(frac)
+        return int(text) * US_PER_SECOND
+    except ValueError as exc:
+        raise LogFormatError(f"bad timestamp {text!r}", lineno=lineno) from exc
+
+
+def _parse_tid(text: str, lineno: int) -> ThreadId:
+    if not text.startswith("T"):
+        raise LogFormatError(f"bad thread id {text!r}", lineno=lineno)
+    try:
+        return ThreadId(int(text[1:]))
+    except ValueError as exc:
+        raise LogFormatError(f"bad thread id {text!r}", lineno=lineno) from exc
+
+
+def _parse_obj(text: str, lineno: int) -> SyncObjectId:
+    kind, sep, name = text.partition(":")
+    if not sep or not kind:
+        raise LogFormatError(f"bad object id {text!r}", lineno=lineno)
+    return SyncObjectId(kind, name)
+
+
+def _parse_record(line: str, lineno: int) -> EventRecord:
+    fields = line.split()
+    if len(fields) < 4:
+        raise LogFormatError("record needs at least 4 fields", lineno=lineno, line=line)
+    time_us = _parse_time(fields[0], lineno)
+    tid = _parse_tid(fields[1], lineno)
+    phase = _PHASES_BY_NAME.get(fields[2])
+    if phase is None:
+        raise LogFormatError(f"unknown phase {fields[2]!r}", lineno=lineno)
+    primitive = primitive_for_name(fields[3])
+    if primitive is None:
+        raise LogFormatError(f"unknown primitive {fields[3]!r}", lineno=lineno)
+
+    obj = obj2 = None
+    target = None
+    arg = None
+    status = None
+    source = None
+    for field in fields[4:]:
+        key, sep, value = field.partition("=")
+        if not sep:
+            raise LogFormatError(f"bad attribute {field!r}", lineno=lineno)
+        if key == "obj":
+            obj = _parse_obj(value, lineno)
+        elif key == "obj2":
+            obj2 = _parse_obj(value, lineno)
+        elif key == "target":
+            target = _parse_tid(value, lineno)
+        elif key == "arg":
+            try:
+                arg = int(value)
+            except ValueError as exc:
+                raise LogFormatError(f"bad arg {value!r}", lineno=lineno) from exc
+        elif key == "status":
+            status = _STATUS_BY_NAME.get(value)
+            if status is None:
+                raise LogFormatError(f"unknown status {value!r}", lineno=lineno)
+        elif key == "src":
+            source = _decode_source(value, lineno)
+        else:
+            raise LogFormatError(f"unknown attribute key {key!r}", lineno=lineno)
+    return EventRecord(
+        time_us=time_us,
+        tid=tid,
+        phase=phase,
+        primitive=primitive,
+        obj=obj,
+        obj2=obj2,
+        target=target,
+        arg=arg,
+        status=status,
+        source=source,
+    )
+
+
+def loads(text: str, *, validate: bool = True) -> Trace:
+    """Parse log-file text back into a :class:`Trace`."""
+    program = "a.out"
+    overhead = 0
+    comment = ""
+    functions: Dict[int, str] = {}
+    records: List[EventRecord] = []
+    saw_version = False
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip()
+            if body.startswith("vppb-log"):
+                try:
+                    version = int(body.split()[1])
+                except (IndexError, ValueError) as exc:
+                    raise LogFormatError("bad version header", lineno=lineno) from exc
+                if version != FORMAT_VERSION:
+                    raise LogFormatError(
+                        f"unsupported log version {version}", lineno=lineno
+                    )
+                saw_version = True
+            elif body.startswith("program:"):
+                program = body.split(":", 1)[1].strip()
+            elif body.startswith("probe-overhead-us:"):
+                try:
+                    overhead = int(body.split(":", 1)[1].strip())
+                except ValueError as exc:
+                    raise LogFormatError("bad probe overhead", lineno=lineno) from exc
+            elif body.startswith("thread-function:"):
+                rest = body.split(":", 1)[1].split()
+                if len(rest) != 2:
+                    raise LogFormatError("bad thread-function header", lineno=lineno)
+                try:
+                    functions[int(rest[0])] = urllib.parse.unquote(rest[1])
+                except ValueError as exc:
+                    raise LogFormatError("bad thread-function id", lineno=lineno) from exc
+            elif body.startswith("comment:"):
+                comment = body.split(":", 1)[1].strip()
+            # unknown comment lines are tolerated (forward compatibility)
+            continue
+        records.append(_parse_record(line, lineno))
+
+    if not saw_version:
+        raise LogFormatError("missing '# vppb-log <version>' header", lineno=1)
+    meta = TraceMeta(
+        program=program,
+        thread_functions=functions,
+        probe_overhead_us=overhead,
+        comment=comment,
+    )
+    return Trace(records, meta, validate=validate)
+
+
+def load(path: Union[str, Path], *, validate: bool = True) -> Trace:
+    """Read a log file from disk."""
+    return loads(Path(path).read_text(), validate=validate)

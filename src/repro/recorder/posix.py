@@ -1,0 +1,82 @@
+"""POSIX-threads naming support (§6).
+
+"In the current implementation VPPB supports Solaris 2.X threads.
+However, the tool can easily be adjusted to support, e.g., POSIX threads
+with only small modifications of the probes in the Recorder."
+
+This module is that adjustment: a bidirectional mapping between the
+``pthread_*`` API names and the Solaris primitives the Simulator models.
+Two integration points:
+
+* the log-file parser accepts pthread names (so logs produced by a
+  pthread-flavoured recorder replay unchanged) — see
+  :func:`primitive_for_name`, consulted by :mod:`repro.recorder.logfile`;
+* :func:`to_posix_name` renders a trace's primitives under POSIX naming
+  (used by ``dumps(..., posix_names=True)`` for tools that expect it).
+
+Semantic notes: ``pthread_join`` has no wildcard (POSIX requires a target
+thread), ``sem_*`` comes from ``semaphore.h`` rather than the threads API,
+and Solaris ``thr_setconcurrency`` has the (obsolete)
+``pthread_setconcurrency`` counterpart — all are plain renames as far as
+the Simulator is concerned, which is exactly the paper's point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.events import Primitive
+
+__all__ = ["POSIX_NAMES", "primitive_for_name", "to_posix_name", "from_posix_name"]
+
+#: Solaris primitive -> POSIX API name.
+POSIX_NAMES: Dict[Primitive, str] = {
+    Primitive.THR_CREATE: "pthread_create",
+    Primitive.THR_EXIT: "pthread_exit",
+    Primitive.THR_JOIN: "pthread_join",
+    Primitive.THR_YIELD: "sched_yield",
+    Primitive.THR_SETPRIO: "pthread_setschedprio",
+    Primitive.THR_SETCONCURRENCY: "pthread_setconcurrency",
+    Primitive.MUTEX_LOCK: "pthread_mutex_lock",
+    Primitive.MUTEX_TRYLOCK: "pthread_mutex_trylock",
+    Primitive.MUTEX_UNLOCK: "pthread_mutex_unlock",
+    Primitive.SEMA_INIT: "sem_init",
+    Primitive.SEMA_WAIT: "sem_wait",
+    Primitive.SEMA_TRYWAIT: "sem_trywait",
+    Primitive.SEMA_POST: "sem_post",
+    Primitive.COND_WAIT: "pthread_cond_wait",
+    Primitive.COND_TIMEDWAIT: "pthread_cond_timedwait",
+    Primitive.COND_SIGNAL: "pthread_cond_signal",
+    Primitive.COND_BROADCAST: "pthread_cond_broadcast",
+    Primitive.RW_RDLOCK: "pthread_rwlock_rdlock",
+    Primitive.RW_WRLOCK: "pthread_rwlock_wrlock",
+    Primitive.RW_TRYRDLOCK: "pthread_rwlock_tryrdlock",
+    Primitive.RW_TRYWRLOCK: "pthread_rwlock_trywrlock",
+    Primitive.RW_UNLOCK: "pthread_rwlock_unlock",
+}
+
+_BY_POSIX_NAME: Dict[str, Primitive] = {v: k for k, v in POSIX_NAMES.items()}
+
+_BY_SOLARIS_NAME: Dict[str, Primitive] = {p.value: p for p in Primitive}
+
+
+def primitive_for_name(name: str) -> Optional[Primitive]:
+    """Resolve a primitive from either naming convention.
+
+    Solaris names win on (hypothetical) collisions; recorder markers
+    (``start_collect`` etc.) only exist under their native names.
+    """
+    prim = _BY_SOLARIS_NAME.get(name)
+    if prim is not None:
+        return prim
+    return _BY_POSIX_NAME.get(name)
+
+
+def to_posix_name(primitive: Primitive) -> str:
+    """POSIX spelling of a primitive (markers keep their native names)."""
+    return POSIX_NAMES.get(primitive, primitive.value)
+
+
+def from_posix_name(name: str) -> Primitive:
+    """Strict POSIX-only lookup; raises ``KeyError`` for unknown names."""
+    return _BY_POSIX_NAME[name]

@@ -1,0 +1,81 @@
+"""Source-location capture and address translation (§3.1's two steps).
+
+The real Recorder splits source mapping in two: at probe time it saves
+only the caller's return address (the SPARC ``%i7`` register — cheap);
+after the run, a debugger plus a small parser translate the recorded
+addresses into ``file:line`` pairs.
+
+We keep the same two-phase architecture.  :func:`capture_call_site`
+grabs the cheap raw datum at probe time (a code object and instruction
+offset); :class:`AddressMap` performs the post-run translation into
+:class:`~repro.core.events.SourceLocation` (Python frames make the
+"debugger" step trivial, but batching it after the run keeps probe cost
+minimal, exactly like the original).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from types import CodeType
+from typing import Dict, Optional, Tuple
+
+from repro.core.events import SourceLocation
+
+__all__ = ["RawCallSite", "capture_call_site", "AddressMap"]
+
+
+@dataclass(frozen=True, slots=True)
+class RawCallSite:
+    """The probe-time datum: our ``%i7``.
+
+    ``code`` identifies the caller's code object, ``lineno`` the line the
+    call was issued from.  Deliberately *not* a resolved
+    :class:`SourceLocation`: translation happens after the run.
+    """
+
+    code: CodeType
+    lineno: int
+
+
+def capture_call_site(depth: int = 2) -> Optional[RawCallSite]:
+    """Capture the caller's call site, *depth* frames up.
+
+    ``depth=2`` skips this function and the probe itself, landing on the
+    monitored program's frame — the same frame ``%i7`` would name.
+    Returns ``None`` when the stack is shallower than *depth* (e.g. a
+    probe invoked from C code).
+    """
+    try:
+        frame = sys._getframe(depth)
+    except ValueError:
+        return None
+    return RawCallSite(code=frame.f_code, lineno=frame.f_lineno)
+
+
+class AddressMap:
+    """Post-run translation of raw call sites to source locations.
+
+    Mirrors the paper's debugger+parser pass: resolved entries are cached
+    by (code, line) so repeated probe sites translate once.
+    """
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[int, int], SourceLocation] = {}
+
+    def resolve(self, site: Optional[RawCallSite]) -> Optional[SourceLocation]:
+        if site is None:
+            return None
+        key = (id(site.code), site.lineno)
+        loc = self._cache.get(key)
+        if loc is None:
+            loc = SourceLocation(
+                file=site.code.co_filename,
+                line=site.lineno,
+                function=site.code.co_name,
+            )
+            self._cache[key] = loc
+        return loc
+
+    def __len__(self) -> int:
+        return len(self._cache)

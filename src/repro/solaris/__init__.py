@@ -1,0 +1,37 @@
+"""Solaris 2.5 scheduling substrate: threads, LWPs, TS class, sync objects."""
+
+from repro.solaris.costs import BOUND_CREATE_FACTOR, BOUND_SYNC_FACTOR, CostModel
+from repro.solaris.dispatch import DispatchEntry, DispatchTable, TS_LEVELS
+from repro.solaris.lwp import LwpState, SimLwp
+# NOTE: repro.solaris.scheduler is intentionally not imported here — it
+# depends on repro.core, which depends on this package's cost model;
+# import it as `from repro.solaris.scheduler import Scheduler` directly.
+from repro.solaris.sync import (
+    SimCondVar,
+    SimMutex,
+    SimRwLock,
+    SimSemaphore,
+    SyncObjectTable,
+    WaitQueue,
+)
+from repro.solaris.thread_model import DEFAULT_USER_PRIORITY, SimThread, ThreadState
+
+__all__ = [
+    "BOUND_CREATE_FACTOR",
+    "BOUND_SYNC_FACTOR",
+    "CostModel",
+    "DispatchEntry",
+    "DispatchTable",
+    "TS_LEVELS",
+    "LwpState",
+    "SimLwp",
+    "SimCondVar",
+    "SimMutex",
+    "SimRwLock",
+    "SimSemaphore",
+    "SyncObjectTable",
+    "WaitQueue",
+    "DEFAULT_USER_PRIORITY",
+    "SimThread",
+    "ThreadState",
+]

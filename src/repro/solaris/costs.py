@@ -1,0 +1,138 @@
+"""Synchronisation and thread-management cost model.
+
+The paper (§3.2, citing SunSoft's measurements in [17]) fixes two relative
+costs the Simulator must honour:
+
+* creating a **bound** thread takes **6.7×** longer than an unbound one, and
+* synchronising on a semaphore takes **5.9×** longer with bound threads —
+  "this value is used in the simulator for mutexes, conditions, and
+  read/write locks, as well".
+
+Absolute base costs are not given in the paper, so we use defaults in the
+ballpark of mid-1990s UltraSPARC measurements (a few µs for an uncontended
+user-level synchronisation, ~100 µs for unbound thread creation).  All of
+them are configurable; only the two published multipliers are treated as
+paper constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.events import Primitive
+
+__all__ = [
+    "BOUND_CREATE_FACTOR",
+    "BOUND_SYNC_FACTOR",
+    "CostModel",
+]
+
+#: Creating a bound thread is 6.7x the cost of an unbound one (§3.2, [17]).
+BOUND_CREATE_FACTOR = 6.7
+
+#: Synchronisation with bound threads costs 5.9x unbound (§3.2, [17]).
+BOUND_SYNC_FACTOR = 5.9
+
+#: Default per-primitive base costs (µs) for *unbound* threads.
+_DEFAULT_BASE_COSTS: Dict[Primitive, int] = {
+    Primitive.THR_CREATE: 100,
+    Primitive.THR_EXIT: 20,
+    Primitive.THR_JOIN: 10,
+    Primitive.THR_YIELD: 5,
+    Primitive.THR_SETPRIO: 5,
+    Primitive.THR_SETCONCURRENCY: 10,
+    Primitive.MUTEX_LOCK: 2,
+    Primitive.MUTEX_TRYLOCK: 2,
+    Primitive.MUTEX_UNLOCK: 2,
+    Primitive.SEMA_INIT: 2,
+    Primitive.SEMA_WAIT: 3,
+    Primitive.SEMA_TRYWAIT: 3,
+    Primitive.SEMA_POST: 3,
+    Primitive.COND_WAIT: 4,
+    Primitive.COND_TIMEDWAIT: 5,
+    Primitive.COND_SIGNAL: 3,
+    Primitive.COND_BROADCAST: 5,
+    Primitive.RW_RDLOCK: 3,
+    Primitive.RW_WRLOCK: 3,
+    Primitive.RW_TRYRDLOCK: 3,
+    Primitive.RW_TRYWRLOCK: 3,
+    Primitive.RW_UNLOCK: 3,
+}
+
+#: Primitives subject to the bound-thread synchronisation multiplier.
+_SYNC_PRIMITIVES = frozenset(
+    p
+    for p in _DEFAULT_BASE_COSTS
+    if p.value.split("_")[0] in ("mutex", "sema", "cond", "rw")
+)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Maps each primitive to the CPU time (µs) its call consumes.
+
+    The cost is charged to the calling thread as CPU time immediately
+    before the primitive's semantic effect is applied — which is how the
+    uncontended path of a library call shows up on a real machine.
+
+    Attributes
+    ----------
+    base_costs:
+        Per-primitive µs cost for unbound threads.
+    bound_create_factor / bound_sync_factor:
+        The paper's published multipliers.
+    thread_switch_us:
+        User-level context switch: charged when an LWP picks up a
+        different unbound thread than it last ran.
+    lwp_switch_us:
+        Kernel-level context switch: charged when a processor switches
+        from one LWP to another.  §6 notes the paper's simulator "does
+        not consider the overhead for LWP context switches on a
+        multiprocessor", so the paper-faithful default is 0; set it to
+        study that approximation (see the ablation benchmark).
+    """
+
+    base_costs: Dict[Primitive, int] = field(
+        default_factory=lambda: dict(_DEFAULT_BASE_COSTS)
+    )
+    bound_create_factor: float = BOUND_CREATE_FACTOR
+    bound_sync_factor: float = BOUND_SYNC_FACTOR
+    thread_switch_us: int = 10
+    lwp_switch_us: int = 0
+
+    def op_cost(self, primitive: Primitive, *, bound: bool = False) -> int:
+        """Cost in µs of one call to *primitive* by a (un)bound thread."""
+        base = self.base_costs.get(primitive, 0)
+        if not bound:
+            return base
+        if primitive is Primitive.THR_CREATE:
+            return round(base * self.bound_create_factor)
+        if primitive in _SYNC_PRIMITIVES:
+            return round(base * self.bound_sync_factor)
+        return base
+
+    def scaled(self, factor: float) -> "CostModel":
+        """A copy with every base cost multiplied by *factor*.
+
+        Used by ablation benchmarks to study sensitivity to the absolute
+        cost level (the paper only pins the ratios).
+        """
+        if factor < 0:
+            raise ValueError("factor must be >= 0")
+        return CostModel(
+            base_costs={p: round(c * factor) for p, c in self.base_costs.items()},
+            bound_create_factor=self.bound_create_factor,
+            bound_sync_factor=self.bound_sync_factor,
+            thread_switch_us=round(self.thread_switch_us * factor),
+            lwp_switch_us=round(self.lwp_switch_us * factor),
+        )
+
+
+def free() -> CostModel:
+    """A zero-cost model (useful in unit tests for exact-time assertions)."""
+    return CostModel(
+        base_costs={p: 0 for p in _DEFAULT_BASE_COSTS},
+        thread_switch_us=0,
+        lwp_switch_us=0,
+    )

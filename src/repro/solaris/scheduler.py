@@ -1,0 +1,663 @@
+"""The two-level Solaris 2.5 scheduler model (§3.2).
+
+Scheduling happens at two levels, exactly as the paper describes:
+
+* **user level** — unbound user threads are multiplexed on the process's
+  pool of LWPs.  A thread keeps its LWP until it blocks at a
+  synchronisation point (user-level scheduling is not time-sliced); when it
+  blocks, the LWP immediately picks the highest-priority runnable unbound
+  thread, or parks idle.
+* **kernel level** — LWPs (kernel threads) are the only objects the
+  operating system schedules.  They run under the TS class: each carries a
+  kernel priority (0–59), receives the dispatch-table quantum for that
+  level, is demoted when the quantum expires and boosted when it returns
+  from sleep, and can preempt lower-priority LWPs when it wakes.
+
+Threads bound to an LWP own a dedicated LWP for life; threads bound to a
+CPU have that LWP pinned to the processor.  A wake-up that crosses CPUs is
+delivered after the configured communication delay (§3.2: the delay
+"affects how fast an event on one CPU is propagated to another CPU").
+
+The scheduler is driven by, and reports to, the Simulator through the
+narrow :class:`SchedulerListener` protocol; it records every thread-state
+transition into the :class:`~repro.core.result.ResultBuilder` so the
+Visualizer can draw the §3.3 graphs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from repro.core.config import SimConfig
+from repro.core.engine import Engine, ScheduledEvent
+from repro.core.errors import SimulationError
+from repro.core.ids import LwpId
+from repro.core.result import ResultBuilder, SegmentKind
+from repro.solaris.lwp import LwpState, SimLwp
+from repro.solaris.sync import WaitQueue
+from repro.solaris.thread_model import SimThread, ThreadState
+
+__all__ = ["SchedulerListener", "Scheduler", "SimCpu"]
+
+
+class SchedulerListener(Protocol):
+    """Callbacks the Simulator implements."""
+
+    def need_step(self, thread: SimThread) -> None:
+        """*thread* is RUNNING with no burst in flight: feed it work."""
+
+    def burst_complete(self, thread: SimThread) -> None:
+        """*thread* finished its CPU burst: apply its pending operation."""
+
+
+class SimCpu:
+    """One processor of the simulated machine."""
+
+    __slots__ = ("index", "lwp", "last_lwp_id")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.lwp: Optional[SimLwp] = None
+        #: LWP that most recently ran here (kernel context-switch costs)
+        self.last_lwp_id: Optional[int] = None
+
+    @property
+    def idle(self) -> bool:
+        return self.lwp is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CPU{self.index} {'idle' if self.idle else repr(self.lwp)}>"
+
+
+_STATE_TO_SEGMENT = {
+    ThreadState.RUNNABLE: SegmentKind.RUNNABLE,
+    ThreadState.RUNNING: SegmentKind.RUNNING,
+    ThreadState.BLOCKED: SegmentKind.BLOCKED,
+    ThreadState.SLEEPING: SegmentKind.SLEEPING,
+}
+
+
+class Scheduler:
+    """Simulated two-level scheduling of threads on LWPs on CPUs."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: SimConfig,
+        builder: ResultBuilder,
+        listener: SchedulerListener,
+    ):
+        self.engine = engine
+        self.config = config
+        self.builder = builder
+        self.listener = listener
+        self.dispatch_table = config.dispatch
+        self.costs = config.costs
+
+        self.cpus: List[SimCpu] = [SimCpu(i) for i in range(config.cpus)]
+        self.lwps: List[SimLwp] = []
+        #: dedicated LWPs whose thread exited (kept for post-run statistics)
+        self.retired_lwps: List[SimLwp] = []
+        self._lwp_ids = itertools.count(1)
+        self._seq = itertools.count()
+
+        #: runnable unbound threads that have no LWP ("grey" in the graphs)
+        self.user_queue = WaitQueue()
+        #: idle LWPs of the unbound pool
+        self._idle_pool: List[SimLwp] = []
+        #: how many pool LWPs may exist; None = grow on demand
+        self._pool_limit: Optional[int] = config.lwps
+        self._pool_size = 0
+
+        if config.lwps is not None:
+            for _ in range(config.lwps):
+                self._idle_pool.append(self._new_lwp(dedicated=False))
+
+        # transient bookkeeping -------------------------------------------
+        self._burst_events: Dict[int, Tuple[ScheduledEvent, int]] = {}
+        self._quantum_events: Dict[int, Tuple[ScheduledEvent, int]] = {}
+        self._running_since: Dict[int, int] = {}
+        self._switch_cost_pending: Dict[int, int] = {}
+        #: dispatch deferral depth: >0 while an operation is being applied
+        self._atomic_depth = 0
+        self._dispatch_wanted = False
+
+    # ------------------------------------------------------------------
+    # small helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def now_us(self) -> int:
+        return self.engine.now_us
+
+    def _new_lwp(self, *, dedicated: bool, bound_cpu: Optional[int] = None) -> SimLwp:
+        lwp = SimLwp(
+            lwp_id=LwpId(next(self._lwp_ids)),
+            dedicated=dedicated,
+            kernel_priority=self.dispatch_table.initial_level(),
+            bound_cpu=bound_cpu,
+        )
+        self.lwps.append(lwp)
+        if not dedicated:
+            self._pool_size += 1
+        return lwp
+
+    @staticmethod
+    def _effective_priority(lwp: SimLwp) -> int:
+        """Global dispatch priority: every RT LWP outranks every TS LWP
+        (the Solaris global priority ordering), fixed within its class."""
+        return lwp.kernel_priority + (1_000 if lwp.rt else 0)
+
+    def _set_thread_state(
+        self, thread: SimThread, state: ThreadState, cpu: Optional[int] = None
+    ) -> None:
+        now = self.now_us
+        if thread.state is ThreadState.RUNNING and state is not ThreadState.RUNNING:
+            since = self._running_since.pop(int(thread.tid), now)
+            thread.cpu_time_us += now - since
+        if state is ThreadState.RUNNING:
+            self._running_since[int(thread.tid)] = now
+        thread.state = state
+        if state in (ThreadState.ZOMBIE, ThreadState.DEAD):
+            self.builder.thread_condition(thread.tid, None, now)
+        else:
+            self.builder.thread_condition(thread.tid, _STATE_TO_SEGMENT[state], now, cpu)
+
+    # ------------------------------------------------------------------
+    # atomic sections (operation application must not be preempted)
+    # ------------------------------------------------------------------
+
+    def begin_atomic(self) -> None:
+        self._atomic_depth += 1
+
+    def end_atomic(self) -> None:
+        if self._atomic_depth <= 0:
+            raise SimulationError("end_atomic without begin_atomic")
+        self._atomic_depth -= 1
+        if self._atomic_depth == 0 and self._dispatch_wanted:
+            self._dispatch_wanted = False
+            self._kernel_dispatch()
+
+    # ------------------------------------------------------------------
+    # thread lifecycle
+    # ------------------------------------------------------------------
+
+    def register_thread(self, thread: SimThread, *, waker_cpu: Optional[int]) -> None:
+        """Admit a newly created thread (its creation cost is already paid
+        by the creator).  Applies the configuration's per-thread policy
+        (§3.2 manipulations), allocates a dedicated LWP for bound threads,
+        and makes the thread runnable."""
+        policy = self.config.policy_for(int(thread.tid))
+        if policy.effective_bound() is not None:
+            thread.bound = policy.effective_bound() or False
+        if policy.cpu is not None:
+            thread.bound_cpu = policy.cpu
+            thread.bound = True
+        if policy.priority is not None:
+            thread.priority = policy.priority
+            thread.priority_locked = True
+        if policy.rt_priority is not None:
+            thread.rt_priority = policy.rt_priority
+            thread.bound = True  # priocntl acts on an LWP of its own
+        thread.created_at_us = self.now_us
+
+        if thread.bound:
+            lwp = self._new_lwp(dedicated=True, bound_cpu=thread.bound_cpu)
+            if thread.rt_priority is not None:
+                lwp.rt = True
+                lwp.kernel_priority = thread.rt_priority
+            lwp.state = LwpState.SLEEPING  # parked until the thread is runnable
+            lwp.thread = thread
+            lwp.last_thread_tid = int(thread.tid)
+            thread.lwp = lwp
+        self.make_runnable(thread, waker_cpu=waker_cpu)
+
+    def make_runnable(
+        self,
+        thread: SimThread,
+        *,
+        waker_cpu: Optional[int] = None,
+        boost: bool = False,
+    ) -> None:
+        """Move *thread* to the runnable state, honouring the inter-CPU
+        communication delay when the wake-up crosses processors."""
+        delay = 0
+        if (
+            self.config.comm_delay_us > 0
+            and waker_cpu is not None
+            and thread.last_cpu is not None
+            and thread.last_cpu != waker_cpu
+        ):
+            delay = self.config.comm_delay_us
+        if delay:
+            self.engine.schedule_in(
+                delay,
+                lambda: self._enqueue_runnable(thread, boost),
+                f"comm-delay wake T{int(thread.tid)}",
+            )
+        else:
+            self._enqueue_runnable(thread, boost)
+
+    def _enqueue_runnable(self, thread: SimThread, boost: bool) -> None:
+        if not thread.alive:
+            raise SimulationError(f"waking dead thread T{int(thread.tid)}")
+        if thread.state in (ThreadState.RUNNABLE, ThreadState.RUNNING):
+            raise SimulationError(
+                f"T{int(thread.tid)} woken while {thread.state.value}"
+            )
+        self._set_thread_state(thread, ThreadState.RUNNABLE)
+        thread.runnable_since_us = self.now_us
+        thread.enqueue_seq = next(self._seq)
+
+        if thread.bound:
+            lwp = thread.lwp
+            assert lwp is not None
+            if boost and not lwp.rt:
+                lwp.kernel_priority = self.dispatch_table.after_sleep(lwp.kernel_priority)
+            self._lwp_runnable(lwp)
+        else:
+            lwp = self._grab_idle_lwp(thread)
+            if lwp is not None:
+                self._attach(thread, lwp, boost=boost)
+            else:
+                self.user_queue.push(thread)
+        self._kernel_dispatch()
+
+    def _grab_idle_lwp(self, thread: SimThread) -> Optional[SimLwp]:
+        """Find or create an idle pool LWP for *thread* (prefer the LWP
+        that last ran it, to skip the user-level switch cost)."""
+        for i, lwp in enumerate(self._idle_pool):
+            if lwp.last_thread_tid == int(thread.tid):
+                return self._idle_pool.pop(i)
+        if self._idle_pool:
+            return self._idle_pool.pop(0)
+        if self._pool_limit is None:
+            return self._new_lwp(dedicated=False)
+        return None
+
+    def _attach(self, thread: SimThread, lwp: SimLwp, *, boost: bool = False) -> None:
+        """Bind a runnable unbound thread to an LWP and queue the LWP."""
+        lwp.thread = thread
+        thread.lwp = lwp
+        if lwp.last_thread_tid not in (None, int(thread.tid)):
+            self._switch_cost_pending[int(thread.tid)] = self.costs.thread_switch_us
+        if boost:
+            lwp.kernel_priority = self.dispatch_table.after_sleep(lwp.kernel_priority)
+        self._lwp_runnable(lwp)
+
+    def _lwp_runnable(self, lwp: SimLwp) -> None:
+        lwp.state = LwpState.RUNNABLE
+        lwp.enqueue_seq = next(self._seq)
+        lwp.runnable_since_us = self.now_us
+
+    # ------------------------------------------------------------------
+    # kernel-level dispatch
+    # ------------------------------------------------------------------
+
+    def _kernel_dispatch(self) -> None:
+        """Match runnable LWPs to processors, preempting where TS priority
+        demands it.  Loops until no further placement is possible."""
+        if self._atomic_depth > 0:
+            self._dispatch_wanted = True
+            return
+        while True:
+            runnable = [l for l in self.lwps if l.state is LwpState.RUNNABLE]
+            if not runnable:
+                return
+            self._apply_starvation_boosts(runnable)
+            runnable.sort(
+                key=lambda l: (-self._effective_priority(l), l.enqueue_seq)
+            )
+            placed = False
+            for lwp in runnable:
+                cpu = self._find_cpu_for(lwp)
+                if cpu is not None:
+                    self._place(lwp, cpu)
+                    placed = True
+                    break
+            if not placed:
+                return
+
+    def _apply_starvation_boosts(self, runnable: List[SimLwp]) -> None:
+        now = self.now_us
+        for lwp in runnable:
+            if lwp.rt:
+                continue  # RT priorities are fixed, never lifted
+            waited = now - lwp.runnable_since_us
+            if waited > self.dispatch_table.maxwait_us(lwp.kernel_priority):
+                lwp.kernel_priority = self.dispatch_table.after_starvation(
+                    lwp.kernel_priority
+                )
+                lwp.runnable_since_us = now
+
+    def _find_cpu_for(self, lwp: SimLwp) -> Optional[SimCpu]:
+        allowed = (
+            [self.cpus[lwp.bound_cpu]] if lwp.bound_cpu is not None else self.cpus
+        )
+        for cpu in allowed:
+            if cpu.idle:
+                return cpu
+        # preemption: displace the lowest-priority running LWP that is
+        # strictly below us (RT outranks every TS LWP)
+        victim_cpu: Optional[SimCpu] = None
+        victim_pri = self._effective_priority(lwp)
+        for cpu in allowed:
+            running = cpu.lwp
+            assert running is not None
+            if self._effective_priority(running) < victim_pri:
+                victim_pri = self._effective_priority(running)
+                victim_cpu = cpu
+        if victim_cpu is not None:
+            self._preempt(victim_cpu.lwp)  # type: ignore[arg-type]
+            return victim_cpu
+        return None
+
+    def _place(self, lwp: SimLwp, cpu: SimCpu) -> None:
+        if not cpu.idle:
+            raise SimulationError(f"placing {lwp!r} on busy {cpu!r}")
+        thread = lwp.thread
+        if thread is None:
+            raise SimulationError(f"dispatching threadless {lwp!r}")
+        if (
+            self.costs.lwp_switch_us
+            and cpu.last_lwp_id is not None
+            and cpu.last_lwp_id != int(lwp.lwp_id)
+        ):
+            # §6 extension: kernel context-switch overhead (default off)
+            pending = self._switch_cost_pending.get(int(thread.tid), 0)
+            self._switch_cost_pending[int(thread.tid)] = (
+                pending + self.costs.lwp_switch_us
+            )
+        cpu.lwp = lwp
+        cpu.last_lwp_id = int(lwp.lwp_id)
+        lwp.cpu = cpu.index
+        lwp.state = LwpState.ONPROC
+        lwp.dispatches += 1
+        lwp.last_thread_tid = int(thread.tid)
+
+        self._set_thread_state(thread, ThreadState.RUNNING, cpu.index)
+        thread.last_cpu = cpu.index
+        if thread.start_time_us is None:
+            thread.start_time_us = self.now_us
+
+        if lwp.quantum_remaining_us <= 0:
+            lwp.quantum_remaining_us = self._fresh_quantum(lwp)
+        if self.config.time_slicing:
+            self._arm_quantum(lwp)
+
+        if thread.burst_remaining_us > 0:
+            extra = self._switch_cost_pending.pop(int(thread.tid), 0)
+            self._arm_burst(thread, thread.burst_remaining_us + extra)
+        else:
+            self.listener.need_step(thread)
+
+    def _fresh_quantum(self, lwp: SimLwp) -> int:
+        if lwp.rt:
+            return self.config.rt_quantum_us
+        return self.dispatch_table.quantum_us(lwp.kernel_priority)
+
+    def _preempt(self, lwp: SimLwp) -> None:
+        """Take a running LWP (and its thread) off its CPU, preserving the
+        thread's burst remainder and the LWP's quantum remainder."""
+        if lwp.state is not LwpState.ONPROC or lwp.cpu is None:
+            raise SimulationError(f"preempting non-running {lwp!r}")
+        thread = lwp.thread
+        assert thread is not None
+        self._save_burst_remainder(thread)
+        self._save_quantum_remainder(lwp)
+        self.cpus[lwp.cpu].lwp = None
+        lwp.cpu = None
+        self._set_thread_state(thread, ThreadState.RUNNABLE)
+        thread.runnable_since_us = self.now_us
+        self._lwp_runnable(lwp)
+
+    def _save_burst_remainder(self, thread: SimThread) -> None:
+        entry = self._burst_events.pop(int(thread.tid), None)
+        if entry is None:
+            if thread.state is ThreadState.RUNNING and self._atomic_depth == 0:
+                raise SimulationError(
+                    f"RUNNING T{int(thread.tid)} has no burst event"
+                )
+            thread.burst_remaining_us = 0
+            return
+        handle, end_us = entry
+        handle.cancel()
+        thread.burst_remaining_us = end_us - self.now_us
+
+    def _save_quantum_remainder(self, lwp: SimLwp) -> None:
+        entry = self._quantum_events.pop(int(lwp.lwp_id), None)
+        if entry is None:
+            return
+        handle, expiry_us = entry
+        handle.cancel()
+        lwp.quantum_remaining_us = max(0, expiry_us - self.now_us)
+
+    # ------------------------------------------------------------------
+    # quanta
+    # ------------------------------------------------------------------
+
+    def _arm_quantum(self, lwp: SimLwp) -> None:
+        expiry = self.now_us + lwp.quantum_remaining_us
+        handle = self.engine.schedule_at(
+            expiry,
+            lambda: self._quantum_expired(lwp),
+            f"quantum LWP{int(lwp.lwp_id)}",
+        )
+        self._quantum_events[int(lwp.lwp_id)] = (handle, expiry)
+
+    def _quantum_expired(self, lwp: SimLwp) -> None:
+        self._quantum_events.pop(int(lwp.lwp_id), None)
+        if lwp.state is not LwpState.ONPROC:
+            return  # stale timer (LWP left the CPU at the same timestamp)
+        lwp.quantum_expiries += 1
+        if not lwp.rt:
+            # TS aging; RT priorities are fixed (pure round-robin)
+            lwp.kernel_priority = self.dispatch_table.after_quantum_expiry(
+                lwp.kernel_priority
+            )
+        lwp.quantum_remaining_us = self._fresh_quantum(lwp)
+        contender = any(
+            other.state is LwpState.RUNNABLE
+            and self._effective_priority(other) >= self._effective_priority(lwp)
+            and (other.bound_cpu is None or other.bound_cpu == lwp.cpu)
+            for other in self.lwps
+        )
+        if contender:
+            self._preempt(lwp)
+            self._kernel_dispatch()
+        else:
+            self._arm_quantum(lwp)
+
+    # ------------------------------------------------------------------
+    # bursts
+    # ------------------------------------------------------------------
+
+    def begin_burst(self, thread: SimThread, duration_us: int) -> None:
+        """Start *duration_us* of CPU work for a RUNNING thread."""
+        if thread.state is not ThreadState.RUNNING:
+            raise SimulationError(
+                f"begin_burst on {thread.state.value} T{int(thread.tid)}"
+            )
+        if duration_us < 0:
+            raise SimulationError(f"negative burst {duration_us}")
+        duration_us += self._switch_cost_pending.pop(int(thread.tid), 0)
+        thread.burst_remaining_us = duration_us
+        self._arm_burst(thread, duration_us)
+
+    def _arm_burst(self, thread: SimThread, duration_us: int) -> None:
+        end = self.now_us + duration_us
+        handle = self.engine.schedule_at(
+            end, lambda: self._burst_done(thread), f"burst T{int(thread.tid)}"
+        )
+        self._burst_events[int(thread.tid)] = (handle, end)
+
+    def _burst_done(self, thread: SimThread) -> None:
+        self._burst_events.pop(int(thread.tid), None)
+        thread.burst_remaining_us = 0
+        if thread.state is not ThreadState.RUNNING:
+            raise SimulationError(
+                f"burst completion for non-running T{int(thread.tid)}"
+            )
+        self.listener.burst_complete(thread)
+
+    # ------------------------------------------------------------------
+    # blocking / waking / exiting / yielding (called during op application)
+    # ------------------------------------------------------------------
+
+    def block_current(self, thread: SimThread, *, sleeping: bool = False) -> None:
+        """The running thread blocks at a synchronisation point."""
+        if thread.state is not ThreadState.RUNNING:
+            raise SimulationError(
+                f"block_current on {thread.state.value} T{int(thread.tid)}"
+            )
+        state = ThreadState.SLEEPING if sleeping else ThreadState.BLOCKED
+        self._set_thread_state(thread, state)
+        self._release_lwp_of(thread)
+
+    def thread_exited(self, thread: SimThread) -> None:
+        """The running thread executed ``thr_exit``."""
+        if thread.state is not ThreadState.RUNNING:
+            raise SimulationError(
+                f"thread_exited on {thread.state.value} T{int(thread.tid)}"
+            )
+        thread.end_time_us = self.now_us
+        self._set_thread_state(thread, ThreadState.ZOMBIE)
+        self._release_lwp_of(thread, exiting=True)
+
+    def yield_current(self, thread: SimThread) -> None:
+        """``thr_yield``: surrender the LWP to an equal-or-higher priority
+        runnable thread; reacquire immediately when none exists."""
+        if thread.state is not ThreadState.RUNNING:
+            raise SimulationError(
+                f"yield_current on {thread.state.value} T{int(thread.tid)}"
+            )
+        lwp = thread.lwp
+        assert lwp is not None
+        if thread.bound:
+            # a bound thread yields its LWP's processor slot
+            self._preempt(lwp)
+            self._kernel_dispatch()
+            return
+        self._set_thread_state(thread, ThreadState.RUNNABLE)
+        thread.runnable_since_us = self.now_us
+        thread.enqueue_seq = next(self._seq)
+        self._save_quantum_remainder(lwp)
+        lwp.thread = None
+        thread.lwp = None
+        self.user_queue.push(thread)
+        nxt = self.user_queue.pop()
+        self._switch_to_on_lwp(nxt, lwp)
+
+    def sleep_current(self, thread: SimThread, duration_us: int) -> None:
+        """Pure delay: the thread sleeps without consuming CPU (used for
+        replayed timed-out waits)."""
+        self.block_current(thread, sleeping=True)
+        self.engine.schedule_in(
+            duration_us,
+            lambda: self.make_runnable(thread, boost=True),
+            f"sleep T{int(thread.tid)}",
+        )
+
+    def _release_lwp_of(self, thread: SimThread, *, exiting: bool = False) -> None:
+        """The thread left the RUNNING state: deal with its LWP and CPU."""
+        lwp = thread.lwp
+        if lwp is None:
+            raise SimulationError(f"T{int(thread.tid)} has no LWP to release")
+        self._save_quantum_remainder(lwp)
+
+        if thread.bound and not exiting:
+            # dedicated LWP sleeps with its thread
+            if lwp.cpu is not None:
+                self.cpus[lwp.cpu].lwp = None
+                lwp.cpu = None
+            lwp.state = LwpState.SLEEPING
+            self._kernel_dispatch()
+            return
+
+        # detach the thread from the LWP
+        lwp.thread = None
+        lwp.last_thread_tid = int(thread.tid)
+        thread.lwp = None
+        if thread.bound and exiting:
+            # dedicated LWP dies with its thread
+            if lwp.cpu is not None:
+                self.cpus[lwp.cpu].lwp = None
+                lwp.cpu = None
+            lwp.state = LwpState.IDLE
+            self.lwps.remove(lwp)
+            self.retired_lwps.append(lwp)
+            self._kernel_dispatch()
+            return
+
+        # pool LWP: pick the next runnable unbound thread, or park
+        if self.user_queue:
+            nxt = self.user_queue.pop()
+            self._switch_to_on_lwp(nxt, lwp)
+        else:
+            if lwp.cpu is not None:
+                self.cpus[lwp.cpu].lwp = None
+                lwp.cpu = None
+            lwp.state = LwpState.IDLE
+            self._idle_pool.append(lwp)
+            self._kernel_dispatch()
+
+    def _switch_to_on_lwp(self, thread: SimThread, lwp: SimLwp) -> None:
+        """User-level context switch: *lwp* (possibly still on its CPU)
+        picks up runnable *thread*."""
+        lwp.thread = thread
+        thread.lwp = lwp
+        if lwp.last_thread_tid not in (None, int(thread.tid)):
+            self._switch_cost_pending[int(thread.tid)] = self.costs.thread_switch_us
+        if lwp.state is LwpState.ONPROC and lwp.cpu is not None:
+            # stays on processor; the thread starts running immediately
+            lwp.last_thread_tid = int(thread.tid)
+            self._set_thread_state(thread, ThreadState.RUNNING, lwp.cpu)
+            thread.last_cpu = lwp.cpu
+            if thread.start_time_us is None:
+                thread.start_time_us = self.now_us
+            if lwp.quantum_remaining_us <= 0:
+                lwp.quantum_remaining_us = self._fresh_quantum(lwp)
+            if self.config.time_slicing:
+                self._arm_quantum(lwp)
+            if thread.burst_remaining_us > 0:
+                extra = self._switch_cost_pending.pop(int(thread.tid), 0)
+                self._arm_burst(thread, thread.burst_remaining_us + extra)
+            else:
+                self.listener.need_step(thread)
+        else:
+            self._lwp_runnable(lwp)
+            self._kernel_dispatch()
+
+    # ------------------------------------------------------------------
+    # concurrency control (thr_setconcurrency)
+    # ------------------------------------------------------------------
+
+    def set_concurrency(self, level: int) -> bool:
+        """Apply ``thr_setconcurrency``.
+
+        Honoured only when the user did not fix the LWP count in the
+        configuration (§3.2: with a user-specified LWP count "the
+        thr_setconcurrency in the program has no effect").  In on-demand
+        mode the pool already grows as needed, so this pre-creates idle
+        LWPs up to *level* and reports True.
+        """
+        if self.config.lwps is not None:
+            return False
+        while self._pool_size < level:
+            self._idle_pool.append(self._new_lwp(dedicated=False))
+        return True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def idle_cpu_count(self) -> int:
+        return sum(1 for cpu in self.cpus if cpu.idle)
+
+    def running_threads(self) -> List[SimThread]:
+        return [
+            cpu.lwp.thread
+            for cpu in self.cpus
+            if cpu.lwp is not None and cpu.lwp.thread is not None
+        ]

@@ -1,0 +1,452 @@
+"""Simulated Solaris synchronisation objects.
+
+These classes implement the *semantics* of the thread-library objects the
+Simulator models: mutexes, counting semaphores, condition variables and
+readers/writer locks.  They do not know about CPUs or LWPs; they interact
+with the scheduling machinery through the narrow :class:`KernelAPI`
+facade (block me / wake him / arm a timer), which the Simulator provides.
+
+Two behaviours specific to the paper live here:
+
+* **direct hand-off** — when an object is released to a waiter, ownership
+  transfers at release time (the waiter wakes already holding it), which is
+  how ``libthread`` queues behave and what makes replay deterministic;
+* **barrier-style broadcast** (§6) — in replay mode ``cond_broadcast``
+  carries the number of threads it released in the log, and the
+  broadcasting thread blocks until that many waiters have arrived, so "the
+  last thread arriving at the barrier releases all the waiting threads".
+
+Waiter queues are ordered by user-thread priority (higher first), FIFO
+within a priority, matching Solaris sleep-queue policy.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
+
+from repro.core.errors import SimulationError
+from repro.core.ids import SyncObjectId
+from repro.solaris.thread_model import SimThread
+
+__all__ = [
+    "NO_RESULT",
+    "KernelAPI",
+    "WaitQueue",
+    "SimMutex",
+    "SimSemaphore",
+    "SimCondVar",
+    "SimRwLock",
+    "SyncObjectTable",
+]
+
+
+#: Sentinel: "wake without changing the thread's pending result".  A timed
+#: wait records its outcome *before* queuing on the mutex; the later mutex
+#: hand-off wakes the thread with NO_RESULT so the outcome survives.
+NO_RESULT = object()
+
+
+class KernelAPI(Protocol):
+    """What synchronisation objects need from the scheduling machinery."""
+
+    @property
+    def now_us(self) -> int:  # pragma: no cover - protocol
+        ...
+
+    def block(self, thread: SimThread, reason: str) -> None:
+        """Take the (currently running) thread off its processor."""
+
+    def wake(self, thread: SimThread, result: object = NO_RESULT) -> None:
+        """Make a blocked thread runnable; ``result`` (when given) is
+        delivered to its behaviour when it resumes (e.g. the outcome of a
+        timed wait)."""
+
+    def post_result(self, thread: SimThread, result: object) -> None:
+        """Record *result* for a still-blocked thread (delivered when it
+        eventually resumes) without waking it."""
+
+    def arm_timer(self, delay_us: int, action: Callable[[], None], label: str) -> object:
+        """Schedule *action* after *delay_us*; returns a cancellable handle."""
+
+    def cancel_timer(self, handle: object) -> None:
+        ...
+
+
+class WaitQueue:
+    """Priority-ordered (then FIFO) queue of blocked threads."""
+
+    def __init__(self) -> None:
+        self._items: List[Tuple[int, int, SimThread]] = []
+        self._seq = itertools.count()
+
+    def push(self, thread: SimThread) -> None:
+        self._items.append((-thread.priority, next(self._seq), thread))
+
+    def pop(self) -> SimThread:
+        if not self._items:
+            raise SimulationError("pop from empty wait queue")
+        best = min(range(len(self._items)), key=lambda i: self._items[i][:2])
+        return self._items.pop(best)[2]
+
+    def remove(self, thread: SimThread) -> bool:
+        for i, (_, _, t) in enumerate(self._items):
+            if t is thread:
+                del self._items[i]
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def threads(self) -> List[SimThread]:
+        return [t for _, _, t in sorted(self._items, key=lambda x: x[:2])]
+
+
+class SimMutex:
+    """A Solaris mutex with direct hand-off to the next waiter."""
+
+    #: global acquisition stamp so "most recently acquired" is well defined
+    _acquire_clock = itertools.count()
+
+    def __init__(self, oid: SyncObjectId):
+        self.oid = oid
+        self.owner: Optional[SimThread] = None
+        self.waiters = WaitQueue()
+        #: stamp of the current owner's acquisition (see _acquire_clock)
+        self.acquired_seq = -1
+        # contention statistics (used by analysis and tests)
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+
+    def _set_owner(self, thread: SimThread) -> None:
+        self.owner = thread
+        self.acquired_seq = next(SimMutex._acquire_clock)
+        self.acquisitions += 1
+
+    def lock(self, thread: SimThread, kernel: KernelAPI) -> bool:
+        """Acquire or block.  Returns True when acquired immediately."""
+        if self.owner is None:
+            self._set_owner(thread)
+            return True
+        if self.owner is thread:
+            raise SimulationError(f"T{int(thread.tid)} self-deadlock on {self.oid}")
+        self.waiters.push(thread)
+        self.contended_acquisitions += 1
+        kernel.block(thread, f"mutex {self.oid.name}")
+        return False
+
+    def trylock(self, thread: SimThread) -> bool:
+        """Non-blocking acquire attempt."""
+        if self.owner is None:
+            self._set_owner(thread)
+            return True
+        return False
+
+    def enqueue_blocked(self, thread: SimThread) -> bool:
+        """Acquire on behalf of an *already blocked* thread (a condition
+        waiter re-acquiring after signal).  Returns True when the mutex was
+        free and the thread now owns it (the caller must wake it)."""
+        if self.owner is None:
+            self._set_owner(thread)
+            return True
+        self.waiters.push(thread)
+        self.contended_acquisitions += 1
+        return False
+
+    def unlock(self, thread: SimThread, kernel: KernelAPI) -> None:
+        if self.owner is not thread:
+            holder = f"T{int(self.owner.tid)}" if self.owner else "nobody"
+            raise SimulationError(
+                f"T{int(thread.tid)} unlocks {self.oid} held by {holder}"
+            )
+        if self.waiters:
+            heir = self.waiters.pop()
+            self._set_owner(heir)
+            kernel.wake(heir)
+        else:
+            self.owner = None
+            self.acquired_seq = -1
+
+
+class SimSemaphore:
+    """A counting semaphore; posts hand tokens directly to waiters."""
+
+    def __init__(self, oid: SyncObjectId, initial: int = 0):
+        if initial < 0:
+            raise SimulationError(f"negative initial count for {oid}")
+        self.oid = oid
+        self.count = initial
+        self.waiters = WaitQueue()
+
+    def wait(self, thread: SimThread, kernel: KernelAPI) -> bool:
+        """P operation.  Returns True when a token was taken immediately."""
+        if self.count > 0:
+            self.count -= 1
+            return True
+        self.waiters.push(thread)
+        kernel.block(thread, f"sema {self.oid.name}")
+        return False
+
+    def trywait(self, thread: SimThread) -> bool:
+        if self.count > 0:
+            self.count -= 1
+            return True
+        return False
+
+    def post(self, kernel: KernelAPI) -> None:
+        """V operation.  A waiter (if any) receives the token directly."""
+        if self.waiters:
+            kernel.wake(self.waiters.pop())
+        else:
+            self.count += 1
+
+
+class SimCondVar:
+    """A Solaris condition variable, with the §6 barrier replay rule.
+
+    Waiters release their mutex before sleeping and re-acquire it before
+    the wait completes.  ``broadcast(expected_waiters=n)`` implements the
+    replay heuristic: the broadcaster blocks until *n* waiters are present,
+    then releases them all.
+    """
+
+    def __init__(self, oid: SyncObjectId):
+        self.oid = oid
+        self.waiters = WaitQueue()
+        #: mutex each waiter must re-acquire on wake, plus its timer handle.
+        self._wait_info: Dict[int, Tuple[Optional[SimMutex], Optional[object]]] = {}
+        #: a blocked broadcaster waiting for its §6 quota of waiters, plus
+        #: the mutex it released while blocking (re-acquired on release).
+        self._pending_broadcast: Optional[Tuple[SimThread, int, Optional[SimMutex]]] = None
+
+    # ------------------------------------------------------------------
+
+    def wait(
+        self,
+        thread: SimThread,
+        mutex: Optional[SimMutex],
+        kernel: KernelAPI,
+        *,
+        timeout_us: Optional[int] = None,
+        on_timeout: Optional[Callable[[SimThread], None]] = None,
+    ) -> None:
+        """Block the caller; releases *mutex* atomically first.
+
+        The caller always blocks (there is no fast path for condition
+        waits).  With ``timeout_us`` set, *on_timeout* fires if no signal
+        arrives in time — the simulator routes that back through
+        :meth:`cancel_wait` plus the mutex re-acquire path.
+        """
+        if mutex is not None:
+            mutex.unlock(thread, kernel)
+        timer = None
+        if timeout_us is not None:
+            if on_timeout is None:
+                raise SimulationError("timeout without on_timeout handler")
+            timer = kernel.arm_timer(
+                timeout_us,
+                lambda t=thread: on_timeout(t),
+                f"cond_timedwait {self.oid.name} T{int(thread.tid)}",
+            )
+        self.waiters.push(thread)
+        self._wait_info[int(thread.tid)] = (mutex, timer)
+        kernel.block(thread, f"cond {self.oid.name}")
+        self._check_pending_broadcast(kernel)
+
+    def _release_one(self, thread: SimThread, kernel: KernelAPI, result: object) -> None:
+        """Move one waiter from the condition to its mutex (or wake it)."""
+        mutex, timer = self._wait_info.pop(int(thread.tid))
+        if timer is not None:
+            kernel.cancel_timer(timer)
+        if mutex is None:
+            kernel.wake(thread, result)
+        elif mutex.enqueue_blocked(thread):
+            kernel.wake(thread, result)
+        else:
+            # The thread now queues on the mutex and wakes at hand-off
+            # time; park the wait's outcome so it is delivered then.
+            kernel.post_result(thread, result)
+
+    def signal(self, kernel: KernelAPI) -> int:
+        """Wake at most one waiter.  Returns the number woken (0 or 1)."""
+        if not self.waiters:
+            return 0
+        self._release_one(self.waiters.pop(), kernel, True)
+        return 1
+
+    def broadcast(
+        self,
+        thread: SimThread,
+        kernel: KernelAPI,
+        *,
+        expected_waiters: Optional[int] = None,
+        held_mutex: Optional["SimMutex"] = None,
+    ) -> bool:
+        """Wake all waiters.
+
+        Live mode (``expected_waiters is None``): wakes whoever is waiting
+        right now; returns True (the broadcaster continues).
+
+        Replay mode: if fewer than ``expected_waiters`` threads are
+        waiting, the broadcaster blocks (§6) and this returns False; the
+        arrival of the last waiter triggers the release and wakes the
+        broadcaster.  While blocked the broadcaster releases *held_mutex*
+        (a barrier broadcast happens inside the barrier's critical
+        section; holding on to the mutex would deadlock the very waiters
+        it is waiting for) and re-acquires it before resuming, exactly
+        like a condition waiter.
+        """
+        if expected_waiters is None:
+            for waiter in self.waiters.threads():
+                self.waiters.remove(waiter)
+                self._release_one(waiter, kernel, True)
+            return True
+        if len(self.waiters) >= expected_waiters:
+            self._release_all(kernel)
+            return True
+        if self._pending_broadcast is not None:
+            raise SimulationError(
+                f"two pending broadcasts on {self.oid} — replay diverged"
+            )
+        if held_mutex is not None:
+            held_mutex.unlock(thread, kernel)
+        self._pending_broadcast = (thread, expected_waiters, held_mutex)
+        kernel.block(thread, f"cond-broadcast {self.oid.name}")
+        return False
+
+    def _release_all(self, kernel: KernelAPI) -> None:
+        for waiter in self.waiters.threads():
+            self.waiters.remove(waiter)
+            self._release_one(waiter, kernel, True)
+
+    def _check_pending_broadcast(self, kernel: KernelAPI) -> None:
+        if self._pending_broadcast is None:
+            return
+        broadcaster, expected, held_mutex = self._pending_broadcast
+        if len(self.waiters) >= expected:
+            self._pending_broadcast = None
+            # the broadcaster re-acquires its mutex *before* the waiters
+            # contend for it — it still has the critical section's unlock
+            # to execute, exactly like the last-arriving thread in the
+            # recorded run
+            if held_mutex is None or held_mutex.enqueue_blocked(broadcaster):
+                kernel.wake(broadcaster)
+            self._release_all(kernel)
+
+    def cancel_wait(self, thread: SimThread, kernel: KernelAPI) -> Optional[SimMutex]:
+        """Timed wait expired: remove *thread* from the waiters and return
+        the mutex it must re-acquire (None if it waited without one)."""
+        if not self.waiters.remove(thread):
+            raise SimulationError(
+                f"timeout for T{int(thread.tid)} not waiting on {self.oid}"
+            )
+        mutex, _timer = self._wait_info.pop(int(thread.tid))
+        return mutex
+
+
+class SimRwLock:
+    """A readers/writer lock with writer preference (Solaris policy)."""
+
+    def __init__(self, oid: SyncObjectId):
+        self.oid = oid
+        self.readers: List[SimThread] = []
+        self.writer: Optional[SimThread] = None
+        # queue of (is_write, thread), FIFO with writer preference on grant
+        self._queue: List[Tuple[bool, SimThread]] = []
+
+    # ------------------------------------------------------------------
+
+    def _waiting_writer(self) -> bool:
+        return any(is_w for is_w, _ in self._queue)
+
+    def rdlock(self, thread: SimThread, kernel: KernelAPI) -> bool:
+        if self.writer is None and not self._waiting_writer():
+            self.readers.append(thread)
+            return True
+        self._queue.append((False, thread))
+        kernel.block(thread, f"rwlock-rd {self.oid.name}")
+        return False
+
+    def wrlock(self, thread: SimThread, kernel: KernelAPI) -> bool:
+        if self.writer is None and not self.readers:
+            self.writer = thread
+            return True
+        self._queue.append((True, thread))
+        kernel.block(thread, f"rwlock-wr {self.oid.name}")
+        return False
+
+    def tryrdlock(self, thread: SimThread) -> bool:
+        if self.writer is None and not self._waiting_writer():
+            self.readers.append(thread)
+            return True
+        return False
+
+    def trywrlock(self, thread: SimThread) -> bool:
+        if self.writer is None and not self.readers:
+            self.writer = thread
+            return True
+        return False
+
+    def unlock(self, thread: SimThread, kernel: KernelAPI) -> None:
+        if self.writer is thread:
+            self.writer = None
+        elif thread in self.readers:
+            self.readers.remove(thread)
+        else:
+            raise SimulationError(
+                f"T{int(thread.tid)} unlocks {self.oid} it does not hold"
+            )
+        self._grant(kernel)
+
+    def _grant(self, kernel: KernelAPI) -> None:
+        if self.writer is not None or not self._queue:
+            return
+        is_write, head = self._queue[0]
+        if is_write:
+            if not self.readers:
+                self._queue.pop(0)
+                self.writer = head
+                kernel.wake(head)
+        else:
+            # admit the leading run of readers
+            while self._queue and not self._queue[0][0]:
+                _, reader = self._queue.pop(0)
+                self.readers.append(reader)
+                kernel.wake(reader)
+
+
+class SyncObjectTable:
+    """Lazy registry of simulated synchronisation objects by id."""
+
+    def __init__(self) -> None:
+        self._mutexes: Dict[str, SimMutex] = {}
+        self._semas: Dict[str, SimSemaphore] = {}
+        self._conds: Dict[str, SimCondVar] = {}
+        self._rwlocks: Dict[str, SimRwLock] = {}
+
+    def mutex(self, name: str) -> SimMutex:
+        if name not in self._mutexes:
+            self._mutexes[name] = SimMutex(SyncObjectId("mutex", name))
+        return self._mutexes[name]
+
+    def sema(self, name: str, initial: int = 0) -> SimSemaphore:
+        if name not in self._semas:
+            self._semas[name] = SimSemaphore(SyncObjectId("sema", name), initial)
+        return self._semas[name]
+
+    def cond(self, name: str) -> SimCondVar:
+        if name not in self._conds:
+            self._conds[name] = SimCondVar(SyncObjectId("cond", name))
+        return self._conds[name]
+
+    def rwlock(self, name: str) -> SimRwLock:
+        if name not in self._rwlocks:
+            self._rwlocks[name] = SimRwLock(SyncObjectId("rwlock", name))
+        return self._rwlocks[name]
+
+    def all_mutexes(self) -> Dict[str, SimMutex]:
+        return dict(self._mutexes)

@@ -1,0 +1,43 @@
+"""The Visualizer (§3.3): graphs, zooming, inspection, rendering."""
+
+from repro.visualizer.flowgraph import FlowGraph, FlowRow
+from repro.visualizer.inspect import EventInfo, EventInspector
+from repro.visualizer.parallelism import ParallelismGraph, ParallelismPoint
+from repro.visualizer.ascii_render import (
+    render_ascii,
+    render_flow_ascii,
+    render_parallelism_ascii,
+)
+from repro.visualizer.svg_render import render_svg, save_svg
+from repro.visualizer.chrome_trace import save_chrome_trace, to_chrome_trace
+from repro.visualizer.html_report import render_html_report, save_html_report
+from repro.visualizer.stats import ThreadStats, format_thread_stats, thread_stats
+from repro.visualizer.symbols import LEGEND, EventStyle, Shape, style_for
+from repro.visualizer.zoom import ZOOM_FACTORS, ZoomState
+
+__all__ = [
+    "FlowGraph",
+    "FlowRow",
+    "EventInfo",
+    "EventInspector",
+    "ParallelismGraph",
+    "ParallelismPoint",
+    "render_ascii",
+    "render_flow_ascii",
+    "render_parallelism_ascii",
+    "render_svg",
+    "save_svg",
+    "render_html_report",
+    "save_html_report",
+    "save_chrome_trace",
+    "to_chrome_trace",
+    "ThreadStats",
+    "format_thread_stats",
+    "thread_stats",
+    "LEGEND",
+    "EventStyle",
+    "Shape",
+    "style_for",
+    "ZOOM_FACTORS",
+    "ZoomState",
+]

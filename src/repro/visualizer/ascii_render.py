@@ -1,0 +1,128 @@
+"""Terminal renderer: the fig. 5 graphs as plain text.
+
+Useful for quick inspection in a shell and for assertable tests.  The
+parallelism graph is a stacked column chart (``#`` running, ``+``
+runnable); the flow graph uses ``=`` for running, ``.`` for
+runnable-without-processor and spaces for blocked, with event characters
+from :mod:`repro.visualizer.symbols` overlaid.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.result import SegmentKind, SimulationResult
+from repro.core.timebase import format_us
+from repro.visualizer.flowgraph import FlowGraph
+from repro.visualizer.parallelism import ParallelismGraph
+from repro.visualizer.symbols import style_for
+
+__all__ = ["render_parallelism_ascii", "render_flow_ascii", "render_ascii"]
+
+_RUNNING_CH = "#"
+_RUNNABLE_CH = "+"
+_RUN_LINE = "="
+_GREY_LINE = "."
+
+
+def _column_of(time_us: int, start: int, end: int, width: int) -> int:
+    span = max(1, end - start)
+    col = (time_us - start) * width // span
+    return max(0, min(width - 1, col))
+
+
+def render_parallelism_ascii(
+    result: SimulationResult,
+    *,
+    width: int = 80,
+    height: int = 10,
+    window_start_us: Optional[int] = None,
+    window_end_us: Optional[int] = None,
+) -> str:
+    """The upper fig. 5 graph as text columns."""
+    start = 0 if window_start_us is None else window_start_us
+    end = result.makespan_us if window_end_us is None else window_end_us
+    end = max(end, start + 1)
+    par = ParallelismGraph.from_result(result)
+
+    # sample per column at the column's start time (vectorised: wide
+    # renders of large logs are thousands of queries)
+    import numpy as np
+
+    span = end - start
+    times = start + (np.arange(width, dtype=np.int64) * span) // width
+    running_arr, runnable_arr = par.sample(times)
+    running = running_arr.tolist()
+    runnable = runnable_arr.tolist()
+    peak = max(1, max(r + q for r, q in zip(running, runnable)))
+    scale = height / peak
+
+    rows: List[str] = []
+    for level in range(height, 0, -1):
+        row = []
+        for r, q in zip(running, runnable):
+            run_h = r * scale
+            tot_h = (r + q) * scale
+            if run_h >= level:
+                row.append(_RUNNING_CH)
+            elif tot_h >= level:
+                row.append(_RUNNABLE_CH)
+            else:
+                row.append(" ")
+        rows.append("".join(row))
+    header = f"parallelism (peak {peak}; '#' running, '+' runnable)"
+    footer = f"{format_us(start, decimals=3)}s{' ' * (width - 20)}{format_us(end, decimals=3)}s"
+    return "\n".join([header] + rows + [footer])
+
+
+def render_flow_ascii(
+    result: SimulationResult,
+    *,
+    width: int = 80,
+    window_start_us: Optional[int] = None,
+    window_end_us: Optional[int] = None,
+    compress_threads: bool = False,
+) -> str:
+    """The lower fig. 5 graph as one text row per thread."""
+    start = 0 if window_start_us is None else window_start_us
+    end = result.makespan_us if window_end_us is None else window_end_us
+    end = max(end, start + 1)
+    flow = FlowGraph.from_result(result)
+    if compress_threads:
+        flow = flow.compressed(window_start_us=start, window_end_us=end)
+
+    label_w = max((len(f"{r.label} {r.func_name}".strip()) for r in flow.rows), default=4)
+    lines = []
+    for row in flow.rows:
+        chars = [" "] * width
+        for seg in row.segments:
+            if seg.end_us <= start or seg.start_us >= end:
+                continue
+            ch = None
+            if seg.kind is SegmentKind.RUNNING:
+                ch = _RUN_LINE
+            elif seg.kind is SegmentKind.RUNNABLE:
+                ch = _GREY_LINE
+            if ch is None:
+                continue
+            c0 = _column_of(max(seg.start_us, start), start, end, width)
+            c1 = _column_of(min(seg.end_us, end), start, end, width)
+            for c in range(c0, max(c0, c1) + 1):
+                chars[c] = ch
+        for ev in row.events:
+            if not (start <= ev.start_us <= end):
+                continue
+            c = _column_of(ev.start_us, start, end, width)
+            chars[c] = style_for(ev.primitive).char
+        label = f"{row.label} {row.func_name}".strip().ljust(label_w)
+        lines.append(f"{label} |{''.join(chars)}|")
+    return "\n".join(lines)
+
+
+def render_ascii(result: SimulationResult, *, width: int = 80, **kw) -> str:
+    """Both graphs stacked, like the Visualizer's main window (fig. 5)."""
+    return (
+        render_parallelism_ascii(result, width=width, **kw)
+        + "\n\n"
+        + render_flow_ascii(result, width=width, **kw)
+    )

@@ -1,0 +1,169 @@
+"""Standalone HTML report: the Visualizer session as a single file.
+
+Bundles everything the §3.3 GUI offers into one self-contained HTML page
+a browser can open offline: the fig. 5 SVG (parallelism + flow graphs),
+the per-thread statistics table, the bottleneck ranking, the speed-up
+summary, and an event table with source locations — the popup's content
+for every event, searchable with the browser's find.
+
+No JavaScript frameworks, no external assets: inline SVG and CSS only.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import List, Union
+
+from repro.analysis.metrics import contention_by_object
+from repro.core.result import SimulationResult
+from repro.core.timebase import format_us
+from repro.visualizer.stats import thread_stats
+from repro.visualizer.svg_render import render_svg
+
+__all__ = ["render_html_report", "save_html_report"]
+
+_CSS = """
+body { font-family: system-ui, sans-serif; margin: 2em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; font-size: 0.85em; }
+th, td { border: 1px solid #ccc; padding: 3px 8px; text-align: right; }
+th { background: #f0f0f0; } td.l, th.l { text-align: left; }
+.summary { background: #f7f7f7; padding: 0.8em 1.2em; border-radius: 6px; }
+.note { color: #666; font-size: 0.85em; }
+svg { max-width: 100%; height: auto; border: 1px solid #eee; }
+"""
+
+_MAX_EVENT_ROWS = 2_000
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value))
+
+
+def _summary_section(result: SimulationResult, title: str) -> List[str]:
+    machine = result.config.describe()
+    return [
+        f"<h1>{_esc(title)}</h1>",
+        '<div class="summary">',
+        f"<p>machine: {_esc(machine)}</p>",
+        f"<p>makespan: {format_us(result.makespan_us)} s &nbsp;|&nbsp; "
+        f"utilisation: {result.utilisation():.0%} &nbsp;|&nbsp; "
+        f"{len(result.events)} thread-library events, "
+        f"{len(result.summaries)} threads</p>",
+        "</div>",
+    ]
+
+
+def _stats_section(result: SimulationResult) -> List[str]:
+    parts = [
+        "<h2>Per-thread time decomposition</h2>",
+        "<table><tr><th class='l'>thread</th><th>running (s)</th>"
+        "<th>runnable (s)</th><th>blocked (s)</th><th>sleeping (s)</th>"
+        "<th>util</th><th>events</th></tr>",
+    ]
+    for s in thread_stats(result):
+        parts.append(
+            f"<tr><td class='l'>T{s.tid} {_esc(s.func_name)}</td>"
+            f"<td>{format_us(s.running_us)}</td>"
+            f"<td>{format_us(s.runnable_us)}</td>"
+            f"<td>{format_us(s.blocked_us)}</td>"
+            f"<td>{format_us(s.sleeping_us)}</td>"
+            f"<td>{s.utilisation:.0%}</td><td>{s.events}</td></tr>"
+        )
+    parts.append("</table>")
+    return parts
+
+
+def _bottleneck_section(result: SimulationResult, top: int) -> List[str]:
+    profiles = [
+        p for p in contention_by_object(result) if p.total_blocked_us > 0
+    ][:top]
+    if not profiles:
+        return ["<h2>Bottlenecks</h2><p class='note'>no blocked time on any "
+                "synchronisation object</p>"]
+    parts = [
+        "<h2>Bottlenecks (blocked time per object)</h2>",
+        "<table><tr><th class='l'>object</th><th>ops</th>"
+        "<th>blocking ops</th><th>total blocked (s)</th>"
+        "<th>worst wait (s)</th></tr>",
+    ]
+    for p in profiles:
+        parts.append(
+            f"<tr><td class='l'>{_esc(p.obj)}</td><td>{p.operations}</td>"
+            f"<td>{p.blocking_operations}</td>"
+            f"<td>{format_us(p.total_blocked_us)}</td>"
+            f"<td>{format_us(p.max_blocked_us)}</td></tr>"
+        )
+    parts.append("</table>")
+    return parts
+
+
+def _event_section(result: SimulationResult) -> List[str]:
+    parts = [
+        "<h2>Events (the popup's content, tabulated)</h2>",
+        "<table><tr><th>#</th><th class='l'>thread</th><th class='l'>event</th>"
+        "<th class='l'>object</th><th>start (s)</th><th>took (s)</th>"
+        "<th>cpu</th><th class='l'>outcome</th><th class='l'>source</th></tr>",
+    ]
+    truncated = len(result.events) > _MAX_EVENT_ROWS
+    for ev in result.events[:_MAX_EVENT_ROWS]:
+        obj = _esc(ev.obj) if ev.obj else (
+            f"T{int(ev.target)}" if ev.target is not None else ""
+        )
+        parts.append(
+            f"<tr><td>{ev.index}</td><td class='l'>T{int(ev.tid)}</td>"
+            f"<td class='l'>{_esc(ev.primitive.value)}</td>"
+            f"<td class='l'>{obj}</td>"
+            f"<td>{format_us(ev.start_us)}</td>"
+            f"<td>{format_us(ev.duration_us)}</td>"
+            f"<td>{ev.cpu if ev.cpu is not None else ''}</td>"
+            f"<td class='l'>{_esc(ev.status.value) if ev.status else ''}</td>"
+            f"<td class='l'>{_esc(ev.source) if ev.source else ''}</td></tr>"
+        )
+    parts.append("</table>")
+    if truncated:
+        parts.append(
+            f"<p class='note'>showing the first {_MAX_EVENT_ROWS} of "
+            f"{len(result.events)} events</p>"
+        )
+    return parts
+
+
+def render_html_report(
+    result: SimulationResult,
+    *,
+    title: str = "VPPB predicted execution",
+    top_bottlenecks: int = 10,
+    svg_width: int = 1100,
+    compress_threads: bool = False,
+) -> str:
+    """Build the standalone HTML report text."""
+    svg = render_svg(
+        result, width=svg_width, compress_threads=compress_threads, title=""
+    )
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        *_summary_section(result, title),
+        "<h2>Parallelism and execution flow (fig. 5 view)</h2>",
+        svg,
+        *_stats_section(result),
+        *_bottleneck_section(result, top_bottlenecks),
+        *_event_section(result),
+        "<p class='note'>generated by repro, a reproduction of VPPB "
+        "(Broberg, Lundberg, Grahn — IPPS 1998)</p>",
+        "</body></html>",
+    ]
+    return "\n".join(parts)
+
+
+def save_html_report(
+    result: SimulationResult, path: Union[str, Path], **kw
+) -> Path:
+    """Render and write the report; returns the path."""
+    path = Path(path)
+    path.write_text(render_html_report(result, **kw))
+    return path

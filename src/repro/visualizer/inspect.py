@@ -1,0 +1,190 @@
+"""Event inspection — the §3.3 popup window and stepping facilities.
+
+"By selecting a particular (interesting) event ... a popup window is
+shown that gives more information": about the thread (identity, start
+routine, start/end time, time actually working, total execution time) and
+about the event (what it was, which CPU, start/end/duration, source file
+and line).  "The user can step to the previous or next event made by this
+thread ... the user can find the next or previous similar event", i.e.
+the next operation on the same object; and the tool can hand the source
+position to an editor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.errors import VisualizationError
+from repro.core.events import Primitive, SourceLocation, Status
+from repro.core.ids import SyncObjectId, ThreadId
+from repro.core.result import PlacedEvent, SimulationResult
+
+__all__ = ["EventInfo", "EventInspector"]
+
+
+@dataclass(frozen=True)
+class EventInfo:
+    """Everything the §3.3 popup displays for one selected event."""
+
+    # --- the thread causing the event --------------------------------
+    tid: int
+    func_name: str
+    thread_start_us: Optional[int]
+    thread_end_us: Optional[int]
+    thread_work_us: int
+    thread_total_us: Optional[int]
+
+    # --- the event itself ---------------------------------------------
+    index: int
+    primitive: Primitive
+    obj: Optional[SyncObjectId]
+    target: Optional[int]
+    status: Optional[Status]
+    cpu: Optional[int]
+    start_us: int
+    end_us: int
+    source: Optional[SourceLocation]
+
+    @property
+    def duration_us(self) -> int:
+        return self.end_us - self.start_us
+
+    def describe(self) -> str:
+        """Multi-line text, one field per line (popup body)."""
+        lines = [
+            f"thread: T{self.tid} ({self.func_name or '?'})",
+            f"thread started: {self.thread_start_us} us",
+            f"thread ended: {self.thread_end_us} us",
+            f"thread working time: {self.thread_work_us} us",
+            f"thread total time: {self.thread_total_us} us",
+            f"event: {self.primitive.value}"
+            + (f" on {self.obj}" if self.obj else "")
+            + (f" with T{self.target}" if self.target is not None else ""),
+            f"on CPU: {self.cpu}",
+            f"event start: {self.start_us} us, end: {self.end_us} us, "
+            f"took: {self.duration_us} us",
+        ]
+        if self.status is not None:
+            lines.append(f"outcome: {self.status.value}")
+        if self.source is not None:
+            lines.append(f"source: {self.source}")
+        return "\n".join(lines)
+
+
+class EventInspector:
+    """Selection and stepping over a simulation's placed events."""
+
+    def __init__(self, result: SimulationResult):
+        self.result = result
+        self._events = result.events  # sorted by (start, index)
+
+    # ------------------------------------------------------------------
+    # selection
+    # ------------------------------------------------------------------
+
+    def popup(self, index: int) -> EventInfo:
+        """Full popup info for event *index*."""
+        ev = self._event(index)
+        summary = self.result.summaries.get(ev.tid)
+        if summary is None:
+            raise VisualizationError(f"no summary for thread T{int(ev.tid)}")
+        return EventInfo(
+            tid=int(ev.tid),
+            func_name=summary.func_name,
+            thread_start_us=summary.start_us,
+            thread_end_us=summary.end_us,
+            thread_work_us=summary.work_us,
+            thread_total_us=summary.total_us,
+            index=ev.index,
+            primitive=ev.primitive,
+            obj=ev.obj,
+            target=int(ev.target) if ev.target is not None else None,
+            status=ev.status,
+            cpu=ev.cpu,
+            start_us=ev.start_us,
+            end_us=ev.end_us,
+            source=ev.source,
+        )
+
+    def find_at(self, tid: ThreadId, time_us: int) -> Optional[PlacedEvent]:
+        """The event of *tid* nearest to *time_us* (a mouse click)."""
+        candidates = [ev for ev in self._events if ev.tid == tid]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda ev: abs(ev.start_us - time_us))
+
+    # ------------------------------------------------------------------
+    # stepping (same thread)
+    # ------------------------------------------------------------------
+
+    def next_event(self, index: int) -> Optional[PlacedEvent]:
+        """Next event made by the same thread."""
+        ev = self._event(index)
+        for cand in self._events[index + 1 :]:
+            if cand.tid == ev.tid:
+                return cand
+        return None
+
+    def prev_event(self, index: int) -> Optional[PlacedEvent]:
+        """Previous event made by the same thread."""
+        ev = self._event(index)
+        for cand in reversed(self._events[:index]):
+            if cand.tid == ev.tid:
+                return cand
+        return None
+
+    # ------------------------------------------------------------------
+    # similar-event stepping (any thread, same object/primitive)
+    # ------------------------------------------------------------------
+
+    def next_similar(self, index: int) -> Optional[PlacedEvent]:
+        """Next event of the same type on the same object — e.g. "the
+        next operation on the same mutex variable" (§3.3)."""
+        ev = self._event(index)
+        for cand in self._events[index + 1 :]:
+            if self._similar(ev, cand):
+                return cand
+        return None
+
+    def prev_similar(self, index: int) -> Optional[PlacedEvent]:
+        ev = self._event(index)
+        for cand in reversed(self._events[:index]):
+            if self._similar(ev, cand):
+                return cand
+        return None
+
+    def all_on_object(self, obj: SyncObjectId) -> list:
+        """Every operation on one synchronisation object, in time order —
+        the unique "follow all operations on a specific semaphore"
+        facility the conclusion highlights."""
+        return [ev for ev in self._events if ev.obj == obj]
+
+    # ------------------------------------------------------------------
+    # source mapping
+    # ------------------------------------------------------------------
+
+    def source_position(self, index: int) -> Tuple[str, int]:
+        """(file, line) to hand to an editor, highlighted (§3.3)."""
+        ev = self._event(index)
+        if ev.source is None:
+            raise VisualizationError(
+                f"event {index} has no recorded source location"
+            )
+        return ev.source.file, ev.source.line
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _similar(a: PlacedEvent, b: PlacedEvent) -> bool:
+        if a.obj is not None:
+            return b.obj == a.obj  # any operation on the same variable
+        return b.primitive is a.primitive
+
+    def _event(self, index: int) -> PlacedEvent:
+        if not 0 <= index < len(self._events):
+            raise VisualizationError(f"no event with index {index}")
+        return self._events[index]
+
+    def __len__(self) -> int:
+        return len(self._events)

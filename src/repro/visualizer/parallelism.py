@@ -1,0 +1,189 @@
+"""The parallelism graph (§3.3, upper graph of fig. 5).
+
+"The higher the graph reaches the more parallelism exists in the
+application.  The number of running threads are indicated with green.  On
+top of the graph, all the threads that are runnable but not running are
+presented in red.  It is easy [to] see where the performance bottlenecks
+are in time as well as the potential parallelism."
+
+:class:`ParallelismGraph` is a pair of step functions over simulated time:
+``running(t)`` (green) and ``runnable(t)`` (red, stacked on top).  It is
+derived from the simulation result's thread segments and is exact — the
+breakpoints are the segment boundaries, not samples.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import VisualizationError
+from repro.core.result import SegmentKind, SimulationResult
+
+__all__ = ["ParallelismPoint", "ParallelismGraph"]
+
+
+@dataclass(frozen=True, slots=True)
+class ParallelismPoint:
+    """One breakpoint of the step function: counts hold from ``time_us``
+    until the next point."""
+
+    time_us: int
+    running: int
+    runnable: int
+
+    @property
+    def total(self) -> int:
+        """Green plus red: all threads that *could* use a processor."""
+        return self.running + self.runnable
+
+
+class ParallelismGraph:
+    """Exact running/runnable counts over time."""
+
+    def __init__(self, points: Sequence[ParallelismPoint], end_us: int):
+        if not points:
+            points = [ParallelismPoint(0, 0, 0)]
+        self.points: List[ParallelismPoint] = list(points)
+        self.end_us = end_us
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_result(cls, result: SimulationResult) -> "ParallelismGraph":
+        """Build the graph from a simulation's thread segments."""
+        deltas: Dict[int, List[int]] = {}
+
+        def bump(t: int, d_running: int, d_runnable: int) -> None:
+            entry = deltas.setdefault(t, [0, 0])
+            entry[0] += d_running
+            entry[1] += d_runnable
+
+        for segments in result.segments.values():
+            for seg in segments:
+                if seg.duration_us == 0:
+                    continue
+                if seg.kind is SegmentKind.RUNNING:
+                    bump(seg.start_us, +1, 0)
+                    bump(seg.end_us, -1, 0)
+                elif seg.kind is SegmentKind.RUNNABLE:
+                    bump(seg.start_us, 0, +1)
+                    bump(seg.end_us, 0, -1)
+
+        points: List[ParallelismPoint] = []
+        running = runnable = 0
+        for t in sorted(deltas):
+            d_run, d_rbl = deltas[t]
+            running += d_run
+            runnable += d_rbl
+            if running < 0 or runnable < 0:
+                raise VisualizationError(
+                    f"negative thread count at t={t} (corrupt segments)"
+                )
+            points.append(ParallelismPoint(t, running, runnable))
+        if not points or points[0].time_us != 0:
+            points.insert(0, ParallelismPoint(0, 0, 0))
+        return cls(points, result.makespan_us)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def at(self, time_us: int) -> ParallelismPoint:
+        """Counts in force at *time_us*."""
+        times = [p.time_us for p in self.points]
+        i = bisect.bisect_right(times, time_us) - 1
+        if i < 0:
+            return ParallelismPoint(time_us, 0, 0)
+        return self.points[i]
+
+    def sample(self, times_us: "np.ndarray") -> Tuple["np.ndarray", "np.ndarray"]:
+        """Vectorised bulk query: (running, runnable) at each timestamp.
+
+        Renderers sample one value per output column; for the 15 MB-log
+        regime (§4) that is tens of thousands of queries, so this uses a
+        single ``searchsorted`` over the breakpoint array instead of a
+        Python-level bisect per sample.
+        """
+        times = np.asarray(times_us, dtype=np.int64)
+        breakpoints = np.fromiter(
+            (p.time_us for p in self.points), dtype=np.int64, count=len(self.points)
+        )
+        running = np.fromiter(
+            (p.running for p in self.points), dtype=np.int64, count=len(self.points)
+        )
+        runnable = np.fromiter(
+            (p.runnable for p in self.points), dtype=np.int64, count=len(self.points)
+        )
+        idx = np.searchsorted(breakpoints, times, side="right") - 1
+        valid = idx >= 0
+        idx = np.clip(idx, 0, len(breakpoints) - 1)
+        out_running = np.where(valid, running[idx], 0)
+        out_runnable = np.where(valid, runnable[idx], 0)
+        return out_running, out_runnable
+
+    def max_running(self) -> int:
+        return max(p.running for p in self.points)
+
+    def max_total(self) -> int:
+        """Peak of green + red — the paper's "potential parallelism"."""
+        return max(p.total for p in self.points)
+
+    def average_running(self) -> float:
+        """Time-weighted mean number of running threads."""
+        if self.end_us == 0:
+            return 0.0
+        area = 0
+        for a, b in zip(self.points, self.points[1:]):
+            area += a.running * (b.time_us - a.time_us)
+        area += self.points[-1].running * (self.end_us - self.points[-1].time_us)
+        return area / self.end_us
+
+    def average_runnable(self) -> float:
+        """Time-weighted mean number of starved (red) threads."""
+        if self.end_us == 0:
+            return 0.0
+        area = 0
+        for a, b in zip(self.points, self.points[1:]):
+            area += a.runnable * (b.time_us - a.time_us)
+        area += self.points[-1].runnable * (self.end_us - self.points[-1].time_us)
+        return area / self.end_us
+
+    def window(self, start_us: int, end_us: int) -> "ParallelismGraph":
+        """Crop to an interval (used when the user marks a region, §3.3)."""
+        if start_us > end_us:
+            raise VisualizationError(f"bad window [{start_us}, {end_us}]")
+        first = self.at(start_us)
+        points = [ParallelismPoint(start_us, first.running, first.runnable)]
+        points += [
+            p for p in self.points if start_us < p.time_us < end_us
+        ]
+        return ParallelismGraph(points, end_us)
+
+    def bottleneck_intervals(self, *, max_running: int = 1) -> List[Tuple[int, int]]:
+        """Intervals where at most *max_running* threads run — where the
+        serialisation bottlenecks live.  Returns merged (start, end) pairs.
+        """
+        intervals: List[Tuple[int, int]] = []
+        open_start = None
+        for i, p in enumerate(self.points):
+            end = (
+                self.points[i + 1].time_us if i + 1 < len(self.points) else self.end_us
+            )
+            if p.running <= max_running:
+                if open_start is None:
+                    open_start = p.time_us
+            else:
+                if open_start is not None:
+                    intervals.append((open_start, p.time_us))
+                    open_start = None
+            if end >= self.end_us:
+                break
+        if open_start is not None:
+            intervals.append((open_start, self.end_us))
+        return [iv for iv in intervals if iv[1] > iv[0]]

@@ -1,0 +1,89 @@
+"""Numeric statistics view.
+
+§6 notes that purely statistical displays "often give only average values
+which are often useless since it is hard to identify when and where the
+program generated the statistics" — VPPB's answer is the time-resolved
+graphs.  Still, the event popup already carries per-thread numbers
+(working time, total time), and a table of them is the quickest way to
+*rank* suspects before diving into the flow graph.  This module provides
+that table, clearly subordinated to the graphs it indexes into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.result import SegmentKind, SimulationResult
+from repro.core.timebase import format_us
+
+__all__ = ["ThreadStats", "thread_stats", "format_thread_stats"]
+
+
+@dataclass(frozen=True)
+class ThreadStats:
+    """One thread's aggregate numbers (the popup's figures, tabulated)."""
+
+    tid: int
+    func_name: str
+    running_us: int
+    runnable_us: int
+    blocked_us: int
+    sleeping_us: int
+    events: int
+
+    @property
+    def lifetime_us(self) -> int:
+        return self.running_us + self.runnable_us + self.blocked_us + self.sleeping_us
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of its lifetime the thread actually worked."""
+        life = self.lifetime_us
+        return self.running_us / life if life else 0.0
+
+
+def thread_stats(result: SimulationResult) -> List[ThreadStats]:
+    """Per-thread time decomposition, ordered by thread id."""
+    stats: List[ThreadStats] = []
+    for tid in sorted(result.segments, key=int):
+        buckets = {kind: 0 for kind in SegmentKind}
+        for seg in result.segments[tid]:
+            buckets[seg.kind] += seg.duration_us
+        summary = result.summaries.get(tid)
+        stats.append(
+            ThreadStats(
+                tid=int(tid),
+                func_name=summary.func_name if summary else "",
+                running_us=buckets[SegmentKind.RUNNING],
+                runnable_us=buckets[SegmentKind.RUNNABLE],
+                blocked_us=buckets[SegmentKind.BLOCKED],
+                sleeping_us=buckets[SegmentKind.SLEEPING],
+                events=len(result.events_for(tid)),
+            )
+        )
+    return stats
+
+
+def format_thread_stats(
+    result: SimulationResult, *, top: Optional[int] = None
+) -> str:
+    """A text table of :func:`thread_stats`, worst utilisation first when
+    ``top`` is given (the ranking mode), thread order otherwise."""
+    stats = thread_stats(result)
+    if top is not None:
+        stats = sorted(stats, key=lambda s: s.utilisation)[:top]
+    lines = [
+        f"{'thread':<14} {'running':>10} {'runnable':>10} {'blocked':>10} "
+        f"{'sleeping':>10} {'util':>6} {'events':>7}"
+    ]
+    for s in stats:
+        label = f"T{s.tid} {s.func_name}".strip()
+        lines.append(
+            f"{label:<14} {format_us(s.running_us, decimals=3):>10} "
+            f"{format_us(s.runnable_us, decimals=3):>10} "
+            f"{format_us(s.blocked_us, decimals=3):>10} "
+            f"{format_us(s.sleeping_us, decimals=3):>10} "
+            f"{s.utilisation:>5.0%} {s.events:>7}"
+        )
+    return "\n".join(lines)

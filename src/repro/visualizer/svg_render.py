@@ -1,0 +1,248 @@
+"""SVG renderer: the fig. 5 view as a standalone vector image.
+
+Renders the parallelism graph (green running area with the red runnable
+band stacked on top) above the execution flow graph (per-thread lines:
+solid black = running, grey = runnable-without-processor, gap = blocked;
+event symbols per :mod:`repro.visualizer.symbols`), plus a time axis and
+a legend.  No third-party dependencies — plain SVG string building.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.core.result import SegmentKind, SimulationResult
+from repro.core.timebase import format_us
+from repro.visualizer.flowgraph import FlowGraph
+from repro.visualizer.parallelism import ParallelismGraph
+from repro.visualizer.symbols import Shape, style_for
+
+__all__ = ["render_svg", "save_svg"]
+
+_RUNNING_FILL = "#2e9e4f"  # green (paper)
+_RUNNABLE_FILL = "#d23b2f"  # red (paper)
+_RUN_LINE = "#111111"
+_GREY_LINE = "#9a9a9a"
+_AXIS = "#444444"
+
+_MARGIN_L = 70
+_MARGIN_R = 20
+_PAR_HEIGHT = 120
+_ROW_HEIGHT = 22
+_GAP = 40
+_AXIS_H = 30
+
+
+def _x(time_us: int, start_us: int, end_us: int, width: float) -> float:
+    span = max(1, end_us - start_us)
+    return _MARGIN_L + (time_us - start_us) / span * width
+
+
+def _symbol(shape: Shape, color: str, x: float, y: float, size: float = 5.0) -> str:
+    s = size
+    if shape in (Shape.ARROW_UP, Shape.ARROW_UP_HOLLOW):
+        fill = color if shape is Shape.ARROW_UP else "none"
+        return (
+            f'<polygon points="{x - s},{y + s} {x + s},{y + s} {x},{y - s}" '
+            f'fill="{fill}" stroke="{color}" stroke-width="1"/>'
+        )
+    if shape in (Shape.ARROW_DOWN, Shape.ARROW_DOWN_HOLLOW):
+        fill = color if shape is Shape.ARROW_DOWN else "none"
+        return (
+            f'<polygon points="{x - s},{y - s} {x + s},{y - s} {x},{y + s}" '
+            f'fill="{fill}" stroke="{color}" stroke-width="1"/>'
+        )
+    if shape is Shape.CIRCLE:
+        return f'<circle cx="{x}" cy="{y}" r="{s * 0.8}" fill="{color}"/>'
+    if shape is Shape.DIAMOND:
+        return (
+            f'<polygon points="{x},{y - s} {x + s},{y} {x},{y + s} {x - s},{y}" '
+            f'fill="{color}"/>'
+        )
+    if shape is Shape.CROSS:
+        return (
+            f'<path d="M {x - s} {y - s} L {x + s} {y + s} '
+            f'M {x - s} {y + s} L {x + s} {y - s}" '
+            f'stroke="{color}" stroke-width="1.6"/>'
+        )
+    if shape is Shape.SQUARE:
+        return (
+            f'<rect x="{x - s * 0.7}" y="{y - s * 0.7}" width="{s * 1.4}" '
+            f'height="{s * 1.4}" fill="{color}"/>'
+        )
+    # TICK and anything else
+    return (
+        f'<line x1="{x}" y1="{y - s}" x2="{x}" y2="{y + s}" '
+        f'stroke="{color}" stroke-width="1.4"/>'
+    )
+
+
+def _render_parallelism(
+    par: ParallelismGraph, start_us: int, end_us: int, width: float, y0: float
+) -> List[str]:
+    out = [
+        f'<text x="{_MARGIN_L}" y="{y0 - 6}" font-size="12" fill="{_AXIS}">'
+        "parallelism (green running, red runnable)</text>"
+    ]
+    peak = max(1, par.max_total())
+    scale = _PAR_HEIGHT / peak
+    base = y0 + _PAR_HEIGHT
+
+    pts = [p for p in par.points if p.time_us <= end_us]
+    for i, p in enumerate(pts):
+        if p.time_us >= end_us:
+            break
+        t0 = max(p.time_us, start_us)
+        t1 = pts[i + 1].time_us if i + 1 < len(pts) else end_us
+        t1 = min(t1, end_us)
+        if t1 <= t0:
+            continue
+        x0 = _x(t0, start_us, end_us, width)
+        x1 = _x(t1, start_us, end_us, width)
+        run_h = p.running * scale
+        rbl_h = p.runnable * scale
+        if run_h:
+            out.append(
+                f'<rect x="{x0:.2f}" y="{base - run_h:.2f}" '
+                f'width="{x1 - x0:.2f}" height="{run_h:.2f}" '
+                f'fill="{_RUNNING_FILL}"/>'
+            )
+        if rbl_h:
+            out.append(
+                f'<rect x="{x0:.2f}" y="{base - run_h - rbl_h:.2f}" '
+                f'width="{x1 - x0:.2f}" height="{rbl_h:.2f}" '
+                f'fill="{_RUNNABLE_FILL}"/>'
+            )
+    # y scale marks
+    out.append(
+        f'<line x1="{_MARGIN_L}" y1="{y0}" x2="{_MARGIN_L}" y2="{base}" '
+        f'stroke="{_AXIS}" stroke-width="1"/>'
+    )
+    out.append(
+        f'<text x="{_MARGIN_L - 8}" y="{y0 + 10}" font-size="10" '
+        f'text-anchor="end" fill="{_AXIS}">{peak}</text>'
+    )
+    out.append(
+        f'<text x="{_MARGIN_L - 8}" y="{base}" font-size="10" '
+        f'text-anchor="end" fill="{_AXIS}">0</text>'
+    )
+    return out
+
+
+def _render_flow(
+    flow: FlowGraph, start_us: int, end_us: int, width: float, y0: float
+) -> List[str]:
+    out = [
+        f'<text x="{_MARGIN_L}" y="{y0 - 6}" font-size="12" fill="{_AXIS}">'
+        "execution flow</text>"
+    ]
+    for i, row in enumerate(flow.rows):
+        y = y0 + i * _ROW_HEIGHT + _ROW_HEIGHT / 2
+        label = html.escape(f"{row.label} {row.func_name}".strip())
+        out.append(
+            f'<text x="{_MARGIN_L - 8}" y="{y + 4}" font-size="11" '
+            f'text-anchor="end" fill="{_AXIS}">{label}</text>'
+        )
+        for seg in row.segments:
+            if seg.end_us <= start_us or seg.start_us >= end_us:
+                continue
+            if seg.kind is SegmentKind.RUNNING:
+                color, w = _RUN_LINE, 2.4
+            elif seg.kind is SegmentKind.RUNNABLE:
+                color, w = _GREY_LINE, 2.4
+            else:
+                continue  # blocked/sleeping: no line (§3.3)
+            x0 = _x(max(seg.start_us, start_us), start_us, end_us, width)
+            x1 = _x(min(seg.end_us, end_us), start_us, end_us, width)
+            out.append(
+                f'<line x1="{x0:.2f}" y1="{y}" x2="{x1:.2f}" y2="{y}" '
+                f'stroke="{color}" stroke-width="{w}"/>'
+            )
+        for ev in row.events:
+            if ev.start_us > end_us or ev.start_us < start_us:
+                continue
+            style = style_for(ev.primitive)
+            x = _x(ev.start_us, start_us, end_us, width)
+            title = html.escape(
+                f"{ev.primitive.value}"
+                + (f" {ev.obj}" if ev.obj else "")
+                + f" @ {format_us(ev.start_us)}s"
+            )
+            out.append(
+                "<g>"
+                + _symbol(style.shape, style.color, x, y)
+                + f"<title>{title}</title></g>"
+            )
+    return out
+
+
+def _render_axis(
+    start_us: int, end_us: int, width: float, y: float, ticks: int = 8
+) -> List[str]:
+    out = [
+        f'<line x1="{_MARGIN_L}" y1="{y}" x2="{_MARGIN_L + width:.2f}" y2="{y}" '
+        f'stroke="{_AXIS}" stroke-width="1"/>'
+    ]
+    for i in range(ticks + 1):
+        t = start_us + (end_us - start_us) * i // ticks
+        x = _x(t, start_us, end_us, width)
+        out.append(
+            f'<line x1="{x:.2f}" y1="{y}" x2="{x:.2f}" y2="{y + 5}" '
+            f'stroke="{_AXIS}" stroke-width="1"/>'
+        )
+        out.append(
+            f'<text x="{x:.2f}" y="{y + 18}" font-size="10" '
+            f'text-anchor="middle" fill="{_AXIS}">{format_us(t, decimals=3)}s</text>'
+        )
+    return out
+
+
+def render_svg(
+    result: SimulationResult,
+    *,
+    window_start_us: Optional[int] = None,
+    window_end_us: Optional[int] = None,
+    width: int = 1000,
+    compress_threads: bool = False,
+    title: str = "",
+) -> str:
+    """Render the fig. 5 view (parallelism + flow graphs) as SVG text."""
+    start = 0 if window_start_us is None else window_start_us
+    end = result.makespan_us if window_end_us is None else window_end_us
+    end = max(end, start + 1)
+
+    par = ParallelismGraph.from_result(result)
+    flow = FlowGraph.from_result(result)
+    if compress_threads:
+        flow = flow.compressed(window_start_us=start, window_end_us=end)
+
+    plot_w = width - _MARGIN_L - _MARGIN_R
+    y_par = 30
+    y_flow = y_par + _PAR_HEIGHT + _GAP
+    y_axis = y_flow + len(flow.rows) * _ROW_HEIGHT + 10
+    height = y_axis + _AXIS_H + 10
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="16" font-size="13" '
+            f'text-anchor="middle" fill="{_AXIS}">{html.escape(title)}</text>'
+        )
+    parts += _render_parallelism(par, start, end, plot_w, y_par)
+    parts += _render_flow(flow, start, end, plot_w, y_flow)
+    parts += _render_axis(start, end, plot_w, y_axis)
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(result: SimulationResult, path: Union[str, Path], **kw) -> Path:
+    """Render and write to *path*; returns the path."""
+    path = Path(path)
+    path.write_text(render_svg(result, **kw))
+    return path

@@ -1,0 +1,114 @@
+"""Event symbols and colours (§3.3).
+
+"Different events are displayed with different symbols and colours, e.g.,
+all semaphores are shown in red, and the primitives sema_post and
+sema_wait are represented as an upward and a downward facing arrow,
+respectively."
+
+The mapping is keyed by primitive; colour follows the object family
+(semaphores red, mutexes blue, condition variables green, readers/writer
+locks purple, thread management black).  Both renderers consume it: the
+SVG renderer draws ``shape`` with ``color``; the terminal renderer prints
+``char``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.events import Primitive
+
+__all__ = ["Shape", "EventStyle", "style_for", "LEGEND"]
+
+
+class Shape(enum.Enum):
+    """Geometric shapes the SVG renderer knows how to draw."""
+
+    ARROW_UP = "arrow_up"
+    ARROW_DOWN = "arrow_down"
+    ARROW_UP_HOLLOW = "arrow_up_hollow"
+    ARROW_DOWN_HOLLOW = "arrow_down_hollow"
+    CIRCLE = "circle"
+    DIAMOND = "diamond"
+    CROSS = "cross"
+    SQUARE = "square"
+    TICK = "tick"
+
+
+@dataclass(frozen=True, slots=True)
+class EventStyle:
+    """How one primitive is displayed in the execution flow graph."""
+
+    shape: Shape
+    color: str
+    char: str
+    label: str
+
+
+_SEMA = "#cc2222"  # red — the paper's semaphore colour
+_MUTEX = "#2244cc"  # blue
+_COND = "#117722"  # green
+_RW = "#7722aa"  # purple
+_THREAD = "#111111"  # black
+
+_STYLES: Dict[Primitive, EventStyle] = {
+    # semaphores: up/down arrows in red, exactly as §3.3 describes
+    Primitive.SEMA_POST: EventStyle(Shape.ARROW_UP, _SEMA, "^", "sema_post"),
+    Primitive.SEMA_WAIT: EventStyle(Shape.ARROW_DOWN, _SEMA, "v", "sema_wait"),
+    Primitive.SEMA_TRYWAIT: EventStyle(
+        Shape.ARROW_DOWN_HOLLOW, _SEMA, "y", "sema_trywait"
+    ),
+    Primitive.SEMA_INIT: EventStyle(Shape.SQUARE, _SEMA, "s", "sema_init"),
+    # mutexes
+    Primitive.MUTEX_LOCK: EventStyle(Shape.ARROW_DOWN, _MUTEX, "v", "mutex_lock"),
+    Primitive.MUTEX_UNLOCK: EventStyle(Shape.ARROW_UP, _MUTEX, "^", "mutex_unlock"),
+    Primitive.MUTEX_TRYLOCK: EventStyle(
+        Shape.ARROW_DOWN_HOLLOW, _MUTEX, "t", "mutex_trylock"
+    ),
+    # condition variables
+    Primitive.COND_WAIT: EventStyle(Shape.ARROW_DOWN, _COND, "w", "cond_wait"),
+    Primitive.COND_TIMEDWAIT: EventStyle(
+        Shape.ARROW_DOWN_HOLLOW, _COND, "W", "cond_timedwait"
+    ),
+    Primitive.COND_SIGNAL: EventStyle(Shape.ARROW_UP, _COND, "s", "cond_signal"),
+    Primitive.COND_BROADCAST: EventStyle(
+        Shape.ARROW_UP_HOLLOW, _COND, "B", "cond_broadcast"
+    ),
+    # readers/writer locks
+    Primitive.RW_RDLOCK: EventStyle(Shape.ARROW_DOWN, _RW, "r", "rw_rdlock"),
+    Primitive.RW_WRLOCK: EventStyle(Shape.ARROW_DOWN, _RW, "R", "rw_wrlock"),
+    Primitive.RW_TRYRDLOCK: EventStyle(
+        Shape.ARROW_DOWN_HOLLOW, _RW, "q", "rw_tryrdlock"
+    ),
+    Primitive.RW_TRYWRLOCK: EventStyle(
+        Shape.ARROW_DOWN_HOLLOW, _RW, "Q", "rw_trywrlock"
+    ),
+    Primitive.RW_UNLOCK: EventStyle(Shape.ARROW_UP, _RW, "u", "rw_unlock"),
+    # thread management
+    Primitive.THR_CREATE: EventStyle(Shape.CIRCLE, _THREAD, "o", "thr_create"),
+    Primitive.THR_EXIT: EventStyle(Shape.CROSS, _THREAD, "x", "thr_exit"),
+    Primitive.THR_JOIN: EventStyle(Shape.DIAMOND, _THREAD, "j", "thr_join"),
+    Primitive.THR_YIELD: EventStyle(Shape.TICK, _THREAD, "~", "thr_yield"),
+    Primitive.THR_SETPRIO: EventStyle(Shape.SQUARE, _THREAD, "p", "thr_setprio"),
+    Primitive.THR_SETCONCURRENCY: EventStyle(
+        Shape.SQUARE, _THREAD, "c", "thr_setconcurrency"
+    ),
+    Primitive.THREAD_START: EventStyle(Shape.TICK, _THREAD, "|", "thread_start"),
+    Primitive.IO_WAIT: EventStyle(Shape.SQUARE, "#b8860b", "D", "io_wait"),
+    Primitive.START_COLLECT: EventStyle(Shape.TICK, _THREAD, "[", "start_collect"),
+    Primitive.END_COLLECT: EventStyle(Shape.TICK, _THREAD, "]", "end_collect"),
+}
+
+_DEFAULT = EventStyle(Shape.SQUARE, "#666666", "?", "event")
+
+#: (label, colour, char) triples for rendering a legend.
+LEGEND = [
+    (style.label, style.color, style.char) for style in _STYLES.values()
+]
+
+
+def style_for(primitive: Primitive) -> EventStyle:
+    """Display style of one primitive (a neutral default for unknowns)."""
+    return _STYLES.get(primitive, _DEFAULT)

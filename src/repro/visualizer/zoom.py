@@ -1,0 +1,109 @@
+"""Zoom and interval selection (§3.3).
+
+"The zoom utility can increase (or decrease) the magnification to an
+arbitrary magnification degree in steps of a factor of 1.5 or 3.  The
+zoom keeps the left-most time fixed in the execution flow graph.  The
+user can mark a time interval in the parallelism graph, and the execution
+graph will automatically show only the marked interval."
+
+:class:`ZoomState` is the pure view-model: it tracks the visible window
+over a fixed full range and implements those exact rules.  Renderers take
+its ``(view_start_us, view_end_us)``.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import VisualizationError
+
+__all__ = ["ZOOM_FACTORS", "ZoomState"]
+
+#: The paper's zoom step factors.
+ZOOM_FACTORS = (1.5, 3.0)
+
+#: Never zoom below one microsecond of visible time (Recorder resolution).
+_MIN_SPAN_US = 1
+
+
+class ZoomState:
+    """Visible-window state of the execution flow graph."""
+
+    def __init__(self, full_start_us: int, full_end_us: int):
+        if full_end_us <= full_start_us:
+            raise VisualizationError(
+                f"empty time range [{full_start_us}, {full_end_us}]"
+            )
+        self.full_start_us = full_start_us
+        self.full_end_us = full_end_us
+        self.view_start_us = full_start_us
+        self.view_end_us = full_end_us
+
+    # ------------------------------------------------------------------
+
+    @property
+    def span_us(self) -> int:
+        return self.view_end_us - self.view_start_us
+
+    @property
+    def magnification(self) -> float:
+        """How many times the full range the current view is blown up."""
+        return (self.full_end_us - self.full_start_us) / self.span_us
+
+    # ------------------------------------------------------------------
+
+    def zoom_in(self, factor: float = 1.5) -> "ZoomState":
+        """Magnify by *factor*, keeping the left edge fixed (§3.3)."""
+        self._check_factor(factor)
+        new_span = max(_MIN_SPAN_US, round(self.span_us / factor))
+        self.view_end_us = self.view_start_us + new_span
+        return self
+
+    def zoom_out(self, factor: float = 1.5) -> "ZoomState":
+        """Shrink magnification by *factor*, left edge fixed, clamped to
+        the full range."""
+        self._check_factor(factor)
+        new_span = round(self.span_us * factor)
+        self.view_end_us = min(self.full_end_us, self.view_start_us + new_span)
+        return self
+
+    def select_interval(self, start_us: int, end_us: int) -> "ZoomState":
+        """Jump to an interval marked in the parallelism graph (§3.3)."""
+        if not (self.full_start_us <= start_us < end_us <= self.full_end_us):
+            raise VisualizationError(
+                f"interval [{start_us}, {end_us}] outside "
+                f"[{self.full_start_us}, {self.full_end_us}]"
+            )
+        self.view_start_us = start_us
+        self.view_end_us = end_us
+        return self
+
+    def scroll_to_center(self, time_us: int) -> "ZoomState":
+        """Scroll so *time_us* sits mid-window (used when the inspector
+        steps to an event: "the execution flow graph is automatically
+        scrolled in order to place the event in the centre of the
+        window")."""
+        span = self.span_us
+        start = time_us - span // 2
+        start = max(self.full_start_us, min(start, self.full_end_us - span))
+        self.view_start_us = start
+        self.view_end_us = start + span
+        return self
+
+    def reset(self) -> "ZoomState":
+        self.view_start_us = self.full_start_us
+        self.view_end_us = self.full_end_us
+        return self
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_factor(factor: float) -> None:
+        if factor not in ZOOM_FACTORS:
+            raise VisualizationError(
+                f"zoom factor must be one of {ZOOM_FACTORS}, got {factor}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ZoomState [{self.view_start_us}, {self.view_end_us}] of "
+            f"[{self.full_start_us}, {self.full_end_us}]>"
+        )

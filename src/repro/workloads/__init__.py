@@ -1,0 +1,25 @@
+"""Validation workloads: SPLASH-2 kernel models and the §5 case study."""
+
+from repro.workloads import excluded, fft, lu, ocean, prodcons, radix, water  # noqa: F401
+from repro.workloads.base import (
+    PAPER_TABLE1,
+    PaperSpeedups,
+    Workload,
+    all_workloads,
+    get_workload,
+)
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PaperSpeedups",
+    "Workload",
+    "all_workloads",
+    "get_workload",
+    "excluded",
+    "fft",
+    "lu",
+    "ocean",
+    "prodcons",
+    "radix",
+    "water",
+]

@@ -1,0 +1,158 @@
+"""The SPLASH-2 programs the paper could *not* validate — reproduced.
+
+§4: "Barnes, Radiosity, Cholesky, and FMM could not run in one single LWP
+as required by the Recorder.  The reason is that these programs all spin
+on a variable, and since the thread never yields the CPU, no other thread
+could possibly change the value of that variable.  The program Raytrace
+and Volrend could not be used since all tasks that are executed by a
+thread are put in a queue.  Whenever a thread is idle it steals a task
+from another thread's queue.  The impact of using one LWP gives the
+result that only one thread steals all tasks."
+
+Both failure modes are worth having executable, because they delimit the
+tool (§6 "Limitations and applicability"):
+
+* :func:`make_spinner` — a Barnes-style program whose worker spins on a
+  shared flag.  Monitoring it livelocks the single LWP;
+  :func:`repro.program.uniexec.record_program` detects this and raises
+  :class:`~repro.core.errors.MonitorabilityError`.
+* :func:`make_task_stealer` — a Raytrace-style work-stealing program.  It
+  *can* be monitored (stealing uses locks, which yield the LWP), but the
+  one-LWP run degenerates: the first running thread steals essentially
+  every task, so the log's work distribution is useless and the
+  prediction badly underestimates the real speed-up.
+  :func:`work_distribution` quantifies the degeneracy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.trace import Trace
+from repro.program import ops as op
+from repro.program.program import Program, ThreadCtx, ThreadGen
+from repro.workloads.base import Workload, register
+
+__all__ = [
+    "make_spinner",
+    "make_task_stealer",
+    "work_distribution",
+    "stealing_degeneracy",
+    "WORKLOAD_BARNES",
+    "WORKLOAD_RAYTRACE",
+]
+
+
+def make_spinner(nthreads: int = 2, scale: float = 1.0) -> Program:
+    """Barnes-style spin wait: unmonitorable on one LWP.
+
+    The worker polls a shared flag with short computes and never calls
+    the thread library while polling — on a single LWP the setter can
+    never run, so the monitored execution livelocks (the Recorder's §4
+    exclusion, surfaced as :class:`MonitorabilityError`).
+    """
+
+    def spinner(ctx: ThreadCtx) -> ThreadGen:
+        while not ctx.shared.get("flag"):
+            yield op.Compute(1)  # spin: no library call, never yields
+
+    def setter(ctx: ThreadCtx) -> ThreadGen:
+        yield op.Compute(round(1_000 * scale))
+        ctx.shared["flag"] = True
+
+    def main(ctx: ThreadCtx) -> ThreadGen:
+        tids = [(yield op.ThrCreate(spinner, name="spinner"))]
+        tids.append((yield op.ThrCreate(setter, name="setter")))
+        for tid in tids:
+            yield op.ThrJoin(tid)
+
+    return Program("barnes-spin", main)
+
+
+def make_task_stealer(
+    nthreads: int = 4, scale: float = 1.0, *, tasks: int = 64
+) -> Program:
+    """Raytrace-style work stealing.
+
+    A shared pool of tasks; each worker repeatedly takes the next task
+    under a mutex and processes it.  On a real multiprocessor the workers
+    share the pool ~evenly.  On the monitored single LWP, a worker only
+    yields at the pool mutex — which is always free — so the first worker
+    drains nearly the whole pool before the others ever run.
+    """
+    n_tasks = max(nthreads, round(tasks * scale))
+    task_us = round(5_000 * max(scale, 0.01))
+
+    def worker(ctx: ThreadCtx) -> ThreadGen:
+        while True:
+            yield op.MutexLock("pool")
+            remaining = ctx.shared.get("tasks", 0)
+            if remaining > 0:
+                ctx.shared["tasks"] = remaining - 1
+                taken = True
+            else:
+                taken = False
+            yield op.MutexUnlock("pool")
+            if not taken:
+                return
+            counts = ctx.shared.setdefault("done_by", {})
+            counts[ctx.tid] = counts.get(ctx.tid, 0) + 1
+            yield op.Compute(task_us)
+
+    def main(ctx: ThreadCtx) -> ThreadGen:
+        ctx.shared["tasks"] = n_tasks
+        tids = []
+        for i in range(nthreads):
+            tids.append((yield op.ThrCreate(worker, name="worker")))
+        for tid in tids:
+            yield op.ThrJoin(tid)
+
+    return Program("raytrace-steal", main)
+
+
+def work_distribution(trace: Trace) -> Dict[int, int]:
+    """Per-thread count of pool acquisitions in a task-stealing trace.
+
+    A proxy for "who did the tasks": on the degenerate one-LWP recording
+    one thread dominates; on a healthy multiprocessor run the counts are
+    near-uniform.
+    """
+    from repro.core.events import Phase, Primitive
+
+    counts: Dict[int, int] = {}
+    for rec in trace:
+        if (
+            rec.primitive is Primitive.MUTEX_LOCK
+            and rec.phase is Phase.CALL
+            and rec.obj is not None
+            and rec.obj.name == "pool"
+        ):
+            counts[int(rec.tid)] = counts.get(int(rec.tid), 0) + 1
+    return counts
+
+
+def stealing_degeneracy(trace: Trace) -> float:
+    """Fraction of pool accesses made by the busiest thread (0.25 would
+    be perfect balance for 4 workers; ~1.0 is the §4 degeneracy)."""
+    counts = work_distribution(trace)
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    return max(counts.values()) / total
+
+
+WORKLOAD_BARNES = register(
+    Workload(
+        name="barnes-spin",
+        description="§4-excluded: spins on a variable (unmonitorable on 1 LWP)",
+        factory=lambda nthreads, scale: make_spinner(nthreads, scale),
+    )
+)
+
+WORKLOAD_RAYTRACE = register(
+    Workload(
+        name="raytrace-steal",
+        description="§4-excluded: task stealing degenerates on 1 LWP",
+        factory=lambda nthreads, scale: make_task_stealer(nthreads, scale),
+    )
+)

@@ -1,0 +1,74 @@
+"""FFT: SPLASH-2 1-D six-step FFT (4 M complex points).
+
+The six-step algorithm alternates perfectly parallel column FFT/twiddle
+phases with three all-to-all matrix transposes.  On the paper's E4000 the
+transposes are memory-bound: every processor streams through every other
+processor's partition, so their effective per-thread cost *grows* with
+the processor count instead of shrinking — which is why FFT is Table 1's
+worst scaler (1.55 / 2.14 / 2.62 on 2/4/8 CPUs).
+
+The simulator models CPUs and synchronisation, not the memory system, so
+the transpose contention is part of the workload model: a transpose's
+per-thread duration is ``(T/P) * (1 + BETA * (P - 1))``.  With the
+transpose fraction ``f = 0.4`` of total work and ``BETA = 0.725`` the
+closed form ``S(P) = 1 / ((1-f)/P + (f/P)(1 + BETA(P-1)))`` lands on
+1.55 / 2.14 / 2.64 — the paper's curve to within 1 %.
+"""
+
+from __future__ import annotations
+
+from repro.program import ops as op
+from repro.program.program import Program, ThreadCtx, ThreadGen, barrier
+from repro.workloads.base import Workload, register, spawn_and_join
+
+__all__ = ["make_program", "WORKLOAD", "BETA"]
+
+#: memory-contention growth per extra processor during a transpose
+BETA = 0.725
+
+#: uni-processor durations (µs): two FFT compute phases and three
+#: transposes over 4 M points; ~70 s total on one processor.
+FFT_PHASE_US = 21_000_000  # x2
+TRANSPOSE_US = 9_333_333  # x3  (transpose fraction f = 0.4)
+
+
+def _worker(nthreads: int, scale: float):
+    fft_total = round(FFT_PHASE_US * scale)
+    tr_total = round(TRANSPOSE_US * scale)
+
+    def transpose_share() -> int:
+        # per-thread transpose time: 1/P of the data, slowed by the
+        # all-to-all traffic of the other P-1 processors
+        return round(tr_total / nthreads * (1.0 + BETA * (nthreads - 1)))
+
+    def worker(ctx: ThreadCtx) -> ThreadGen:
+        phases = [
+            ("t1", transpose_share),
+            ("fft1", lambda: fft_total // nthreads),
+            ("t2", transpose_share),
+            ("fft2", lambda: fft_total // nthreads),
+            ("t3", transpose_share),
+        ]
+        for name, share in phases:
+            yield op.Compute(share())
+            yield from barrier(ctx, name, nthreads)
+
+    return worker
+
+
+def make_program(nthreads: int = 8, scale: float = 1.0) -> Program:
+    """Six-step FFT with one thread per processor."""
+    return Program(
+        name=f"fft-p{nthreads}",
+        main=spawn_and_join(nthreads, _worker(nthreads, scale)),
+        seed=nthreads,
+    )
+
+
+WORKLOAD = register(
+    Workload(
+        name="fft",
+        description="SPLASH-2 1-D FFT, 4M points (memory-bound transposes)",
+        factory=make_program,
+    )
+)

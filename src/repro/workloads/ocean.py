@@ -1,0 +1,116 @@
+"""Ocean: SPLASH-2 ocean current simulation (514x514 grid, contiguous).
+
+Ocean is the paper's stress case: the largest log (1.4 MB), the highest
+event rate (653 events/s), the biggest recording overhead (2.6 %) and the
+worst prediction error (6.2 % on 8 CPUs) — while its real speed-up is
+good but noisy (6.65 with a 6.20–7.15 spread over five runs).
+
+The model reproduces the ingredients behind each of those:
+
+* **many events** — each of the multigrid iterations runs several short
+  phases separated by barriers, plus a global error reduction under a
+  mutex, so Ocean emits far more synchronisation per second than the
+  other four kernels;
+* **mild load imbalance** — per-thread, per-iteration work jitters a few
+  percent (grid rows interact unevenly), making real runs noisy;
+* **a replay-hostile pattern** — once per iteration every thread
+  opportunistically folds statistics into a shared accumulator with
+  ``mutex_trylock``: when the lock is busy it defers the fold and carries
+  the backlog to the next attempt.  On the monitored uni-processor the
+  trylock *always* succeeds (no concurrency), so the §3.2 replay rule
+  pins it to "acquired" and replays a blocking lock — but on a real
+  multiprocessor the lock is contended and many folds are deferred.  The
+  prediction therefore serialises work the real run avoids, and the error
+  grows with the processor count — Ocean's Table 1 signature.
+"""
+
+from __future__ import annotations
+
+from repro.program import ops as op
+from repro.program.program import Program, ThreadCtx, ThreadGen, barrier
+from repro.workloads.base import Workload, register, spawn_and_join
+
+__all__ = ["make_program", "WORKLOAD", "GAMMA"]
+
+#: mild memory-system contention (Ocean scales well: 6.65 at 8 CPUs)
+GAMMA = 0.02
+
+#: multigrid iterations
+ITERATIONS = 40
+
+#: uni-processor per-iteration phase durations (µs) over the 514x514 grid
+RELAX_US = 1_600_000
+RESIDUAL_US = 800_000
+BOUNDARY_US = 300_000
+
+#: statistics fold under the trylock-guarded accumulator, as a fraction
+#: of one iteration's total grid work; the replay-hostile knob described
+#: in the module docstring.  Sized so the replay's pessimistic
+#: serialisation costs ~6 % at 8 CPUs and ~P^2-proportionally less below
+#: (the paper's error gradient: 0.5 / 0.5 / 6.2 %).
+FOLD_FRACTION = 0.0008
+
+#: per-thread, per-iteration work spread (grid row imbalance)
+IMBALANCE = 0.03
+
+
+def _worker(nthreads: int, scale: float):
+    iters = max(2, round(ITERATIONS * scale))
+    contention = 1.0 + GAMMA * (nthreads - 1)
+    iter_work = (RELAX_US + RESIDUAL_US + BOUNDARY_US) * scale
+    fold_us = max(20, round(iter_work * FOLD_FRACTION))
+
+    def share(total_us: int, ctx: ThreadCtx) -> int:
+        skew = 1.0 + IMBALANCE * (2.0 * ctx.rng.random() - 1.0)
+        return round(total_us * scale / nthreads * skew * contention)
+
+    def worker(ctx: ThreadCtx) -> ThreadGen:
+        backlog = 1
+        for it in range(iters):
+            # multigrid relaxation: red sweep, black sweep, coarse-grid
+            # correction — each ends at a barrier (this is what makes
+            # Ocean the most synchronisation-dense of the five kernels)
+            for level, frac in (("red", 0.4), ("black", 0.4), ("coarse", 0.2)):
+                yield op.Compute(share(round(RELAX_US * frac), ctx))
+                yield from barrier(ctx, f"relax_{level}_{it}", nthreads)
+
+            # residual computation + global error reduction
+            yield op.Compute(share(RESIDUAL_US, ctx))
+            yield op.MutexLock("err")
+            ctx.shared["err"] = ctx.shared.get("err", 0.0) + ctx.rng.random()
+            yield op.Compute(40)
+            yield op.MutexUnlock("err")
+            yield from barrier(ctx, f"resid_{it}", nthreads)
+
+            # opportunistic statistics fold (schedule-dependent!)
+            got = yield op.MutexTrylock("stats")
+            if got:
+                yield op.Compute(fold_us * backlog)
+                backlog = 1
+                yield op.MutexUnlock("stats")
+            else:
+                backlog += 1  # defer; fold more next time
+
+            # boundary exchange
+            yield op.Compute(share(BOUNDARY_US, ctx))
+            yield from barrier(ctx, f"bound_{it}", nthreads)
+
+    return worker
+
+
+def make_program(nthreads: int = 8, scale: float = 1.0) -> Program:
+    """Ocean with one thread per processor."""
+    return Program(
+        name=f"ocean-p{nthreads}",
+        main=spawn_and_join(nthreads, _worker(nthreads, scale)),
+        seed=nthreads,
+    )
+
+
+WORKLOAD = register(
+    Workload(
+        name="ocean",
+        description="SPLASH-2 Ocean, 514x514 grid (fine-grained, noisy)",
+        factory=make_program,
+    )
+)

@@ -1,0 +1,82 @@
+"""Radix: SPLASH-2 integer radix sort (16 M keys, radix 1024).
+
+Synchronisation skeleton per digit pass (three passes cover 30 bits of
+key): every thread histograms its key block (perfectly parallel), the
+per-digit counts are combined in a logarithmic prefix tree (log2(P) tiny
+steps, one barrier each), then keys are permuted to their destination
+(parallel), and a barrier ends the pass.
+
+Radix is the best scaler in Table 1 (7.79× on 8 CPUs): almost all work is
+in the embarrassingly parallel histogram/permute phases, so the model's
+only losses are the tree steps, barriers and thread start-up.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.program import ops as op
+from repro.program.program import Program, ThreadCtx, ThreadGen, barrier
+from repro.workloads.base import Workload, register, spawn_and_join
+
+__all__ = ["make_program", "WORKLOAD"]
+
+#: digit passes: 30-bit keys, 10-bit radix
+PASSES = 3
+
+#: uni-processor work per pass (µs): histogram + permute over 16 M keys
+#: at ~1.9 µs per 1 K keys on a ~1997 SPARC — ~30 s per pass, ~90 s total,
+#: inside the paper's 60–210 s envelope.
+HIST_US = 12_000_000
+PERMUTE_US = 18_000_000
+
+#: per-node cost of one prefix-tree combine step
+TREE_STEP_US = 400
+
+#: relative spread of per-thread work (key distribution imbalance)
+IMBALANCE = 0.01
+
+
+def _worker(nthreads: int, scale: float):
+    hist_total = round(HIST_US * scale)
+    permute_total = round(PERMUTE_US * scale)
+    tree_steps = max(1, math.ceil(math.log2(nthreads))) if nthreads > 1 else 1
+
+    def worker(ctx: ThreadCtx) -> ThreadGen:
+        for p in range(PASSES):
+            # local histogram of this thread's block of keys
+            share = hist_total // nthreads
+            skew = 1.0 + IMBALANCE * (2.0 * ctx.rng.random() - 1.0)
+            yield op.Compute(round(share * skew))
+            yield from barrier(ctx, f"hist_{p}", nthreads)
+
+            # logarithmic prefix combine (the "rank" phase)
+            for step in range(tree_steps):
+                yield op.Compute(TREE_STEP_US)
+                yield from barrier(ctx, f"rank_{p}_{step}", nthreads)
+
+            # permute keys to their destination block
+            share = permute_total // nthreads
+            skew = 1.0 + IMBALANCE * (2.0 * ctx.rng.random() - 1.0)
+            yield op.Compute(round(share * skew))
+            yield from barrier(ctx, f"perm_{p}", nthreads)
+
+    return worker
+
+
+def make_program(nthreads: int = 8, scale: float = 1.0) -> Program:
+    """Radix with one thread per processor (SPLASH-2 convention)."""
+    return Program(
+        name=f"radix-p{nthreads}",
+        main=spawn_and_join(nthreads, _worker(nthreads, scale)),
+        seed=nthreads,
+    )
+
+
+WORKLOAD = register(
+    Workload(
+        name="radix",
+        description="SPLASH-2 Radix sort, 16M keys, radix 1024",
+        factory=make_program,
+    )
+)

@@ -1,0 +1,109 @@
+"""Synthetic random workloads.
+
+Two uses:
+
+* **property-based testing** — :func:`random_program` builds arbitrary
+  but deadlock-free multithreaded programs (fork/join skeleton with
+  random compute, mutex, semaphore and barrier activity) whose execution
+  exercises every simulator path; hypothesis drives the parameters;
+* **scaling experiments** — :func:`event_rate_program` emits a requested
+  number of synchronisation events, for the §4 study of how log size
+  drives prediction time (the paper ran logs up to 15 MB).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+from repro.program import ops as op
+from repro.program.program import Program, ThreadCtx, ThreadGen, barrier
+from repro.workloads.base import spawn_and_join
+
+__all__ = ["random_program", "event_rate_program"]
+
+
+def random_program(
+    seed: int,
+    *,
+    nthreads: int = 4,
+    steps: int = 10,
+    n_mutexes: int = 3,
+    n_semas: int = 2,
+    use_barriers: bool = True,
+    max_compute_us: int = 5_000,
+) -> Program:
+    """A random but well-formed program.
+
+    Deadlock freedom by construction: mutexes are held only across a
+    single compute (no nesting), semaphores are posted at least as often
+    as they are waited (producers post first via initial counts), and
+    barriers always involve all *nthreads* workers.
+    """
+    if nthreads < 1:
+        raise ValueError("nthreads must be >= 1")
+    structure_rng = random.Random(f"synthetic-{seed}")
+
+    # pre-plan per-step action kinds, identical for all threads where the
+    # action must be collective (barriers)
+    plan = []
+    for s in range(steps):
+        kind = structure_rng.choice(
+            ["compute", "mutex", "sema", "barrier" if use_barriers else "compute"]
+        )
+        plan.append((kind, structure_rng.randrange(10_000)))
+
+    def worker(ctx: ThreadCtx) -> ThreadGen:
+        for s, (kind, salt) in enumerate(plan):
+            work = ctx.rng.randrange(1, max_compute_us)
+            yield op.Compute(work)
+            if kind == "mutex":
+                m = f"m{salt % n_mutexes}"
+                yield op.MutexLock(m)
+                yield op.Compute(ctx.rng.randrange(1, 200))
+                yield op.MutexUnlock(m)
+            elif kind == "sema":
+                name = f"s{salt % n_semas}"
+                # post before wait so counts never go unsatisfiable
+                yield op.SemaPost(name)
+                yield op.SemaWait(name)
+            elif kind == "barrier":
+                yield from barrier(ctx, f"b{s}", nthreads)
+
+    return Program(
+        name=f"synthetic-{seed}",
+        main=spawn_and_join(nthreads, worker, set_concurrency=False),
+        seed=seed,
+    )
+
+
+def event_rate_program(
+    *,
+    nthreads: int = 4,
+    sync_ops: int = 1_000,
+    work_per_op_us: int = 1_000,
+    seed: int = 0,
+) -> Program:
+    """A program emitting roughly ``sync_ops`` mutex pairs in total.
+
+    Used by the log-size scaling benchmark: the recorded log grows
+    linearly with ``sync_ops`` while the runtime grows with
+    ``sync_ops * work_per_op_us``, so event *rate* and log *size* can be
+    swept independently.
+    """
+    per_thread = max(1, sync_ops // nthreads)
+
+    def worker(ctx: ThreadCtx) -> ThreadGen:
+        me = ctx.args[0]
+        for i in range(per_thread):
+            yield op.Compute(work_per_op_us)
+            m = f"m{(me + i) % 8}"
+            yield op.MutexLock(m)
+            yield op.Compute(10)
+            yield op.MutexUnlock(m)
+
+    return Program(
+        name=f"eventrate-{sync_ops}",
+        main=spawn_and_join(nthreads, worker, set_concurrency=False),
+        seed=seed,
+    )

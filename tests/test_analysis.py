@@ -1,0 +1,158 @@
+"""Tests for metrics, bottleneck analysis, critical path and reporting."""
+
+import pytest
+
+from repro import SimConfig, predict, predict_speedup, record_program
+from repro.analysis import (
+    Table1,
+    Table1Cell,
+    Table1Row,
+    contention_by_object,
+    critical_path_us,
+    format_table1,
+    max_speedup,
+    parallelism_profile,
+    prediction_error,
+    recording_overhead,
+    top_bottleneck,
+)
+from repro.core.ids import SyncObjectId
+from repro.core.predictor import SpeedupPrediction
+from repro.program.mpexec import measure_speedup
+from tests.conftest import (
+    make_barrier_program,
+    make_fig2_program,
+    make_mutex_program,
+)
+
+
+class TestMetrics:
+    def test_prediction_error_paper_definition(self):
+        # §4: ((Real speed-up) - (Predicted speed-up)) / (Real speed-up)
+        assert prediction_error(2.0, 1.9) == pytest.approx(0.05)
+        assert prediction_error(2.0, 2.1) == pytest.approx(-0.05)
+
+    def test_prediction_error_zero_real(self):
+        with pytest.raises(ZeroDivisionError):
+            prediction_error(0.0, 1.0)
+
+    def test_recording_overhead(self):
+        assert recording_overhead(103, 100) == pytest.approx(0.03)
+
+    def test_recording_overhead_zero_plain(self):
+        with pytest.raises(ZeroDivisionError):
+            recording_overhead(1, 0)
+
+
+class TestContention:
+    @pytest.fixture(scope="class")
+    def contended(self):
+        run = record_program(make_mutex_program(nthreads=4, iters=4))
+        return predict(run.trace, SimConfig(cpus=4))
+
+    def test_hot_mutex_found(self, contended):
+        profiles = contention_by_object(contended)
+        assert profiles[0].obj == SyncObjectId("mutex", "m")
+        assert profiles[0].total_blocked_us > 0
+
+    def test_sorted_worst_first(self, contended):
+        profiles = contention_by_object(contended)
+        blocked = [p.total_blocked_us for p in profiles]
+        assert blocked == sorted(blocked, reverse=True)
+
+    def test_top_bottleneck_matches(self, contended):
+        top = top_bottleneck(contended)
+        assert top is not None
+        assert top.obj == SyncObjectId("mutex", "m")
+        assert top.mean_blocked_us > 0
+
+    def test_uncontended_run_has_no_bottleneck(self):
+        run = record_program(make_fig2_program(work_us=1_000))
+        res = predict(run.trace, SimConfig(cpus=1))
+        # joins block, so filter to sync objects only: fig2 has none
+        profiles = [p for p in contention_by_object(res) if p.obj is not None]
+        assert all(p.obj.kind != "mutex" or p.total_blocked_us == 0 for p in profiles)
+
+
+class TestCriticalPath:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return record_program(make_barrier_program(nthreads=4, iters=2)).trace
+
+    def test_critical_path_below_uniprocessor(self, trace):
+        from repro.program.uniexec import uniprocessor_config
+
+        uni = predict(trace, uniprocessor_config())
+        assert critical_path_us(trace) < uni.makespan_us
+
+    def test_max_speedup_bounds_predictions(self, trace):
+        bound = max_speedup(trace)
+        for cpus in (2, 4, 8):
+            pred = predict_speedup(trace, cpus)
+            assert pred.speedup <= bound * 1.02
+
+    def test_max_speedup_near_thread_count_for_parallel_program(self, trace):
+        assert 3.0 < max_speedup(trace) <= 4.2
+
+    def test_parallelism_profile(self, trace):
+        prof = parallelism_profile(trace)
+        # 4 workers, briefly 5 while main overlaps the first joins
+        assert prof.peak_parallelism in (4, 5)
+        assert 1.0 <= prof.average_parallelism <= 5.0
+        assert 0.0 <= prof.serial_fraction < 0.5
+        assert prof.critical_path_us == critical_path_us(trace)
+
+    def test_serial_program_profile(self):
+        run = record_program(make_fig2_program(work_us=100))
+        prof = parallelism_profile(run.trace)
+        assert prof.peak_parallelism <= 3
+
+
+class TestReport:
+    def _table(self):
+        program = make_barrier_program(nthreads=4, iters=2)
+        run = record_program(program)
+        cells = []
+        for cpus in (2, 4):
+            real = measure_speedup(program, cpus, runs=3)
+            pred = predict_speedup(run.trace, cpus)
+            cells.append(Table1Cell(cpus=cpus, real=real, predicted=pred))
+        return Table1(rows=[Table1Row(application="Barrier", cells=cells)])
+
+    def test_table_accessors(self):
+        table = self._table()
+        row = table.row("Barrier")
+        assert row.cell(2).cpus == 2
+        assert table.cpu_counts() == [2, 4]
+        with pytest.raises(KeyError):
+            table.row("Nope")
+        with pytest.raises(KeyError):
+            row.cell(16)
+
+    def test_errors_small_for_barrier_program(self):
+        table = self._table()
+        assert table.max_abs_error < 0.06
+
+    def test_format_contains_paper_layout(self):
+        table = self._table()
+        text = format_table1(table)
+        assert "Application/Speed-up" in text
+        assert "2 processors" in text and "4 processors" in text
+        assert "Real" in text and "Pred." in text and "Error" in text
+        assert "max |error|" in text
+
+    def test_format_with_paper_reference(self):
+        from repro.workloads import PAPER_TABLE1
+
+        program = make_barrier_program(nthreads=2, iters=1)
+        run = record_program(program)
+        cells = [
+            Table1Cell(
+                cpus=2,
+                real=measure_speedup(program, 2, runs=2),
+                predicted=predict_speedup(run.trace, 2),
+            )
+        ]
+        table = Table1(rows=[Table1Row(application="radix", cells=cells)])
+        text = format_table1(table, paper=PAPER_TABLE1)
+        assert "(paper real)" in text

@@ -1,0 +1,153 @@
+"""Tests for the ``vppb`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def log_path(tmp_path):
+    path = tmp_path / "radix.log"
+    rc = main(["record", "radix", "-p", "2", "-s", "0.02", "-o", str(path)])
+    assert rc == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_cpu_list_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["predict", "x.log", "--cpus", "2,zero"])
+
+    def test_cpu_list_parsed(self):
+        args = build_parser().parse_args(["predict", "x.log", "--cpus", "2,4,8"])
+        assert args.cpus == [2, 4, 8]
+
+
+class TestWorkloadsCommand:
+    def test_lists_all(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ocean", "water", "fft", "radix", "lu", "prodcons"):
+            assert name in out
+
+
+class TestRecordCommand:
+    def test_writes_log(self, log_path, capsys):
+        assert log_path.exists()
+        assert log_path.stat().st_size > 200
+
+    def test_unknown_workload(self, capsys):
+        assert main(["record", "barnes", "-o", "/tmp/never.log"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_zero_overhead_flag(self, tmp_path):
+        path = tmp_path / "a.log"
+        assert (
+            main(
+                [
+                    "record",
+                    "radix",
+                    "-p",
+                    "2",
+                    "-s",
+                    "0.02",
+                    "-o",
+                    str(path),
+                    "--overhead",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        text = path.read_text()
+        assert "# probe-overhead-us: 0" in text
+
+
+class TestPredictCommand:
+    def test_prints_speedups(self, log_path, capsys):
+        assert main(["predict", str(log_path), "--cpus", "1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted speed-up" in out
+        assert " 2 CPUs" in out
+
+    def test_lwps_knob_accepted(self, log_path, capsys):
+        assert main(["predict", str(log_path), "--cpus", "2", "--lwps", "1"]) == 0
+        out = capsys.readouterr().out
+        # one LWP serialises everything: speed-up ~1
+        assert "1.0" in out
+
+
+class TestVisualizeCommand:
+    def test_svg_output(self, log_path, tmp_path, capsys):
+        out_path = tmp_path / "out.svg"
+        assert (
+            main(["visualize", str(log_path), "--cpus", "2", "-o", str(out_path)])
+            == 0
+        )
+        assert out_path.read_text().startswith("<svg")
+
+    def test_ascii_output(self, log_path, capsys):
+        assert main(["visualize", str(log_path), "--cpus", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "parallelism" in out and "T1 main" in out
+
+
+class TestReportCommand:
+    def test_report(self, log_path, capsys):
+        assert main(["report", str(log_path), "--cpus", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "speed-up prediction" in out
+
+
+class TestStatsCommand:
+    def test_stats_table(self, log_path, capsys):
+        assert main(["stats", str(log_path), "--cpus", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "util" in out and "T1 main" in out
+
+    def test_stats_top_filter(self, log_path, capsys):
+        assert main(["stats", str(log_path), "--cpus", "2", "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        # exactly one data row (header + one line)
+        rows = [l for l in out.splitlines() if l.startswith("T")]
+        assert len(rows) == 1
+
+
+class TestKneeCommand:
+    def test_knee(self, log_path, capsys):
+        assert main(["knee", str(log_path), "--max-cpus", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "CPU(s) reach" in out and "of the bound" in out
+
+
+class TestCompareCommand:
+    def test_compare_two_logs(self, tmp_path, capsys):
+        a = tmp_path / "naive.log"
+        b = tmp_path / "tuned.log"
+        assert main(["record", "prodcons", "-s", "0.05", "-o", str(a)]) == 0
+        assert main(["record", "prodcons-tuned", "-s", "0.05", "-o", str(b)]) == 0
+        capsys.readouterr()
+        assert main(["compare", str(a), str(b), "--cpus", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "performance change" in out and "makespan" in out
+
+
+class TestWhatifCommand:
+    def test_shard_preview(self, tmp_path, capsys):
+        log = tmp_path / "naive.log"
+        assert main(["record", "prodcons", "-s", "0.05", "-o", str(log)]) == 0
+        capsys.readouterr()
+        assert (
+            main(["whatif", str(log), "--cpus", "8", "--shard-lock", "buffer:16"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "what-if on 8 CPUs" in out and "mutex:buffer" in out
+
+    def test_no_transformation_is_an_error(self, log_path, capsys):
+        assert main(["whatif", str(log_path)]) == 2
+        assert "no transformation" in capsys.readouterr().err

@@ -1,0 +1,162 @@
+"""Tests for the before/after comparison and the Chrome trace export."""
+
+import json
+
+import pytest
+
+from repro import SimConfig, predict, record_program
+from repro.analysis import compare_results, format_comparison
+from repro.core.ids import SyncObjectId
+from repro.visualizer import save_chrome_trace, to_chrome_trace
+from repro.workloads.prodcons import make_naive, make_tuned
+from tests.conftest import make_fig2_program
+
+
+@pytest.fixture(scope="module")
+def before_after():
+    """The §5 pair: naive and tuned producer-consumer on 8 CPUs."""
+    before = predict(record_program(make_naive(scale=0.05)).trace, SimConfig(cpus=8))
+    after = predict(record_program(make_tuned(scale=0.05)).trace, SimConfig(cpus=8))
+    return before, after
+
+
+class TestCompare:
+    def test_tuning_improves_makespan(self, before_after):
+        before, after = before_after
+        report = compare_results(before, after)
+        assert report.improvement > 0.5  # the fix is dramatic
+        assert report.speedup_of_change > 2.0
+
+    def test_buffer_mutex_is_the_biggest_win(self, before_after):
+        report = compare_results(*before_after)
+        win = report.biggest_win()
+        assert win is not None
+        assert win.obj == SyncObjectId("mutex", "buffer")
+        assert win.after_blocked_us == 0  # the object is gone entirely
+
+    def test_utilisation_rises(self, before_after):
+        report = compare_results(*before_after)
+        assert report.after_utilisation > report.before_utilisation
+
+    def test_identical_runs_report_no_change(self):
+        res = predict(record_program(make_fig2_program(1_000)).trace, SimConfig(cpus=2))
+        report = compare_results(res, res)
+        assert report.improvement == 0.0
+        assert report.biggest_win() is None
+        assert report.biggest_regression() is None
+
+    def test_different_machines_rejected(self, before_after):
+        before, _ = before_after
+        other = predict(
+            record_program(make_fig2_program(1_000)).trace, SimConfig(cpus=2)
+        )
+        with pytest.raises(ValueError):
+            compare_results(before, other)
+
+    def test_format_mentions_the_change(self, before_after):
+        report = compare_results(*before_after)
+        text = format_comparison(report)
+        assert "makespan" in text and "mutex:buffer" in text
+        assert "utilisation" in text
+
+
+class TestChromeTrace:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return predict(record_program(make_fig2_program(10_000)).trace, SimConfig(cpus=2))
+
+    def test_valid_json_with_expected_phases(self, result):
+        doc = json.loads(to_chrome_trace(result))
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"M", "X", "C"} <= phases
+
+    def test_thread_names_exported(self, result):
+        doc = json.loads(to_chrome_trace(result))
+        names = [
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert "T1 main" in names and "T4 thread" in names
+
+    def test_running_segments_cover_cpu_time(self, result):
+        doc = json.loads(to_chrome_trace(result))
+        total_dur = sum(
+            e["dur"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and e.get("cat") == "running"
+        )
+        assert total_dur == result.total_cpu_time_us()
+
+    def test_parallelism_counters_present(self, result):
+        doc = json.loads(to_chrome_trace(result))
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert counters
+        assert all({"running", "runnable"} <= set(c["args"]) for c in counters)
+
+    def test_library_calls_carry_args(self, result):
+        doc = json.loads(to_chrome_trace(result))
+        joins = [
+            e
+            for e in doc["traceEvents"]
+            if e.get("cat") == "thread-library" and e["name"] == "thr_join"
+        ]
+        assert joins and all("target" in e["args"] for e in joins)
+
+    def test_save_to_disk(self, result, tmp_path):
+        path = save_chrome_trace(result, tmp_path / "t.json", program="demo")
+        doc = json.loads(path.read_text())
+        assert doc["otherData"]["program"] == "demo"
+
+    def test_timestamps_within_run(self, result):
+        doc = json.loads(to_chrome_trace(result))
+        for e in doc["traceEvents"]:
+            if "ts" in e:
+                assert 0 <= e["ts"] <= result.makespan_us
+
+
+class TestHtmlReport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return predict(
+            record_program(make_fig2_program(10_000)).trace, SimConfig(cpus=2)
+        )
+
+    def test_standalone_html(self, result):
+        from repro.visualizer.html_report import render_html_report
+
+        text = render_html_report(result, title="demo run")
+        assert text.startswith("<!DOCTYPE html>")
+        assert "<svg" in text  # the fig. 5 view embedded
+        assert "demo run" in text
+        assert "Per-thread time decomposition" in text
+        assert "thr_create" in text  # the event table
+
+    def test_save_html(self, result, tmp_path):
+        from repro.visualizer.html_report import save_html_report
+
+        path = save_html_report(result, tmp_path / "r.html")
+        assert path.stat().st_size > 3_000
+
+    def test_sources_escaped(self, result):
+        from repro.visualizer.html_report import render_html_report
+
+        text = render_html_report(result, title="<script>alert(1)</script>")
+        assert "<script>alert(1)</script>" not in text
+        assert "&lt;script&gt;" in text
+
+    def test_event_table_truncates(self):
+        from repro.visualizer import html_report
+        from tests.conftest import make_mutex_program
+
+        res = predict(
+            record_program(make_mutex_program(nthreads=3, iters=4)).trace,
+            SimConfig(cpus=2),
+        )
+        old = html_report._MAX_EVENT_ROWS
+        html_report._MAX_EVENT_ROWS = 5
+        try:
+            text = html_report.render_html_report(res)
+            assert "showing the first 5" in text
+        finally:
+            html_report._MAX_EVENT_ROWS = old

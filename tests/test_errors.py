@@ -1,0 +1,75 @@
+"""Tests for the exception hierarchy and error reporting quality."""
+
+import pytest
+
+from repro.core import errors
+
+
+class TestHierarchy:
+    def test_everything_is_a_vppb_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            if isinstance(exc, type) and issubclass(exc, Exception):
+                assert issubclass(exc, errors.VppbError), name
+
+    def test_log_format_is_a_trace_error(self):
+        assert issubclass(errors.LogFormatError, errors.TraceError)
+
+    def test_monitorability_is_a_recorder_error(self):
+        assert issubclass(errors.MonitorabilityError, errors.RecorderError)
+
+    def test_deadlock_and_livelock_are_simulation_errors(self):
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+        assert issubclass(errors.LivelockError, errors.SimulationError)
+
+    def test_replay_divergence_is_a_simulation_error(self):
+        assert issubclass(errors.ReplayDivergenceError, errors.SimulationError)
+
+
+class TestErrorPayloads:
+    def test_log_format_error_carries_lineno(self):
+        err = errors.LogFormatError("boom", lineno=42, line="bad text")
+        assert err.lineno == 42
+        assert err.line == "bad text"
+        assert "line 42" in str(err)
+
+    def test_log_format_error_without_lineno(self):
+        err = errors.LogFormatError("boom")
+        assert err.lineno is None
+        assert str(err) == "boom"
+
+    def test_deadlock_error_lists_blocked_threads(self):
+        err = errors.DeadlockError("stuck", blocked=(4, 5))
+        assert err.blocked == (4, 5)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(errors.VppbError):
+            raise errors.ConfigError("bad config")
+        with pytest.raises(errors.VppbError):
+            raise errors.VisualizationError("bad window")
+
+
+class TestErrorsInContext:
+    def test_simulation_errors_carry_thread_identities(self):
+        """Error messages must name threads the T<n> way so users can find
+        them in the flow graph."""
+        from repro import Program, SimConfig, simulate_program
+        from repro.program import ops as op
+
+        def main(ctx):
+            yield op.MutexUnlock("m")  # not held
+
+        with pytest.raises(errors.SimulationError) as ei:
+            simulate_program(Program("bad", main), SimConfig())
+        assert "T1" in str(ei.value)
+
+    def test_deadlock_message_names_the_object(self):
+        from repro import Program, SimConfig, simulate_program
+        from repro.program import ops as op
+
+        def main(ctx):
+            yield op.SemaWait("nothing")
+
+        with pytest.raises(errors.DeadlockError) as ei:
+            simulate_program(Program("d", main), SimConfig())
+        assert "nothing" in str(ei.value)

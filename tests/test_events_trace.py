@@ -1,0 +1,211 @@
+"""Unit tests for event records and the Trace container."""
+
+import pytest
+
+from repro.core.errors import TraceError
+from repro.core.events import (
+    BLOCKING_PRIMITIVES,
+    TRY_PRIMITIVES,
+    EventRecord,
+    Phase,
+    Primitive,
+    SourceLocation,
+    Status,
+)
+from repro.core.ids import MAIN_THREAD_ID, SyncObjectId, ThreadId, thread_name
+from repro.core.trace import Trace, TraceMeta
+
+
+def rec(t, tid, phase, prim, **kw):
+    return EventRecord(
+        time_us=t, tid=ThreadId(tid), phase=phase, primitive=prim, **kw
+    )
+
+
+def make_simple_records():
+    """main creates T4, T4 locks/unlocks a mutex and exits, main joins."""
+    m = SyncObjectId("mutex", "m")
+    return [
+        rec(0, 1, Phase.CALL, Primitive.START_COLLECT),
+        rec(10, 1, Phase.CALL, Primitive.THR_CREATE),
+        rec(110, 1, Phase.RET, Primitive.THR_CREATE, target=ThreadId(4), status=Status.OK),
+        rec(120, 1, Phase.CALL, Primitive.THR_JOIN, target=ThreadId(4)),
+        rec(130, 4, Phase.CALL, Primitive.THREAD_START),
+        rec(200, 4, Phase.CALL, Primitive.MUTEX_LOCK, obj=m),
+        rec(202, 4, Phase.RET, Primitive.MUTEX_LOCK, obj=m, status=Status.OK),
+        rec(300, 4, Phase.CALL, Primitive.MUTEX_UNLOCK, obj=m),
+        rec(302, 4, Phase.RET, Primitive.MUTEX_UNLOCK, obj=m, status=Status.OK),
+        rec(400, 4, Phase.CALL, Primitive.THR_EXIT),
+        rec(420, 1, Phase.RET, Primitive.THR_JOIN, target=ThreadId(4), status=Status.OK),
+        rec(430, 1, Phase.CALL, Primitive.THR_EXIT),
+    ]
+
+
+class TestEventRecord:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            rec(-1, 1, Phase.CALL, Primitive.THR_EXIT)
+
+    def test_predicates(self):
+        r = rec(0, 1, Phase.CALL, Primitive.START_COLLECT)
+        assert r.is_call and not r.is_ret and r.is_marker
+
+    def test_thread_start_is_marker(self):
+        assert rec(0, 4, Phase.CALL, Primitive.THREAD_START).is_marker
+
+    def test_shifted(self):
+        r = rec(100, 1, Phase.CALL, Primitive.THR_EXIT)
+        assert r.shifted(50).time_us == 150
+        assert r.time_us == 100  # original untouched
+
+    def test_brief_mentions_thread_and_primitive(self):
+        r = rec(5, 4, Phase.CALL, Primitive.MUTEX_LOCK, obj=SyncObjectId("mutex", "m"))
+        text = r.brief()
+        assert "T4" in text and "mutex_lock" in text and "mutex:m" in text
+
+    def test_blocking_and_try_sets_disjoint(self):
+        assert not (BLOCKING_PRIMITIVES & TRY_PRIMITIVES)
+
+    def test_source_location_str(self):
+        s = SourceLocation("a.c", 12, "main")
+        assert "a.c:12" in str(s) and "main" in str(s)
+
+
+class TestIds:
+    def test_thread_name(self):
+        assert thread_name(4) == "T4"
+
+    def test_main_thread_is_one(self):
+        assert int(MAIN_THREAD_ID) == 1
+
+    def test_sync_object_hashable_and_distinct(self):
+        a = SyncObjectId("mutex", "m")
+        b = SyncObjectId("sema", "m")
+        assert a != b
+        assert len({a, b}) == 2
+
+
+class TestTrace:
+    def test_sorted_by_time(self):
+        records = make_simple_records()
+        shuffled = records[::-1]
+        trace = Trace(shuffled)
+        times = [r.time_us for r in trace]
+        assert times == sorted(times)
+
+    def test_thread_ids_in_first_seen_order(self):
+        trace = Trace(make_simple_records())
+        assert [int(t) for t in trace.thread_ids()] == [1, 4]
+
+    def test_per_thread_sorting(self):
+        # the Simulator's fig. 4 stage
+        trace = Trace(make_simple_records())
+        lists = trace.per_thread()
+        assert set(int(t) for t in lists) == {1, 4}
+        assert all(r.tid == tid for tid, lst in lists.items() for r in lst)
+
+    def test_events_for(self):
+        trace = Trace(make_simple_records())
+        assert len(trace.events_for(ThreadId(4))) == 6
+
+    def test_duration(self):
+        trace = Trace(make_simple_records())
+        assert trace.duration_us == 430
+
+    def test_function_of_main(self):
+        trace = Trace(make_simple_records())
+        assert trace.function_of(MAIN_THREAD_ID) == "main"
+
+    def test_function_of_child_from_meta(self):
+        meta = TraceMeta(thread_functions={4: "worker"})
+        trace = Trace(make_simple_records(), meta)
+        assert trace.function_of(ThreadId(4)) == "worker"
+
+    def test_stats(self):
+        trace = Trace(make_simple_records())
+        stats = trace.stats(serialized_bytes=1000)
+        assert stats.n_events == 12
+        assert stats.n_threads == 2
+        assert stats.duration_us == 430
+        assert stats.serialized_bytes == 1000
+        assert stats.events_per_second == pytest.approx(12 / 430e-6)
+
+    def test_empty_trace_ok(self):
+        assert len(Trace([])) == 0
+
+
+class TestTraceValidation:
+    def test_per_thread_time_monotone(self):
+        records = [
+            rec(100, 1, Phase.CALL, Primitive.MUTEX_LOCK),
+            rec(50, 1, Phase.RET, Primitive.MUTEX_LOCK),
+        ]
+        # sorting fixes global order, but then CALL/RET pairing fails
+        with pytest.raises(TraceError):
+            Trace(records)
+
+    def test_nested_calls_rejected(self):
+        records = [
+            rec(0, 1, Phase.CALL, Primitive.MUTEX_LOCK),
+            rec(1, 1, Phase.CALL, Primitive.SEMA_WAIT),
+        ]
+        with pytest.raises(TraceError):
+            Trace(records)
+
+    def test_ret_without_call_rejected(self):
+        with pytest.raises(TraceError):
+            Trace([rec(0, 1, Phase.RET, Primitive.MUTEX_LOCK)])
+
+    def test_mismatched_ret_rejected(self):
+        records = [
+            rec(0, 1, Phase.CALL, Primitive.MUTEX_LOCK),
+            rec(1, 1, Phase.RET, Primitive.MUTEX_UNLOCK),
+        ]
+        with pytest.raises(TraceError):
+            Trace(records)
+
+    def test_exit_inside_open_call_rejected(self):
+        records = [
+            rec(0, 1, Phase.CALL, Primitive.MUTEX_LOCK),
+            rec(1, 1, Phase.CALL, Primitive.THR_EXIT),
+        ]
+        with pytest.raises(TraceError):
+            Trace(records)
+
+    def test_unknown_thread_rejected(self):
+        # T9 has events but nobody created it
+        records = [rec(0, 9, Phase.CALL, Primitive.THR_EXIT)]
+        with pytest.raises(TraceError):
+            Trace(records)
+
+    def test_create_ret_without_target_rejected(self):
+        records = [
+            rec(0, 1, Phase.CALL, Primitive.THR_CREATE),
+            rec(1, 1, Phase.RET, Primitive.THR_CREATE, status=Status.OK),
+        ]
+        with pytest.raises(TraceError):
+            Trace(records)
+
+    def test_validation_can_be_disabled(self):
+        records = [rec(0, 9, Phase.CALL, Primitive.THR_EXIT)]
+        trace = Trace(records, validate=False)
+        assert len(trace) == 1
+
+    def test_valid_trace_passes(self):
+        Trace(make_simple_records())  # does not raise
+
+
+class TestTryOutcomes:
+    def test_try_outcomes_indexed_per_thread(self):
+        m = SyncObjectId("mutex", "m")
+        records = [
+            rec(0, 1, Phase.CALL, Primitive.MUTEX_TRYLOCK, obj=m),
+            rec(1, 1, Phase.RET, Primitive.MUTEX_TRYLOCK, obj=m, status=Status.OK),
+            rec(2, 1, Phase.CALL, Primitive.MUTEX_TRYLOCK, obj=m),
+            rec(3, 1, Phase.RET, Primitive.MUTEX_TRYLOCK, obj=m, status=Status.BUSY),
+            rec(4, 1, Phase.CALL, Primitive.THR_EXIT),
+        ]
+        trace = Trace(records)
+        outcomes = trace.try_outcomes()
+        assert outcomes[(ThreadId(1), 0)] is Status.OK
+        assert outcomes[(ThreadId(1), 1)] is Status.BUSY

@@ -1,0 +1,38 @@
+"""Golden-file regression test of the log format.
+
+The serialised form of the fig. 2 example is pinned byte-for-byte
+(modulo source locations, which carry this repo's line numbers).  Any
+change to timestamps, costs, record ordering or the format itself shows
+up here first — bump the golden file consciously when that is intended.
+"""
+
+import re
+from pathlib import Path
+
+from repro.program.uniexec import record_program
+from repro.recorder import logfile
+from tests.conftest import make_fig2_program
+
+GOLDEN = Path(__file__).parent / "golden" / "fig2.log"
+
+
+def _normalise(text: str) -> str:
+    return re.sub(r" src=\S+", "", text)
+
+
+class TestGoldenLog:
+    def test_fig2_log_matches_golden(self):
+        run = record_program(make_fig2_program())
+        text = _normalise(logfile.dumps(run.trace))
+        assert text == GOLDEN.read_text(), (
+            "the log format or the simulated timing changed; if that is "
+            "intentional, regenerate tests/golden/fig2.log"
+        )
+
+    def test_golden_parses_and_predicts(self):
+        from repro import SimConfig, predict
+
+        trace = logfile.loads(GOLDEN.read_text())
+        res = predict(trace, SimConfig(cpus=2))
+        # the canonical fig. 2 numbers: two 100 ms workers overlap
+        assert res.makespan_us == 100_410

@@ -1,0 +1,56 @@
+"""Golden predicted speed-ups for the five kernels (regression net).
+
+The whole pipeline is deterministic, so the predicted speed-up of each
+miniature kernel is pinned to four decimal places.  A change here means
+the scheduler model, the cost model, the replay rules or the workload
+models changed behaviour — which must be a conscious decision.
+
+Regenerate with:  python tests/test_golden_predictions.py
+"""
+
+from repro import predict_speedup, record_program
+from repro.workloads import get_workload
+
+SCALE = 0.05
+
+#: (kernel, cpus) -> predicted speed-up, pinned.
+GOLDEN = {
+    ("fft", 2): 1.5497,
+    ("fft", 8): 2.6337,
+    ("lu", 2): 1.7857,
+    ("lu", 8): 4.4439,
+    ("ocean", 2): 1.9009,
+    ("ocean", 8): 5.8274,
+    ("radix", 2): 1.9816,
+    ("radix", 8): 7.784,
+    ("water", 2): 1.9594,
+    ("water", 8): 6.916,
+}
+
+
+def _compute(kernel: str, cpus: int) -> float:
+    workload = get_workload(kernel)
+    baseline = record_program(
+        workload.make_program(1, SCALE), overhead_us=0
+    ).monitored_makespan_us
+    run = record_program(workload.make_program(cpus, SCALE))
+    return predict_speedup(run.trace, cpus, baseline_us=baseline).speedup
+
+
+class TestGoldenPredictions:
+    def test_predictions_unchanged(self):
+        mismatches = []
+        for (kernel, cpus), expected in GOLDEN.items():
+            got = round(_compute(kernel, cpus), 4)
+            if abs(got - expected) > 5e-4:
+                mismatches.append(f"{kernel}@{cpus}p: {got} != {expected}")
+        assert not mismatches, (
+            "golden predictions drifted (regenerate consciously with "
+            "`python tests/test_golden_predictions.py`): "
+            + "; ".join(mismatches)
+        )
+
+
+if __name__ == "__main__":
+    for (kernel, cpus) in sorted(GOLDEN):
+        print(f'    ("{kernel}", {cpus}): {round(_compute(kernel, cpus), 4)},')

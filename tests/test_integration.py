@@ -1,0 +1,190 @@
+"""End-to-end scenario tests combining several subsystems at once."""
+
+import pytest
+
+from repro import (
+    Program,
+    SimConfig,
+    compile_trace,
+    measure_speedup,
+    predict,
+    predict_speedup,
+    record_program,
+)
+from repro.analysis import contention_by_object, max_speedup
+from repro.core.events import Primitive, Status
+from repro.core.ids import SyncObjectId
+from repro.program import ops as op
+from repro.recorder import logfile
+from repro.visualizer import EventInspector, render_svg
+
+
+class TestReaderWriterScenario:
+    """A reader-heavy cache with occasional writers, through the whole
+    pipeline: record -> log -> compile -> predict -> validate -> inspect."""
+
+    def _program(self, readers=4, writers=1, rounds=6):
+        def reader(ctx):
+            for _ in range(rounds):
+                yield op.Compute(2_000)
+                yield op.RwRdLock("cache")
+                yield op.Compute(300)
+                yield op.RwUnlock("cache")
+
+        def writer(ctx):
+            for _ in range(rounds // 2):
+                yield op.Compute(5_000)
+                yield op.RwWrLock("cache")
+                yield op.Compute(1_000)
+                yield op.RwUnlock("cache")
+
+        def main(ctx):
+            tids = []
+            for _ in range(readers):
+                tids.append((yield op.ThrCreate(reader, name="reader")))
+            for _ in range(writers):
+                tids.append((yield op.ThrCreate(writer, name="writer")))
+            for t in tids:
+                yield op.ThrJoin(t)
+
+        return Program("rwcache", main)
+
+    @pytest.fixture(scope="class")
+    def recorded(self):
+        return record_program(self._program())
+
+    def test_rw_events_recorded(self, recorded):
+        prims = {r.primitive for r in recorded.trace}
+        assert Primitive.RW_RDLOCK in prims and Primitive.RW_WRLOCK in prims
+
+    def test_readers_overlap_in_prediction(self, recorded):
+        # readers share the lock, but writer preference periodically
+        # drains them (each wrlock serialises the system around it), so
+        # scaling is real yet well below linear
+        pred4 = predict_speedup(recorded.trace, 4)
+        pred8 = predict_speedup(recorded.trace, 8)
+        assert pred4.speedup > 2.0
+        assert pred8.speedup > 3.5
+
+    def test_prediction_validates_against_ground_truth(self, recorded):
+        pred = predict_speedup(recorded.trace, 4)
+        real = measure_speedup(self._program(), 4, runs=3)
+        assert abs(real.speedup - pred.speedup) / real.speedup < 0.08
+
+    def test_log_roundtrip_preserves_rw_semantics(self, recorded):
+        back = logfile.loads(logfile.dumps(recorded.trace))
+        a = predict(recorded.trace, SimConfig(cpus=4))
+        b = predict(back, SimConfig(cpus=4))
+        assert a.makespan_us == b.makespan_us
+
+    def test_inspector_steps_through_cache_operations(self, recorded):
+        res = predict(recorded.trace, SimConfig(cpus=4))
+        insp = EventInspector(res)
+        cache_ops = insp.all_on_object(SyncObjectId("rwlock", "cache"))
+        assert len(cache_ops) >= 4 * 6 * 2  # rd+unlock per reader round
+        # stepping from the first reaches the second
+        nxt = insp.next_similar(cache_ops[0].index)
+        assert nxt.index == cache_ops[1].index
+
+    def test_svg_renders_rw_symbols(self, recorded):
+        res = predict(recorded.trace, SimConfig(cpus=4))
+        svg = render_svg(res)
+        assert "T4 reader" in svg and "writer" in svg
+
+
+class TestPriorityInversionScenario:
+    """Priorities + a shared mutex: the classic inversion shape, visible
+    in the simulated timeline."""
+
+    def _program(self):
+        def low(ctx):
+            yield op.MutexLock("res")
+            yield op.SemaPost("locked")  # guarantee the inversion ordering
+            yield op.Compute(50_000)  # long critical section
+            yield op.MutexUnlock("res")
+
+        def mid(ctx):
+            yield op.Compute(60_000)
+
+        def high(ctx):
+            yield op.SemaWait("locked")
+            yield op.MutexLock("res")  # blocks on low's long hold
+            yield op.Compute(1_000)
+            yield op.MutexUnlock("res")
+
+        def main(ctx):
+            a = yield op.ThrCreate(low, priority=1)
+            b = yield op.ThrCreate(mid, priority=5)
+            c = yield op.ThrCreate(high, priority=9)
+            yield op.ThrJoin(a)
+            yield op.ThrJoin(b)
+            yield op.ThrJoin(c)
+
+        return Program("inversion", main)
+
+    def test_high_priority_thread_blocked_by_low(self):
+        run = record_program(self._program())
+        res = predict(run.trace, SimConfig(cpus=1, lwps=2))
+        profiles = contention_by_object(res)
+        res_mutex = [p for p in profiles if p.obj == SyncObjectId("mutex", "res")]
+        assert res_mutex and res_mutex[0].total_blocked_us > 10_000
+
+    def test_more_cpus_dissolve_the_inversion(self):
+        run = record_program(self._program())
+        one = predict(run.trace, SimConfig(cpus=1))
+        three = predict(run.trace, SimConfig(cpus=3))
+        assert three.makespan_us < one.makespan_us
+
+
+class TestMixedIoAndCpuScenario:
+    """The §6 I/O extension mixed with CPU phases and a bottleneck."""
+
+    def _program(self, nthreads=4):
+        def worker(ctx):
+            for _ in range(3):
+                yield op.IoWait(8_000)  # read a block
+                yield op.Compute(4_000)  # process it
+                yield op.MutexLock("index")
+                yield op.Compute(200)  # update shared index
+                yield op.MutexUnlock("index")
+
+        def main(ctx):
+            tids = []
+            for _ in range(nthreads):
+                tids.append((yield op.ThrCreate(worker)))
+            for t in tids:
+                yield op.ThrJoin(t)
+
+        return Program("io-mixed", main)
+
+    def test_io_overlap_bounds_speedup_gains(self):
+        run = record_program(self._program())
+        # on the monitored run the I/O already overlaps, so extra CPUs
+        # only help the compute part
+        pred2 = predict_speedup(run.trace, 2)
+        pred8 = predict_speedup(run.trace, 8)
+        assert 1.0 <= pred2.speedup <= 8
+        assert pred8.speedup >= pred2.speedup * 0.98
+
+    def test_bound_matches_sweep_plateau(self):
+        run = record_program(self._program())
+        bound = max_speedup(run.trace)
+        pred8 = predict_speedup(run.trace, 8)
+        assert pred8.speedup <= bound * 1.02
+
+
+class TestCompileIdempotence:
+    def test_compile_twice_same_plan_shape(self):
+        run = record_program(
+            TestReaderWriterScenario()._program(readers=2, writers=1, rounds=2)
+        )
+        a = compile_trace(run.trace)
+        b = compile_trace(run.trace)
+        assert set(a.steps) == set(b.steps)
+        for tid in a.steps:
+            assert [s.work_us for s in a.steps[tid]] == [
+                s.work_us for s in b.steps[tid]
+            ]
+            assert [type(s.op) for s in a.steps[tid]] == [
+                type(s.op) for s in b.steps[tid]
+            ]

@@ -1,0 +1,168 @@
+"""Unit and property tests for the log-file format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import LogFormatError
+from repro.core.events import EventRecord, Phase, Primitive, SourceLocation, Status
+from repro.core.ids import SyncObjectId, ThreadId
+from repro.core.trace import Trace, TraceMeta
+from repro.recorder import logfile
+
+
+def simple_trace():
+    m = SyncObjectId("mutex", "m")
+    src = SourceLocation("dir with space/ex.c", 42, "main")
+    records = [
+        EventRecord(0, ThreadId(1), Phase.CALL, Primitive.START_COLLECT),
+        EventRecord(10, ThreadId(1), Phase.CALL, Primitive.MUTEX_LOCK, obj=m, source=src),
+        EventRecord(12, ThreadId(1), Phase.RET, Primitive.MUTEX_LOCK, obj=m, status=Status.OK),
+        EventRecord(20, ThreadId(1), Phase.CALL, Primitive.THR_EXIT),
+    ]
+    meta = TraceMeta(program="demo", thread_functions={4: "my worker"}, probe_overhead_us=15)
+    return Trace(records, meta)
+
+
+class TestRoundTrip:
+    def test_dumps_loads_records(self):
+        trace = simple_trace()
+        back = logfile.loads(logfile.dumps(trace))
+        assert len(back) == len(trace)
+        for a, b in zip(trace, back):
+            assert a == b
+
+    def test_meta_roundtrip(self):
+        trace = simple_trace()
+        back = logfile.loads(logfile.dumps(trace))
+        assert back.meta.program == "demo"
+        assert back.meta.probe_overhead_us == 15
+        assert back.meta.thread_functions == {4: "my worker"}
+
+    def test_source_with_spaces_roundtrips(self):
+        trace = simple_trace()
+        back = logfile.loads(logfile.dumps(trace))
+        src = back[1].source
+        assert src is not None
+        assert src.file == "dir with space/ex.c"
+        assert src.line == 42
+
+    def test_dump_load_file(self, tmp_path):
+        trace = simple_trace()
+        path = tmp_path / "demo.log"
+        size = logfile.dump(trace, path)
+        assert path.stat().st_size == size
+        back = logfile.load(path)
+        assert len(back) == len(trace)
+
+    def test_header_present(self):
+        text = logfile.dumps(simple_trace())
+        assert text.startswith("# vppb-log 1\n")
+        assert "# program: demo" in text
+
+    def test_timestamps_are_seconds_with_us_resolution(self):
+        # the format of the paper's fig. 2 listing
+        text = logfile.dumps(simple_trace())
+        assert "0.000010 T1 call mutex_lock" in text
+
+
+class TestParseErrors:
+    def test_missing_version(self):
+        with pytest.raises(LogFormatError):
+            logfile.loads("0.0 T1 call thr_exit\n")
+
+    def test_unsupported_version(self):
+        with pytest.raises(LogFormatError):
+            logfile.loads("# vppb-log 99\n")
+
+    def test_bad_timestamp(self):
+        with pytest.raises(LogFormatError) as ei:
+            logfile.loads("# vppb-log 1\nxx T1 call thr_exit\n")
+        assert ei.value.lineno == 2
+
+    def test_bad_thread_id(self):
+        with pytest.raises(LogFormatError):
+            logfile.loads("# vppb-log 1\n0.0 X1 call thr_exit\n")
+
+    def test_unknown_phase(self):
+        with pytest.raises(LogFormatError):
+            logfile.loads("# vppb-log 1\n0.0 T1 maybe thr_exit\n")
+
+    def test_unknown_primitive(self):
+        with pytest.raises(LogFormatError):
+            logfile.loads("# vppb-log 1\n0.0 T1 call warp_drive\n")
+
+    def test_unknown_attribute(self):
+        with pytest.raises(LogFormatError):
+            logfile.loads("# vppb-log 1\n0.0 T1 call thr_exit colour=red\n")
+
+    def test_bad_object(self):
+        with pytest.raises(LogFormatError):
+            logfile.loads("# vppb-log 1\n0.0 T1 call mutex_lock obj=nokind\n")
+
+    def test_bad_status(self):
+        with pytest.raises(LogFormatError):
+            logfile.loads(
+                "# vppb-log 1\n0.0 T1 call mutex_lock obj=mutex:m status=meh\n"
+            )
+
+    def test_too_few_fields(self):
+        with pytest.raises(LogFormatError):
+            logfile.loads("# vppb-log 1\n0.0 T1 call\n")
+
+    def test_unknown_comment_tolerated(self):
+        trace = logfile.loads("# vppb-log 1\n# future-field: zap\n")
+        assert len(trace) == 0
+
+    def test_blank_lines_tolerated(self):
+        trace = logfile.loads("# vppb-log 1\n\n\n")
+        assert len(trace) == 0
+
+
+# ---------------------------------------------------------------------------
+# property-based round-trip over arbitrary records
+# ---------------------------------------------------------------------------
+
+_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="_-."),
+    min_size=1,
+    max_size=8,
+)
+
+_objects = st.one_of(
+    st.none(),
+    st.builds(SyncObjectId, st.sampled_from(["mutex", "sema", "cond", "rwlock"]), _names),
+)
+
+_sources = st.one_of(
+    st.none(),
+    st.builds(
+        SourceLocation,
+        file=st.text(min_size=1, max_size=20).filter(lambda s: not s.isspace()),
+        line=st.integers(min_value=1, max_value=10**6),
+        function=st.text(max_size=10),
+    ),
+)
+
+_records = st.builds(
+    EventRecord,
+    time_us=st.integers(min_value=0, max_value=10**10),
+    tid=st.integers(min_value=1, max_value=500).map(ThreadId),
+    phase=st.sampled_from(list(Phase)),
+    primitive=st.sampled_from(list(Primitive)),
+    obj=_objects,
+    obj2=_objects,
+    target=st.one_of(st.none(), st.integers(min_value=1, max_value=500).map(ThreadId)),
+    arg=st.one_of(st.none(), st.integers(min_value=-(10**6), max_value=10**9)),
+    status=st.one_of(st.none(), st.sampled_from(list(Status))),
+    source=_sources,
+)
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=200)
+    @given(st.lists(_records, max_size=20))
+    def test_any_records_roundtrip(self, records):
+        trace = Trace(records, validate=False)
+        back = logfile.loads(logfile.dumps(trace), validate=False)
+        assert list(back) == list(trace)

@@ -1,0 +1,116 @@
+"""Tests for the ground-truth executor and the end-to-end accuracy claim."""
+
+import pytest
+
+from repro import SimConfig, measure_speedup, predict_speedup, run_multiprocessor
+from repro.program.mpexec import GroundTruth, PerturbationModel, RunStatistics
+from repro.program.uniexec import record_program
+from tests.conftest import (
+    make_barrier_program,
+    make_fig2_program,
+    make_mutex_program,
+    make_prodcons_program,
+)
+
+
+class TestPerturbationModel:
+    def test_deterministic_per_seed(self):
+        a = PerturbationModel(7)
+        b = PerturbationModel(7)
+        xs = [a(1000) for _ in range(20)]
+        ys = [b(1000) for _ in range(20)]
+        assert xs == ys
+
+    def test_different_seeds_differ(self):
+        a = [PerturbationModel(1)(10_000) for _ in range(10)]
+        b = [PerturbationModel(2)(10_000) for _ in range(10)]
+        assert a != b
+
+    def test_jitter_bounded(self):
+        p = PerturbationModel(3, jitter=0.05)
+        for _ in range(200):
+            v = p(10_000)
+            assert 9_500 <= v <= 10_500
+
+    def test_zero_jitter_identity(self):
+        p = PerturbationModel(3, jitter=0.0)
+        assert p(12345) == 12345
+
+    def test_zero_duration_untouched(self):
+        assert PerturbationModel(3)(0) == 0
+
+    def test_bad_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            PerturbationModel(1, jitter=1.5)
+        with pytest.raises(ValueError):
+            PerturbationModel(1, jitter=-0.1)
+
+
+class TestRunStatistics:
+    def test_min_median_max(self):
+        s = RunStatistics((3.0, 1.0, 2.0))
+        assert s.minimum == 1.0 and s.median == 2.0 and s.maximum == 3.0
+
+    def test_brief_format(self):
+        s = RunStatistics((1.97, 1.99, 1.98))
+        assert s.brief() == "1.98 (1.97-1.99)"
+
+
+class TestGroundTruth:
+    def test_seeded_runs_reproducible(self):
+        program = make_barrier_program()
+        a = run_multiprocessor(program, SimConfig(cpus=4), seed=5)
+        b = run_multiprocessor(program, SimConfig(cpus=4), seed=5)
+        assert a.makespan_us == b.makespan_us
+
+    def test_jitter_changes_makespan(self):
+        program = make_barrier_program()
+        a = run_multiprocessor(program, SimConfig(cpus=4), seed=1)
+        b = run_multiprocessor(program, SimConfig(cpus=4), seed=2)
+        assert a.makespan_us != b.makespan_us
+
+    def test_noise_free_run(self):
+        program = make_barrier_program()
+        a = run_multiprocessor(program, SimConfig(cpus=4))
+        b = run_multiprocessor(program, SimConfig(cpus=4))
+        assert a.makespan_us == b.makespan_us
+
+    def test_measure_speedup_protocol(self):
+        # Table 1 protocol: five runs, (min mid max)
+        gt = measure_speedup(make_barrier_program(), cpus=2, runs=5)
+        assert isinstance(gt, GroundTruth)
+        assert len(gt.speedups.values) == 5
+        assert gt.speedups.minimum <= gt.speedup <= gt.speedups.maximum
+
+    def test_speedup_reasonable_for_parallel_program(self):
+        gt = measure_speedup(make_barrier_program(nthreads=4), cpus=4, runs=3)
+        assert 3.0 < gt.speedup <= 4.05
+
+
+class TestEndToEndAccuracy:
+    """The paper's headline: predictions within single-digit percent."""
+
+    @pytest.mark.parametrize("cpus", [2, 4])
+    def test_barrier_program_prediction_accuracy(self, cpus):
+        program = make_barrier_program(nthreads=4, iters=3)
+        run = record_program(program)
+        pred = predict_speedup(run.trace, cpus)
+        real = measure_speedup(program, cpus, runs=3)
+        error = abs(real.speedup - pred.speedup) / real.speedup
+        assert error < 0.06, f"error {error:.1%} exceeds the paper's ±6%"
+
+    def test_fig2_prediction_accuracy(self):
+        program = make_fig2_program()
+        run = record_program(program)
+        pred = predict_speedup(run.trace, 2)
+        real = measure_speedup(program, 2, runs=3)
+        assert abs(real.speedup - pred.speedup) / real.speedup < 0.02
+
+    def test_serial_bottleneck_predicted_as_serial(self):
+        # a program serialised on one mutex must not be predicted to scale
+        program = make_mutex_program(nthreads=4, iters=6)
+        run = record_program(program)
+        pred = predict_speedup(run.trace, 8)
+        real = measure_speedup(program, 8, runs=3)
+        assert pred.speedup < 4  # bottleneck visible in the prediction
+        assert abs(real.speedup - pred.speedup) / real.speedup < 0.25

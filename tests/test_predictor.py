@@ -1,0 +1,259 @@
+"""Tests for the trace→replay compiler and the prediction pipeline."""
+
+import pytest
+
+from repro import SimConfig, compile_trace, predict, predict_speedup, sweep_speedup
+from repro.core.errors import TraceError
+from repro.core.events import EventRecord, Phase, Primitive, Status
+from repro.core.ids import SyncObjectId, ThreadId
+from repro.core.trace import Trace
+from repro.program import ops as op
+from repro.program.uniexec import record_program, uniprocessor_config
+from tests.conftest import (
+    make_barrier_program,
+    make_fig2_program,
+    make_mutex_program,
+    make_prodcons_program,
+)
+
+
+class TestCompileBasics:
+    def test_plan_covers_all_threads(self):
+        run = record_program(make_fig2_program())
+        plan = compile_trace(run.trace)
+        assert set(plan.steps) == {1, 4, 5}
+
+    def test_meta_carries_function_names(self):
+        run = record_program(make_fig2_program())
+        plan = compile_trace(run.trace)
+        assert plan.meta[4].func_name == "thread"
+        assert plan.meta[1].func_name == "main"
+
+    def test_every_thread_ends_with_exit(self):
+        run = record_program(make_barrier_program())
+        plan = compile_trace(run.trace)
+        for tid, steps in plan.steps.items():
+            assert isinstance(steps[-1].op, op.ThrExit), f"T{tid}"
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceError):
+            compile_trace(Trace([]))
+
+    def test_trace_without_main_rejected(self):
+        records = [
+            EventRecord(0, ThreadId(1), Phase.CALL, Primitive.THR_CREATE),
+            EventRecord(
+                1,
+                ThreadId(1),
+                Phase.RET,
+                Primitive.THR_CREATE,
+                target=ThreadId(4),
+                status=Status.OK,
+            ),
+            EventRecord(2, ThreadId(4), Phase.CALL, Primitive.THR_EXIT),
+        ]
+        # strip main's records after building: simulate a foreign log
+        trace = Trace([r for r in records if int(r.tid) != 1], validate=False)
+        with pytest.raises(TraceError):
+            compile_trace(trace)
+
+    def test_call_without_ret_rejected(self):
+        records = [
+            EventRecord(0, ThreadId(1), Phase.CALL, Primitive.MUTEX_LOCK,
+                        obj=SyncObjectId("mutex", "m")),
+        ]
+        with pytest.raises(TraceError):
+            compile_trace(Trace(records, validate=False))
+
+
+class TestReplayRules:
+    """§3.2 replay rules, checked on the compiled op streams."""
+
+    def _steps_ops(self, program, tid):
+        run = record_program(program)
+        plan = compile_trace(run.trace)
+        return [s.op for s in plan.steps[tid]]
+
+    def test_successful_trylock_becomes_lock(self):
+        def main(ctx):
+            ok = yield op.MutexTrylock("m")
+            assert ok
+            yield op.MutexUnlock("m")
+
+        from repro import Program
+
+        ops = self._steps_ops(Program("t", main), 1)
+        kinds = [type(o).__name__ for o in ops]
+        assert "MutexLock" in kinds and "MutexTrylock" not in kinds
+
+    def test_failed_trylock_becomes_noop(self):
+        from repro import Program
+
+        def holder(ctx):
+            yield op.MutexLock("m")
+            yield op.SemaWait("z")  # blocks while holding m
+            yield op.MutexUnlock("m")
+
+        def tryer(ctx):
+            ok = yield op.MutexTrylock("m")
+            assert not ok  # the holder is parked on the semaphore with m
+            yield op.SemaPost("z")
+
+        def main(ctx):
+            a = yield op.ThrCreate(holder)
+            b = yield op.ThrCreate(tryer)
+            yield op.ThrJoin(a)
+            yield op.ThrJoin(b)
+
+        run = record_program(Program("t", main))
+        plan = compile_trace(run.trace)
+        tryer_tid = [t for t, m in plan.meta.items() if m.func_name == "tryer"][0]
+        ops = [s.op for s in plan.steps[tryer_tid]]
+        noops = [o for o in ops if isinstance(o, op.Noop)]
+        assert len(noops) == 1
+        assert noops[0].noop_primitive is Primitive.MUTEX_TRYLOCK
+
+    def test_timed_out_wait_becomes_forced_delay(self):
+        from repro import Program
+
+        def main(ctx):
+            yield op.MutexLock("m")
+            yield op.CondTimedWait("c", "m", timeout_us=500)
+            yield op.MutexUnlock("m")
+
+        ops = self._steps_ops(Program("t", main), 1)
+        tw = [o for o in ops if isinstance(o, op.CondTimedWait)]
+        assert len(tw) == 1
+        assert tw[0].forced_timeout and tw[0].timeout_us == 500
+
+    def test_signalled_timedwait_becomes_plain_wait(self):
+        from repro import Program
+
+        def waiter(ctx):
+            yield op.MutexLock("m")
+            yield op.SemaPost("ready")
+            yield op.CondTimedWait("c", "m", timeout_us=1_000_000)
+            yield op.MutexUnlock("m")
+
+        def main(ctx):
+            t = yield op.ThrCreate(waiter)
+            yield op.SemaWait("ready")  # ensures the waiter is waiting
+            yield op.CondSignal("c")
+            yield op.ThrJoin(t)
+
+        run = record_program(Program("t", main))
+        plan = compile_trace(run.trace)
+        wtid = [t for t, m in plan.meta.items() if m.func_name == "waiter"][0]
+        ops = [s.op for s in plan.steps[wtid]]
+        assert any(isinstance(o, op.CondWait) for o in ops)
+        assert not any(isinstance(o, op.CondTimedWait) for o in ops)
+
+    def test_broadcast_carries_released_count(self):
+        run = record_program(make_barrier_program(nthreads=4, iters=1))
+        plan = compile_trace(run.trace)
+        broadcasts = [
+            s.op
+            for steps in plan.steps.values()
+            for s in steps
+            if isinstance(s.op, op.CondBroadcast)
+        ]
+        assert broadcasts, "barrier produced no broadcast"
+        # last arrival releases the other three
+        assert all(b.expected_waiters == 3 for b in broadcasts)
+
+    def test_cond_wait_keeps_its_mutex(self):
+        run = record_program(make_barrier_program(nthreads=2, iters=1))
+        plan = compile_trace(run.trace)
+        waits = [
+            s.op
+            for steps in plan.steps.values()
+            for s in steps
+            if isinstance(s.op, op.CondWait)
+        ]
+        assert waits
+        assert all(w.mutex for w in waits)
+
+    def test_create_carries_replay_tid(self):
+        run = record_program(make_fig2_program())
+        plan = compile_trace(run.trace)
+        creates = [s.op for s in plan.steps[1] if isinstance(s.op, op.ThrCreate)]
+        assert [c.replay_tid for c in creates] == [4, 5]
+
+    def test_sources_survive_compilation(self):
+        run = record_program(make_fig2_program())
+        plan = compile_trace(run.trace)
+        creates = [s.op for s in plan.steps[1] if isinstance(s.op, op.ThrCreate)]
+        assert all(c.source is not None for c in creates)
+
+
+class TestBurstAttribution:
+    def test_compute_time_recovered(self):
+        # fig2 worker: Compute(100_000) between thread_start and thr_exit
+        run = record_program(make_fig2_program(work_us=100_000), overhead_us=0)
+        plan = compile_trace(run.trace)
+        exit_step = plan.steps[4][-1]
+        assert isinstance(exit_step.op, op.ThrExit)
+        # the burst carries the worker's compute (minus nothing: costs are
+        # charged separately in replay)
+        assert exit_step.work_us == pytest.approx(100_000, abs=200)
+
+    def test_blocked_time_not_misattributed(self):
+        # main blocks in thr_join for ~100ms; its next burst must not
+        # contain that time
+        run = record_program(make_fig2_program(work_us=100_000), overhead_us=0)
+        plan = compile_trace(run.trace)
+        main_steps = plan.steps[1]
+        total_main_work = sum(s.work_us for s in main_steps)
+        assert total_main_work < 2_000  # creations etc., never 100ms
+
+
+class TestPredictionPipeline:
+    def test_uniprocessor_replay_reproduces_monitored_run(self):
+        # replaying the log on the monitored machine model must land on
+        # the monitored makespan (it is the same deterministic execution)
+        run = record_program(make_barrier_program(), overhead_us=0)
+        res = predict(run.trace, uniprocessor_config())
+        assert res.makespan_us == pytest.approx(run.monitored_makespan_us, rel=0.01)
+
+    def test_prediction_deterministic(self):
+        run = record_program(make_mutex_program())
+        a = predict(run.trace, SimConfig(cpus=4))
+        b = predict(run.trace, SimConfig(cpus=4))
+        assert a.makespan_us == b.makespan_us
+        assert len(a.events) == len(b.events)
+
+    def test_plan_reusable_across_simulations(self):
+        run = record_program(make_mutex_program())
+        plan = compile_trace(run.trace)
+        r1 = predict(run.trace, SimConfig(cpus=2), plan=plan)
+        r2 = predict(run.trace, SimConfig(cpus=2), plan=plan)
+        assert r1.makespan_us == r2.makespan_us
+
+    def test_speedup_monotone_in_cpus_for_parallel_program(self):
+        run = record_program(make_barrier_program(nthreads=4, iters=2))
+        preds = sweep_speedup(run.trace, [1, 2, 4])
+        assert preds[0].speedup == pytest.approx(1.0, abs=0.02)
+        assert preds[0].speedup <= preds[1].speedup <= preds[2].speedup
+
+    def test_speedup_never_meaningfully_exceeds_cpu_count(self):
+        # a hair over N is possible (the on-demand-LWP machine avoids the
+        # user-level context switches the 1-LWP baseline pays), but real
+        # super-linear speed-up is impossible in this model
+        run = record_program(make_barrier_program(nthreads=4, iters=2))
+        for pred in sweep_speedup(run.trace, [1, 2, 4, 8]):
+            assert pred.speedup <= pred.cpus * 1.01
+
+    def test_roundtrip_through_logfile_preserves_prediction(self):
+        from repro.recorder import logfile
+
+        run = record_program(make_mutex_program())
+        reparsed = logfile.loads(logfile.dumps(run.trace))
+        a = predict(run.trace, SimConfig(cpus=4))
+        b = predict(reparsed, SimConfig(cpus=4))
+        assert a.makespan_us == b.makespan_us
+
+    def test_predicted_events_have_placements(self):
+        run = record_program(make_fig2_program())
+        res = predict(run.trace, SimConfig(cpus=2))
+        assert all(e.end_us >= e.start_us for e in res.events)
+        assert any(e.primitive is Primitive.THR_CREATE for e in res.events)

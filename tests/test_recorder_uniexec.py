@@ -1,0 +1,154 @@
+"""Tests for the Recorder and the monitored uni-processor execution."""
+
+import pytest
+
+from repro import Program, Recorder
+from repro.core.errors import MonitorabilityError, RecorderError
+from repro.core.events import EventRecord, Phase, Primitive, Status
+from repro.core.ids import MAIN_THREAD_ID, ThreadId
+from repro.program import ops as op
+from repro.program.uniexec import (
+    record_program,
+    uniprocessor_config,
+    unmonitored_run,
+)
+from tests.conftest import make_fig2_program, make_barrier_program
+
+
+class TestRecorderObject:
+    def test_records_accumulate(self):
+        r = Recorder("demo")
+        r.record(EventRecord(0, MAIN_THREAD_ID, Phase.CALL, Primitive.START_COLLECT))
+        assert len(r) == 1
+
+    def test_trace_finalises_once(self):
+        r = Recorder("demo")
+        r.record(EventRecord(0, MAIN_THREAD_ID, Phase.CALL, Primitive.START_COLLECT))
+        t1 = r.trace()
+        assert r.trace() is t1
+
+    def test_recording_after_finalise_rejected(self):
+        r = Recorder("demo")
+        r.trace()
+        with pytest.raises(RecorderError):
+            r.record(
+                EventRecord(0, MAIN_THREAD_ID, Phase.CALL, Primitive.START_COLLECT)
+            )
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(RecorderError):
+            Recorder("demo", overhead_us=-1)
+
+    def test_thread_functions_in_meta(self):
+        r = Recorder("demo")
+        r.note_thread_function(4, "worker")
+        assert r.trace().meta.thread_functions == {4: "worker"}
+
+
+class TestUniprocessorConfig:
+    def test_one_cpu_one_lwp(self):
+        cfg = uniprocessor_config()
+        assert cfg.cpus == 1 and cfg.lwps == 1
+
+
+class TestMonitoredRun:
+    def test_fig2_log_structure(self):
+        run = record_program(make_fig2_program())
+        prims = [r.primitive for r in run.trace]
+        # starts with the collection marker, like the paper's fig. 2 log
+        assert prims[0] is Primitive.START_COLLECT
+        assert prims.count(Primitive.THR_CREATE) == 4  # 2 calls + 2 rets
+        assert prims.count(Primitive.THR_EXIT) == 3  # T4, T5, main
+        assert prims[-1] is Primitive.END_COLLECT
+
+    def test_children_get_solaris_ids(self):
+        run = record_program(make_fig2_program())
+        tids = sorted(set(int(r.tid) for r in run.trace))
+        assert tids == [1, 4, 5]
+
+    def test_thread_start_markers_present(self):
+        run = record_program(make_fig2_program())
+        starts = [r for r in run.trace if r.primitive is Primitive.THREAD_START]
+        assert sorted(int(r.tid) for r in starts) == [4, 5]
+
+    def test_create_records_carry_child_and_boundness(self):
+        run = record_program(make_fig2_program())
+        rets = [
+            r
+            for r in run.trace
+            if r.primitive is Primitive.THR_CREATE and r.is_ret
+        ]
+        assert [int(r.target) for r in rets] == [4, 5]
+        assert all(r.arg == 0 for r in rets)  # unbound
+
+    def test_source_locations_recorded(self):
+        # the Recorder's %i7 analogue: each call knows its source line
+        run = record_program(make_fig2_program())
+        calls = [
+            r
+            for r in run.trace
+            if r.is_call and r.primitive is Primitive.THR_CREATE
+        ]
+        assert all(r.source is not None for r in calls)
+        assert all(r.source.file.endswith("conftest.py") for r in calls)
+
+    def test_function_names_resolved(self):
+        run = record_program(make_fig2_program())
+        assert run.trace.meta.thread_functions == {4: "thread", 5: "thread"}
+
+    def test_monitoring_prolongs_execution(self):
+        # §4: "the monitored uni-processor execution takes somewhat longer
+        # than an ordinary uni-processor execution"
+        program = make_barrier_program()
+        monitored = record_program(program, overhead_us=15)
+        plain = unmonitored_run(program)
+        assert monitored.monitored_makespan_us > plain.makespan_us
+
+    def test_zero_overhead_recording_matches_plain_run(self):
+        program = make_barrier_program()
+        monitored = record_program(program, overhead_us=0)
+        plain = unmonitored_run(program)
+        assert monitored.monitored_makespan_us == plain.makespan_us
+
+    def test_overhead_charged_per_record(self):
+        program = make_fig2_program()
+        r0 = record_program(program, overhead_us=0)
+        r10 = record_program(program, overhead_us=10)
+        # every record costs 10us somewhere in the monitored timeline
+        delta = r10.monitored_makespan_us - r0.monitored_makespan_us
+        assert delta > 0
+        assert delta <= 10 * len(r10.trace)
+
+    def test_trace_validates(self):
+        run = record_program(make_barrier_program())
+        # Trace construction validates; also spot-check pairing counts
+        calls = sum(1 for r in run.trace if r.is_call and not r.is_marker)
+        rets = sum(1 for r in run.trace if r.is_ret)
+        exits = sum(
+            1 for r in run.trace if r.primitive is Primitive.THR_EXIT
+        )
+        assert calls == rets + exits
+
+
+class TestMonitorability:
+    def test_spin_loop_detected_as_unmonitorable(self):
+        # §6: a thread spinning on a variable livelocks the single LWP
+        # (the Barnes/Radiosity failure mode).  Our DSL's analogue is a
+        # thread that yields zero-length computes forever waiting for a
+        # flag only another thread can set.
+        def spinner(ctx):
+            while not ctx.shared.get("flag"):
+                yield op.Compute(1)  # spin; never calls the library
+
+        def setter(ctx):
+            yield op.Compute(100)
+            ctx.shared["flag"] = True
+
+        def main(ctx):
+            a = yield op.ThrCreate(spinner)
+            b = yield op.ThrCreate(setter)
+            yield op.ThrJoin(a)
+            yield op.ThrJoin(b)
+
+        with pytest.raises(MonitorabilityError):
+            record_program(Program("spin", main), max_events=50_000)

@@ -1,0 +1,128 @@
+"""Unit tests for SimulationResult assembly (ResultBuilder)."""
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.core.events import Primitive
+from repro.core.ids import ThreadId
+from repro.core.result import (
+    PlacedEvent,
+    ResultBuilder,
+    SegmentKind,
+    ThreadSegment,
+    ThreadSummary,
+)
+
+
+def make_builder(cpus=2):
+    return ResultBuilder(SimConfig(cpus=cpus))
+
+
+def summary(tid, **kw):
+    defaults = dict(
+        tid=ThreadId(tid),
+        func_name="f",
+        created_at_us=0,
+        start_us=0,
+        end_us=100,
+        work_us=50,
+    )
+    defaults.update(kw)
+    return ThreadSummary(**defaults)
+
+
+class TestSegments:
+    def test_transitions_close_previous_segment(self):
+        b = make_builder()
+        tid = ThreadId(4)
+        b.thread_condition(tid, SegmentKind.RUNNABLE, 0)
+        b.thread_condition(tid, SegmentKind.RUNNING, 10, cpu=1)
+        b.thread_condition(tid, SegmentKind.BLOCKED, 30)
+        res = b.build(makespan_us=50, summaries={tid: summary(4)})
+        kinds = [(s.kind, s.start_us, s.end_us) for s in res.segments[tid]]
+        assert kinds == [
+            (SegmentKind.RUNNABLE, 0, 10),
+            (SegmentKind.RUNNING, 10, 30),
+            (SegmentKind.BLOCKED, 30, 50),
+        ]
+
+    def test_zero_length_segments_dropped(self):
+        b = make_builder()
+        tid = ThreadId(4)
+        b.thread_condition(tid, SegmentKind.RUNNABLE, 5)
+        b.thread_condition(tid, SegmentKind.RUNNING, 5, cpu=0)
+        b.thread_condition(tid, None, 20)
+        res = b.build(makespan_us=20, summaries={tid: summary(4)})
+        assert [s.kind for s in res.segments[tid]] == [SegmentKind.RUNNING]
+
+    def test_cpu_busy_accounting(self):
+        b = make_builder(cpus=2)
+        t4, t5 = ThreadId(4), ThreadId(5)
+        b.thread_condition(t4, SegmentKind.RUNNING, 0, cpu=0)
+        b.thread_condition(t5, SegmentKind.RUNNING, 0, cpu=1)
+        b.thread_condition(t4, None, 30)
+        b.thread_condition(t5, None, 50)
+        res = b.build(
+            makespan_us=50, summaries={t4: summary(4), t5: summary(5)}
+        )
+        assert res.cpu_busy_us == [30, 50]
+        assert res.total_cpu_time_us() == 80
+        assert res.utilisation() == pytest.approx(0.8)
+
+    def test_open_segments_closed_at_build(self):
+        b = make_builder()
+        tid = ThreadId(4)
+        b.thread_condition(tid, SegmentKind.RUNNING, 0, cpu=0)
+        res = b.build(makespan_us=42, summaries={tid: summary(4)})
+        assert res.segments[tid][-1].end_us == 42
+
+    def test_segment_validation(self):
+        with pytest.raises(ValueError):
+            ThreadSegment(ThreadId(1), SegmentKind.RUNNING, 10, 5)
+
+
+class TestEvents:
+    def test_events_sorted_and_reindexed(self):
+        b = make_builder()
+        t4 = ThreadId(4)
+        b.event_placed(
+            tid=t4, primitive=Primitive.MUTEX_UNLOCK, start_us=50, end_us=52, cpu=0
+        )
+        b.event_placed(
+            tid=t4, primitive=Primitive.MUTEX_LOCK, start_us=10, end_us=12, cpu=0
+        )
+        res = b.build(makespan_us=60, summaries={t4: summary(4)})
+        assert [e.primitive for e in res.events] == [
+            Primitive.MUTEX_LOCK,
+            Primitive.MUTEX_UNLOCK,
+        ]
+        assert [e.index for e in res.events] == [0, 1]
+
+    def test_events_for_filters_by_thread(self):
+        b = make_builder()
+        t4, t5 = ThreadId(4), ThreadId(5)
+        b.event_placed(
+            tid=t4, primitive=Primitive.SEMA_POST, start_us=1, end_us=2, cpu=0
+        )
+        b.event_placed(
+            tid=t5, primitive=Primitive.SEMA_WAIT, start_us=3, end_us=4, cpu=1
+        )
+        res = b.build(
+            makespan_us=10, summaries={t4: summary(4), t5: summary(5)}
+        )
+        assert [int(e.tid) for e in res.events_for(t4)] == [4]
+
+
+class TestSummaries:
+    def test_total_time(self):
+        s = summary(4, start_us=10, end_us=110)
+        assert s.total_us == 100
+
+    def test_total_time_unknown_when_never_ran(self):
+        s = summary(4, start_us=None, end_us=None)
+        assert s.total_us is None
+
+    def test_speedup_vs(self):
+        b = make_builder()
+        res = b.build(makespan_us=50, summaries={})
+        assert res.speedup_vs(100) == 2.0

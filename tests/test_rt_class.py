@@ -1,0 +1,189 @@
+"""Tests for the Solaris real-time (RT) scheduling class extension."""
+
+import pytest
+
+from repro import Program, SimConfig, ThreadPolicy, predict, record_program, simulate_program
+from repro.core.errors import ConfigError
+from repro.core.simulator import Simulator
+from repro.program import ops as op
+from repro.solaris import costs as costs_mod
+
+FREE = costs_mod.free()
+
+
+def two_workers(work_us=50_000):
+    """Two gated workers: both exist before either starts computing.
+
+    The gate matters because an RT thread preempts its own (TS) creator
+    the moment it is runnable — correct Solaris behaviour that would
+    otherwise serialise the creations themselves.
+    """
+
+    def w(ctx):
+        yield op.SemaWait("start")
+        yield op.Compute(work_us)
+
+    def main(ctx):
+        a = yield op.ThrCreate(w)
+        b = yield op.ThrCreate(w)
+        yield op.SemaPost("start")
+        yield op.SemaPost("start")
+        yield op.ThrJoin(a)
+        yield op.ThrJoin(b)
+
+    return Program("p", main)
+
+
+class TestConfig:
+    def test_rt_priority_implies_bound(self):
+        pol = ThreadPolicy(rt_priority=10)
+        assert pol.effective_bound() is True
+
+    def test_rt_priority_range_validated(self):
+        with pytest.raises(ConfigError):
+            SimConfig(thread_policies={4: ThreadPolicy(rt_priority=99)})
+        with pytest.raises(ConfigError):
+            SimConfig(thread_policies={4: ThreadPolicy(rt_priority=-1)})
+
+    def test_rt_quantum_validated(self):
+        with pytest.raises(ConfigError):
+            SimConfig(rt_quantum_us=0)
+
+
+#: main at the top of the RT band, so it can always create/post/join —
+#: otherwise an RT worker (correctly!) starves its TS creator
+MAIN_RT = {1: ThreadPolicy(rt_priority=59)}
+
+
+class TestRtDominance:
+    def test_rt_thread_runs_before_ts_threads(self):
+        # one CPU: the RT thread finishes first even though it was
+        # created second
+        cfg = SimConfig(
+            cpus=1,
+            costs=FREE,
+            thread_policies={**MAIN_RT, 5: ThreadPolicy(rt_priority=5)},
+        )
+        res = simulate_program(two_workers(), cfg)
+        t4 = next(s for t, s in res.summaries.items() if int(t) == 4)
+        t5 = next(s for t, s in res.summaries.items() if int(t) == 5)
+        assert t5.end_us < t4.end_us
+
+    def test_rt_never_demoted_by_quantum_expiry(self):
+        from repro.solaris.dispatch import DispatchTable
+
+        cfg = SimConfig(
+            cpus=1,
+            costs=FREE,
+            rt_quantum_us=5_000,
+            dispatch=DispatchTable.fixed_quantum(5_000),
+            thread_policies={**MAIN_RT, 4: ThreadPolicy(rt_priority=7)},
+        )
+        sim = Simulator(cfg)
+        sim.run_program(two_workers(work_us=60_000))
+        all_lwps = sim.scheduler.lwps + sim.scheduler.retired_lwps
+        rt_lwps = [l for l in all_lwps if l.rt]
+        assert len(rt_lwps) == 2  # main + T4
+        # despite many quantum expiries, RT priorities never moved
+        assert {l.kernel_priority for l in rt_lwps} == {7, 59}
+        assert any(l.quantum_expiries > 0 for l in rt_lwps)
+
+    def test_rt_preempts_running_ts_hog(self):
+        # the RT thread sleeps in I/O while the TS hog takes the CPU;
+        # when the I/O completes the RT thread preempts it mid-burst
+        from repro.core.result import SegmentKind
+
+        def hog(ctx):
+            yield op.Compute(100_000)
+
+        def rt_worker(ctx):
+            yield op.IoWait(5_000)
+            yield op.Compute(10_000)
+
+        def main(ctx):
+            a = yield op.ThrCreate(hog)
+            b = yield op.ThrCreate(rt_worker)
+            yield op.ThrJoin(a)
+            yield op.ThrJoin(b)
+
+        cfg = SimConfig(
+            cpus=1, costs=FREE, thread_policies={5: ThreadPolicy(rt_priority=3)}
+        )
+        res = simulate_program(Program("p", main), cfg)
+        rt_end = next(s.end_us for t, s in res.summaries.items() if int(t) == 5)
+        hog_end = next(s.end_us for t, s in res.summaries.items() if int(t) == 4)
+        assert rt_end < hog_end
+        # the hog's run was split by the preemption
+        hog_runs = [
+            seg
+            for t, segs in res.segments.items()
+            if int(t) == 4
+            for seg in segs
+            if seg.kind is SegmentKind.RUNNING
+        ]
+        assert len(hog_runs) >= 2
+
+    def test_two_rt_threads_round_robin(self):
+        from repro.core.result import SegmentKind
+
+        cfg = SimConfig(
+            cpus=1,
+            costs=FREE,
+            rt_quantum_us=10_000,
+            thread_policies={
+                **MAIN_RT,
+                4: ThreadPolicy(rt_priority=5),
+                5: ThreadPolicy(rt_priority=5),
+            },
+        )
+        res = simulate_program(two_workers(work_us=40_000), cfg)
+        # equal RT priorities share the CPU in slices: each worker has
+        # several separate RUNNING segments
+        t4_runs = [
+            s
+            for s in res.segments[[t for t in res.segments if int(t) == 4][0]]
+            if s.kind is SegmentKind.RUNNING
+        ]
+        assert len(t4_runs) >= 3
+
+    def test_higher_rt_priority_wins(self):
+        cfg = SimConfig(
+            cpus=1,
+            costs=FREE,
+            thread_policies={
+                **MAIN_RT,
+                4: ThreadPolicy(rt_priority=2),
+                5: ThreadPolicy(rt_priority=9),
+            },
+        )
+        res = simulate_program(two_workers(), cfg)
+        t4 = next(s for t, s in res.summaries.items() if int(t) == 4)
+        t5 = next(s for t, s in res.summaries.items() if int(t) == 5)
+        assert t5.end_us < t4.end_us
+
+
+class TestRtOnReplays:
+    def test_rt_policy_applies_to_replayed_traces(self):
+        # the whole point: take one recorded log and ask "what if that
+        # thread were real-time?"
+        run = record_program(two_workers())
+        ts = predict(run.trace, SimConfig(cpus=1))
+        rt = predict(
+            run.trace,
+            SimConfig(cpus=1, thread_policies={5: ThreadPolicy(rt_priority=5)}),
+        )
+        ts_t5 = next(s.end_us for t, s in ts.summaries.items() if int(t) == 5)
+        rt_t5 = next(s.end_us for t, s in rt.summaries.items() if int(t) == 5)
+        assert rt_t5 < ts_t5  # T5 jumps the queue in the what-if
+
+    def test_rt_makespan_unchanged_for_independent_work(self):
+        # reordering who runs first must not change total work
+        run = record_program(two_workers())
+        ts = predict(run.trace, SimConfig(cpus=1))
+        rt = predict(
+            run.trace,
+            SimConfig(cpus=1, thread_policies={5: ThreadPolicy(rt_priority=5)}),
+        )
+        # bound thread costs differ slightly (x6.7 create), so allow a
+        # small margin
+        assert rt.makespan_us == pytest.approx(ts.makespan_us, rel=0.02)

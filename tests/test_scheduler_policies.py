@@ -1,0 +1,361 @@
+"""Tests of the §3.2 scheduling knobs: LWPs, binding, priorities, delays."""
+
+import pytest
+
+from repro import Program, SimConfig, ThreadPolicy, simulate_program
+from repro.core.errors import ConfigError
+from repro.core.result import SegmentKind
+from repro.program import ops as op
+from repro.solaris import costs as costs_mod
+from repro.solaris.dispatch import DispatchTable
+
+FREE = costs_mod.free()
+
+
+def spawn_n_workers(n, body, join=True, **create_kw):
+    def main(ctx):
+        tids = []
+        for i in range(n):
+            tids.append((yield op.ThrCreate(body, **create_kw)))
+        if join:
+            for t in tids:
+                yield op.ThrJoin(t)
+
+    return main
+
+
+def runnable_time(result, tid):
+    return sum(
+        s.duration_us
+        for s in result.segments.get(tid, [])
+        if s.kind is SegmentKind.RUNNABLE
+    )
+
+
+def running_time(result, tid):
+    return sum(
+        s.duration_us
+        for s in result.segments.get(tid, [])
+        if s.kind is SegmentKind.RUNNING
+    )
+
+
+class TestCpuScaling:
+    @pytest.mark.parametrize("cpus,expected", [(1, 4000), (2, 2000), (4, 1000)])
+    def test_embarrassingly_parallel(self, cpus, expected):
+        def w(ctx):
+            yield op.Compute(1000)
+
+        res = simulate_program(
+            Program("p", spawn_n_workers(4, w)), SimConfig(cpus=cpus, costs=FREE)
+        )
+        assert res.makespan_us == expected
+
+    def test_more_cpus_than_threads(self):
+        def w(ctx):
+            yield op.Compute(1000)
+
+        res = simulate_program(
+            Program("p", spawn_n_workers(2, w)), SimConfig(cpus=8, costs=FREE)
+        )
+        assert res.makespan_us == 1000
+
+    def test_cpu_busy_accounting(self):
+        def w(ctx):
+            yield op.Compute(1000)
+
+        res = simulate_program(
+            Program("p", spawn_n_workers(4, w)), SimConfig(cpus=2, costs=FREE)
+        )
+        assert res.total_cpu_time_us() == 4000
+        assert res.utilisation() == pytest.approx(1.0)
+
+
+class TestLwpLimits:
+    def test_single_lwp_serialises(self):
+        def w(ctx):
+            yield op.Compute(1000)
+
+        res = simulate_program(
+            Program("p", spawn_n_workers(4, w)),
+            SimConfig(cpus=4, lwps=1, costs=FREE),
+        )
+        assert res.makespan_us == 4000
+
+    def test_two_lwps_on_four_cpus(self):
+        def w(ctx):
+            yield op.Compute(1000)
+
+        res = simulate_program(
+            Program("p", spawn_n_workers(4, w)),
+            SimConfig(cpus=4, lwps=2, costs=FREE),
+        )
+        assert res.makespan_us == 2000
+
+    def test_runnable_without_lwp_shown_grey(self):
+        # §3.3: "a grey line [means] the thread is ready to run but does
+        # not have any LWP or CPU to run on"
+        def w(ctx):
+            yield op.Compute(1000)
+
+        res = simulate_program(
+            Program("p", spawn_n_workers(2, w)),
+            SimConfig(cpus=2, lwps=1, costs=FREE),
+        )
+        waits = [runnable_time(res, tid) for tid in res.summaries if int(tid) != 1]
+        assert sorted(waits) == [0, 1000]
+
+    def test_setconcurrency_honoured_without_lwp_override(self):
+        def main(ctx):
+            yield op.ThrSetConcurrency(4)
+            yield op.Compute(1)
+
+        simulate_program(Program("p", main), SimConfig(costs=FREE))
+
+    def test_bound_thread_gets_lwp_beyond_pool(self):
+        # one pool LWP, but the bound thread brings its own
+        def w(ctx):
+            yield op.Compute(1000)
+
+        def main(ctx):
+            a = yield op.ThrCreate(w)
+            b = yield op.ThrCreate(w, bound=True)
+            yield op.ThrJoin(a)
+            yield op.ThrJoin(b)
+
+        res = simulate_program(
+            Program("p", main), SimConfig(cpus=2, lwps=1, costs=FREE)
+        )
+        assert res.makespan_us == 1000
+
+
+class TestBinding:
+    def test_cpu_bound_threads_serialise_on_their_cpu(self):
+        def w(ctx):
+            yield op.Compute(1000)
+
+        def main(ctx):
+            a = yield op.ThrCreate(w, cpu=0)
+            b = yield op.ThrCreate(w, cpu=0)
+            yield op.ThrJoin(a)
+            yield op.ThrJoin(b)
+
+        res = simulate_program(Program("p", main), SimConfig(cpus=4, costs=FREE))
+        assert res.makespan_us == 2000
+        cpus_used = {
+            s.cpu
+            for tid in res.segments
+            for s in res.segments[tid]
+            if s.kind is SegmentKind.RUNNING and int(tid) != 1
+        }
+        assert cpus_used == {0}
+
+    def test_policy_binding_overrides_program(self):
+        # §3.2: each thread can individually be bound to a certain CPU
+        def w(ctx):
+            yield op.Compute(1000)
+
+        config = SimConfig(
+            cpus=4,
+            costs=FREE,
+            thread_policies={4: ThreadPolicy(cpu=1), 5: ThreadPolicy(cpu=1)},
+        )
+        res = simulate_program(Program("p", spawn_n_workers(2, w)), config)
+        assert res.makespan_us == 2000
+
+    def test_policy_cpu_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            SimConfig(cpus=2, thread_policies={4: ThreadPolicy(cpu=5)})
+
+    def test_bound_create_costs_more(self):
+        # §3.2: bound creation is 6.7x unbound
+        def w(ctx):
+            yield op.Compute(10)
+
+        def main_unbound(ctx):
+            t = yield op.ThrCreate(w)
+            yield op.ThrJoin(t)
+
+        def main_bound(ctx):
+            t = yield op.ThrCreate(w, bound=True)
+            yield op.ThrJoin(t)
+
+        cfg = SimConfig(cpus=1)
+        r_unbound = simulate_program(Program("u", main_unbound), cfg)
+        r_bound = simulate_program(Program("b", main_bound), cfg)
+        base = cfg.costs.op_cost(op.ThrCreate(w).primitive)
+        assert (
+            r_bound.makespan_us - r_unbound.makespan_us
+            == round(base * 6.7) - base
+        )
+
+
+class TestPriorities:
+    def test_higher_user_priority_gets_lwp_first(self):
+        # one LWP, a high- and a low-priority thread runnable: the high
+        # one runs first
+        order = []
+
+        def w(ctx):
+            order.append(int(ctx.tid))
+            yield op.Compute(100)
+
+        def main(ctx):
+            lo = yield op.ThrCreate(w, priority=1)
+            hi = yield op.ThrCreate(w, priority=10)
+            yield op.ThrJoin(lo)
+            yield op.ThrJoin(hi)
+
+        simulate_program(Program("p", main), SimConfig(cpus=1, lwps=1, costs=FREE))
+        assert order == [5, 4]  # hi (T5) before lo (T4)
+
+    def test_thr_setprio_changes_priority(self):
+        order = []
+
+        def w(ctx):
+            order.append(int(ctx.tid))
+            yield op.Compute(100)
+
+        def main(ctx):
+            yield op.ThrSetPrio(5)
+            lo = yield op.ThrCreate(w, priority=1)
+            hi = yield op.ThrCreate(w, priority=3)
+            yield op.ThrJoin(lo)
+            yield op.ThrJoin(hi)
+
+        simulate_program(Program("p", main), SimConfig(cpus=1, lwps=1, costs=FREE))
+        assert order == [5, 4]
+
+    def test_policy_priority_override_locks_setprio(self):
+        # §3.2: a configured priority makes the thread's thr_setprio
+        # events ignored
+        order = []
+
+        def w(ctx):
+            yield op.ThrSetPrio(100)  # ignored: policy locked it to 1
+            order.append(int(ctx.tid))
+            yield op.Compute(100)
+
+        def main(ctx):
+            a = yield op.ThrCreate(w)  # locked low
+            b = yield op.ThrCreate(w, priority=10)
+            yield op.ThrJoin(a)
+            yield op.ThrJoin(b)
+
+        config = SimConfig(
+            cpus=1, lwps=1, costs=FREE, thread_policies={4: ThreadPolicy(priority=1)}
+        )
+        simulate_program(Program("p", main), config)
+        assert order[0] == 5
+
+
+class TestCommDelay:
+    def _pingpong(self):
+        def waiter(ctx):
+            yield op.SemaWait("go")
+            yield op.Compute(100)
+
+        def main(ctx):
+            t = yield op.ThrCreate(waiter)
+            yield op.Compute(1000)
+            yield op.SemaPost("go")
+            yield op.ThrJoin(t)
+
+        return Program("p", main)
+
+    def test_cross_cpu_wake_pays_delay(self):
+        # waiter last ran on another CPU: its wake-up crosses CPUs
+        no_delay = simulate_program(
+            self._pingpong(), SimConfig(cpus=2, costs=FREE, comm_delay_us=0)
+        )
+        delayed = simulate_program(
+            self._pingpong(), SimConfig(cpus=2, costs=FREE, comm_delay_us=50)
+        )
+        assert delayed.makespan_us >= no_delay.makespan_us + 50
+
+    def test_same_cpu_wake_free(self):
+        uni_no = simulate_program(
+            self._pingpong(), SimConfig(cpus=1, costs=FREE, comm_delay_us=0)
+        )
+        uni_delay = simulate_program(
+            self._pingpong(), SimConfig(cpus=1, costs=FREE, comm_delay_us=50)
+        )
+        assert uni_no.makespan_us == uni_delay.makespan_us
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigError):
+            SimConfig(comm_delay_us=-1)
+
+
+class TestTimeSlicing:
+    def test_quantum_round_robin(self):
+        # 2 CPU-bound threads, 1 CPU, small fixed quantum: they interleave
+        def w(ctx):
+            yield op.Compute(30_000)
+
+        config = SimConfig(
+            cpus=1,
+            costs=FREE,
+            dispatch=DispatchTable.fixed_quantum(10_000),
+        )
+        res = simulate_program(Program("p", spawn_n_workers(2, w)), config)
+        assert res.makespan_us == 60_000
+        # both threads finish near the end (interleaved), not one at 30k
+        ends = sorted(
+            res.summaries[tid].end_us for tid in res.summaries if int(tid) != 1
+        )
+        assert ends[0] > 45_000
+
+    def test_no_time_slicing_runs_to_completion(self):
+        def w(ctx):
+            yield op.Compute(30_000)
+
+        config = SimConfig(cpus=1, costs=FREE, time_slicing=False)
+        res = simulate_program(Program("p", spawn_n_workers(2, w)), config)
+        ends = sorted(
+            res.summaries[tid].end_us for tid in res.summaries if int(tid) != 1
+        )
+        assert ends == [30_000, 60_000]
+
+    def test_yield_interleaves(self):
+        order = []
+
+        def w(ctx):
+            for i in range(3):
+                order.append((int(ctx.tid), i))
+                yield op.Compute(10)
+                yield op.ThrYield()
+
+        res = simulate_program(
+            Program("p", spawn_n_workers(2, w)),
+            SimConfig(cpus=1, lwps=1, costs=FREE),
+        )
+        # with yields the two workers alternate rounds
+        tids = [t for t, _ in order]
+        assert tids[:4] == [4, 5, 4, 5]
+
+
+class TestConfigValidation:
+    def test_zero_cpus_rejected(self):
+        with pytest.raises(ConfigError):
+            SimConfig(cpus=0)
+
+    def test_zero_lwps_rejected(self):
+        with pytest.raises(ConfigError):
+            SimConfig(lwps=0)
+
+    def test_with_cpus_copy(self):
+        cfg = SimConfig(cpus=2, comm_delay_us=7)
+        cfg8 = cfg.with_cpus(8)
+        assert cfg8.cpus == 8 and cfg8.comm_delay_us == 7
+        assert cfg.cpus == 2
+
+    def test_with_policy_copy(self):
+        cfg = SimConfig(cpus=4)
+        cfg2 = cfg.with_policy(4, ThreadPolicy(bound=True))
+        assert cfg2.policy_for(4).bound is True
+        assert cfg.policy_for(4).bound is None
+
+    def test_describe_mentions_knobs(self):
+        text = SimConfig(cpus=8, lwps=3, comm_delay_us=10).describe()
+        assert "8 CPU" in text and "LWPs=3" in text and "comm-delay" in text

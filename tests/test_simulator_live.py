@@ -1,0 +1,398 @@
+"""Tests of live-program simulation: semantics, scheduling, accounting."""
+
+import pytest
+
+from repro import Program, SimConfig, ThreadPolicy, simulate_program
+from repro.core.errors import DeadlockError, ProgramError, SimulationError
+from repro.core.events import Primitive, Status
+from repro.core.ids import ThreadId
+from repro.core.result import SegmentKind
+from repro.core.simulator import Simulator
+from repro.program import ops as op
+from repro.solaris import costs as costs_mod
+from repro.solaris.dispatch import DispatchTable
+
+FREE = costs_mod.free()
+
+
+def run(main, *, cpus=1, lwps=None, costs=FREE, semaphores=None, **cfg):
+    program = Program("t", main, semaphores=semaphores or {})
+    config = SimConfig(cpus=cpus, lwps=lwps, costs=costs, **cfg)
+    return simulate_program(program, config)
+
+
+class TestBasicLifecycle:
+    def test_empty_main(self):
+        res = run(lambda ctx: iter(()))
+        assert res.makespan_us == 0
+
+    def test_single_compute(self):
+        def main(ctx):
+            yield op.Compute(1000)
+
+        res = run(main)
+        assert res.makespan_us == 1000
+
+    def test_compute_folding(self):
+        def main(ctx):
+            yield op.Compute(300)
+            yield op.Compute(700)
+
+        assert run(main).makespan_us == 1000
+
+    def test_main_thread_id_is_one(self):
+        res = run(lambda ctx: iter(()))
+        assert [int(t) for t in res.summaries] == [1]
+
+    def test_child_tids_start_at_four(self):
+        # Solaris numbering in the paper: main = 1, children 4, 5...
+        created = []
+
+        def child(ctx):
+            yield op.Compute(10)
+
+        def main(ctx):
+            created.append((yield op.ThrCreate(child)))
+            created.append((yield op.ThrCreate(child)))
+            yield op.ThrJoin(created[0])
+            yield op.ThrJoin(created[1])
+
+        run(main)
+        assert created == [4, 5]
+
+    def test_thread_body_without_exit_gets_one(self):
+        def main(ctx):
+            yield op.Compute(5)
+
+        res = run(main)
+        exits = [e for e in res.events if e.primitive is Primitive.THR_EXIT]
+        assert len(exits) == 1
+
+    def test_explicit_exit_stops_body(self):
+        def main(ctx):
+            yield op.Compute(5)
+            yield op.ThrExit()
+            raise AssertionError("unreachable")
+
+        res = run(main)
+        assert res.makespan_us == 5
+
+    def test_simulator_single_use(self):
+        sim = Simulator(SimConfig())
+        sim.run_program(Program("p", lambda ctx: iter(())))
+        with pytest.raises(SimulationError):
+            sim.run_program(Program("p", lambda ctx: iter(())))
+
+    def test_yielding_non_op_rejected(self):
+        def main(ctx):
+            yield 42
+
+        with pytest.raises(ProgramError):
+            run(main)
+
+
+class TestSharedState:
+    def test_shared_dict_really_shared(self):
+        def child(ctx):
+            yield op.MutexLock("m")
+            ctx.shared["v"] = ctx.shared.get("v", 0) + 1
+            yield op.MutexUnlock("m")
+
+        observed = []
+
+        def main(ctx):
+            tids = []
+            for _ in range(3):
+                tids.append((yield op.ThrCreate(child)))
+            for t in tids:
+                yield op.ThrJoin(t)
+            observed.append(ctx.shared["v"])
+
+        run(main)
+        assert observed == [3]
+
+    def test_ctx_args_passed(self):
+        got = []
+
+        def child(ctx):
+            got.append(ctx.args)
+            yield op.Compute(1)
+
+        def main(ctx):
+            t = yield op.ThrCreate(child, args=(7, "x"))
+            yield op.ThrJoin(t)
+
+        run(main)
+        assert got == [(7, "x")]
+
+    def test_rng_deterministic_per_thread(self):
+        seen = []
+
+        def child(ctx):
+            seen.append(ctx.rng.random())
+            yield op.Compute(1)
+
+        def main(ctx):
+            a = yield op.ThrCreate(child)
+            yield op.ThrJoin(a)
+
+        run(main)
+        first = list(seen)
+        seen.clear()
+        run(main)
+        assert seen == first
+
+
+class TestJoin:
+    def test_join_blocks_until_exit(self):
+        def child(ctx):
+            yield op.Compute(500)
+
+        def main(ctx):
+            t = yield op.ThrCreate(child)
+            yield op.ThrJoin(t)
+            yield op.Compute(100)
+
+        res = run(main)
+        assert res.makespan_us == 600
+
+    def test_join_zombie_returns_immediately(self):
+        def child(ctx):
+            yield op.Compute(10)
+
+        def main(ctx):
+            t = yield op.ThrCreate(child)
+            yield op.Compute(500)  # child exits long before
+            yield op.ThrJoin(t)
+
+        res = run(main, cpus=2)
+        assert res.makespan_us == 500
+
+    def test_join_returns_target_tid(self):
+        got = []
+
+        def child(ctx):
+            yield op.Compute(10)
+
+        def main(ctx):
+            t = yield op.ThrCreate(child)
+            got.append((yield op.ThrJoin(t)))
+
+        run(main)
+        assert got == [4]
+
+    def test_wildcard_join_any_thread(self):
+        got = []
+
+        def child(ctx):
+            yield op.Compute(10)
+
+        def main(ctx):
+            a = yield op.ThrCreate(child)
+            b = yield op.ThrCreate(child)
+            got.append((yield op.ThrJoin(None)))
+            got.append((yield op.ThrJoin(None)))
+
+        run(main)
+        assert sorted(got) == [4, 5]
+
+    def test_join_unknown_thread_rejected(self):
+        def main(ctx):
+            yield op.ThrJoin(99)
+
+        with pytest.raises(SimulationError):
+            run(main)
+
+    def test_double_join_rejected(self):
+        def child(ctx):
+            yield op.Compute(10)
+
+        def main(ctx):
+            t = yield op.ThrCreate(child)
+            yield op.ThrJoin(t)
+            yield op.ThrJoin(t)
+
+        with pytest.raises(SimulationError):
+            run(main)
+
+    def test_wildcard_join_with_nothing_to_join(self):
+        def main(ctx):
+            yield op.ThrJoin(None)
+
+        with pytest.raises(DeadlockError):
+            run(main)
+
+
+class TestMutexSemantics:
+    def test_serialisation_on_one_mutex(self):
+        # two threads each hold the mutex 1000us: on 2 CPUs the critical
+        # sections serialise
+        def child(ctx):
+            yield op.MutexLock("m")
+            yield op.Compute(1000)
+            yield op.MutexUnlock("m")
+
+        def main(ctx):
+            a = yield op.ThrCreate(child)
+            b = yield op.ThrCreate(child)
+            yield op.ThrJoin(a)
+            yield op.ThrJoin(b)
+
+        res = run(main, cpus=2)
+        assert res.makespan_us == 2000
+
+    def test_trylock_results_delivered(self):
+        got = []
+
+        def holder(ctx):
+            yield op.MutexLock("m")
+            yield op.Compute(1000)
+            yield op.MutexUnlock("m")
+
+        def tryer(ctx):
+            yield op.Compute(100)  # the holder owns m by now
+            got.append((yield op.MutexTrylock("m")))
+            yield op.Compute(2000)
+            got.append((yield op.MutexTrylock("m")))
+            yield op.MutexUnlock("m")
+
+        def main(ctx):
+            a = yield op.ThrCreate(holder)
+            b = yield op.ThrCreate(tryer)
+            yield op.ThrJoin(a)
+            yield op.ThrJoin(b)
+
+        run(main, cpus=2)
+        assert got == [False, True]
+
+    def test_trylock_status_in_events(self):
+        def main(ctx):
+            ok = yield op.MutexTrylock("m")
+            assert ok
+            yield op.MutexUnlock("m")
+
+        res = run(main)
+        ev = [e for e in res.events if e.primitive is Primitive.MUTEX_TRYLOCK][0]
+        assert ev.status is Status.OK
+
+    def test_unlock_not_held_is_error(self):
+        def main(ctx):
+            yield op.MutexUnlock("m")
+
+        with pytest.raises(SimulationError):
+            run(main)
+
+
+class TestSemaphores:
+    def test_program_level_initial_counts(self):
+        def main(ctx):
+            yield op.SemaWait("s")
+            yield op.SemaWait("s")
+
+        program = Program("t", main, semaphores={"s": 2})
+        res = simulate_program(program, SimConfig(costs=FREE))
+        assert res.makespan_us == 0
+
+    def test_sema_init_op(self):
+        def main(ctx):
+            yield op.SemaInit("s", 1)
+            yield op.SemaWait("s")
+
+        run(main)  # does not deadlock
+
+    def test_sema_blocking_handoff(self):
+        def waiter(ctx):
+            yield op.SemaWait("s")
+            yield op.Compute(100)
+
+        def main(ctx):
+            t = yield op.ThrCreate(waiter)
+            yield op.Compute(1000)
+            yield op.SemaPost("s")
+            yield op.ThrJoin(t)
+
+        res = run(main, cpus=2)
+        assert res.makespan_us == 1100
+
+    def test_trywait_results(self):
+        got = []
+
+        def main(ctx):
+            yield op.SemaInit("s", 1)
+            got.append((yield op.SemaTryWait("s")))
+            got.append((yield op.SemaTryWait("s")))
+
+        run(main)
+        assert got == [True, False]
+
+
+class TestCondVars:
+    def test_wait_signal(self):
+        def waiter(ctx):
+            yield op.MutexLock("m")
+            while not ctx.shared.get("ready"):
+                yield op.CondWait("c", "m")
+            yield op.MutexUnlock("m")
+
+        def main(ctx):
+            t = yield op.ThrCreate(waiter)
+            yield op.Compute(1000)
+            yield op.MutexLock("m")
+            ctx.shared["ready"] = True
+            yield op.CondSignal("c")
+            yield op.MutexUnlock("m")
+            yield op.ThrJoin(t)
+
+        res = run(main, cpus=2)
+        assert res.makespan_us == 1000
+
+    def test_live_timedwait_timeout(self):
+        got = []
+
+        def main(ctx):
+            yield op.MutexLock("m")
+            got.append((yield op.CondTimedWait("c", "m", timeout_us=500)))
+            yield op.MutexUnlock("m")
+
+        res = run(main)
+        assert got == [False]
+        assert res.makespan_us == 500
+        ev = [e for e in res.events if e.primitive is Primitive.COND_TIMEDWAIT][0]
+        assert ev.status is Status.TIMEOUT
+
+    def test_live_timedwait_signalled_in_time(self):
+        got = []
+
+        def waiter(ctx):
+            yield op.MutexLock("m")
+            got.append((yield op.CondTimedWait("c", "m", timeout_us=10_000)))
+            yield op.MutexUnlock("m")
+
+        def main(ctx):
+            t = yield op.ThrCreate(waiter)
+            yield op.Compute(500)
+            yield op.CondSignal("c")
+            yield op.ThrJoin(t)
+
+        res = run(main, cpus=2)
+        assert got == [True]
+        assert res.makespan_us == 500
+
+
+class TestDeadlockDetection:
+    def test_mutual_join_deadlock_reported(self):
+        def main(ctx):
+            yield op.MutexLock("m")
+            yield op.MutexLock("n")
+            yield op.CondWait("c", "n")  # nobody will ever signal
+
+        with pytest.raises(DeadlockError) as ei:
+            run(main)
+        assert 1 in ei.value.blocked
+
+    def test_sema_starvation_deadlock(self):
+        def main(ctx):
+            yield op.SemaWait("never")
+
+        with pytest.raises(DeadlockError):
+            run(main)

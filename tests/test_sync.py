@@ -1,0 +1,383 @@
+"""Unit tests for the synchronisation-object semantics, via a fake kernel."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.core.ids import SyncObjectId, ThreadId
+from repro.solaris.sync import (
+    NO_RESULT,
+    SimCondVar,
+    SimMutex,
+    SimRwLock,
+    SimSemaphore,
+    SyncObjectTable,
+    WaitQueue,
+)
+from repro.solaris.thread_model import SimThread
+
+
+class FakeKernel:
+    """Records block/wake calls; executes timers only on demand."""
+
+    def __init__(self):
+        self.now_us = 0
+        self.blocked = []
+        self.woken = []
+        self.results = {}
+        self.timers = []
+
+    def block(self, thread, reason):
+        self.blocked.append((int(thread.tid), reason))
+
+    def wake(self, thread, result=NO_RESULT):
+        self.woken.append(int(thread.tid))
+        if result is not NO_RESULT:
+            self.results[int(thread.tid)] = result
+
+    def post_result(self, thread, result):
+        self.results[int(thread.tid)] = result
+
+    def arm_timer(self, delay_us, action, label):
+        handle = [delay_us, action, label, False]
+        self.timers.append(handle)
+        return handle
+
+    def cancel_timer(self, handle):
+        handle[3] = True
+
+
+def thr(tid, priority=1):
+    return SimThread(tid=ThreadId(tid), priority=priority)
+
+
+@pytest.fixture
+def kernel():
+    return FakeKernel()
+
+
+class TestWaitQueue:
+    def test_priority_order(self):
+        q = WaitQueue()
+        low, high = thr(4, priority=1), thr(5, priority=9)
+        q.push(low)
+        q.push(high)
+        assert q.pop() is high
+        assert q.pop() is low
+
+    def test_fifo_within_priority(self):
+        q = WaitQueue()
+        a, b = thr(4), thr(5)
+        q.push(a)
+        q.push(b)
+        assert q.pop() is a
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            WaitQueue().pop()
+
+    def test_remove(self):
+        q = WaitQueue()
+        a, b = thr(4), thr(5)
+        q.push(a)
+        q.push(b)
+        assert q.remove(a) is True
+        assert q.remove(a) is False
+        assert q.pop() is b
+
+    def test_threads_listing_ordered(self):
+        q = WaitQueue()
+        a, b, c = thr(4, 1), thr(5, 5), thr(6, 3)
+        for t in (a, b, c):
+            q.push(t)
+        assert q.threads() == [b, c, a]
+
+
+class TestMutex:
+    def test_uncontended_lock(self, kernel):
+        m = SimMutex(SyncObjectId("mutex", "m"))
+        t = thr(4)
+        assert m.lock(t, kernel) is True
+        assert m.owner is t
+        assert kernel.blocked == []
+
+    def test_contended_lock_blocks(self, kernel):
+        m = SimMutex(SyncObjectId("mutex", "m"))
+        a, b = thr(4), thr(5)
+        m.lock(a, kernel)
+        assert m.lock(b, kernel) is False
+        assert kernel.blocked == [(5, "mutex m")]
+
+    def test_unlock_hands_off_directly(self, kernel):
+        m = SimMutex(SyncObjectId("mutex", "m"))
+        a, b = thr(4), thr(5)
+        m.lock(a, kernel)
+        m.lock(b, kernel)
+        m.unlock(a, kernel)
+        assert m.owner is b  # direct hand-off
+        assert kernel.woken == [5]
+
+    def test_unlock_without_waiters_frees(self, kernel):
+        m = SimMutex(SyncObjectId("mutex", "m"))
+        a = thr(4)
+        m.lock(a, kernel)
+        m.unlock(a, kernel)
+        assert m.owner is None
+
+    def test_unlock_by_non_owner_rejected(self, kernel):
+        m = SimMutex(SyncObjectId("mutex", "m"))
+        a, b = thr(4), thr(5)
+        m.lock(a, kernel)
+        with pytest.raises(SimulationError):
+            m.unlock(b, kernel)
+
+    def test_unlock_free_mutex_rejected(self, kernel):
+        m = SimMutex(SyncObjectId("mutex", "m"))
+        with pytest.raises(SimulationError):
+            m.unlock(thr(4), kernel)
+
+    def test_relock_self_deadlock_detected(self, kernel):
+        m = SimMutex(SyncObjectId("mutex", "m"))
+        a = thr(4)
+        m.lock(a, kernel)
+        with pytest.raises(SimulationError):
+            m.lock(a, kernel)
+
+    def test_trylock(self, kernel):
+        m = SimMutex(SyncObjectId("mutex", "m"))
+        a, b = thr(4), thr(5)
+        assert m.trylock(a) is True
+        assert m.trylock(b) is False
+        assert kernel.blocked == []
+
+    def test_priority_waiter_wins_handoff(self, kernel):
+        m = SimMutex(SyncObjectId("mutex", "m"))
+        owner, low, high = thr(4), thr(5, priority=1), thr(6, priority=9)
+        m.lock(owner, kernel)
+        m.lock(low, kernel)
+        m.lock(high, kernel)
+        m.unlock(owner, kernel)
+        assert m.owner is high
+
+    def test_contention_statistics(self, kernel):
+        m = SimMutex(SyncObjectId("mutex", "m"))
+        a, b = thr(4), thr(5)
+        m.lock(a, kernel)
+        m.lock(b, kernel)
+        m.unlock(a, kernel)
+        assert m.acquisitions == 2
+        assert m.contended_acquisitions == 1
+
+
+class TestSemaphore:
+    def test_initial_count_consumed(self, kernel):
+        s = SimSemaphore(SyncObjectId("sema", "s"), initial=2)
+        assert s.wait(thr(4), kernel) is True
+        assert s.wait(thr(5), kernel) is True
+        assert s.wait(thr(6), kernel) is False  # blocks
+        assert kernel.blocked == [(6, "sema s")]
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(SimulationError):
+            SimSemaphore(SyncObjectId("sema", "s"), initial=-1)
+
+    def test_post_wakes_waiter_directly(self, kernel):
+        s = SimSemaphore(SyncObjectId("sema", "s"))
+        t = thr(4)
+        s.wait(t, kernel)
+        s.post(kernel)
+        assert kernel.woken == [4]
+        assert s.count == 0  # token handed over, not banked
+
+    def test_post_without_waiters_banks_token(self, kernel):
+        s = SimSemaphore(SyncObjectId("sema", "s"))
+        s.post(kernel)
+        assert s.count == 1
+
+    def test_trywait(self, kernel):
+        s = SimSemaphore(SyncObjectId("sema", "s"), initial=1)
+        assert s.trywait(thr(4)) is True
+        assert s.trywait(thr(5)) is False
+
+
+class TestCondVar:
+    def test_wait_releases_mutex_and_blocks(self, kernel):
+        m = SimMutex(SyncObjectId("mutex", "m"))
+        c = SimCondVar(SyncObjectId("cond", "c"))
+        t = thr(4)
+        m.lock(t, kernel)
+        c.wait(t, m, kernel)
+        assert m.owner is None  # released atomically
+        assert kernel.blocked == [(4, "cond c")]
+
+    def test_signal_reacquires_mutex(self, kernel):
+        m = SimMutex(SyncObjectId("mutex", "m"))
+        c = SimCondVar(SyncObjectId("cond", "c"))
+        t = thr(4)
+        m.lock(t, kernel)
+        c.wait(t, m, kernel)
+        assert c.signal(kernel) == 1
+        assert m.owner is t  # mutex free: re-acquired at signal
+        assert kernel.woken == [4]
+        assert kernel.results[4] is True
+
+    def test_signal_queues_on_held_mutex(self, kernel):
+        m = SimMutex(SyncObjectId("mutex", "m"))
+        c = SimCondVar(SyncObjectId("cond", "c"))
+        waiter, holder = thr(4), thr(5)
+        m.lock(waiter, kernel)
+        c.wait(waiter, m, kernel)
+        m.lock(holder, kernel)
+        c.signal(kernel)
+        assert kernel.woken == []  # parked on the mutex
+        assert kernel.results[4] is True  # outcome preserved
+        m.unlock(holder, kernel)
+        assert m.owner is waiter
+        assert kernel.woken == [4]
+
+    def test_signal_without_waiters(self, kernel):
+        c = SimCondVar(SyncObjectId("cond", "c"))
+        assert c.signal(kernel) == 0
+
+    def test_live_broadcast_wakes_all(self, kernel):
+        c = SimCondVar(SyncObjectId("cond", "c"))
+        a, b = thr(4), thr(5)
+        c.wait(a, None, kernel)
+        c.wait(b, None, kernel)
+        caller = thr(6)
+        assert c.broadcast(caller, kernel) is True
+        assert sorted(kernel.woken) == [4, 5]
+
+    def test_replay_broadcast_blocks_until_quota(self, kernel):
+        # §6: the broadcast blocks until the logged number of waiters arrive
+        c = SimCondVar(SyncObjectId("cond", "c"))
+        a, b, caster = thr(4), thr(5), thr(6)
+        c.wait(a, None, kernel)
+        assert c.broadcast(caster, kernel, expected_waiters=2) is False
+        assert (6, "cond-broadcast c") in kernel.blocked
+        c.wait(b, None, kernel)  # the last arrival releases everyone
+        assert sorted(kernel.woken) == [4, 5, 6]
+
+    def test_replay_broadcast_releases_held_mutex(self, kernel):
+        # a blocked barrier broadcast must not deadlock arriving waiters
+        m = SimMutex(SyncObjectId("mutex", "m"))
+        c = SimCondVar(SyncObjectId("cond", "c"))
+        caster, waiter = thr(4), thr(5)
+        m.lock(caster, kernel)
+        assert (
+            c.broadcast(caster, kernel, expected_waiters=1, held_mutex=m) is False
+        )
+        assert m.owner is None  # released while blocked
+        m.lock(waiter, kernel)
+        c.wait(waiter, m, kernel)
+        # quota reached: waiter released, broadcaster re-acquired the mutex
+        assert m.owner is caster
+        assert 4 in kernel.woken
+
+    def test_replay_broadcast_quota_already_met(self, kernel):
+        c = SimCondVar(SyncObjectId("cond", "c"))
+        a = thr(4)
+        c.wait(a, None, kernel)
+        assert c.broadcast(thr(6), kernel, expected_waiters=1) is True
+
+    def test_double_pending_broadcast_rejected(self, kernel):
+        c = SimCondVar(SyncObjectId("cond", "c"))
+        c.broadcast(thr(4), kernel, expected_waiters=1)
+        with pytest.raises(SimulationError):
+            c.broadcast(thr(5), kernel, expected_waiters=1)
+
+    def test_timed_wait_arms_timer_and_cancels_on_signal(self, kernel):
+        c = SimCondVar(SyncObjectId("cond", "c"))
+        t = thr(4)
+        fired = []
+        c.wait(t, None, kernel, timeout_us=100, on_timeout=fired.append)
+        assert len(kernel.timers) == 1
+        c.signal(kernel)
+        assert kernel.timers[0][3] is True  # cancelled
+
+    def test_cancel_wait_returns_mutex(self, kernel):
+        m = SimMutex(SyncObjectId("mutex", "m"))
+        c = SimCondVar(SyncObjectId("cond", "c"))
+        t = thr(4)
+        m.lock(t, kernel)
+        c.wait(t, m, kernel, timeout_us=100, on_timeout=lambda th: None)
+        assert c.cancel_wait(t, kernel) is m
+
+    def test_cancel_wait_not_waiting_rejected(self, kernel):
+        c = SimCondVar(SyncObjectId("cond", "c"))
+        with pytest.raises(SimulationError):
+            c.cancel_wait(thr(4), kernel)
+
+    def test_timeout_without_handler_rejected(self, kernel):
+        c = SimCondVar(SyncObjectId("cond", "c"))
+        with pytest.raises(SimulationError):
+            c.wait(thr(4), None, kernel, timeout_us=5)
+
+
+class TestRwLock:
+    def test_concurrent_readers(self, kernel):
+        rw = SimRwLock(SyncObjectId("rwlock", "rw"))
+        assert rw.rdlock(thr(4), kernel) is True
+        assert rw.rdlock(thr(5), kernel) is True
+        assert len(rw.readers) == 2
+
+    def test_writer_excludes_readers(self, kernel):
+        rw = SimRwLock(SyncObjectId("rwlock", "rw"))
+        w, r = thr(4), thr(5)
+        assert rw.wrlock(w, kernel) is True
+        assert rw.rdlock(r, kernel) is False
+
+    def test_writer_preference(self, kernel):
+        # a waiting writer blocks new readers (Solaris policy)
+        rw = SimRwLock(SyncObjectId("rwlock", "rw"))
+        r1, w, r2 = thr(4), thr(5), thr(6)
+        rw.rdlock(r1, kernel)
+        rw.wrlock(w, kernel)  # queued behind the reader
+        assert rw.rdlock(r2, kernel) is False  # would starve the writer
+        rw.unlock(r1, kernel)
+        assert rw.writer is w
+
+    def test_writer_release_admits_reader_run(self, kernel):
+        rw = SimRwLock(SyncObjectId("rwlock", "rw"))
+        w, r1, r2 = thr(4), thr(5), thr(6)
+        rw.wrlock(w, kernel)
+        rw.rdlock(r1, kernel)
+        rw.rdlock(r2, kernel)
+        rw.unlock(w, kernel)
+        assert sorted(kernel.woken) == [5, 6]
+        assert len(rw.readers) == 2
+
+    def test_try_variants(self, kernel):
+        rw = SimRwLock(SyncObjectId("rwlock", "rw"))
+        assert rw.tryrdlock(thr(4)) is True
+        assert rw.trywrlock(thr(5)) is False
+        rw.unlock(thr(4), kernel) if thr(4) in rw.readers else None
+
+    def test_unlock_not_held_rejected(self, kernel):
+        rw = SimRwLock(SyncObjectId("rwlock", "rw"))
+        with pytest.raises(SimulationError):
+            rw.unlock(thr(4), kernel)
+
+
+class TestSyncObjectTable:
+    def test_lazy_creation_and_identity(self):
+        table = SyncObjectTable()
+        assert table.mutex("m") is table.mutex("m")
+        assert table.sema("s") is table.sema("s")
+        assert table.cond("c") is table.cond("c")
+        assert table.rwlock("rw") is table.rwlock("rw")
+
+    def test_kinds_do_not_collide(self):
+        table = SyncObjectTable()
+        assert table.mutex("x").oid != table.sema("x").oid
+
+    def test_sema_initial_count_only_first_time(self):
+        table = SyncObjectTable()
+        s = table.sema("s", 3)
+        assert table.sema("s", 99) is s
+        assert s.count == 3
+
+    def test_all_mutexes_snapshot(self):
+        table = SyncObjectTable()
+        table.mutex("a")
+        table.mutex("b")
+        assert set(table.all_mutexes()) == {"a", "b"}

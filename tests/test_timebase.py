@@ -1,0 +1,83 @@
+"""Unit tests for the integer-µs time base."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import timebase as tb
+
+
+class TestConversions:
+    def test_from_seconds(self):
+        assert tb.from_seconds(1.5) == 1_500_000
+
+    def test_from_seconds_rounds(self):
+        assert tb.from_seconds(0.0000014) == 1
+        assert tb.from_seconds(0.0000016) == 2
+
+    def test_from_millis(self):
+        assert tb.from_millis(20) == 20_000
+
+    def test_to_seconds(self):
+        assert tb.to_seconds(2_500_000) == 2.5
+
+    def test_to_millis(self):
+        assert tb.to_millis(1500) == 1.5
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_seconds_roundtrip(self, us):
+        assert tb.from_seconds(tb.to_seconds(us)) == us
+
+
+class TestFormat:
+    def test_basic(self):
+        assert tb.format_us(530_000) == "0.530000"
+
+    def test_zero(self):
+        assert tb.format_us(0) == "0.000000"
+
+    def test_microsecond_resolution(self):
+        # the paper's Recorder resolution is 1 µs
+        assert tb.format_us(1) == "0.000001"
+
+    def test_whole_seconds(self):
+        assert tb.format_us(3_000_000) == "3.000000"
+
+    def test_truncated_decimals(self):
+        assert tb.format_us(123_456, decimals=2) == "0.12"
+
+    def test_zero_decimals(self):
+        assert tb.format_us(1_900_000, decimals=0) == "1"
+
+    def test_negative(self):
+        assert tb.format_us(-1_500_000) == "-1.500000"
+
+    def test_bad_decimals_rejected(self):
+        with pytest.raises(ValueError):
+            tb.format_us(0, decimals=7)
+
+    @given(st.integers(min_value=0, max_value=10**13))
+    def test_format_parse_roundtrip(self, us):
+        text = tb.format_us(us)
+        whole, frac = text.split(".")
+        assert int(whole) * tb.US_PER_SECOND + int(frac) == us
+
+
+class TestValidation:
+    def test_check_time_ok(self):
+        assert tb.check_time(5) == 5
+
+    def test_check_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            tb.check_time(-1)
+
+    def test_check_time_rejects_float(self):
+        with pytest.raises(TypeError):
+            tb.check_time(1.5)
+
+    def test_check_time_rejects_bool(self):
+        with pytest.raises(TypeError):
+            tb.check_time(True)
+
+    def test_check_duration_alias(self):
+        assert tb.check_duration(0) == 0

@@ -1,0 +1,178 @@
+"""Tests for trace-transformation what-ifs (analysis.transform)."""
+
+import pytest
+
+from repro import Program, SimConfig, compile_trace, record_program
+from repro.analysis import (
+    scale_compute,
+    scale_critical_sections,
+    scale_io,
+    split_lock,
+)
+from repro.core.simulator import Simulator
+from repro.program import ops as op
+from repro.workloads.prodcons import make_naive
+from tests.conftest import make_mutex_program
+
+
+def replay(plan, cpus=4):
+    return Simulator(SimConfig(cpus=cpus)).run_replay(plan)
+
+
+@pytest.fixture(scope="module")
+def mutex_plan():
+    run = record_program(make_mutex_program(nthreads=3, iters=4))
+    return compile_trace(run.trace)
+
+
+class TestScaleCompute:
+    def test_half_work_roughly_halves_makespan(self, mutex_plan):
+        base = replay(mutex_plan).makespan_us
+        faster = replay(scale_compute(mutex_plan, 0.5)).makespan_us
+        assert 0.4 * base < faster < 0.7 * base
+
+    def test_identity(self, mutex_plan):
+        assert (
+            replay(scale_compute(mutex_plan, 1.0)).makespan_us
+            == replay(mutex_plan).makespan_us
+        )
+
+    def test_per_thread_restriction(self, mutex_plan):
+        only_t4 = scale_compute(mutex_plan, 0.1, threads=[4])
+        t4_work = sum(s.work_us for s in only_t4.steps[4])
+        t5_work = sum(s.work_us for s in only_t4.steps[5])
+        orig_t5 = sum(s.work_us for s in mutex_plan.steps[5])
+        assert t5_work == orig_t5
+        assert t4_work < orig_t5 / 2
+
+    def test_input_not_mutated(self, mutex_plan):
+        before = [s.work_us for s in mutex_plan.steps[4]]
+        scale_compute(mutex_plan, 0.5)
+        assert [s.work_us for s in mutex_plan.steps[4]] == before
+
+    def test_negative_factor_rejected(self, mutex_plan):
+        with pytest.raises(ValueError):
+            scale_compute(mutex_plan, -1)
+
+
+class TestScaleCriticalSections:
+    def test_shrinking_the_bottleneck_helps_the_naive_prodcons(self):
+        run = record_program(make_naive(scale=0.05))
+        plan = compile_trace(run.trace)
+        base = replay(plan, cpus=8).makespan_us
+        tuned = replay(
+            scale_critical_sections(plan, "buffer", 0.25), cpus=8
+        ).makespan_us
+        # the program is ~fully serialised on that mutex: shrinking the
+        # held work shrinks the whole run nearly proportionally
+        assert tuned < base * 0.5
+
+    def test_work_outside_sections_untouched(self, mutex_plan):
+        scaled = scale_critical_sections(mutex_plan, "m", 0.0)
+        for tid in mutex_plan.steps:
+            for a, b in zip(mutex_plan.steps[tid], scaled.steps[tid]):
+                if isinstance(a.op, op.MutexUnlock):
+                    assert b.work_us == 0  # held work removed
+                elif isinstance(a.op, op.MutexLock):
+                    assert b.work_us == a.work_us  # approach work kept
+
+
+class TestScaleIo:
+    def test_faster_disk_shortens_io_bound_run(self):
+        def worker(ctx):
+            for _ in range(2):
+                yield op.IoWait(10_000)
+                yield op.Compute(1_000)
+
+        def main(ctx):
+            t = yield op.ThrCreate(worker)
+            yield op.ThrJoin(t)
+
+        run = record_program(Program("io", main))
+        plan = compile_trace(run.trace)
+        base = replay(plan, cpus=1).makespan_us
+        fast = replay(scale_io(plan, 0.1), cpus=1).makespan_us
+        assert fast < base * 0.4
+
+
+class TestSplitLock:
+    def test_sharding_the_naive_buffer_mutex(self):
+        """Preview the §5 fix on the trace: splitting the buffer mutex
+        into shards recovers most of the parallelism."""
+        run = record_program(make_naive(scale=0.05))
+        plan = compile_trace(run.trace)
+        base = replay(plan, cpus=8).makespan_us
+        sharded = replay(split_lock(plan, "buffer", 16), cpus=8).makespan_us
+        assert sharded < base * 0.45
+
+    def test_one_way_split_is_identity(self, mutex_plan):
+        assert (
+            replay(split_lock(mutex_plan, "m", 1)).makespan_us
+            == replay(mutex_plan).makespan_us
+        )
+
+    def test_lock_unlock_pairing_preserved(self, mutex_plan):
+        # every shard's lock/unlock counts balance (else replay deadlocks,
+        # which the simulation itself would also catch)
+        sharded = split_lock(mutex_plan, "m", 3)
+        counts = {}
+        for steps in sharded.steps.values():
+            for s in steps:
+                if isinstance(s.op, op.MutexLock):
+                    counts[s.op.name] = counts.get(s.op.name, 0) + 1
+                elif isinstance(s.op, op.MutexUnlock):
+                    counts[s.op.name] = counts.get(s.op.name, 0) - 1
+        assert all(v == 0 for v in counts.values())
+
+    def test_bad_ways_rejected(self, mutex_plan):
+        with pytest.raises(ValueError):
+            split_lock(mutex_plan, "m", 0)
+
+
+class TestTransformProperties:
+    """Hypothesis-driven invariants of the plan transformations."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_scale_one_is_identity_for_any_program(self, seed):
+        from repro.workloads.synthetic import random_program
+
+        run = record_program(random_program(seed, nthreads=3, steps=5))
+        plan = compile_trace(run.trace)
+        assert (
+            replay(scale_compute(plan, 1.0)).makespan_us
+            == replay(plan).makespan_us
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        factor=st.floats(min_value=0.1, max_value=1.0),
+    )
+    def test_scaling_down_never_slows(self, seed, factor):
+        from repro.workloads.synthetic import random_program
+
+        run = record_program(random_program(seed, nthreads=3, steps=5))
+        plan = compile_trace(run.trace)
+        base = replay(plan).makespan_us
+        scaled = replay(scale_compute(plan, factor)).makespan_us
+        assert scaled <= base * 1.01
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        ways=st.integers(min_value=1, max_value=5),
+    )
+    def test_split_never_slows_and_never_deadlocks(self, seed, ways):
+        from repro.workloads.synthetic import random_program
+
+        run = record_program(
+            random_program(seed, nthreads=3, steps=6, n_mutexes=1)
+        )
+        plan = compile_trace(run.trace)
+        base = replay(plan).makespan_us
+        sharded = replay(split_lock(plan, "m0", ways)).makespan_us
+        assert sharded <= base * 1.02  # less contention, same work

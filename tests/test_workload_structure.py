@@ -1,0 +1,162 @@
+"""Structural tests of the SPLASH-2 models: the synchronisation skeletons
+and closed-form calibrations each module documents."""
+
+import math
+
+import pytest
+
+from repro import record_program
+from repro.core.events import Phase, Primitive, Status
+from repro.program.uniexec import unmonitored_run
+from repro.workloads import fft, lu, ocean, radix, water
+from repro.workloads.lu import _grid, _owner
+
+
+class TestLuStructure:
+    def test_grid_factorisations(self):
+        assert _grid(1) == (1, 1)
+        assert _grid(2) == (1, 2)
+        assert _grid(4) == (2, 2)
+        assert _grid(8) == (2, 4)
+        assert _grid(6) == (2, 3)
+
+    def test_ownership_covers_all_threads(self):
+        for nthreads in (2, 4, 8):
+            owners = {
+                _owner(i, j, nthreads)
+                for i in range(lu.K_BLOCKS)
+                for j in range(lu.K_BLOCKS)
+            }
+            assert owners == set(range(nthreads))
+
+    def test_ownership_balanced(self):
+        # 2-D scatter: every thread owns within one row/column strip of
+        # the mean
+        nthreads = 8
+        counts = [0] * nthreads
+        for i in range(lu.K_BLOCKS):
+            for j in range(lu.K_BLOCKS):
+                counts[_owner(i, j, nthreads)] += 1
+        mean = lu.K_BLOCKS**2 / nthreads
+        assert max(counts) - min(counts) <= mean * 0.1
+
+    def test_barrier_count_is_three_per_step(self):
+        run = record_program(lu.make_program(2, scale=0.05))
+        broadcasts = [
+            r
+            for r in run.trace
+            if r.primitive is Primitive.COND_BROADCAST and r.is_call
+        ]
+        # one broadcast per barrier, three barriers per elimination step
+        assert len(broadcasts) == 3 * lu.K_BLOCKS
+
+    def test_work_shrinks_across_steps(self):
+        # the interior work must shrink as the factorisation proceeds:
+        # total cpu time is dominated by early steps
+        res = unmonitored_run(lu.make_program(4, scale=0.05))
+        assert res.makespan_us > 0
+
+
+class TestFftStructure:
+    def test_five_phases_per_thread(self):
+        run = record_program(fft.make_program(2, scale=0.02))
+        broadcasts = [
+            r
+            for r in run.trace
+            if r.primitive is Primitive.COND_BROADCAST and r.is_call
+        ]
+        assert len(broadcasts) == 5  # t1, fft1, t2, fft2, t3
+
+    def test_closed_form_speedup(self):
+        # the module docstring's formula: S(P) lands on the paper curve
+        f = 3 * fft.TRANSPOSE_US / (3 * fft.TRANSPOSE_US + 2 * fft.FFT_PHASE_US)
+        for cpus, expected in ((2, 1.55), (4, 2.14), (8, 2.64)):
+            s = 1.0 / (
+                (1 - f) / cpus + (f / cpus) * (1 + fft.BETA * (cpus - 1))
+            )
+            assert s == pytest.approx(expected, abs=0.03)
+
+    def test_transpose_grows_with_threads(self):
+        # per-thread transpose time grows with P (memory contention)
+        run2 = record_program(fft.make_program(2, scale=0.02), overhead_us=0)
+        run8 = record_program(fft.make_program(8, scale=0.02), overhead_us=0)
+        # the 8-thread program does more *total* work than the 2-thread one
+        assert run8.monitored_makespan_us > run2.monitored_makespan_us
+
+
+class TestOceanStructure:
+    def test_trylock_present_and_always_succeeds_on_one_lwp(self):
+        # the replay-hostile knob: on the monitored run there is no
+        # contention, so every trylock is recorded as acquired — which is
+        # exactly what misleads the §3.2 replay rule
+        run = record_program(ocean.make_program(4, scale=0.05))
+        trys = [
+            r
+            for r in run.trace
+            if r.primitive is Primitive.MUTEX_TRYLOCK and r.phase is Phase.RET
+        ]
+        assert trys
+        assert all(r.status is Status.OK for r in trys)
+
+    def test_multigrid_barriers_per_iteration(self):
+        run = record_program(ocean.make_program(2, scale=0.05))
+        broadcasts = [
+            r
+            for r in run.trace
+            if r.primitive is Primitive.COND_BROADCAST and r.is_call
+        ]
+        iters = max(2, round(ocean.ITERATIONS * 0.05))
+        assert len(broadcasts) == 5 * iters  # 3 relax + resid + bound
+
+    def test_ocean_is_event_densest(self):
+        # §4's shape at equal scale
+        def rate(module):
+            run = record_program(module.make_program(4, scale=0.05))
+            return run.n_events / run.monitored_makespan_us
+
+        assert rate(ocean) > rate(water)
+        assert rate(ocean) > rate(radix)
+
+
+class TestRadixStructure:
+    def test_tree_depth_is_log2_threads(self):
+        for nthreads in (2, 4, 8):
+            run = record_program(radix.make_program(nthreads, scale=0.02))
+            broadcasts = [
+                r
+                for r in run.trace
+                if r.primitive is Primitive.COND_BROADCAST and r.is_call
+            ]
+            tree = max(1, math.ceil(math.log2(nthreads)))
+            # per pass: hist + tree steps + permute barriers
+            assert len(broadcasts) == radix.PASSES * (2 + tree)
+
+
+class TestWaterStructure:
+    def test_cell_locks_from_the_pool(self):
+        run = record_program(water.make_program(4, scale=0.05))
+        cells = {
+            r.obj.name
+            for r in run.trace
+            if r.primitive is Primitive.MUTEX_LOCK
+            and r.obj is not None
+            and r.obj.name.startswith("cell_")
+        }
+        assert cells  # boundary fold-ins hit the pool
+        assert all(
+            0 <= int(name.split("_")[1]) < water.N_CELL_LOCKS for name in cells
+        )
+
+    def test_kinetic_reduction_once_per_step_per_thread(self):
+        nthreads = 3
+        run = record_program(water.make_program(nthreads, scale=0.05))
+        steps = max(1, round(water.TIMESTEPS * 0.05))
+        kin = [
+            r
+            for r in run.trace
+            if r.primitive is Primitive.MUTEX_LOCK
+            and r.is_call
+            and r.obj is not None
+            and r.obj.name == "kinetic"
+        ]
+        assert len(kin) == nthreads * steps

@@ -1,0 +1,151 @@
+"""Tests for the SPLASH-2 workload models and the §5 case study."""
+
+import pytest
+
+from repro import record_program, measure_speedup, predict_speedup
+from repro.core.events import Primitive
+from repro.program.uniexec import unmonitored_run
+from repro.workloads import PAPER_TABLE1, all_workloads, get_workload
+from repro.workloads.prodcons import make_naive, make_tuned
+
+SCALE = 0.05  # miniature instances for unit testing
+
+
+class TestRegistry:
+    def test_all_five_kernels_plus_case_study_registered(self):
+        names = {w.name for w in all_workloads()}
+        assert {"ocean", "water", "fft", "radix", "lu", "prodcons"} <= names
+
+    def test_get_workload_unknown(self):
+        with pytest.raises(KeyError):
+            get_workload("barnes")  # excluded by §4 (spins on a variable)
+
+    def test_paper_table_complete(self):
+        for name in ("ocean", "water", "fft", "radix", "lu"):
+            row = PAPER_TABLE1[name]
+            assert set(row.real) == {2, 4, 8}
+            assert set(row.predicted) == {2, 4, 8}
+
+    def test_bad_factory_args_rejected(self):
+        w = get_workload("radix")
+        with pytest.raises(ValueError):
+            w.make_program(0)
+        with pytest.raises(ValueError):
+            w.make_program(4, scale=-1)
+
+
+@pytest.mark.parametrize("name", ["ocean", "water", "fft", "radix", "lu"])
+class TestKernelPrograms:
+    def test_runs_and_records(self, name):
+        program = get_workload(name).make_program(4, SCALE)
+        run = record_program(program)
+        assert run.n_events > 50
+        assert run.monitored_makespan_us > 0
+
+    def test_one_thread_per_processor(self, name):
+        program = get_workload(name).make_program(4, SCALE)
+        run = record_program(program)
+        tids = set(int(t) for t in run.trace.thread_ids())
+        assert len(tids) == 5  # main + 4 workers
+
+    def test_deterministic(self, name):
+        w = get_workload(name)
+        a = unmonitored_run(w.make_program(2, SCALE))
+        b = unmonitored_run(w.make_program(2, SCALE))
+        assert a.makespan_us == b.makespan_us
+
+    def test_speedup_curve_shape(self, name):
+        """The ordering of Table 1 survives miniaturisation: more CPUs
+        never slow the kernels down, and each kernel is sub-linear."""
+        w = get_workload(name)
+        seq = w.make_program(1, SCALE)
+        base = record_program(seq, overhead_us=0).monitored_makespan_us
+        speeds = []
+        for cpus in (2, 4):
+            prog = w.make_program(cpus, SCALE)
+            run = record_program(prog)
+            speeds.append(predict_speedup(run.trace, cpus, baseline_us=base).speedup)
+        assert speeds[0] <= speeds[1] * 1.02
+        assert speeds[0] <= 2.05 and speeds[1] <= 4.05
+
+
+class TestShapeRanking:
+    def test_fft_is_the_worst_scaler_radix_the_best(self):
+        """Table 1's ranking at 4 CPUs: radix/water > ocean > lu > fft."""
+        predicted = {}
+        for name in ("fft", "radix", "lu"):
+            w = get_workload(name)
+            seq = w.make_program(1, SCALE)
+            base = record_program(seq, overhead_us=0).monitored_makespan_us
+            run = record_program(w.make_program(4, SCALE))
+            predicted[name] = predict_speedup(run.trace, 4, baseline_us=base).speedup
+        assert predicted["fft"] < predicted["lu"] < predicted["radix"]
+
+    def test_fft_saturates(self):
+        w = get_workload("fft")
+        seq = w.make_program(1, SCALE)
+        base = record_program(seq, overhead_us=0).monitored_makespan_us
+        run8 = record_program(w.make_program(8, SCALE))
+        s8 = predict_speedup(run8.trace, 8, baseline_us=base).speedup
+        assert 2.0 < s8 < 3.3  # the paper's 2.62 band
+
+
+class TestProdCons:
+    def test_naive_is_serialised(self):
+        prog = make_naive(scale=0.1)
+        run = record_program(prog)
+        pred = predict_speedup(run.trace, 8)
+        assert pred.speedup < 1.4  # "only 2.2% faster on 8 CPUs"
+
+    def test_tuned_scales(self):
+        prog = make_tuned(scale=0.1)
+        run = record_program(prog)
+        pred = predict_speedup(run.trace, 8)
+        assert pred.speedup > 5.5  # the paper reaches 7.75
+
+    def test_tuning_story_end_to_end(self):
+        # the §5 narrative: tuned real speed-up close to predicted
+        prog = make_tuned(scale=0.1)
+        run = record_program(prog)
+        pred = predict_speedup(run.trace, 8)
+        real = measure_speedup(prog, 8, runs=3)
+        assert abs(real.speedup - pred.speedup) / real.speedup < 0.06
+
+    def test_population(self):
+        prog = make_naive(scale=0.1)
+        run = record_program(prog)
+        creates = [
+            r
+            for r in run.trace
+            if r.primitive is Primitive.THR_CREATE and r.is_ret
+        ]
+        assert len(creates) == 15 + 8  # 150*0.1 producers + round(75*0.1)
+
+    def test_all_items_consumed(self):
+        # producer items == consumer fetches: the program terminates
+        prog = make_naive(scale=0.05)
+        res = unmonitored_run(prog)
+        assert res.makespan_us > 0
+
+
+class TestSynthetic:
+    def test_random_program_runs(self):
+        from repro.workloads.synthetic import random_program
+
+        prog = random_program(seed=1, nthreads=3, steps=6)
+        res = unmonitored_run(prog)
+        assert res.makespan_us > 0
+
+    def test_random_program_deterministic(self):
+        from repro.workloads.synthetic import random_program
+
+        a = unmonitored_run(random_program(seed=2))
+        b = unmonitored_run(random_program(seed=2))
+        assert a.makespan_us == b.makespan_us
+
+    def test_event_rate_program_scales_events(self):
+        from repro.workloads.synthetic import event_rate_program
+
+        small = record_program(event_rate_program(sync_ops=40))
+        large = record_program(event_rate_program(sync_ops=400))
+        assert large.n_events > 5 * small.n_events
