@@ -20,6 +20,9 @@ on disk:
   "inspect the performance change" step;
 * ``vppb whatif run.log --shard-lock buffer:16 --scale-cs buffer:0.5`` —
   preview a tuning hypothesis by transforming the trace itself;
+* ``vppb doctor run.log`` — validate a (possibly damaged) log, salvage
+  what can be salvaged, dry-run the replay under a watchdog, and print
+  a diagnosis instead of a traceback;
 * ``vppb workloads`` — list the bundled programs.
 """
 
@@ -149,6 +152,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--cpus", type=int, default=8)
     p_cmp.add_argument("--lwps", type=int, default=None)
     p_cmp.add_argument("--comm-delay", type=int, default=0)
+
+    p_doc = sub.add_parser(
+        "doctor", help="diagnose a damaged log: validate, salvage, dry-run"
+    )
+    p_doc.add_argument("log", help="log file to examine")
+    p_doc.add_argument("--cpus", type=int, default=4, help="CPUs for the dry-run")
+    p_doc.add_argument(
+        "--no-replay", action="store_true", help="skip the replay dry-run"
+    )
+    p_doc.add_argument(
+        "--max-events", type=int, default=5_000_000,
+        help="watchdog event budget for the dry-run",
+    )
+    p_doc.add_argument(
+        "--max-wall", type=float, default=30.0,
+        help="watchdog wall-clock budget in seconds for the dry-run",
+    )
+    p_doc.add_argument(
+        "--repairs", type=int, default=10, metavar="N",
+        help="show at most N individual repairs (0 = none)",
+    )
 
     sub.add_parser("workloads", help="list bundled workloads")
     return parser
@@ -342,6 +366,109 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    """Diagnose a log file without ever raising.
+
+    Exit status: 0 — healthy (strict parse, complete replay); 1 — usable
+    but damaged (salvaged, or replay came back partial); 2 — unusable
+    (unreadable file, or nothing salvageable).
+    """
+    from repro.core.errors import LogFormatError, TraceError, VppbError
+    from repro.core.engine import Watchdog
+    from repro.recorder.salvage import salvage_loads
+
+    try:
+        with open(args.log, "r", encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+    except OSError as exc:
+        print(f"doctor: cannot read {args.log}: {exc}", file=sys.stderr)
+        return 2
+
+    def _salvage():
+        result = salvage_loads(text, source=str(args.log))
+        report = result.report
+        print(f"salvage: {report.summary()}")
+        for kind, count in sorted(report.counts_by_kind().items()):
+            print(f"  {count:>4}x {kind}")
+        if args.repairs:
+            shown = report.repairs[: args.repairs]
+            for repair in shown:
+                where = f"line {repair.lineno}: " if repair.lineno else ""
+                print(f"    {where}{repair.kind}: {repair.detail}")
+            if len(report.repairs) > len(shown):
+                print(f"    ... and {len(report.repairs) - len(shown)} more")
+        return result.trace
+
+    salvaged = False
+    try:
+        trace = logfile.loads(text, mode="strict", source=str(args.log))
+    except TraceError as exc:
+        print(f"strict parse failed: {exc}")
+        if isinstance(exc, LogFormatError) and exc.snippet():
+            for line in exc.snippet().splitlines():
+                print(f"    {line}")
+        trace = _salvage()
+        salvaged = True
+    else:
+        print(
+            f"strict parse ok: {len(trace)} records, "
+            f"{len(trace.thread_ids())} threads"
+        )
+
+    if len(trace) == 0:
+        print("diagnosis: UNUSABLE — nothing salvageable from this log")
+        return 2
+
+    incomplete = False
+    if not args.no_replay:
+        watchdog = Watchdog(
+            max_events=args.max_events, max_wall_s=args.max_wall
+        )
+
+        def _dry_run(t):
+            return predict(
+                t, SimConfig(cpus=args.cpus), watchdog=watchdog, strict=False
+            )
+
+        try:
+            result = _dry_run(trace)
+        except VppbError as exc:
+            # A log can parse strictly yet not replay (e.g. truncation
+            # that happened to leave every line well-formed but cut calls
+            # off from their returns).  Salvage repairs exactly that.
+            print(f"replay dry-run failed: {exc}")
+            if not salvaged:
+                trace = _salvage()
+                salvaged = True
+            try:
+                result = _dry_run(trace) if len(trace) else None
+            except VppbError as exc2:
+                print(f"replay of salvaged trace failed: {exc2}")
+                result = None
+            if result is None:
+                print("diagnosis: UNUSABLE — the trace cannot be replayed")
+                return 2
+        if result.incomplete:
+            incomplete = True
+            print(f"replay dry-run: partial — {result.incompleteness.describe()}")
+        else:
+            print(
+                f"replay dry-run ok: {args.cpus} CPUs, makespan "
+                f"{to_seconds(result.makespan_us):.3f}s"
+            )
+
+    if salvaged or incomplete:
+        verdict = []
+        if salvaged:
+            verdict.append("log damaged but salvaged")
+        if incomplete:
+            verdict.append("replay incomplete")
+        print(f"diagnosis: DEGRADED — {'; '.join(verdict)}")
+        return 1
+    print("diagnosis: HEALTHY")
+    return 0
+
+
 def _cmd_workloads(_args: argparse.Namespace) -> int:
     from repro.workloads import all_workloads
 
@@ -359,6 +486,7 @@ _COMMANDS = {
     "knee": _cmd_knee,
     "whatif": _cmd_whatif,
     "compare": _cmd_compare,
+    "doctor": _cmd_doctor,
     "workloads": _cmd_workloads,
 }
 

@@ -15,11 +15,35 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from repro.core.errors import LivelockError, SimulationError
+from repro.core.errors import BudgetExceededError, LivelockError, SimulationError
 
-__all__ = ["ScheduledEvent", "EventQueue", "Engine"]
+__all__ = ["ScheduledEvent", "EventQueue", "Engine", "Watchdog"]
+
+
+@dataclass
+class Watchdog:
+    """Progress budgets for one engine run.
+
+    The engine's built-in ``max_events``/``max_time_us`` are livelock
+    *verdicts* (the simulated program is broken); a watchdog is a
+    *resource budget* (the caller will not wait longer), raised as
+    :class:`~repro.core.errors.BudgetExceededError` so the two are
+    distinguishable.  ``max_wall_s`` is checked every ``check_every``
+    events to keep the hot loop cheap.
+    """
+
+    max_events: Optional[int] = None
+    max_time_us: Optional[int] = None
+    max_wall_s: Optional[float] = None
+    check_every: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.check_every < 1:
+            raise ValueError(f"check_every must be >= 1, got {self.check_every}")
 
 
 class ScheduledEvent:
@@ -97,12 +121,20 @@ class Engine:
         Optional wall-clock ceiling on simulated time.
     """
 
-    def __init__(self, *, max_events: int = 50_000_000, max_time_us: Optional[int] = None):
+    def __init__(
+        self,
+        *,
+        max_events: int = 50_000_000,
+        max_time_us: Optional[int] = None,
+        watchdog: Optional[Watchdog] = None,
+    ):
         self.now_us: int = 0
         self.queue = EventQueue()
         self.max_events = max_events
         self.max_time_us = max_time_us
+        self.watchdog = watchdog
         self.events_executed = 0
+        self._wall_start: Optional[float] = None
 
     # ------------------------------------------------------------------
 
@@ -124,6 +156,9 @@ class Engine:
 
     def run(self) -> int:
         """Run until the queue drains; return the final simulated time."""
+        watchdog = self.watchdog
+        if watchdog is not None and self._wall_start is None:
+            self._wall_start = time.monotonic()
         while True:
             ev = self.queue.pop()
             if ev is None:
@@ -143,7 +178,38 @@ class Engine:
                 raise LivelockError(
                     f"simulated time exceeded ceiling {self.max_time_us}us"
                 )
+            if watchdog is not None:
+                self._check_watchdog(watchdog)
             ev.action()
+
+    def _check_watchdog(self, watchdog: Watchdog) -> None:
+        if (
+            watchdog.max_events is not None
+            and self.events_executed > watchdog.max_events
+        ):
+            raise BudgetExceededError(
+                f"event budget of {watchdog.max_events} exhausted "
+                f"at t={self.now_us}us",
+                budget="events",
+            )
+        if (
+            watchdog.max_time_us is not None
+            and self.now_us > watchdog.max_time_us
+        ):
+            raise BudgetExceededError(
+                f"simulated-time budget of {watchdog.max_time_us}us exhausted",
+                budget="simulated-time",
+            )
+        if (
+            watchdog.max_wall_s is not None
+            and self.events_executed % watchdog.check_every == 0
+            and time.monotonic() - (self._wall_start or 0.0) > watchdog.max_wall_s
+        ):
+            raise BudgetExceededError(
+                f"wall-clock budget of {watchdog.max_wall_s}s exhausted "
+                f"after {self.events_executed} events (t={self.now_us}us)",
+                budget="wall-clock",
+            )
 
     def step(self) -> bool:
         """Execute a single event; return False when the queue is empty."""

@@ -16,6 +16,7 @@ __all__ = [
     "SimulationError",
     "DeadlockError",
     "LivelockError",
+    "BudgetExceededError",
     "ReplayDivergenceError",
     "ConfigError",
     "VisualizationError",
@@ -34,15 +35,44 @@ class TraceError(VppbError):
 class LogFormatError(TraceError):
     """A log file could not be parsed.
 
-    Carries the offending line number and text when available.
+    Carries the offending line number, the raw line text, the column of
+    the offending token within it, and the originating file path when
+    available, so every parse failure can be reported as a caret snippet
+    instead of a bare line number.
     """
 
-    def __init__(self, message: str, *, lineno: int | None = None, line: str | None = None):
+    def __init__(
+        self,
+        message: str,
+        *,
+        lineno: int | None = None,
+        line: str | None = None,
+        column: int | None = None,
+        source: str | None = None,
+    ):
+        self.message = message
         self.lineno = lineno
         self.line = line
-        if lineno is not None:
-            message = f"line {lineno}: {message}"
+        self.column = column
+        self.source = source
         super().__init__(message)
+
+    def __str__(self) -> str:
+        prefix = ""
+        if self.source:
+            prefix += f"{self.source}: "
+        if self.lineno is not None:
+            prefix += f"line {self.lineno}: "
+        return prefix + self.message
+
+    def snippet(self) -> str:
+        """The offending line with a caret under the bad token, or ''."""
+        if self.line is None:
+            return ""
+        out = f"    {self.line}"
+        if self.column is not None and 0 <= self.column <= len(self.line):
+            out += "\n    " + " " * self.column + "^"
+        return out
 
 
 class RecorderError(VppbError):
@@ -75,12 +105,31 @@ class LivelockError(SimulationError):
     """Simulated time stopped advancing (e.g. a spin loop on one LWP)."""
 
 
+class BudgetExceededError(SimulationError):
+    """A watchdog budget (wall-clock or event count) was exhausted.
+
+    Unlike :class:`LivelockError` this is not a verdict about the
+    simulated program — it only says the run outgrew the resources the
+    caller was willing to spend on it.
+    """
+
+    def __init__(self, message: str, *, budget: str = ""):
+        self.budget = budget
+        super().__init__(message)
+
+
 class ReplayDivergenceError(SimulationError):
     """A replayed event could not be applied to the simulated state.
 
     Signals that the trace and the simulator's synchronisation model
     disagree — e.g. a mutex unlock by a thread that does not hold it.
+    Carries the diverging thread when known so a partial result can point
+    at it.
     """
+
+    def __init__(self, message: str, *, tid: int | None = None):
+        self.tid = tid
+        super().__init__(message)
 
 
 class ConfigError(VppbError):

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import SimConfig
+from repro.core.engine import Watchdog
 from repro.core.errors import TraceError
 from repro.core.events import EventRecord, Phase, Primitive, Status
 from repro.core.ids import MAIN_THREAD_ID
@@ -291,6 +292,8 @@ def predict(
     *,
     plan: Optional[ReplayPlan] = None,
     max_events: int = 50_000_000,
+    watchdog: Optional[Watchdog] = None,
+    strict: bool = True,
 ) -> SimulationResult:
     """Simulate the traced program on the given machine (fig. 1 (g)).
 
@@ -298,10 +301,16 @@ def predict(
     processor sweep; note that a plan is consumed by a single simulation
     only when it shares mutable state — our plans are re-usable because
     :class:`~repro.program.behavior.ReplayBehavior` copies the step lists.
+
+    With ``strict=False`` a deadlocked, livelocked, diverged or
+    over-budget replay returns a *partial*
+    :class:`~repro.core.result.SimulationResult` (``result.incomplete``
+    true, diagnosis in ``result.incompleteness``) instead of raising;
+    *watchdog* adds wall-clock/event budgets on top of *max_events*.
     """
     if plan is None:
         plan = compile_trace(trace)
-    sim = Simulator(config, max_events=max_events)
+    sim = Simulator(config, max_events=max_events, watchdog=watchdog, strict=strict)
     return sim.run_replay(plan)
 
 

@@ -27,9 +27,68 @@ __all__ = [
     "ThreadSegment",
     "PlacedEvent",
     "ThreadSummary",
+    "RunStatus",
+    "Incompleteness",
     "SimulationResult",
     "ResultBuilder",
 ]
+
+
+class RunStatus(enum.Enum):
+    """How a simulated execution ended.
+
+    COMPLETE — every thread exited; the result is the full predicted
+    execution.  Anything else marks a *partial* result: the simulation
+    stopped early and the segments/events cover only the simulated time
+    reached.  DEADLOCK — no runnable thread existed but threads were
+    still blocked; LIVELOCK — simulated time stopped advancing;
+    BUDGET — a watchdog budget (wall clock or event count) ran out;
+    DIVERGED — a replayed event could not be applied to the simulated
+    state (trace and synchronisation model disagree).
+    """
+
+    COMPLETE = "complete"
+    DEADLOCK = "deadlock"
+    LIVELOCK = "livelock"
+    BUDGET = "budget-exhausted"
+    DIVERGED = "diverged"
+
+
+@dataclass(frozen=True)
+class Incompleteness:
+    """Why a run is partial, with everything needed to act on it.
+
+    ``blocked`` lists every thread still alive when the run stopped;
+    ``cycle`` is the blocking cycle (each thread waiting on a resource
+    held by the next, wrapping around) when one was found — the classic
+    deadlock witness.  For DIVERGED runs, ``divergence_tid`` /
+    ``divergence_us`` pin the first event that could not be applied.
+    """
+
+    status: RunStatus
+    reason: str
+    blocked: Tuple[int, ...] = ()
+    cycle: Tuple[int, ...] = ()
+    divergence_tid: Optional[int] = None
+    divergence_us: Optional[int] = None
+
+    def describe(self) -> str:
+        parts = [f"{self.status.value}: {self.reason}"]
+        if self.cycle:
+            ring = " -> ".join(f"T{t}" for t in self.cycle)
+            parts.append(f"blocking cycle: {ring} -> T{self.cycle[0]}")
+        elif self.blocked:
+            parts.append(
+                "blocked threads: " + ", ".join(f"T{t}" for t in self.blocked)
+            )
+        if self.divergence_tid is not None:
+            at = (
+                f" at {self.divergence_us}us"
+                if self.divergence_us is not None
+                else ""
+            )
+            parts.append(f"diverged in T{self.divergence_tid}{at}")
+        return "; ".join(parts)
 
 
 class SegmentKind(enum.Enum):
@@ -113,7 +172,13 @@ class ThreadSummary:
 
 @dataclass
 class SimulationResult:
-    """Everything produced by one simulated execution."""
+    """Everything produced by one simulated execution.
+
+    ``incompleteness`` is None for a run that finished; a partial run
+    (watchdog stop, deadlock, divergence — see :class:`RunStatus`)
+    carries its diagnosis here and every collection covers only the
+    simulated time actually reached.
+    """
 
     config: SimConfig
     makespan_us: int
@@ -122,8 +187,19 @@ class SimulationResult:
     summaries: Dict[ThreadId, ThreadSummary]
     cpu_busy_us: List[int]
     engine_events: int = 0
+    incompleteness: Optional[Incompleteness] = None
 
     # ------------------------------------------------------------------
+
+    @property
+    def status(self) -> RunStatus:
+        if self.incompleteness is None:
+            return RunStatus.COMPLETE
+        return self.incompleteness.status
+
+    @property
+    def incomplete(self) -> bool:
+        return self.incompleteness is not None
 
     def thread_ids(self) -> List[ThreadId]:
         return list(self.segments)
@@ -221,6 +297,7 @@ class ResultBuilder:
         makespan_us: int,
         summaries: Dict[ThreadId, ThreadSummary],
         engine_events: int = 0,
+        incompleteness: Optional[Incompleteness] = None,
     ) -> SimulationResult:
         # Close any segment still open at the end of the run.
         for tid in list(self._open):
@@ -249,4 +326,5 @@ class ResultBuilder:
             summaries=summaries,
             cpu_busy_us=self._cpu_busy,
             engine_events=engine_events,
+            incompleteness=incompleteness,
         )

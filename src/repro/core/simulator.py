@@ -33,15 +33,24 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Protocol
 
 from repro.core.config import SimConfig
-from repro.core.engine import Engine
+from repro.core.engine import Engine, Watchdog
 from repro.core.errors import (
+    BudgetExceededError,
     DeadlockError,
+    LivelockError,
     ProgramError,
+    ReplayDivergenceError,
     SimulationError,
 )
 from repro.core.events import EventRecord, Phase, Primitive, Status
 from repro.core.ids import MAIN_THREAD_ID, ThreadId
-from repro.core.result import ResultBuilder, SimulationResult, ThreadSummary
+from repro.core.result import (
+    Incompleteness,
+    ResultBuilder,
+    RunStatus,
+    SimulationResult,
+    ThreadSummary,
+)
 from repro.program import ops as op_mod
 from repro.program.behavior import LiveBehavior, ReplayBehavior, Step, ThreadBehavior
 from repro.program.program import Program, ThreadCtx
@@ -127,11 +136,14 @@ class Simulator:
         probe: Optional[ProbeAPI] = None,
         perturb: Optional[Callable[[int], int]] = None,
         max_events: int = 50_000_000,
+        watchdog: Optional[Watchdog] = None,
+        strict: bool = True,
     ):
         self.config = config
         self.probe = probe
         self.perturb = perturb
-        self.engine = Engine(max_events=max_events)
+        self.strict = strict
+        self.engine = Engine(max_events=max_events, watchdog=watchdog)
         self.builder = ResultBuilder(config)
         self.scheduler = Scheduler(self.engine, config, self.builder, self)
         self.sync = SyncObjectTable()
@@ -200,7 +212,20 @@ class Simulator:
         if self.probe is not None:
             self._emit_marker(Primitive.START_COLLECT, main)
         self.scheduler.register_thread(main, waker_cpu=None)
-        self.engine.run()
+
+        incompleteness: Optional[Incompleteness] = None
+        try:
+            self.engine.run()
+        except (
+            BudgetExceededError,
+            LivelockError,
+            ReplayDivergenceError,
+            DeadlockError,
+        ) as exc:
+            if self.strict:
+                self._finished = True
+                raise
+            incompleteness = self._downgrade(exc)
         self._finished = True
 
         makespan = 0
@@ -213,12 +238,23 @@ class Simulator:
                 )
             if thread.end_time_us is not None:
                 makespan = max(makespan, thread.end_time_us)
-        if blocked:
-            raise DeadlockError(
-                "simulation ended with live threads: " + ", ".join(blocked),
-                blocked=tuple(int(t.tid) for t in self.threads.values() if t.alive),
+        if blocked and incompleteness is None:
+            blocked_tids = tuple(
+                int(t.tid) for t in self.threads.values() if t.alive
             )
-        if self.probe is not None:
+            message = "simulation ended with live threads: " + ", ".join(blocked)
+            if self.strict:
+                raise DeadlockError(message, blocked=blocked_tids)
+            incompleteness = Incompleteness(
+                status=RunStatus.DEADLOCK,
+                reason=message,
+                blocked=blocked_tids,
+                cycle=self._find_blocking_cycle(),
+            )
+        if incompleteness is not None:
+            # partial result: the timeline covers everything simulated so far
+            makespan = max(makespan, self.engine.now_us)
+        elif self.probe is not None:
             self.probe.record(
                 EventRecord(
                     time_us=makespan,
@@ -242,7 +278,76 @@ class Simulator:
             makespan_us=makespan,
             summaries=summaries,
             engine_events=self.engine.events_executed,
+            incompleteness=incompleteness,
         )
+
+    # ==================================================================
+    # graceful degradation (strict=False)
+    # ==================================================================
+
+    def _downgrade(self, exc: SimulationError) -> Incompleteness:
+        """Turn a mid-run failure into a partial-result diagnosis."""
+        blocked = tuple(int(t.tid) for t in self.threads.values() if t.alive)
+        if isinstance(exc, BudgetExceededError):
+            return Incompleteness(
+                status=RunStatus.BUDGET, reason=str(exc), blocked=blocked
+            )
+        if isinstance(exc, ReplayDivergenceError):
+            return Incompleteness(
+                status=RunStatus.DIVERGED,
+                reason=str(exc),
+                blocked=blocked,
+                divergence_tid=exc.tid,
+                divergence_us=self.engine.now_us,
+            )
+        if isinstance(exc, DeadlockError):
+            return Incompleteness(
+                status=RunStatus.DEADLOCK,
+                reason=str(exc),
+                blocked=exc.blocked or blocked,
+                cycle=self._find_blocking_cycle(),
+            )
+        return Incompleteness(
+            status=RunStatus.LIVELOCK, reason=str(exc), blocked=blocked
+        )
+
+    def _find_blocking_cycle(self) -> tuple:
+        """A cycle in the wait-for graph of blocked threads, if one exists.
+
+        Edges: a mutex waiter waits for the owner; an rwlock waiter waits
+        for the writer (or the first reader); a joiner waits for the
+        joined thread.  Condition/semaphore waits have no owner, so they
+        never contribute edges (those deadlocks have no cycle witness —
+        the blocked set is the diagnosis).
+        """
+        waits_for: Dict[int, int] = {}
+        for mutex in self.sync.all_mutexes().values():
+            if mutex.owner is None:
+                continue
+            for waiter in mutex.waiters.threads():
+                waits_for[int(waiter.tid)] = int(mutex.owner.tid)
+        for rwlock in self.sync._rwlocks.values():
+            holder = rwlock.writer or (rwlock.readers[0] if rwlock.readers else None)
+            if holder is None:
+                continue
+            for _, waiter in rwlock._queue:
+                waits_for[int(waiter.tid)] = int(holder.tid)
+        for target_tid, joiners in self._joiners.items():
+            for joiner in joiners:
+                waits_for[int(joiner.tid)] = target_tid
+
+        for start in waits_for:
+            seen: Dict[int, int] = {}
+            node = start
+            pos = 0
+            while node in waits_for and node not in seen:
+                seen[node] = pos
+                pos += 1
+                node = waits_for[node]
+            if node in seen:
+                cycle = [t for t, p in sorted(seen.items(), key=lambda kv: kv[1])]
+                return tuple(cycle[seen[node]:])
+        return ()
 
     # ==================================================================
     # SchedulerListener

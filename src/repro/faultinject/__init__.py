@@ -1,0 +1,42 @@
+"""Deterministic fault injection for traces and simulations.
+
+Production record-and-replay systems treat trace damage and divergence
+as expected inputs; this package manufactures that damage on demand so
+the salvage pipeline (:mod:`repro.recorder.salvage`) and the simulator
+watchdog (:class:`repro.core.engine.Watchdog`) are tested against
+realistic corruption rather than hand-picked fixtures.
+
+* :mod:`repro.faultinject.corrupt` — seeded corruptors over log *text*
+  (truncation, duplication, reordering, field mangling);
+* :mod:`repro.faultinject.perturb` — seeded perturbations of traces and
+  replay plans (dropped wake-ups, clock skew, stalled LWPs);
+* :mod:`repro.faultinject.chaos` — the standing chaos suite: run every
+  corruptor over a log and check each outcome loads strictly or
+  salvages with a non-empty report.
+
+Everything is driven by an explicit seed; the same (input, corruptor,
+seed) triple always produces the same damage, so every chaos failure is
+reproducible.
+"""
+
+from repro.faultinject.corrupt import (
+    CORRUPTORS,
+    corrupt,
+    corruption_corpus,
+    truncate_at,
+)
+from repro.faultinject.perturb import drop_wakeups, skew_clock, stall_threads
+from repro.faultinject.chaos import ChaosOutcome, chaos_summary, run_chaos
+
+__all__ = [
+    "CORRUPTORS",
+    "corrupt",
+    "corruption_corpus",
+    "truncate_at",
+    "drop_wakeups",
+    "skew_clock",
+    "stall_threads",
+    "ChaosOutcome",
+    "chaos_summary",
+    "run_chaos",
+]

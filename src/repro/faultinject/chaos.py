@@ -1,0 +1,112 @@
+"""The standing chaos suite: every corruptor against a real log.
+
+:func:`run_chaos` feeds every ``(corruptor, seed)`` variant of a log
+through the strict parser first and the salvage pipeline second, and
+classifies what happened.  The contract it checks is the robustness
+invariant of the ingestion layer:
+
+    every damaged log either still loads strictly, or salvages into a
+    usable trace with a non-empty repair report — it never escapes as
+    an unhandled exception.
+
+Outcomes marked ``failed`` are contract violations; the test suite
+asserts there are none, and CI runs this as a standing job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.errors import TraceError
+from repro.recorder.logfile import loads
+from repro.recorder.salvage import SalvageReport, salvage_loads
+
+from repro.faultinject.corrupt import CorruptedLog, corruption_corpus
+
+__all__ = ["ChaosOutcome", "run_chaos", "chaos_summary"]
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """What happened to one damaged variant of the log.
+
+    ``status`` is ``"strict-ok"`` (the damage was harmless and the log
+    still parses strictly), ``"salvaged"`` (strict parsing failed or the
+    text changed, but the salvage pipeline produced a usable trace and a
+    repair report), or ``"failed"`` (the robustness contract was
+    violated: an unexpected exception escaped, or salvage claimed a
+    damaged log needed no repairs).
+    """
+
+    kind: str
+    seed: int
+    status: str
+    records: int = 0
+    report: Optional[SalvageReport] = None
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("strict-ok", "salvaged")
+
+
+def _examine(variant: CorruptedLog, pristine: str) -> ChaosOutcome:
+    try:
+        trace = loads(variant.text, mode="strict")
+    except TraceError:
+        # LogFormatError (parse damage) or TraceError (structural damage
+        # that parsed fine) — either way the salvage pipeline takes over.
+        pass
+    else:
+        return ChaosOutcome(
+            kind=variant.kind, seed=variant.seed,
+            status="strict-ok", records=len(trace),
+        )
+
+    try:
+        result = salvage_loads(variant.text)
+    except Exception as exc:  # noqa: BLE001 - the contract is "never raises"
+        return ChaosOutcome(
+            kind=variant.kind, seed=variant.seed,
+            status="failed", error=f"salvage raised {type(exc).__name__}: {exc}",
+        )
+
+    if result.report.clean and variant.text != pristine:
+        return ChaosOutcome(
+            kind=variant.kind, seed=variant.seed,
+            status="failed", report=result.report,
+            error="strict load failed but salvage reported no repairs",
+        )
+    return ChaosOutcome(
+        kind=variant.kind, seed=variant.seed,
+        status="salvaged", records=len(result.trace), report=result.report,
+    )
+
+
+def run_chaos(text: str, *, seeds: Sequence[int] = (0, 1, 2)) -> List[ChaosOutcome]:
+    """Damage *text* with every registered corruptor under every seed and
+    classify each outcome.  Never raises; contract violations come back
+    as outcomes with ``status == "failed"``."""
+    return [
+        _examine(variant, text)
+        for variant in corruption_corpus(text, seeds=seeds)
+    ]
+
+
+def chaos_summary(outcomes: Iterable[ChaosOutcome]) -> str:
+    """Human-readable tally, with one line per failure."""
+    outcomes = list(outcomes)
+    tally = {"strict-ok": 0, "salvaged": 0, "failed": 0}
+    for o in outcomes:
+        tally[o.status] = tally.get(o.status, 0) + 1
+    lines = [
+        f"{len(outcomes)} variant(s): "
+        f"{tally['strict-ok']} strict-ok, "
+        f"{tally['salvaged']} salvaged, "
+        f"{tally['failed']} failed"
+    ]
+    for o in outcomes:
+        if o.status == "failed":
+            lines.append(f"  FAIL {o.kind} seed={o.seed}: {o.error}")
+    return "\n".join(lines)

@@ -1,0 +1,223 @@
+"""Seeded corruptors over log-file text.
+
+Each corruptor is a pure function ``(text, rng) -> text`` registered in
+:data:`CORRUPTORS` under a stable name; :func:`corrupt` drives one by
+name with an integer seed, and :func:`corruption_corpus` enumerates the
+full corruptor x seed grid for the chaos suite.  The damage models the
+failure modes a 15 MB log (§4) actually meets in the wild: a recorder
+killed mid-write, a copy cut short, lines duplicated or reordered by a
+buggy collector, and single-field bit-rot.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Sequence
+
+__all__ = [
+    "CorruptorFn",
+    "CORRUPTORS",
+    "corruptor",
+    "corrupt",
+    "corruption_corpus",
+    "CorruptedLog",
+    "truncate_at",
+]
+
+CorruptorFn = Callable[[str, random.Random], str]
+
+CORRUPTORS: Dict[str, CorruptorFn] = {}
+
+
+def corruptor(name: str) -> Callable[[CorruptorFn], CorruptorFn]:
+    """Register a corruptor under *name*."""
+
+    def register(fn: CorruptorFn) -> CorruptorFn:
+        if name in CORRUPTORS:
+            raise ValueError(f"duplicate corruptor {name!r}")
+        CORRUPTORS[name] = fn
+        return fn
+
+    return register
+
+
+def corrupt(text: str, kind: str, seed: int = 0) -> str:
+    """Apply the named corruptor deterministically (same seed, same damage)."""
+    try:
+        fn = CORRUPTORS[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown corruptor {kind!r}; have {sorted(CORRUPTORS)}"
+        ) from None
+    return fn(text, random.Random(seed))
+
+
+@dataclass(frozen=True)
+class CorruptedLog:
+    """One damaged variant of a log, tagged with how it was made."""
+
+    kind: str
+    seed: int
+    text: str
+
+
+def corruption_corpus(
+    text: str, *, seeds: Sequence[int] = (0, 1, 2)
+) -> Iterator[CorruptedLog]:
+    """Every registered corruptor applied under every seed."""
+    for kind in sorted(CORRUPTORS):
+        for seed in seeds:
+            yield CorruptedLog(kind=kind, seed=seed, text=corrupt(text, kind, seed))
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def truncate_at(text: str, offset: int) -> str:
+    """Cut the log at an arbitrary byte offset (recorder died mid-write)."""
+    return text[:max(0, offset)]
+
+
+def _lines(text: str) -> List[str]:
+    return text.splitlines(keepends=True)
+
+
+def _record_indices(lines: List[str]) -> List[int]:
+    """Indices of non-header, non-blank lines (the actual records)."""
+    return [
+        i
+        for i, line in enumerate(lines)
+        if line.strip() and not line.lstrip().startswith("#")
+    ]
+
+
+def _pick(rng: random.Random, indices: List[int], fraction: float, at_least: int = 1) -> List[int]:
+    if not indices:
+        return []
+    count = max(at_least, int(len(indices) * fraction))
+    count = min(count, len(indices))
+    return sorted(rng.sample(indices, count))
+
+
+# ---------------------------------------------------------------------------
+# corruptors
+# ---------------------------------------------------------------------------
+
+
+@corruptor("truncate")
+def _truncate(text: str, rng: random.Random) -> str:
+    """Cut at a random byte offset, typically leaving a partial last line."""
+    if not text:
+        return text
+    return truncate_at(text, rng.randrange(1, len(text) + 1))
+
+
+@corruptor("drop-lines")
+def _drop_lines(text: str, rng: random.Random) -> str:
+    """Lose a few records (a collector that dropped buffers)."""
+    lines = _lines(text)
+    doomed = set(_pick(rng, _record_indices(lines), 0.05))
+    return "".join(l for i, l in enumerate(lines) if i not in doomed)
+
+
+@corruptor("duplicate-lines")
+def _duplicate_lines(text: str, rng: random.Random) -> str:
+    """Write a few records twice (a retried flush)."""
+    lines = _lines(text)
+    doubled = set(_pick(rng, _record_indices(lines), 0.05))
+    out: List[str] = []
+    for i, line in enumerate(lines):
+        out.append(line)
+        if i in doubled:
+            out.append(line if line.endswith("\n") else line + "\n")
+    return "".join(out)
+
+
+@corruptor("swap-lines")
+def _swap_lines(text: str, rng: random.Random) -> str:
+    """Reorder adjacent records (out-of-order delivery)."""
+    lines = _lines(text)
+    records = _record_indices(lines)
+    for i in _pick(rng, records[:-1], 0.05):
+        j = records[records.index(i) + 1]
+        lines[i], lines[j] = lines[j], lines[i]
+    return "".join(lines)
+
+
+def _mangle_field(text: str, rng: random.Random, column: int, value: str) -> str:
+    """Replace field *column* of a few record lines with *value*."""
+    lines = _lines(text)
+    for i in _pick(rng, _record_indices(lines), 0.03):
+        fields = lines[i].split()
+        if len(fields) > column:
+            fields[column] = value
+            lines[i] = " ".join(fields) + "\n"
+    return "".join(lines)
+
+
+@corruptor("mangle-timestamp")
+def _mangle_timestamp(text: str, rng: random.Random) -> str:
+    return _mangle_field(text, rng, 0, "not-a-time")
+
+
+@corruptor("negative-timestamp")
+def _negative_timestamp(text: str, rng: random.Random) -> str:
+    return _mangle_field(text, rng, 0, f"-{rng.randrange(1, 10)}.000000")
+
+
+@corruptor("backwards-timestamp")
+def _backwards_timestamp(text: str, rng: random.Random) -> str:
+    """Rewind a few timestamps to zero (clock glitch; ordering damage)."""
+    return _mangle_field(text, rng, 0, "0.000000")
+
+
+@corruptor("mangle-tid")
+def _mangle_tid(text: str, rng: random.Random) -> str:
+    return _mangle_field(text, rng, 1, "X9")
+
+
+@corruptor("mangle-primitive")
+def _mangle_primitive(text: str, rng: random.Random) -> str:
+    return _mangle_field(text, rng, 3, "warp_drive")
+
+
+@corruptor("unknown-attribute")
+def _unknown_attribute(text: str, rng: random.Random) -> str:
+    """Append an attribute from a future format version (forward compat)."""
+    lines = _lines(text)
+    for i in _pick(rng, _record_indices(lines), 0.05):
+        lines[i] = lines[i].rstrip("\n") + " colour=red\n"
+    return "".join(lines)
+
+
+@corruptor("garbage-bytes")
+def _garbage_bytes(text: str, rng: random.Random) -> str:
+    """Overwrite a small window with binary noise (disk corruption)."""
+    if len(text) < 8:
+        return text
+    start = rng.randrange(0, len(text) - 4)
+    width = rng.randrange(4, min(64, len(text) - start) + 1)
+    noise = "".join(chr(rng.randrange(33, 127)) for _ in range(width))
+    return text[:start] + noise + text[start + width:]
+
+
+@corruptor("duplicate-header")
+def _duplicate_header(text: str, rng: random.Random) -> str:
+    lines = _lines(text)
+    headers = [l for l in lines if l.lstrip().startswith("#")]
+    if not headers:
+        return text
+    dup = rng.choice(headers)
+    insert_at = rng.randrange(0, len(lines) + 1)
+    lines.insert(insert_at, dup if dup.endswith("\n") else dup + "\n")
+    return "".join(lines)
+
+
+@corruptor("delete-header")
+def _delete_header(text: str, rng: random.Random) -> str:
+    """Lose the version header (the first thing truncation-from-the-top eats)."""
+    lines = _lines(text)
+    return "".join(l for l in lines if not l.lstrip().startswith("# vppb-log"))

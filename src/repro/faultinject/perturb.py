@@ -1,0 +1,164 @@
+"""Seeded perturbations of traces and replay plans.
+
+Where :mod:`repro.faultinject.corrupt` damages the log *text* (and so
+exercises the parser and the salvage pipeline), these perturbations
+damage the *semantics* of an already-valid trace or compiled plan, and
+so exercise the simulator's watchdog and graceful-degradation paths:
+
+* :func:`drop_wakeups` removes ``sema_post`` / ``cond_signal`` /
+  ``cond_broadcast`` call+ret pairs from a trace.  The result is still a
+  structurally valid log, but replaying it can leave waiters blocked
+  forever — exactly the deadlock/livelock shape the watchdog must turn
+  into a partial result.
+* :func:`skew_clock` scales each step's CPU burst by a seeded factor,
+  modelling a recorder whose timestamps drifted.
+* :func:`stall_threads` inserts long no-CPU delays into thread step
+  lists, modelling LWPs that the kernel parked mid-run.
+
+Plan perturbations follow :mod:`repro.analysis.transform`'s rule: they
+return a new plan and never mutate the input.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.events import EventRecord, Phase, Primitive
+from repro.core.simulator import ReplayPlan
+from repro.core.trace import Trace
+from repro.program import ops as op_mod
+from repro.program.behavior import Step
+
+__all__ = ["DroppedWakeups", "drop_wakeups", "skew_clock", "stall_threads"]
+
+_WAKEUP_PRIMITIVES = (
+    Primitive.SEMA_POST,
+    Primitive.COND_SIGNAL,
+    Primitive.COND_BROADCAST,
+)
+
+
+@dataclass(frozen=True)
+class DroppedWakeups:
+    """What :func:`drop_wakeups` removed: ``(lineno-ish index, record)``
+    pairs in original record order, call records only."""
+
+    trace: Trace
+    dropped: Tuple[EventRecord, ...]
+
+
+def _copy_plan(plan: ReplayPlan, steps: Dict[int, List[Step]]) -> ReplayPlan:
+    return ReplayPlan(steps=steps, meta=dict(plan.meta), program_name=plan.program_name)
+
+
+def drop_wakeups(
+    trace: Trace,
+    *,
+    seed: int = 0,
+    fraction: float = 0.5,
+    primitives: Sequence[Primitive] = _WAKEUP_PRIMITIVES,
+) -> DroppedWakeups:
+    """Remove a seeded sample of wake-up call+ret pairs from *trace*.
+
+    Each victim is a CALL record of one of *primitives*; its matching
+    RET (the next record of the same thread, primitive and object) is
+    removed with it, so the result still satisfies the structural
+    invariants and loads as a valid :class:`Trace`.  Replaying it,
+    however, may strand the threads that waited on those signals —
+    feeding the simulator's deadlock/watchdog machinery realistic input.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    rng = random.Random(seed)
+    records = list(trace.records)
+    wanted = set(primitives)
+
+    candidates = [
+        i
+        for i, rec in enumerate(records)
+        if rec.is_call and rec.primitive in wanted
+    ]
+    count = min(len(candidates), max(1, int(len(candidates) * fraction))) if candidates else 0
+    victims = sorted(rng.sample(candidates, count)) if count else []
+
+    doomed: set = set()
+    dropped: List[EventRecord] = []
+    for i in victims:
+        call = records[i]
+        doomed.add(i)
+        dropped.append(call)
+        for j in range(i + 1, len(records)):
+            rec = records[j]
+            if (
+                j not in doomed
+                and rec.tid == call.tid
+                and rec.primitive is call.primitive
+                and rec.obj == call.obj
+                and rec.phase is Phase.RET
+            ):
+                doomed.add(j)
+                break
+
+    kept = [rec for i, rec in enumerate(records) if i not in doomed]
+    return DroppedWakeups(
+        trace=Trace(kept, trace.meta, validate=True),
+        dropped=tuple(dropped),
+    )
+
+
+def skew_clock(
+    plan: ReplayPlan,
+    *,
+    seed: int = 0,
+    max_skew: float = 0.1,
+) -> ReplayPlan:
+    """Scale each step's CPU burst by an independent seeded factor drawn
+    uniformly from ``[1 - max_skew, 1 + max_skew]`` (recorder clock
+    drift).  Returns a new plan; the input is untouched."""
+    if not 0.0 <= max_skew < 1.0:
+        raise ValueError(f"max_skew must be in [0, 1), got {max_skew}")
+    rng = random.Random(seed)
+    out: Dict[int, List[Step]] = {}
+    for tid in sorted(plan.steps):
+        new_steps: List[Step] = []
+        for s in plan.steps[tid]:
+            factor = rng.uniform(1.0 - max_skew, 1.0 + max_skew)
+            new_steps.append(Step(max(0, round(s.work_us * factor)), s.op))
+        out[tid] = new_steps
+    return _copy_plan(plan, out)
+
+
+def stall_threads(
+    plan: ReplayPlan,
+    *,
+    seed: int = 0,
+    stall_us: int = 50_000,
+    fraction: float = 0.5,
+    threads: Optional[Sequence[int]] = None,
+) -> ReplayPlan:
+    """Insert a ``Delay(stall_us)`` step at one seeded position in each
+    chosen thread (the kernel parked the LWP mid-run).  ``threads``
+    restricts the damage; by default a seeded *fraction* of all threads
+    with at least one step is stalled."""
+    if stall_us < 0:
+        raise ValueError(f"stall_us must be >= 0, got {stall_us}")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    rng = random.Random(seed)
+    eligible = sorted(tid for tid, steps in plan.steps.items() if steps)
+    if threads is not None:
+        chosen = [tid for tid in eligible if tid in set(threads)]
+    else:
+        count = min(len(eligible), max(1, int(len(eligible) * fraction))) if eligible else 0
+        chosen = sorted(rng.sample(eligible, count)) if count else []
+
+    out: Dict[int, List[Step]] = {}
+    for tid in sorted(plan.steps):
+        steps = list(plan.steps[tid])
+        if tid in chosen:
+            at = rng.randrange(0, len(steps) + 1)
+            steps.insert(at, Step(0, op_mod.Delay(stall_us)))
+        out[tid] = steps
+    return _copy_plan(plan, out)

@@ -26,8 +26,9 @@ from __future__ import annotations
 
 import io
 import urllib.parse
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.core.errors import LogFormatError
 from repro.core.events import EventRecord, Phase, SourceLocation, Status
@@ -39,6 +40,10 @@ from repro.core.trace import Trace, TraceMeta
 __all__ = ["FORMAT_VERSION", "dump", "dumps", "load", "loads"]
 
 FORMAT_VERSION = 1
+
+#: Callback a lenient parse uses to report a tolerated problem instead of
+#: raising: ``on_repair(kind, detail)``.
+RepairHook = Callable[[str, str], None]
 
 _PHASES_BY_NAME = {p.value: p for p in Phase}
 _STATUS_BY_NAME = {s.value: s for s in Status}
@@ -54,16 +59,16 @@ def _encode_source(src: SourceLocation) -> str:
     return f"{quote(src.file, safe='/.')}|{src.line}|{quote(src.function, safe='')}"
 
 
-def _decode_source(text: str, lineno: int) -> SourceLocation:
+def _decode_source(text: str, lineno: int, line: str = "") -> SourceLocation:
     parts = text.split("|")
     if len(parts) != 3:
-        raise LogFormatError(f"bad src field {text!r}", lineno=lineno)
+        raise _fail(f"bad src field {text!r}", lineno, line, text)
     unquote = urllib.parse.unquote
     try:
-        line = int(parts[1])
+        src_line = int(parts[1])
     except ValueError as exc:
-        raise LogFormatError(f"bad src line number {parts[1]!r}", lineno=lineno) from exc
-    return SourceLocation(file=unquote(parts[0]), line=line, function=unquote(parts[2]))
+        raise _fail(f"bad src line number {parts[1]!r}", lineno, line, parts[1]) from exc
+    return SourceLocation(file=unquote(parts[0]), line=src_line, function=unquote(parts[2]))
 
 
 def _record_line(rec: EventRecord, *, posix_names: bool = False) -> str:
@@ -123,74 +128,105 @@ def dump(trace: Trace, path: Union[str, Path]) -> int:
 # ---------------------------------------------------------------------------
 
 
-def _parse_time(text: str, lineno: int) -> int:
+def _fail(message: str, lineno: int, line: str, token: Optional[str] = None) -> LogFormatError:
+    """Build a LogFormatError carrying the line text and a caret column."""
+    column = None
+    if token:
+        pos = line.find(token)
+        if pos >= 0:
+            column = pos
+    return LogFormatError(message, lineno=lineno, line=line, column=column)
+
+
+def _parse_time(text: str, lineno: int, line: str) -> int:
     try:
         if "." in text:
             whole, frac = text.split(".", 1)
             frac = (frac + "000000")[:6]
-            return int(whole) * US_PER_SECOND + int(frac)
+            value = int(whole) * US_PER_SECOND
+            value += -int(frac) if whole.startswith("-") else int(frac)
+            return value
         return int(text) * US_PER_SECOND
     except ValueError as exc:
-        raise LogFormatError(f"bad timestamp {text!r}", lineno=lineno) from exc
+        raise _fail(f"bad timestamp {text!r}", lineno, line, text) from exc
 
 
-def _parse_tid(text: str, lineno: int) -> ThreadId:
+def _parse_tid(text: str, lineno: int, line: str) -> ThreadId:
     if not text.startswith("T"):
-        raise LogFormatError(f"bad thread id {text!r}", lineno=lineno)
+        raise _fail(f"bad thread id {text!r}", lineno, line, text)
     try:
         return ThreadId(int(text[1:]))
     except ValueError as exc:
-        raise LogFormatError(f"bad thread id {text!r}", lineno=lineno) from exc
+        raise _fail(f"bad thread id {text!r}", lineno, line, text) from exc
 
 
-def _parse_obj(text: str, lineno: int) -> SyncObjectId:
+def _parse_obj(text: str, lineno: int, line: str) -> SyncObjectId:
     kind, sep, name = text.partition(":")
     if not sep or not kind:
-        raise LogFormatError(f"bad object id {text!r}", lineno=lineno)
+        raise _fail(f"bad object id {text!r}", lineno, line, text)
     return SyncObjectId(kind, name)
 
 
-def _parse_record(line: str, lineno: int) -> EventRecord:
+def _parse_record(
+    line: str, lineno: int, *, on_repair: Optional[RepairHook] = None
+) -> EventRecord:
+    """Parse one record line.
+
+    With ``on_repair`` set (lenient mode), attribute-level damage —
+    unknown attribute keys, unparsable attribute values, a negative
+    timestamp — is reported through the hook and skipped/clamped instead
+    of raising; only damage to the four mandatory columns still raises.
+    """
     fields = line.split()
     if len(fields) < 4:
         raise LogFormatError("record needs at least 4 fields", lineno=lineno, line=line)
-    time_us = _parse_time(fields[0], lineno)
-    tid = _parse_tid(fields[1], lineno)
+    time_us = _parse_time(fields[0], lineno, line)
+    if time_us < 0:
+        if on_repair is None:
+            raise _fail(f"negative timestamp {fields[0]!r}", lineno, line, fields[0])
+        on_repair("clamped-negative-timestamp", f"{fields[0]} -> 0.000000")
+        time_us = 0
+    tid = _parse_tid(fields[1], lineno, line)
     phase = _PHASES_BY_NAME.get(fields[2])
     if phase is None:
-        raise LogFormatError(f"unknown phase {fields[2]!r}", lineno=lineno)
+        raise _fail(f"unknown phase {fields[2]!r}", lineno, line, fields[2])
     primitive = primitive_for_name(fields[3])
     if primitive is None:
-        raise LogFormatError(f"unknown primitive {fields[3]!r}", lineno=lineno)
+        raise _fail(f"unknown primitive {fields[3]!r}", lineno, line, fields[3])
 
     obj = obj2 = None
     target = None
     arg = None
     status = None
     source = None
-    for field in fields[4:]:
-        key, sep, value = field.partition("=")
-        if not sep:
-            raise LogFormatError(f"bad attribute {field!r}", lineno=lineno)
-        if key == "obj":
-            obj = _parse_obj(value, lineno)
-        elif key == "obj2":
-            obj2 = _parse_obj(value, lineno)
-        elif key == "target":
-            target = _parse_tid(value, lineno)
-        elif key == "arg":
-            try:
-                arg = int(value)
-            except ValueError as exc:
-                raise LogFormatError(f"bad arg {value!r}", lineno=lineno) from exc
-        elif key == "status":
-            status = _STATUS_BY_NAME.get(value)
-            if status is None:
-                raise LogFormatError(f"unknown status {value!r}", lineno=lineno)
-        elif key == "src":
-            source = _decode_source(value, lineno)
-        else:
-            raise LogFormatError(f"unknown attribute key {key!r}", lineno=lineno)
+    for token in fields[4:]:
+        key, sep, value = token.partition("=")
+        try:
+            if not sep:
+                raise _fail(f"bad attribute {token!r}", lineno, line, token)
+            if key == "obj":
+                obj = _parse_obj(value, lineno, line)
+            elif key == "obj2":
+                obj2 = _parse_obj(value, lineno, line)
+            elif key == "target":
+                target = _parse_tid(value, lineno, line)
+            elif key == "arg":
+                try:
+                    arg = int(value)
+                except ValueError as exc:
+                    raise _fail(f"bad arg {value!r}", lineno, line, value) from exc
+            elif key == "status":
+                status = _STATUS_BY_NAME.get(value)
+                if status is None:
+                    raise _fail(f"unknown status {value!r}", lineno, line, value)
+            elif key == "src":
+                source = _decode_source(value, lineno, line)
+            else:
+                raise _fail(f"unknown attribute key {key!r}", lineno, line, key)
+        except LogFormatError as exc:
+            if on_repair is None:
+                raise
+            on_repair("skipped-attribute", exc.message)
     return EventRecord(
         time_us=time_us,
         tid=tid,
@@ -205,63 +241,118 @@ def _parse_record(line: str, lineno: int) -> EventRecord:
     )
 
 
-def loads(text: str, *, validate: bool = True) -> Trace:
-    """Parse log-file text back into a :class:`Trace`."""
-    program = "a.out"
-    overhead = 0
-    comment = ""
-    functions: Dict[int, str] = {}
+@dataclass
+class _HeaderAcc:
+    """Metadata accumulated from ``#`` header lines during a parse."""
+
+    program: str = "a.out"
+    overhead: int = 0
+    comment: str = ""
+    functions: Dict[int, str] = field(default_factory=dict)
+    saw_version: bool = False
+
+    def meta(self) -> TraceMeta:
+        return TraceMeta(
+            program=self.program,
+            thread_functions=self.functions,
+            probe_overhead_us=self.overhead,
+            comment=self.comment,
+        )
+
+
+def _parse_header_line(
+    acc: _HeaderAcc, line: str, lineno: int, *, on_repair: Optional[RepairHook] = None
+) -> None:
+    """Apply one ``#`` line to *acc* (lenient mode reports and ignores damage)."""
+    body = line[1:].strip()
+    try:
+        if body.startswith("vppb-log"):
+            try:
+                version = int(body.split()[1])
+            except (IndexError, ValueError) as exc:
+                raise _fail("bad version header", lineno, line) from exc
+            if version != FORMAT_VERSION:
+                raise _fail(f"unsupported log version {version}", lineno, line, str(version))
+            if acc.saw_version and on_repair is not None:
+                on_repair("duplicate-header", "repeated '# vppb-log' line")
+            acc.saw_version = True
+        elif body.startswith("program:"):
+            acc.program = body.split(":", 1)[1].strip()
+        elif body.startswith("probe-overhead-us:"):
+            try:
+                acc.overhead = int(body.split(":", 1)[1].strip())
+            except ValueError as exc:
+                raise _fail("bad probe overhead", lineno, line) from exc
+        elif body.startswith("thread-function:"):
+            rest = body.split(":", 1)[1].split()
+            if len(rest) != 2:
+                raise _fail("bad thread-function header", lineno, line)
+            try:
+                acc.functions[int(rest[0])] = urllib.parse.unquote(rest[1])
+            except ValueError as exc:
+                raise _fail("bad thread-function id", lineno, line, rest[0]) from exc
+        elif body.startswith("comment:"):
+            acc.comment = body.split(":", 1)[1].strip()
+        # unknown comment lines are tolerated (forward compatibility)
+    except LogFormatError as exc:
+        if on_repair is None:
+            raise
+        on_repair("ignored-bad-header", exc.message)
+
+
+def loads(
+    text: str,
+    *,
+    validate: bool = True,
+    mode: str = "strict",
+    source: Optional[str] = None,
+) -> Trace:
+    """Parse log-file text back into a :class:`Trace`.
+
+    ``mode="strict"`` (default) raises :class:`LogFormatError` on the
+    first problem; ``mode="lenient"`` runs the salvage pipeline
+    (:mod:`repro.recorder.salvage`) and returns the best-effort trace —
+    use :func:`repro.recorder.salvage.salvage_loads` to also get the
+    :class:`~repro.recorder.salvage.SalvageReport`.  ``source`` (a file
+    path or label) is attached to error messages.
+    """
+    if mode == "lenient":
+        from repro.recorder.salvage import salvage_loads
+
+        return salvage_loads(text, source=source, validate=validate).trace
+    if mode != "strict":
+        raise ValueError(f"unknown mode {mode!r} (expected 'strict' or 'lenient')")
+
+    acc = _HeaderAcc()
     records: List[EventRecord] = []
-    saw_version = False
+    try:
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                _parse_header_line(acc, line, lineno)
+                continue
+            records.append(_parse_record(line, lineno))
+        if not acc.saw_version:
+            raise LogFormatError("missing '# vppb-log <version>' header", lineno=1)
+    except LogFormatError as exc:
+        exc.source = source
+        raise
+    return Trace(records, acc.meta(), validate=validate)
 
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.strip()
-        if not line:
-            continue
-        if line.startswith("#"):
-            body = line[1:].strip()
-            if body.startswith("vppb-log"):
-                try:
-                    version = int(body.split()[1])
-                except (IndexError, ValueError) as exc:
-                    raise LogFormatError("bad version header", lineno=lineno) from exc
-                if version != FORMAT_VERSION:
-                    raise LogFormatError(
-                        f"unsupported log version {version}", lineno=lineno
-                    )
-                saw_version = True
-            elif body.startswith("program:"):
-                program = body.split(":", 1)[1].strip()
-            elif body.startswith("probe-overhead-us:"):
-                try:
-                    overhead = int(body.split(":", 1)[1].strip())
-                except ValueError as exc:
-                    raise LogFormatError("bad probe overhead", lineno=lineno) from exc
-            elif body.startswith("thread-function:"):
-                rest = body.split(":", 1)[1].split()
-                if len(rest) != 2:
-                    raise LogFormatError("bad thread-function header", lineno=lineno)
-                try:
-                    functions[int(rest[0])] = urllib.parse.unquote(rest[1])
-                except ValueError as exc:
-                    raise LogFormatError("bad thread-function id", lineno=lineno) from exc
-            elif body.startswith("comment:"):
-                comment = body.split(":", 1)[1].strip()
-            # unknown comment lines are tolerated (forward compatibility)
-            continue
-        records.append(_parse_record(line, lineno))
 
-    if not saw_version:
-        raise LogFormatError("missing '# vppb-log <version>' header", lineno=1)
-    meta = TraceMeta(
-        program=program,
-        thread_functions=functions,
-        probe_overhead_us=overhead,
-        comment=comment,
+def load(
+    path: Union[str, Path],
+    *,
+    validate: bool = True,
+    mode: str = "strict",
+) -> Trace:
+    """Read a log file from disk.
+
+    Accepts the same ``mode``/``validate`` keywords as :func:`loads` and
+    propagates the file path into any error message.
+    """
+    return loads(
+        Path(path).read_text(), validate=validate, mode=mode, source=str(path)
     )
-    return Trace(records, meta, validate=validate)
-
-
-def load(path: Union[str, Path], *, validate: bool = True) -> Trace:
-    """Read a log file from disk."""
-    return loads(Path(path).read_text(), validate=validate)

@@ -1,0 +1,439 @@
+"""Best-effort repair of damaged log files (the salvage pipeline).
+
+A recorder that dies mid-run, a log truncated while copying, or a few
+mangled lines in a 15 MB file (§4 sizes) should not cost the whole
+Recorder→Simulator→Visualizer flow.  This module turns "malformed" into
+"diagnosed": :func:`salvage_loads` parses as much of the text as it can,
+then :func:`salvage_trace` repairs the surviving records into a trace
+that satisfies every :class:`~repro.core.trace.Trace` invariant, and a
+:class:`SalvageReport` enumerates each repair with its line number.
+
+Repairs applied, in order:
+
+* a partial last line (no trailing newline) is dropped — the classic
+  recorder-died-mid-write damage;
+* unparsable lines are dropped; unknown attributes on otherwise-good
+  lines are skipped (forward compatibility with newer recorders);
+* negative timestamps are clamped to zero;
+* out-of-order timestamps are clamped monotonically (the recorded log is
+  a sequential uni-processor history, so file order is ground truth);
+* duplicated records and orphan/mismatched returns are dropped;
+* open ``call`` phases get a synthesized ``ret`` record (a thread that
+  never returned from ``mutex_lock`` in the log still did the call);
+* records after a thread's ``thr_exit``, threads with no ``thr_create``
+  record, ``thr_create`` pairs without a created-thread id (or whose
+  child left no records at all), and ``thr_join`` records targeting a
+  thread that no longer exists are dropped (they cannot be replayed).
+
+Everything is reported; nothing is silently discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.errors import LogFormatError, TraceError
+from repro.core.events import EventRecord, Phase, Primitive, Status
+from repro.core.ids import MAIN_THREAD_ID
+from repro.core.trace import Trace
+from repro.recorder import logfile
+
+__all__ = [
+    "Repair",
+    "SalvageReport",
+    "SalvageResult",
+    "salvage_trace",
+    "salvage_loads",
+    "salvage_load",
+]
+
+
+@dataclass(frozen=True)
+class Repair:
+    """One repair the salvage pipeline performed."""
+
+    kind: str
+    detail: str
+    lineno: Optional[int] = None
+
+    def __str__(self) -> str:
+        where = f"line {self.lineno}: " if self.lineno is not None else ""
+        return f"{where}[{self.kind}] {self.detail}"
+
+
+@dataclass
+class SalvageReport:
+    """Everything the salvage pipeline changed, with line numbers."""
+
+    source: Optional[str] = None
+    repairs: List[Repair] = field(default_factory=list)
+    total_lines: int = 0
+    records_parsed: int = 0
+    records_kept: int = 0
+
+    def add(self, kind: str, detail: str, lineno: Optional[int] = None) -> None:
+        self.repairs.append(Repair(kind=kind, detail=detail, lineno=lineno))
+
+    @property
+    def clean(self) -> bool:
+        """True when the input needed no repair at all."""
+        return not self.repairs
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for r in self.repairs:
+            counts[r.kind] = counts.get(r.kind, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        """One-line diagnosis."""
+        name = self.source or "<log>"
+        if self.clean:
+            return f"{name}: clean ({self.records_kept} records, no repairs)"
+        return (
+            f"{name}: {len(self.repairs)} repair(s), "
+            f"{self.records_parsed} record(s) parsed -> {self.records_kept} kept"
+        )
+
+    def details(self) -> str:
+        """Multi-line diagnosis: the summary, per-kind counts, and every
+        individual repair with its line number."""
+        lines = [self.summary()]
+        for kind, count in sorted(self.counts_by_kind().items()):
+            lines.append(f"  {count:>4} x {kind}")
+        for r in self.repairs:
+            lines.append(f"  - {r}")
+        return "\n".join(lines)
+
+
+@dataclass
+class SalvageResult:
+    """A salvaged trace plus the report of what it took to get it."""
+
+    trace: Trace
+    report: SalvageReport
+
+
+# ---------------------------------------------------------------------------
+# structural repair of parsed records
+# ---------------------------------------------------------------------------
+
+
+def _synth_ret(call: EventRecord, time_us: int) -> EventRecord:
+    """A plausible return record closing *call*.
+
+    A ``cond_timedwait`` is closed as TIMEOUT — replayed as a plain delay
+    (§3.2), which cannot deadlock the simulation; everything else is
+    closed as OK.
+    """
+    status = (
+        Status.TIMEOUT if call.primitive is Primitive.COND_TIMEDWAIT else Status.OK
+    )
+    return EventRecord(
+        time_us=max(time_us, call.time_us),
+        tid=call.tid,
+        phase=Phase.RET,
+        primitive=call.primitive,
+        obj=call.obj,
+        obj2=call.obj2,
+        target=call.target,
+        arg=call.arg,
+        status=status,
+        source=call.source,
+    )
+
+
+def _is_duplicate(a: EventRecord, b: EventRecord) -> bool:
+    return (
+        a.time_us == b.time_us
+        and a.primitive is b.primitive
+        and a.obj == b.obj
+        and a.phase is b.phase
+    )
+
+
+def salvage_trace(
+    records: List[Tuple[Optional[int], EventRecord]],
+    meta=None,
+    *,
+    report: Optional[SalvageReport] = None,
+    validate: bool = True,
+) -> SalvageResult:
+    """Repair parsed records into a structurally valid :class:`Trace`.
+
+    *records* is a list of ``(lineno, record)`` pairs in file order
+    (``lineno`` may be None for records that never lived in a file).
+    """
+    report = report if report is not None else SalvageReport()
+    report.records_parsed = len(records)
+
+    # -- clamp out-of-order timestamps (file order is ground truth) -------
+    clamped: List[Tuple[Optional[int], EventRecord]] = []
+    last_time = 0
+    for lineno, rec in records:
+        if rec.time_us < last_time:
+            report.add(
+                "clamped-timestamp",
+                f"{rec.brief()}: {rec.time_us}us -> {last_time}us",
+                lineno,
+            )
+            rec = rec.shifted(last_time - rec.time_us)
+        last_time = rec.time_us
+        clamped.append((lineno, rec))
+
+    # -- call/ret pairing repair, per thread, in file order ---------------
+    paired: List[Tuple[Optional[int], EventRecord]] = []
+    open_call: Dict[int, Tuple[Optional[int], EventRecord]] = {}
+    exited: set = set()
+    for lineno, rec in clamped:
+        tid = int(rec.tid)
+        if rec.is_marker:
+            # markers are single records; end_collect is legitimately
+            # stamped on the main thread after its thr_exit
+            paired.append((lineno, rec))
+            continue
+        if tid in exited:
+            report.add(
+                "dropped-after-exit", f"{rec.brief()} after thr_exit", lineno
+            )
+            continue
+        if rec.primitive is Primitive.THR_EXIT:
+            if tid in open_call:
+                _, call = open_call.pop(tid)
+                report.add(
+                    "synthesized-return",
+                    f"closing open {call.primitive} of T{tid} before thr_exit",
+                    lineno,
+                )
+                paired.append((None, _synth_ret(call, rec.time_us)))
+            exited.add(tid)
+            paired.append((lineno, rec))
+            continue
+        if rec.phase is Phase.CALL:
+            if tid in open_call:
+                _, prev = open_call[tid]
+                if _is_duplicate(prev, rec):
+                    report.add(
+                        "dropped-duplicate-call", rec.brief(), lineno
+                    )
+                    continue
+                report.add(
+                    "synthesized-return",
+                    f"closing open {prev.primitive} of T{tid} "
+                    f"before new {rec.primitive} call",
+                    lineno,
+                )
+                paired.append((None, _synth_ret(prev, rec.time_us)))
+            open_call[tid] = (lineno, rec)
+            paired.append((lineno, rec))
+        else:  # RET
+            entry = open_call.get(tid)
+            if entry is None:
+                report.add("dropped-orphan-return", rec.brief(), lineno)
+                continue
+            _, call = entry
+            if call.primitive is not rec.primitive:
+                report.add(
+                    "dropped-mismatched-return",
+                    f"{rec.brief()} does not close open {call.primitive}",
+                    lineno,
+                )
+                continue
+            del open_call[tid]
+            paired.append((lineno, rec))
+
+    # close calls still open at end-of-log (truncation damage)
+    for tid, (lineno, call) in sorted(open_call.items()):
+        report.add(
+            "synthesized-return",
+            f"closing open {call.primitive} of T{tid} at end of log",
+            lineno,
+        )
+        paired.append((None, _synth_ret(call, last_time)))
+
+    # -- repair or drop thr_create pairs without a created-thread id ------
+    # A live recording only stamps the child tid on the RET record, so a
+    # call without a target is normal; a *pair* without one cannot be
+    # replayed and is dropped whole.  A ret missing its target while the
+    # call carries one (reordered/mangled damage) is repaired from it.
+    drop: set = set()
+    replacement: Dict[int, EventRecord] = {}
+    pending_create: Dict[int, int] = {}
+    for idx, (lineno, rec) in enumerate(paired):
+        if rec.primitive is not Primitive.THR_CREATE:
+            continue
+        tid = int(rec.tid)
+        if rec.is_call:
+            pending_create[tid] = idx
+            continue
+        call_idx = pending_create.pop(tid, None)
+        if rec.target is not None:
+            continue
+        call_target = (
+            paired[call_idx][1].target if call_idx is not None else None
+        )
+        if call_target is not None:
+            replacement[idx] = replace(rec, target=call_target)
+            report.add(
+                "repaired-create-target",
+                f"{rec.brief()}: created-thread id T{int(call_target)} "
+                "recovered from the call record",
+                lineno,
+            )
+        else:
+            if call_idx is not None:
+                drop.add(call_idx)
+            drop.add(idx)
+            report.add(
+                "dropped-unreplayable-create",
+                f"{rec.brief()} has no created-thread id",
+                lineno,
+            )
+    cleaned = [
+        (lineno, replacement.get(idx, rec))
+        for idx, (lineno, rec) in enumerate(paired)
+        if idx not in drop
+    ]
+
+    # -- drop what cannot be replayed: threads with no creation record,
+    #    creates of threads that left no records of their own (truncation
+    #    cut the whole child off), joins on threads that no longer exist.
+    #    Iterated to a fixpoint because each drop can cascade into the
+    #    others.
+    while True:
+        created = {int(MAIN_THREAD_ID)}
+        for _, rec in cleaned:
+            if rec.primitive is Primitive.THR_CREATE and rec.is_ret:
+                created.add(int(rec.target))  # None-target rets dropped above
+        present = {int(r.tid) for _, r in cleaned}
+        drop_idx: set = set()
+
+        orphans = {t for t in present if t not in created}
+        for tid in sorted(orphans):
+            report.add(
+                "dropped-orphan-thread",
+                f"T{tid} has events but no thr_create record",
+            )
+        if orphans:
+            drop_idx |= {
+                i for i, (_, r) in enumerate(cleaned) if int(r.tid) in orphans
+            }
+
+        childless: Dict[int, int] = {}
+        for i, (lineno, rec) in enumerate(cleaned):
+            if i in drop_idx or rec.primitive is not Primitive.THR_CREATE:
+                continue
+            tid = int(rec.tid)
+            if rec.is_call:
+                childless[tid] = i
+                continue
+            call_i = childless.pop(tid, None)
+            child = int(rec.target)
+            if child not in present:
+                if call_i is not None:
+                    drop_idx.add(call_i)
+                drop_idx.add(i)
+                report.add(
+                    "dropped-unreplayable-create",
+                    f"created thread T{child} left no records",
+                    lineno,
+                )
+
+        surviving = {int(MAIN_THREAD_ID)}
+        for i, (_, rec) in enumerate(cleaned):
+            if i in drop_idx:
+                continue
+            if rec.primitive is Primitive.THR_CREATE and rec.is_ret:
+                surviving.add(int(rec.target))
+        for i, (lineno, rec) in enumerate(cleaned):
+            if i in drop_idx or rec.primitive is not Primitive.THR_JOIN:
+                continue
+            if rec.target is not None and int(rec.target) not in surviving:
+                drop_idx.add(i)
+                report.add(
+                    "dropped-orphan-join",
+                    f"{rec.brief()} targets a thread that no longer exists",
+                    lineno,
+                )
+
+        if not drop_idx:
+            break
+        cleaned = [pr for i, pr in enumerate(cleaned) if i not in drop_idx]
+
+    report.records_kept = len(cleaned)
+    final = [rec for _, rec in cleaned]
+    try:
+        trace = Trace(final, meta, validate=validate)
+    except (TraceError, ValueError) as exc:
+        # belt and braces: a residual inconsistency must not escape the
+        # salvage path as an exception — degrade to an unvalidated trace
+        report.add("residual-inconsistency", str(exc))
+        trace = Trace(final, meta, validate=False)
+    return SalvageResult(trace=trace, report=report)
+
+
+# ---------------------------------------------------------------------------
+# lenient text parsing
+# ---------------------------------------------------------------------------
+
+
+def salvage_loads(
+    text: str,
+    *,
+    source: Optional[str] = None,
+    validate: bool = True,
+) -> SalvageResult:
+    """Parse damaged log text, repairing everything repairable.
+
+    Never raises for malformed input: the worst possible outcome is an
+    empty trace whose report explains why every line was dropped.
+    """
+    report = SalvageReport(source=source)
+    lines = text.splitlines()
+    report.total_lines = len(lines)
+
+    # a partial last line is recorder-died-mid-write damage
+    truncated_tail: Optional[int] = None
+    if lines and text and not text.endswith("\n") and lines[-1].strip():
+        truncated_tail = len(lines)
+
+    acc = logfile._HeaderAcc()
+    records: List[Tuple[Optional[int], EventRecord]] = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if lineno == truncated_tail:
+            report.add(
+                "dropped-partial-last-line",
+                f"no trailing newline: {line[:60]!r}",
+                lineno,
+            )
+            continue
+
+        def on_repair(kind: str, detail: str, _lineno=lineno) -> None:
+            report.add(kind, detail, _lineno)
+
+        if line.startswith("#"):
+            logfile._parse_header_line(acc, line, lineno, on_repair=on_repair)
+            continue
+        try:
+            records.append((lineno, logfile._parse_record(line, lineno, on_repair=on_repair)))
+        except LogFormatError as exc:
+            report.add("dropped-unparsable-line", exc.message, lineno)
+
+    if not acc.saw_version:
+        report.add("missing-version-header", "no '# vppb-log <version>' line", 1)
+
+    return salvage_trace(records, acc.meta(), report=report, validate=validate)
+
+
+def salvage_load(path: Union[str, Path], *, validate: bool = True) -> SalvageResult:
+    """Read and salvage a log file from disk."""
+    return salvage_loads(
+        Path(path).read_text(errors="replace"),
+        source=str(path),
+        validate=validate,
+    )

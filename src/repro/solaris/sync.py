@@ -25,7 +25,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
-from repro.core.errors import SimulationError
+from repro.core.errors import ReplayDivergenceError, SimulationError
 from repro.core.ids import SyncObjectId
 from repro.solaris.thread_model import SimThread
 
@@ -133,7 +133,10 @@ class SimMutex:
             self._set_owner(thread)
             return True
         if self.owner is thread:
-            raise SimulationError(f"T{int(thread.tid)} self-deadlock on {self.oid}")
+            raise ReplayDivergenceError(
+                f"T{int(thread.tid)} self-deadlock on {self.oid}",
+                tid=int(thread.tid),
+            )
         self.waiters.push(thread)
         self.contended_acquisitions += 1
         kernel.block(thread, f"mutex {self.oid.name}")
@@ -160,8 +163,9 @@ class SimMutex:
     def unlock(self, thread: SimThread, kernel: KernelAPI) -> None:
         if self.owner is not thread:
             holder = f"T{int(self.owner.tid)}" if self.owner else "nobody"
-            raise SimulationError(
-                f"T{int(thread.tid)} unlocks {self.oid} held by {holder}"
+            raise ReplayDivergenceError(
+                f"T{int(thread.tid)} unlocks {self.oid} held by {holder}",
+                tid=int(thread.tid),
             )
         if self.waiters:
             heir = self.waiters.pop()
@@ -397,8 +401,9 @@ class SimRwLock:
         elif thread in self.readers:
             self.readers.remove(thread)
         else:
-            raise SimulationError(
-                f"T{int(thread.tid)} unlocks {self.oid} it does not hold"
+            raise ReplayDivergenceError(
+                f"T{int(thread.tid)} unlocks {self.oid} it does not hold",
+                tid=int(thread.tid),
             )
         self._grant(kernel)
 

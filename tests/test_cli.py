@@ -151,3 +151,64 @@ class TestWhatifCommand:
     def test_no_transformation_is_an_error(self, log_path, capsys):
         assert main(["whatif", str(log_path)]) == 2
         assert "no transformation" in capsys.readouterr().err
+
+
+class TestDoctorCommand:
+    def test_healthy_log(self, log_path, capsys):
+        assert main(["doctor", str(log_path)]) == 0
+        out = capsys.readouterr().out
+        assert "strict parse ok" in out
+        assert "HEALTHY" in out
+
+    def test_damaged_log_salvages(self, log_path, tmp_path, capsys):
+        text = log_path.read_text()
+        lines = text.splitlines(keepends=True)
+        lines[10] = "not-a-time garbage line\n"
+        bad = tmp_path / "damaged.log"
+        bad.write_text("".join(lines))
+        capsys.readouterr()
+        assert main(["doctor", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "strict parse failed" in out
+        assert "salvage:" in out
+        assert "DEGRADED" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["doctor", "/no/such/place.log"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.log"
+        empty.write_text("")
+        assert main(["doctor", str(empty)]) == 2
+        assert "UNUSABLE" in capsys.readouterr().out
+
+    def test_binary_junk(self, tmp_path, capsys):
+        junk = tmp_path / "junk.log"
+        junk.write_bytes(bytes(range(256)) * 4)
+        assert main(["doctor", str(junk)]) == 2
+        out = capsys.readouterr().out
+        assert "UNUSABLE" in out
+
+    def test_truncation_sweep_never_raises(self, log_path, tmp_path, capsys):
+        """The acceptance bar: cut the log at any byte offset and doctor
+        must exit with a verdict, never a traceback."""
+        import random
+
+        text = log_path.read_text()
+        target = tmp_path / "cut.log"
+        rng = random.Random(0)
+        offsets = sorted(rng.sample(range(len(text) + 1), 40))
+        for offset in offsets:
+            target.write_text(text[:offset])
+            rc = main(["doctor", str(target), "--no-replay"])
+            assert rc in (0, 1, 2), f"offset {offset}: rc {rc}"
+        capsys.readouterr()
+
+    def test_truncated_log_with_replay(self, log_path, tmp_path, capsys):
+        text = log_path.read_text()
+        target = tmp_path / "cut.log"
+        target.write_text(text[: len(text) // 2])
+        rc = main(["doctor", str(target)])
+        assert rc in (1, 2)
+        capsys.readouterr()

@@ -1,0 +1,368 @@
+"""Salvage pipeline tests: strict rejection vs lenient repair.
+
+A table of damaged-log fixtures drives both modes: strict loading must
+fail with a precise, located error (or succeed when the damage is
+structural only), and lenient loading must always produce a trace plus
+a report enumerating exactly the repairs the damage calls for.
+"""
+
+import pytest
+
+from repro.core.errors import LogFormatError, TraceError
+from repro.recorder import logfile
+from repro.recorder.salvage import salvage_load, salvage_loads
+
+# A minimal, fully valid log: main creates T4, T4 takes a mutex, exits,
+# main joins and exits.  Every fixture below is a mutation of this.
+GOOD = """\
+# vppb-log 1
+# program: tiny
+0.000000 T1 call start_collect
+0.000010 T1 call thr_create
+0.000020 T1 ret thr_create target=T4 status=ok
+0.000030 T4 call thread_start
+0.000040 T4 call mutex_lock obj=mutex:m
+0.000050 T4 ret mutex_lock obj=mutex:m status=ok
+0.000060 T4 call mutex_unlock obj=mutex:m
+0.000070 T4 ret mutex_unlock obj=mutex:m status=ok
+0.000080 T4 call thr_exit
+0.000090 T1 call thr_join target=T4
+0.000100 T1 ret thr_join target=T4 status=ok
+0.000110 T1 call thr_exit
+0.000120 T1 call end_collect
+"""
+
+
+def _replace_line(text: str, needle: str, replacement: str) -> str:
+    assert needle in text, f"fixture bug: {needle!r} not in base log"
+    return text.replace(needle, replacement)
+
+
+def _drop_line(text: str, needle: str) -> str:
+    return _replace_line(text, needle + "\n", "")
+
+
+# Each row: (name, text, strict_fails, expected repair kinds in lenient
+# mode, minimum records kept after salvage).  ``strict_fails`` is None
+# when strict loading should still succeed (damage is replay-level, or
+# no damage at all).
+FIXTURES = [
+    (
+        "pristine",
+        GOOD,
+        None,
+        set(),
+        13,
+    ),
+    (
+        "header-only",
+        "# vppb-log 1\n# program: tiny\n",
+        None,
+        set(),
+        0,
+    ),
+    (
+        "partial-last-line",
+        GOOD[:-1][: len(GOOD) - 10],
+        LogFormatError,
+        {"dropped-partial-last-line"},
+        12,
+    ),
+    (
+        "empty-file",
+        "",
+        LogFormatError,
+        {"missing-version-header"},
+        0,
+    ),
+    (
+        "missing-version-header",
+        "\n".join(GOOD.splitlines()[1:]) + "\n",
+        LogFormatError,
+        {"missing-version-header"},
+        13,
+    ),
+    (
+        "duplicate-version-header",
+        GOOD.replace("# program: tiny", "# program: tiny\n# vppb-log 1"),
+        None,
+        {"duplicate-header"},
+        13,
+    ),
+    (
+        "mangled-timestamp",
+        _replace_line(GOOD, "0.000040 T4", "not-a-time T4"),
+        LogFormatError,
+        {"dropped-unparsable-line", "dropped-orphan-return"},
+        11,
+    ),
+    (
+        "negative-timestamp",
+        _replace_line(GOOD, "0.000040 T4", "-5.000000 T4"),
+        LogFormatError,
+        {"clamped-negative-timestamp", "clamped-timestamp"},
+        13,
+    ),
+    (
+        "out-of-order-timestamp",
+        _replace_line(GOOD, "0.000050 T4 ret", "0.000001 T4 ret"),
+        TraceError,
+        {"clamped-timestamp"},
+        13,
+    ),
+    (
+        "mangled-tid",
+        _replace_line(GOOD, "0.000040 T4 call", "0.000040 X9 call"),
+        LogFormatError,
+        {"dropped-unparsable-line", "dropped-orphan-return"},
+        11,
+    ),
+    (
+        "unknown-primitive",
+        _replace_line(GOOD, "call mutex_lock obj=mutex:m", "call warp_drive obj=mutex:m"),
+        LogFormatError,
+        {"dropped-unparsable-line", "dropped-orphan-return"},
+        11,
+    ),
+    (
+        "unknown-attribute",
+        _replace_line(
+            GOOD, "0.000050 T4 ret mutex_lock obj=mutex:m status=ok",
+            "0.000050 T4 ret mutex_lock obj=mutex:m status=ok colour=red",
+        ),
+        LogFormatError,
+        {"skipped-attribute"},
+        13,
+    ),
+    (
+        "bad-attribute-value",
+        _replace_line(GOOD, "target=T4 status=ok\n0.000030", "target=banana status=ok\n0.000030"),
+        LogFormatError,
+        {"skipped-attribute", "dropped-unreplayable-create",
+         "dropped-orphan-thread", "dropped-orphan-join"},
+        3,
+    ),
+    (
+        "missing-return",
+        _drop_line(GOOD, "0.000050 T4 ret mutex_lock obj=mutex:m status=ok"),
+        TraceError,
+        {"synthesized-return"},
+        13,
+    ),
+    (
+        "orphan-return",
+        _replace_line(
+            GOOD, "0.000030 T4 call thread_start",
+            "0.000030 T4 call thread_start\n0.000035 T4 ret sema_wait obj=sema:s status=ok",
+        ),
+        TraceError,
+        {"dropped-orphan-return"},
+        13,
+    ),
+    (
+        "mismatched-return",
+        _replace_line(
+            GOOD, "0.000050 T4 ret mutex_lock obj=mutex:m status=ok",
+            "0.000050 T4 ret sema_wait obj=sema:s status=ok",
+        ),
+        TraceError,
+        {"dropped-mismatched-return", "synthesized-return"},
+        13,
+    ),
+    (
+        "duplicate-call",
+        _replace_line(
+            GOOD, "0.000040 T4 call mutex_lock obj=mutex:m",
+            "0.000040 T4 call mutex_lock obj=mutex:m\n"
+            "0.000040 T4 call mutex_lock obj=mutex:m",
+        ),
+        TraceError,
+        {"dropped-duplicate-call"},
+        13,
+    ),
+    (
+        "record-after-exit",
+        _replace_line(
+            GOOD, "0.000090 T1 call thr_join",
+            "0.000085 T4 call mutex_lock obj=mutex:m\n0.000090 T1 call thr_join",
+        ),
+        None,
+        {"dropped-after-exit"},
+        13,
+    ),
+    (
+        "orphan-thread",
+        _replace_line(
+            GOOD, "0.000090 T1 call thr_join",
+            "0.000082 T9 call mutex_lock obj=mutex:m\n"
+            "0.000084 T9 ret mutex_lock obj=mutex:m status=ok\n"
+            "0.000090 T1 call thr_join",
+        ),
+        TraceError,
+        {"dropped-orphan-thread"},
+        13,
+    ),
+    (
+        "create-ret-missing-target",
+        _replace_line(
+            GOOD, "0.000020 T1 ret thr_create target=T4 status=ok",
+            "0.000020 T1 ret thr_create status=ok",
+        ),
+        TraceError,
+        {"dropped-unreplayable-create", "dropped-orphan-thread",
+         "dropped-orphan-join"},
+        3,
+    ),
+    (
+        "create-target-recovered-from-call",
+        _replace_line(
+            _replace_line(
+                GOOD, "0.000010 T1 call thr_create",
+                "0.000010 T1 call thr_create target=T4",
+            ),
+            "0.000020 T1 ret thr_create target=T4 status=ok",
+            "0.000020 T1 ret thr_create status=ok",
+        ),
+        TraceError,
+        {"repaired-create-target"},
+        13,
+    ),
+    (
+        "child-left-no-records",
+        GOOD.split("0.000030 T4")[0]
+        + "0.000110 T1 call thr_exit\n0.000120 T1 call end_collect\n",
+        None,
+        {"dropped-unreplayable-create"},
+        3,
+    ),
+    (
+        "join-on-nonexistent-thread",
+        _replace_line(
+            GOOD, "0.000090 T1 call thr_join target=T4\n"
+            "0.000100 T1 ret thr_join target=T4 status=ok",
+            "0.000090 T1 call thr_join target=T9\n"
+            "0.000100 T1 ret thr_join target=T9 status=ok",
+        ),
+        None,
+        {"dropped-orphan-join"},
+        11,
+    ),
+    (
+        "binary-garbage-line",
+        _replace_line(
+            GOOD, "0.000030 T4 call thread_start",
+            "\x00\xff\x7f garbage \x01\n0.000030 T4 call thread_start",
+        ),
+        LogFormatError,
+        {"dropped-unparsable-line"},
+        13,
+    ),
+]
+
+IDS = [row[0] for row in FIXTURES]
+
+
+class TestStrictMode:
+    @pytest.mark.parametrize("name,text,strict_exc,kinds,min_kept", FIXTURES, ids=IDS)
+    def test_strict_verdict(self, name, text, strict_exc, kinds, min_kept):
+        if strict_exc is None:
+            logfile.loads(text, mode="strict")  # must not raise
+        else:
+            with pytest.raises(strict_exc):
+                logfile.loads(text, mode="strict")
+
+    def test_strict_error_is_located(self):
+        bad = _replace_line(GOOD, "0.000040 T4 call", "0.000040 X9 call")
+        with pytest.raises(LogFormatError) as exc_info:
+            logfile.loads(bad, mode="strict", source="tiny.log")
+        err = exc_info.value
+        assert err.lineno == 7
+        assert err.line == "0.000040 X9 call mutex_lock obj=mutex:m"
+        assert err.source == "tiny.log"
+        assert "tiny.log" in str(err) and "line 7" in str(err)
+
+    def test_strict_error_snippet_has_caret(self):
+        bad = _replace_line(GOOD, "0.000040 T4 call", "0.000040 X9 call")
+        with pytest.raises(LogFormatError) as exc_info:
+            logfile.loads(bad, mode="strict")
+        snippet = exc_info.value.snippet()
+        line, caret = snippet.splitlines()
+        assert line.endswith("0.000040 X9 call mutex_lock obj=mutex:m")
+        assert "^" in caret
+        assert line[caret.index("^")] == "X"  # caret points at the bad token
+
+
+class TestLenientMode:
+    @pytest.mark.parametrize("name,text,strict_exc,kinds,min_kept", FIXTURES, ids=IDS)
+    def test_salvage_repairs(self, name, text, strict_exc, kinds, min_kept):
+        result = salvage_loads(text, source=name)
+        got = set(result.report.counts_by_kind())
+        assert got == kinds
+        assert len(result.trace) >= min_kept
+        if strict_exc is not None:
+            assert not result.report.clean  # damage must never pass silently
+
+    @pytest.mark.parametrize("name,text,strict_exc,kinds,min_kept", FIXTURES, ids=IDS)
+    def test_salvaged_trace_revalidates(self, name, text, strict_exc, kinds, min_kept):
+        """Whatever salvage produces must round-trip through the strict
+        validator (unless a residual inconsistency was reported)."""
+        result = salvage_loads(text)
+        if "residual-inconsistency" not in result.report.counts_by_kind():
+            logfile.loads(logfile.dumps(result.trace), mode="strict")
+
+    def test_loads_lenient_equals_salvage(self):
+        bad = _drop_line(GOOD, "0.000050 T4 ret mutex_lock obj=mutex:m status=ok")
+        via_loads = logfile.loads(bad, mode="lenient")
+        via_salvage = salvage_loads(bad).trace
+        assert len(via_loads) == len(via_salvage)
+        assert [r.brief() for r in via_loads] == [r.brief() for r in via_salvage]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            logfile.loads(GOOD, mode="optimistic")
+
+    def test_report_lineno_points_at_damage(self):
+        bad = _replace_line(GOOD, "0.000040 T4 call", "not-a-time T4 call")
+        report = salvage_loads(bad).report
+        dropped = [r for r in report.repairs if r.kind == "dropped-unparsable-line"]
+        assert len(dropped) == 1
+        assert dropped[0].lineno == 7
+
+    def test_report_summary_and_details(self):
+        bad = _drop_line(GOOD, "0.000050 T4 ret mutex_lock obj=mutex:m status=ok")
+        report = salvage_loads(bad, source="tiny.log").report
+        assert "tiny.log" in report.summary()
+        assert "repair(s)" in report.summary()
+        assert "synthesized-return" in report.details()
+
+    def test_clean_report_on_pristine_input(self):
+        report = salvage_loads(GOOD).report
+        assert report.clean
+        assert "clean" in report.summary()
+
+    def test_salvage_load_reads_from_disk(self, tmp_path):
+        path = tmp_path / "damaged.log"
+        path.write_text(_drop_line(GOOD, "0.000050 T4 ret mutex_lock obj=mutex:m status=ok"))
+        result = salvage_load(path)
+        assert result.report.source == str(path)
+        assert "synthesized-return" in result.report.counts_by_kind()
+
+
+class TestTruncationSweep:
+    def test_every_prefix_salvages_or_is_empty(self):
+        """Cutting the log at any byte offset must never raise."""
+        for offset in range(len(GOOD) + 1):
+            result = salvage_loads(GOOD[:offset])
+            assert result.trace is not None  # never raises, always a trace
+
+    def test_every_prefix_with_damage_reports_it(self):
+        """A strict-rejected prefix must salvage with a non-empty report."""
+        for offset in range(1, len(GOOD)):
+            text = GOOD[:offset]
+            try:
+                logfile.loads(text, mode="strict")
+            except TraceError:
+                assert not salvage_loads(text).report.clean, (
+                    f"offset {offset}: strict load failed "
+                    "but salvage reported nothing"
+                )

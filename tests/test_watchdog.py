@@ -1,0 +1,217 @@
+"""Watchdog budgets and graceful degradation to partial results.
+
+A replay that deadlocks, diverges, or blows a budget must either raise
+a precise error (strict mode, the default) or come back as a *partial*
+:class:`SimulationResult` flagged ``incomplete`` with the blocking
+cycle / divergence point attached (``strict=False``).
+"""
+
+import pytest
+
+from repro import SimConfig, record_program
+from repro.core.engine import Watchdog
+from repro.core.errors import (
+    BudgetExceededError,
+    DeadlockError,
+    LivelockError,
+    ReplayDivergenceError,
+)
+from repro.core.predictor import predict
+from repro.core.result import Incompleteness, RunStatus
+from repro.recorder import logfile
+
+from tests.conftest import make_prodcons_program
+
+# Two workers take mutexes a and b in opposite orders.  The recorded
+# uni-processor run serialized them; a 2-CPU replay runs them
+# concurrently and deadlocks half-way (each holds one lock and wants
+# the other), with main blocked joining T4.
+DEADLOCK_LOG = """\
+# vppb-log 1
+# program: deadlocker
+0.000000 T1 call start_collect
+0.000010 T1 call thr_create
+0.000020 T1 ret thr_create target=T4 status=ok
+0.000030 T1 call thr_create
+0.000040 T1 ret thr_create target=T5 status=ok
+0.000050 T1 call thr_join target=T4
+0.000060 T4 call thread_start
+0.000160 T4 call mutex_lock obj=mutex:a
+0.000162 T4 ret mutex_lock obj=mutex:a status=ok
+0.000662 T4 call mutex_lock obj=mutex:b
+0.000664 T4 ret mutex_lock obj=mutex:b status=ok
+0.000666 T4 call mutex_unlock obj=mutex:b
+0.000668 T4 ret mutex_unlock obj=mutex:b status=ok
+0.000670 T4 call mutex_unlock obj=mutex:a
+0.000672 T4 ret mutex_unlock obj=mutex:a status=ok
+0.000674 T4 call thr_exit
+0.000680 T5 call thread_start
+0.000780 T5 call mutex_lock obj=mutex:b
+0.000782 T5 ret mutex_lock obj=mutex:b status=ok
+0.001282 T5 call mutex_lock obj=mutex:a
+0.001284 T5 ret mutex_lock obj=mutex:a status=ok
+0.001286 T5 call mutex_unlock obj=mutex:a
+0.001288 T5 ret mutex_unlock obj=mutex:a status=ok
+0.001290 T5 call mutex_unlock obj=mutex:b
+0.001292 T5 ret mutex_unlock obj=mutex:b status=ok
+0.001294 T5 call thr_exit
+0.001300 T1 ret thr_join target=T4 status=ok
+0.001310 T1 call thr_join target=T5
+0.001320 T1 ret thr_join target=T5 status=ok
+0.001330 T1 call thr_exit
+0.001340 T1 call end_collect
+"""
+
+# T4 unlocks a mutex it never acquired: replay diverges from anything a
+# real execution could do.
+DIVERGENT_LOG = """\
+# vppb-log 1
+# program: diverger
+0.000000 T1 call start_collect
+0.000010 T1 call thr_create
+0.000020 T1 ret thr_create target=T4 status=ok
+0.000030 T4 call thread_start
+0.000040 T4 call mutex_unlock obj=mutex:m
+0.000050 T4 ret mutex_unlock obj=mutex:m status=ok
+0.000060 T4 call thr_exit
+0.000070 T1 call thr_join target=T4
+0.000080 T1 ret thr_join target=T4 status=ok
+0.000090 T1 call thr_exit
+0.000100 T1 call end_collect
+"""
+
+
+@pytest.fixture(scope="module")
+def deadlock_trace():
+    return logfile.loads(DEADLOCK_LOG)
+
+
+@pytest.fixture(scope="module")
+def divergent_trace():
+    return logfile.loads(DIVERGENT_LOG)
+
+
+@pytest.fixture(scope="module")
+def healthy_trace():
+    return record_program(make_prodcons_program()).trace
+
+
+class TestWatchdogConfig:
+    def test_check_every_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Watchdog(check_every=0)
+
+    def test_defaults_are_unbounded(self):
+        w = Watchdog()
+        assert w.max_events is None
+        assert w.max_time_us is None
+        assert w.max_wall_s is None
+
+
+class TestStrictMode:
+    def test_deadlock_raises(self, deadlock_trace):
+        with pytest.raises(DeadlockError):
+            predict(deadlock_trace, SimConfig(cpus=2))
+
+    def test_divergence_raises_with_tid(self, divergent_trace):
+        with pytest.raises(ReplayDivergenceError) as exc_info:
+            predict(divergent_trace, SimConfig(cpus=2))
+        assert exc_info.value.tid == 4
+
+    def test_event_budget_raises(self, healthy_trace):
+        with pytest.raises(BudgetExceededError) as exc_info:
+            predict(
+                healthy_trace, SimConfig(cpus=2),
+                watchdog=Watchdog(max_events=50),
+            )
+        assert exc_info.value.budget == "events"
+
+    def test_engine_livelock_guard_still_raises(self, healthy_trace):
+        with pytest.raises(LivelockError):
+            predict(healthy_trace, SimConfig(cpus=2), max_events=50)
+
+
+class TestGracefulDegradation:
+    def test_deadlock_returns_partial_with_cycle(self, deadlock_trace):
+        result = predict(deadlock_trace, SimConfig(cpus=2), strict=False)
+        assert result.incomplete
+        inc = result.incompleteness
+        assert inc.status is RunStatus.DEADLOCK
+        assert set(inc.cycle) == {4, 5}  # T4 and T5 wait on each other
+        assert set(inc.blocked) >= {4, 5}
+        assert "cycle" in inc.describe()
+        # the partial result still carries everything simulated so far
+        assert result.makespan_us > 0
+        assert result.status is RunStatus.DEADLOCK
+
+    def test_divergence_returns_partial_with_point(self, divergent_trace):
+        result = predict(divergent_trace, SimConfig(cpus=2), strict=False)
+        assert result.incomplete
+        inc = result.incompleteness
+        assert inc.status is RunStatus.DIVERGED
+        assert inc.divergence_tid == 4
+        assert inc.divergence_us is not None
+        assert "T4" in inc.describe()
+
+    def test_event_budget_returns_partial(self, healthy_trace):
+        result = predict(
+            healthy_trace, SimConfig(cpus=2),
+            watchdog=Watchdog(max_events=50), strict=False,
+        )
+        assert result.incomplete
+        assert result.incompleteness.status is RunStatus.BUDGET
+        assert "event budget" in result.incompleteness.reason
+
+    def test_wall_clock_budget_returns_partial(self, healthy_trace):
+        result = predict(
+            healthy_trace, SimConfig(cpus=2),
+            watchdog=Watchdog(max_wall_s=0.0, check_every=1), strict=False,
+        )
+        assert result.incomplete
+        assert result.incompleteness.status is RunStatus.BUDGET
+        assert "wall" in result.incompleteness.reason
+
+    def test_livelock_guard_returns_partial(self, healthy_trace):
+        result = predict(
+            healthy_trace, SimConfig(cpus=2), max_events=50, strict=False
+        )
+        assert result.incomplete
+        assert result.incompleteness.status is RunStatus.LIVELOCK
+
+    def test_healthy_replay_is_complete(self, healthy_trace):
+        result = predict(healthy_trace, SimConfig(cpus=2), strict=False)
+        assert not result.incomplete
+        assert result.incompleteness is None
+        assert result.status is RunStatus.COMPLETE
+
+    def test_partial_result_is_inspectable(self, deadlock_trace):
+        """The whole result API keeps working on a partial result."""
+        result = predict(deadlock_trace, SimConfig(cpus=2), strict=False)
+        assert any(result.segments.values())  # threads ran before blocking
+        assert result.total_cpu_time_us() > 0
+        assert result.makespan_us >= 0
+
+
+class TestIncompleteness:
+    def test_describe_complete(self):
+        inc = Incompleteness(status=RunStatus.COMPLETE, reason="all good")
+        assert "all good" in inc.describe()
+
+    def test_describe_renders_cycle_and_blocked(self):
+        inc = Incompleteness(
+            status=RunStatus.DEADLOCK,
+            reason="threads blocked at drain",
+            blocked=(4, 5),
+            cycle=(4, 5),
+        )
+        text = inc.describe()
+        assert "T4 -> T5 -> T4" in text
+        assert "blocked" in text
+
+    def test_status_values_are_stable(self):
+        # these strings are part of the CLI/report surface
+        assert RunStatus.COMPLETE.value == "complete"
+        assert RunStatus.DEADLOCK.value == "deadlock"
+        assert RunStatus.LIVELOCK.value == "livelock"
+        assert RunStatus.BUDGET.value == "budget-exhausted"
+        assert RunStatus.DIVERGED.value == "diverged"
