@@ -1,5 +1,6 @@
-"""Analysis: speed-up/error metrics, bottleneck and critical-path tools."""
+"""Analysis: speed-up/error metrics, bottleneck, critical-path and lint tools."""
 
+from repro.analysis.lint import Finding, LintReport, Severity, run_lint
 from repro.analysis.compare import (
     ComparisonReport,
     ObjectDelta,
@@ -59,4 +60,8 @@ __all__ = [
     "Table1Cell",
     "Table1Row",
     "format_table1",
+    "Finding",
+    "LintReport",
+    "Severity",
+    "run_lint",
 ]

@@ -1,0 +1,48 @@
+"""Trace lint: static analysis of recorded runs, no simulation needed.
+
+The engine reads the Recorder's log (a :class:`~repro.core.trace.Trace`)
+and diagnoses synchronisation problems the Simulator/Visualizer pipeline
+would never surface: data races (Eraser-style locksets), inverted lock
+orderings (deadlock potential), condition-variable misuse, and lock
+hygiene.  Entry point::
+
+    from repro.analysis.lint import run_lint
+    report = run_lint(trace)
+    print(report.summary())
+
+Findings serialise to JSON (:func:`render_json`), SARIF 2.1.0
+(:func:`to_sarif`) and a text listing (:func:`render_text`), and the
+Visualizer can overlay them on the flow graph.
+"""
+
+from repro.analysis.lint.engine import (
+    LintContext,
+    Rule,
+    all_rules,
+    register_rule,
+    rule_by_id,
+    run_lint,
+)
+from repro.analysis.lint.findings import Finding, LintReport, Severity, Site
+from repro.analysis.lint.locks import LockAnalysis, sweep
+from repro.analysis.lint.render import render_json, render_text
+from repro.analysis.lint.sarif import sarif_json, to_sarif
+
+__all__ = [
+    "LintContext",
+    "Rule",
+    "all_rules",
+    "register_rule",
+    "rule_by_id",
+    "run_lint",
+    "Finding",
+    "LintReport",
+    "Severity",
+    "Site",
+    "LockAnalysis",
+    "sweep",
+    "render_json",
+    "render_text",
+    "sarif_json",
+    "to_sarif",
+]

@@ -1,0 +1,168 @@
+"""The pluggable rule engine behind ``vppb lint``.
+
+A rule is a class with an id (``VPPB-R001`` ...), a default severity, a
+title/rationale pair (surfaced in SARIF rule metadata and ``docs/lint.md``)
+and a ``run(ctx)`` method yielding :class:`~repro.analysis.lint.findings.Finding`.
+Registering is one decorator::
+
+    @register_rule
+    class MyRule(Rule):
+        id = "VPPB-R010"
+        severity = Severity.WARNING
+        title = "..."
+        rationale = "..."
+
+        def run(self, ctx):
+            yield ...
+
+The :class:`LintContext` hands every rule the same trace plus the shared
+single-sweep :class:`~repro.analysis.lint.locks.LockAnalysis`, so adding
+a rule costs no extra pass over the log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Type
+
+from repro.core.errors import AnalysisError
+from repro.core.trace import Trace
+
+from repro.analysis.lint.findings import Finding, LintReport, Severity
+from repro.analysis.lint.locks import LockAnalysis, sweep
+
+__all__ = [
+    "Rule",
+    "register_rule",
+    "all_rules",
+    "rule_by_id",
+    "LintContext",
+    "run_lint",
+]
+
+
+class Rule:
+    """Base class for lint rules (subclass and :func:`register_rule`)."""
+
+    id: str = ""
+    severity: Severity = Severity.WARNING
+    title: str = ""
+    rationale: str = ""
+
+    def run(self, ctx: "LintContext") -> Iterable[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(self, message: str, **kw) -> Finding:
+        """Build a finding stamped with this rule's id and severity."""
+        kw.setdefault("severity", self.severity)
+        return Finding(rule_id=self.id, message=message, **kw)
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def _ensure_loaded() -> None:
+    if _REGISTRY:
+        return
+    # importing the rule modules registers their rules
+    from repro.analysis.lint import rules  # noqa: F401
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in id order."""
+    _ensure_loaded()
+    return [cls() for _, cls in sorted(_REGISTRY.items())]
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[_normalize_id(rule_id)]()
+    except KeyError:
+        raise AnalysisError(
+            f"unknown lint rule {rule_id!r}; have {sorted(_REGISTRY)}"
+        ) from None
+
+
+def _normalize_id(rule_id: str) -> str:
+    """Accept ``VPPB-R001``, ``R001`` and ``r001`` spellings."""
+    rid = rule_id.strip().upper()
+    if rid.startswith("R") and not rid.startswith("VPPB-"):
+        rid = f"VPPB-{rid}"
+    return rid
+
+
+class LintContext:
+    """What a rule gets to look at: the trace plus shared derived views."""
+
+    def __init__(self, trace: Trace):
+        self.trace = trace
+        self._per_thread = None
+        self._analysis: Optional[LockAnalysis] = None
+
+    @property
+    def per_thread(self):
+        """The fig. 4 per-thread event lists (cached)."""
+        if self._per_thread is None:
+            self._per_thread = self.trace.per_thread()
+        return self._per_thread
+
+    @property
+    def analysis(self) -> LockAnalysis:
+        """The single-sweep lock/access/cond analysis (cached)."""
+        if self._analysis is None:
+            self._analysis = sweep(self.trace)
+        return self._analysis
+
+
+def _selected_rules(
+    select: Optional[Sequence[str]], ignore: Optional[Sequence[str]]
+) -> List[Rule]:
+    rules = all_rules()
+    if select:
+        wanted = {_normalize_id(r) for r in select}
+        unknown = wanted - {r.id for r in rules}
+        if unknown:
+            raise AnalysisError(
+                f"unknown lint rule(s) {sorted(unknown)}; "
+                f"have {sorted(r.id for r in rules)}"
+            )
+        rules = [r for r in rules if r.id in wanted]
+    if ignore:
+        dropped = {_normalize_id(r) for r in ignore}
+        rules = [r for r in rules if r.id not in dropped]
+    return rules
+
+
+def run_lint(
+    trace: Trace,
+    *,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Run the (filtered) rule set over a recorded trace.
+
+    Purely static: no simulation happens; the engine reads the log the
+    Recorder produced and nothing else.  Returns a sorted
+    :class:`~repro.analysis.lint.findings.LintReport`.
+    """
+    rules = _selected_rules(select, ignore)
+    ctx = LintContext(trace)
+    findings: List[Finding] = []
+    for rule in rules:
+        findings.extend(rule.run(ctx))
+    report = LintReport(
+        program=trace.meta.program,
+        findings=findings,
+        rules_run=tuple(r.id for r in rules),
+    )
+    return report.sorted()

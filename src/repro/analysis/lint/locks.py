@@ -1,0 +1,424 @@
+"""One sweep over the global log, extracting everything the rules need.
+
+The lint rules all want the same derived facts: who held which locks
+when, in which order locks nest, where shared variables were touched and
+under which protection, which unlocks had no matching lock.  Computing
+them rule-by-rule would re-walk the trace once per rule; instead
+:func:`sweep` performs a single time-ordered pass and returns a
+:class:`LockAnalysis` the rules share (the engine caches it on the
+:class:`~repro.analysis.lint.engine.LintContext`).
+
+Modelling notes
+---------------
+* A lock is *held* between the **return** of its acquiring call (that is
+  when the monitored program got it) and the **call** of its release.
+* ``cond_wait``/``cond_timedwait`` atomically release their associated
+  mutex (``obj2``) for the duration of the wait and re-acquire it before
+  returning — the sweep mirrors that, so a thread parked in ``cond_wait``
+  does not count as holding the mutex.
+* Semaphores act as locks for the *lockset* (a ``sema_wait`` .. ``sema_post``
+  span is protection evidence, the classic binary-semaphore-as-mutex
+  pattern) but do not contribute lock-order edges: semaphore ordering is
+  producer/consumer hand-off, not nesting discipline.
+* A failed try-operation (status ``busy``) acquires nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.events import (
+    EventRecord,
+    Phase,
+    Primitive,
+    SourceLocation,
+    Status,
+)
+from repro.core.ids import SyncObjectId
+from repro.core.trace import Trace
+
+__all__ = [
+    "Acquisition",
+    "Access",
+    "LockOrderEdge",
+    "HygieneEvent",
+    "CondObservation",
+    "LockUsage",
+    "LockAnalysis",
+    "sweep",
+]
+
+#: Acquire-side primitives, mapped to (lock kind relevant, exclusive?).
+_ACQUIRES = {
+    Primitive.MUTEX_LOCK: True,
+    Primitive.MUTEX_TRYLOCK: True,
+    Primitive.RW_WRLOCK: True,
+    Primitive.RW_TRYWRLOCK: True,
+    Primitive.RW_RDLOCK: False,
+    Primitive.RW_TRYRDLOCK: False,
+}
+
+_RELEASES = (Primitive.MUTEX_UNLOCK, Primitive.RW_UNLOCK)
+
+#: Lock kinds that participate in the lock-order graph.
+ORDERED_KINDS = ("mutex", "rwlock")
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    """One live lock hold: who got it, where, and in what mode."""
+
+    obj: SyncObjectId
+    tid: int
+    exclusive: bool
+    acquired_at_us: int
+    source: Optional[SourceLocation]
+    event_index: Optional[int]
+
+
+@dataclass(frozen=True)
+class Access:
+    """One shared-variable access with the accessor's protection set."""
+
+    var: SyncObjectId
+    tid: int
+    is_write: bool
+    time_us: int
+    locks: FrozenSet[SyncObjectId]
+    write_locks: FrozenSet[SyncObjectId]
+    source: Optional[SourceLocation]
+    event_index: Optional[int]
+
+
+@dataclass(frozen=True)
+class LockOrderEdge:
+    """Witness that some thread acquired ``later`` while holding ``held``."""
+
+    held: SyncObjectId
+    later: SyncObjectId
+    tid: int
+    held_source: Optional[SourceLocation]
+    held_event_index: Optional[int]
+    later_source: Optional[SourceLocation]
+    later_event_index: Optional[int]
+
+
+@dataclass(frozen=True)
+class HygieneEvent:
+    """A lock-discipline violation spotted during the sweep."""
+
+    kind: str  # "unlock-without-lock" | "join-holding-locks" | "wait-no-mutex"
+    tid: int
+    obj: Optional[SyncObjectId]
+    held: Tuple[SyncObjectId, ...]
+    source: Optional[SourceLocation]
+    event_index: Optional[int]
+
+
+@dataclass
+class CondObservation:
+    """Aggregate condition-variable behaviour over the whole trace."""
+
+    waits: int = 0
+    signals: int = 0
+    broadcasts: int = 0
+    timedwaits: int = 0
+    #: (source, timeouts, calls) per timedwait call site
+    timeout_sites: Dict[str, List[object]] = field(default_factory=dict)
+
+
+#: (tid, source, event index) of a lock's longest hold.
+HoldSite = Tuple[int, Optional[SourceLocation], Optional[int]]
+
+
+@dataclass
+class LockUsage:
+    """Aggregate per-lock statistics (§4 contention metrics, trace-side)."""
+
+    obj: SyncObjectId
+    acquisitions: int = 0
+    blocked_acquisitions: int = 0
+    total_blocked_us: int = 0
+    owners: set = field(default_factory=set)
+    total_held_us: int = 0
+    max_held_us: int = 0
+    max_held_site: Optional[HoldSite] = None
+    first_source: Optional[SourceLocation] = None
+    first_event_index: Optional[int] = None
+
+
+@dataclass
+class LockAnalysis:
+    """Everything one sweep of the log learned."""
+
+    trace: Trace
+    accesses: List[Access] = field(default_factory=list)
+    edges: Dict[Tuple[SyncObjectId, SyncObjectId], LockOrderEdge] = field(
+        default_factory=dict
+    )
+    hygiene: List[HygieneEvent] = field(default_factory=list)
+    conds: Dict[SyncObjectId, CondObservation] = field(default_factory=dict)
+    lock_usage: Dict[SyncObjectId, LockUsage] = field(default_factory=dict)
+
+
+def _is_ok(ret: EventRecord) -> bool:
+    return (ret.status or Status.OK) is Status.OK
+
+
+def sweep(trace: Trace, *, block_threshold_us: int = 0) -> LockAnalysis:
+    """Single time-ordered pass over the global log.
+
+    ``block_threshold_us``: an acquisition whose call→return span exceeds
+    this counts as *blocked* (contended) — on the one-LWP monitored run an
+    uncontended acquisition returns immediately, so any span beyond the
+    probe cost means the owner had to run first.  Defaults to strictly
+    positive spans when the trace carries no probe-overhead metadata.
+    """
+    if block_threshold_us <= 0:
+        # two probe records (call+ret) are charged per operation; anything
+        # beyond that is genuine waiting
+        block_threshold_us = 4 * trace.meta.probe_overhead_us
+
+    out = LockAnalysis(trace=trace)
+    # per-thread: lock object -> live Acquisition (read-held rwlocks count
+    # once per thread; the monitored uni-processor log can't nest them)
+    held: Dict[int, Dict[SyncObjectId, Acquisition]] = {}
+    # per-thread acquisition order (for witness "stacks")
+    order: Dict[int, List[SyncObjectId]] = {}
+    # mutexes parked by an open cond_wait, keyed by (tid, cond obj)
+    parked: Dict[Tuple[int, SyncObjectId], Acquisition] = {}
+    # open acquire calls, keyed by (tid, primitive, obj) -> call record index
+    open_calls: Dict[Tuple[int, Primitive, SyncObjectId], Tuple[int, EventRecord]] = {}
+
+    def thread_held(tid: int) -> Dict[SyncObjectId, Acquisition]:
+        return held.setdefault(tid, {})
+
+    def usage_for(obj: SyncObjectId) -> LockUsage:
+        usage = out.lock_usage.get(obj)
+        if usage is None:
+            usage = out.lock_usage[obj] = LockUsage(obj=obj)
+        return usage
+
+    def acquire(
+        tid: int,
+        obj: SyncObjectId,
+        *,
+        exclusive: bool,
+        rec: EventRecord,
+        index: int,
+        call: Optional[EventRecord],
+        call_index: Optional[int],
+    ) -> None:
+        locks = thread_held(tid)
+        src = (call.source if call is not None else None) or rec.source
+        acq = Acquisition(
+            obj=obj,
+            tid=tid,
+            exclusive=exclusive,
+            acquired_at_us=rec.time_us,
+            source=src,
+            event_index=call_index if call_index is not None else index,
+        )
+        # lock-order edges: obj acquired while holding every live lock
+        if obj.kind in ORDERED_KINDS:
+            for prev in locks.values():
+                if prev.obj.kind not in ORDERED_KINDS or prev.obj == obj:
+                    continue
+                key = (prev.obj, obj)
+                if key not in out.edges:
+                    out.edges[key] = LockOrderEdge(
+                        held=prev.obj,
+                        later=obj,
+                        tid=tid,
+                        held_source=prev.source,
+                        held_event_index=prev.event_index,
+                        later_source=src,
+                        later_event_index=acq.event_index,
+                    )
+        locks[obj] = acq
+        order.setdefault(tid, []).append(obj)
+        usage = usage_for(obj)
+        usage.acquisitions += 1
+        usage.owners.add(tid)
+        if usage.first_source is None:
+            usage.first_source = src
+            usage.first_event_index = acq.event_index
+        if call is not None:
+            span = rec.time_us - call.time_us
+            if span > block_threshold_us:
+                usage.blocked_acquisitions += 1
+                usage.total_blocked_us += span
+
+    def release(
+        tid: int, obj: SyncObjectId, rec: EventRecord, index: int
+    ) -> Optional[Acquisition]:
+        locks = thread_held(tid)
+        acq = locks.pop(obj, None)
+        if acq is None:
+            out.hygiene.append(
+                HygieneEvent(
+                    kind="unlock-without-lock",
+                    tid=tid,
+                    obj=obj,
+                    held=tuple(locks),
+                    source=rec.source,
+                    event_index=index,
+                )
+            )
+            return None
+        seq = order.get(tid)
+        if seq and obj in seq:
+            seq.remove(obj)
+        usage = usage_for(obj)
+        held_us = rec.time_us - acq.acquired_at_us
+        usage.total_held_us += held_us
+        if held_us > usage.max_held_us:
+            usage.max_held_us = held_us
+            usage.max_held_site = (tid, acq.source, acq.event_index)
+        return acq
+
+    for index, rec in enumerate(trace):
+        prim = rec.primitive
+        tid = int(rec.tid)
+        obj = rec.obj
+
+        # ---- shared-variable accesses ---------------------------------
+        if prim in (Primitive.SHARED_READ, Primitive.SHARED_WRITE):
+            if rec.phase is Phase.CALL and obj is not None:
+                locks = thread_held(tid)
+                all_held = frozenset(locks)
+                write_held = frozenset(
+                    o for o, a in locks.items() if a.exclusive or o.kind == "sema"
+                )
+                out.accesses.append(
+                    Access(
+                        var=obj,
+                        tid=tid,
+                        is_write=prim is Primitive.SHARED_WRITE,
+                        time_us=rec.time_us,
+                        locks=all_held,
+                        write_locks=write_held,
+                        source=rec.source,
+                        event_index=index,
+                    )
+                )
+            continue
+
+        # ---- lock acquisitions ----------------------------------------
+        if prim in _ACQUIRES and obj is not None:
+            if rec.phase is Phase.CALL:
+                open_calls[(tid, prim, obj)] = (index, rec)
+            elif _is_ok(rec):
+                call_index, call = open_calls.pop((tid, prim, obj), (None, None))
+                acquire(
+                    tid,
+                    obj,
+                    exclusive=_ACQUIRES[prim],
+                    rec=rec,
+                    index=index,
+                    call=call,
+                    call_index=call_index,
+                )
+            else:
+                open_calls.pop((tid, prim, obj), None)
+            continue
+
+        # ---- lock releases (the program stops relying on the lock at
+        # the call, so hygiene/hold-times anchor there) ------------------
+        if prim in _RELEASES and obj is not None:
+            if rec.phase is Phase.CALL:
+                release(tid, obj, rec, index)
+            continue
+
+        # ---- semaphores as protection spans ---------------------------
+        if prim in (Primitive.SEMA_WAIT, Primitive.SEMA_TRYWAIT) and obj is not None:
+            if rec.phase is Phase.RET and _is_ok(rec):
+                thread_held(tid)[obj] = Acquisition(
+                    obj=obj,
+                    tid=tid,
+                    exclusive=True,
+                    acquired_at_us=rec.time_us,
+                    source=rec.source,
+                    event_index=index,
+                )
+            continue
+        if prim is Primitive.SEMA_POST and obj is not None:
+            if rec.phase is Phase.CALL:
+                # posting a sema this thread "holds" closes the protection
+                # span; posting one it does not hold is normal hand-off
+                thread_held(tid).pop(obj, None)
+            continue
+
+        # ---- condition variables --------------------------------------
+        if prim in (Primitive.COND_WAIT, Primitive.COND_TIMEDWAIT):
+            cond = obj if obj is not None else SyncObjectId("cond", "?")
+            observation = out.conds.setdefault(cond, CondObservation())
+            mutex = rec.obj2
+            if rec.phase is Phase.CALL:
+                observation.waits += 1
+                if prim is Primitive.COND_TIMEDWAIT:
+                    observation.timedwaits += 1
+                locks = thread_held(tid)
+                if mutex is None or mutex not in locks:
+                    out.hygiene.append(
+                        HygieneEvent(
+                            kind="wait-no-mutex",
+                            tid=tid,
+                            obj=cond,
+                            held=tuple(locks),
+                            source=rec.source,
+                            event_index=index,
+                        )
+                    )
+                else:
+                    # the wait atomically releases the mutex
+                    parked[(tid, cond)] = locks.pop(mutex)
+            else:
+                acq = parked.pop((tid, cond), None)
+                if acq is not None:
+                    # re-acquired before the wait returns (even on timeout)
+                    thread_held(tid)[acq.obj] = Acquisition(
+                        obj=acq.obj,
+                        tid=tid,
+                        exclusive=True,
+                        acquired_at_us=rec.time_us,
+                        source=acq.source,
+                        event_index=acq.event_index,
+                    )
+                if prim is Primitive.COND_TIMEDWAIT:
+                    key = str(rec.source) if rec.source else str(cond)
+                    site = observation.timeout_sites.setdefault(
+                        key, [rec.source, 0, 0, index]
+                    )
+                    site[2] += 1
+                    if rec.status is Status.TIMEOUT:
+                        site[1] += 1
+            continue
+        if prim is Primitive.COND_SIGNAL and rec.phase is Phase.CALL:
+            cond = obj if obj is not None else SyncObjectId("cond", "?")
+            out.conds.setdefault(cond, CondObservation()).signals += 1
+            continue
+        if prim is Primitive.COND_BROADCAST and rec.phase is Phase.CALL:
+            cond = obj if obj is not None else SyncObjectId("cond", "?")
+            out.conds.setdefault(cond, CondObservation()).broadcasts += 1
+            continue
+
+        # ---- joins while holding locks --------------------------------
+        if prim is Primitive.THR_JOIN and rec.phase is Phase.CALL:
+            locks = thread_held(tid)
+            lock_like = tuple(o for o in locks if o.kind in ORDERED_KINDS)
+            if lock_like:
+                out.hygiene.append(
+                    HygieneEvent(
+                        kind="join-holding-locks",
+                        tid=tid,
+                        obj=None,
+                        held=lock_like,
+                        source=rec.source,
+                        event_index=index,
+                    )
+                )
+            continue
+
+    return out

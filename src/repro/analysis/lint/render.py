@@ -1,0 +1,53 @@
+"""Human-readable rendering of a lint report.
+
+Compiler-style one-liners (``file:line: severity: [rule] message``) with
+indented witness sites, a per-rule explanation on first occurrence, and
+a closing summary line — the ``vppb lint`` default output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.analysis.lint.engine import rule_by_id
+from repro.analysis.lint.findings import Finding, LintReport
+
+__all__ = ["render_text", "render_json"]
+
+
+def _where(finding: Finding) -> str:
+    if finding.source is not None:
+        return f"{finding.source.file}:{finding.source.line}"
+    if finding.obj is not None:
+        return str(finding.obj)
+    return "<trace>"
+
+
+def render_text(report: LintReport, *, explain: bool = True) -> str:
+    """The report as a plain-text diagnostic listing."""
+    lines: List[str] = []
+    explained: set = set()
+    for finding in report.sorted().findings:
+        lines.append(
+            f"{_where(finding)}: {finding.severity.value}: "
+            f"[{finding.rule_id}] {finding.message}"
+        )
+        for site in finding.related:
+            lines.append(f"    see: {site.describe()}")
+        if explain and finding.rule_id not in explained:
+            explained.add(finding.rule_id)
+            try:
+                rule = rule_by_id(finding.rule_id)
+            except Exception:
+                rule = None
+            if rule is not None and rule.rationale:
+                lines.append(f"    why: {rule.rationale}")
+    if lines:
+        lines.append("")
+    lines.append(report.summary())
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport, *, indent: int = 2) -> str:
+    return json.dumps(report.to_dict(), indent=indent)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.core.errors import AnalysisError
 from repro.core.events import BLOCKING_PRIMITIVES
 from repro.core.ids import SyncObjectId
 from repro.core.result import SimulationResult
@@ -34,17 +35,29 @@ def prediction_error(real_speedup: float, predicted_speedup: float) -> float:
     """The paper's §4 error: ``(real - predicted) / real``.
 
     Positive when the prediction is pessimistic (predicted slower than
-    reality), negative when optimistic.
+    reality), negative when optimistic.  Raises
+    :class:`~repro.core.errors.AnalysisError` when the real speed-up is
+    zero — the §4 ratio is undefined there, and a measured speed-up of
+    zero means the measurement itself is broken.
     """
     if real_speedup == 0:
-        raise ZeroDivisionError("real speed-up is zero")
+        raise AnalysisError(
+            "prediction error is undefined for a zero real speed-up "
+            f"(predicted was {predicted_speedup})"
+        )
     return (real_speedup - predicted_speedup) / real_speedup
 
 
 def recording_overhead(monitored_us: int, plain_us: int) -> float:
-    """Relative §4 recording intrusion: ``(monitored - plain) / plain``."""
+    """Relative §4 recording intrusion: ``(monitored - plain) / plain``.
+
+    Raises :class:`~repro.core.errors.AnalysisError` for a zero plain
+    runtime (no baseline, no ratio)."""
     if plain_us == 0:
-        raise ZeroDivisionError("plain runtime is zero")
+        raise AnalysisError(
+            "recording overhead is undefined for a zero plain runtime "
+            f"(monitored was {monitored_us} us)"
+        )
     return (monitored_us - plain_us) / plain_us
 
 

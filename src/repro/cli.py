@@ -23,6 +23,9 @@ on disk:
 * ``vppb doctor run.log`` — validate a (possibly damaged) log, salvage
   what can be salvaged, dry-run the replay under a watchdog, and print
   a diagnosis instead of a traceback;
+* ``vppb lint run.log --format sarif`` — static synchronisation analysis
+  of the recorded trace (races, lock-order inversions, cond misuse);
+  exits 1 when findings reach the ``--fail-on`` severity;
 * ``vppb workloads`` — list the bundled programs.
 """
 
@@ -103,6 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="write a standalone HTML report instead of SVG",
     )
+    p_vis.add_argument(
+        "--lint",
+        action="store_true",
+        help="overlay lint findings on the HTML report (implies --html)",
+    )
 
     p_rep = sub.add_parser("report", parents=[common], help="sweep + bottlenecks")
     p_rep.add_argument("--cpus", type=_parse_cpus, default=[2, 4, 8])
@@ -174,6 +182,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="show at most N individual repairs (0 = none)",
     )
 
+    p_lint = sub.add_parser(
+        "lint", help="static synchronisation analysis of a recorded trace"
+    )
+    p_lint.add_argument("log", help="log file from 'vppb record'")
+    p_lint.add_argument(
+        "--select", action="append", default=None, metavar="RULE",
+        help="run only these rule ids (repeatable; accepts R001 or VPPB-R001)",
+    )
+    p_lint.add_argument(
+        "--ignore", action="append", default=None, metavar="RULE",
+        help="skip these rule ids (repeatable)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default: text)",
+    )
+    p_lint.add_argument(
+        "--fail-on", default="error", metavar="SEVERITY",
+        help="exit 1 when any finding reaches this severity "
+        "(note|warning|error|never; default: error)",
+    )
+    p_lint.add_argument(
+        "-o", "--output", default=None, help="write the report here (else stdout)"
+    )
+    p_lint.add_argument(
+        "--no-explain", action="store_true",
+        help="omit the per-rule rationale lines from the text report",
+    )
+
     sub.add_parser("workloads", help="list bundled workloads")
     return parser
 
@@ -227,7 +264,16 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 def _cmd_visualize(args: argparse.Namespace) -> int:
     trace = logfile.load(args.log)
-    result = predict(trace, _config_from(args, args.cpus))
+    # --lint exists for traces whose replay may deadlock (lock-order
+    # inversions manifest under more CPUs): degrade to a partial replay
+    # so the findings still render
+    result = predict(trace, _config_from(args, args.cpus), strict=not args.lint)
+    if result.incomplete:
+        print(
+            f"replay incomplete ({result.incompleteness.reason}); "
+            "rendering the partial schedule",
+            file=sys.stderr,
+        )
     if args.chrome:
         from repro.visualizer.chrome_trace import save_chrome_trace
 
@@ -235,17 +281,23 @@ def _cmd_visualize(args: argparse.Namespace) -> int:
         save_chrome_trace(result, out, program=trace.meta.program)
         print(f"wrote {out} (open in chrome://tracing or ui.perfetto.dev)")
         return 0
-    if args.html:
+    if args.html or args.lint:
         from repro.visualizer.html_report import save_html_report
 
+        findings = None
+        if args.lint:
+            from repro.analysis.lint import run_lint
+
+            findings = run_lint(trace)
         out = args.output or "report.html"
         save_html_report(
             result,
             out,
             title=f"{trace.meta.program} on {args.cpus} CPUs (predicted)",
             compress_threads=args.compress,
+            findings=findings,
         )
-        print(f"wrote {out}")
+        print(f"wrote {out}" + (f" ({findings.summary()})" if findings else ""))
         return 0
     if args.output:
         save_svg(
@@ -469,6 +521,62 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static analysis of a recorded log.
+
+    Exit status: 0 — no finding reached the ``--fail-on`` severity;
+    1 — at least one did; 2 — bad request (unknown rule id, unreadable
+    log, bad severity).
+    """
+    from repro.analysis.lint import (
+        Severity,
+        render_json,
+        render_text,
+        run_lint,
+        sarif_json,
+    )
+    from repro.core.errors import AnalysisError, TraceError
+
+    fail_on: Optional[Severity]
+    if args.fail_on.lower() == "never":
+        fail_on = None
+    else:
+        try:
+            fail_on = Severity.parse(args.fail_on)
+        except ValueError as exc:
+            print(f"lint: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        trace = logfile.load(args.log)
+    except (OSError, TraceError) as exc:
+        print(f"lint: cannot load {args.log}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = run_lint(trace, select=args.select, ignore=args.ignore)
+    except AnalysisError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "sarif":
+        text = sarif_json(report)
+    elif args.format == "json":
+        text = render_json(report)
+    else:
+        text = render_text(report, explain=not args.no_explain)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output} ({report.summary()})")
+    else:
+        print(text)
+
+    if fail_on is not None and report.at_least(fail_on):
+        return 1
+    return 0
+
+
 def _cmd_workloads(_args: argparse.Namespace) -> int:
     from repro.workloads import all_workloads
 
@@ -487,6 +595,7 @@ _COMMANDS = {
     "whatif": _cmd_whatif,
     "compare": _cmd_compare,
     "doctor": _cmd_doctor,
+    "lint": _cmd_lint,
     "workloads": _cmd_workloads,
 }
 

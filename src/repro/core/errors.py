@@ -19,6 +19,7 @@ __all__ = [
     "BudgetExceededError",
     "ReplayDivergenceError",
     "ConfigError",
+    "AnalysisError",
     "VisualizationError",
     "ProgramError",
 ]
@@ -134,6 +135,15 @@ class ReplayDivergenceError(SimulationError):
 
 class ConfigError(VppbError):
     """A simulation configuration is invalid (§3.2 parameters)."""
+
+
+class AnalysisError(VppbError):
+    """An analysis was asked something it cannot answer.
+
+    Raised for degenerate metric inputs (a zero real speed-up has no
+    defined prediction error) and for bad lint requests (unknown rule
+    ids, malformed severity thresholds).
+    """
 
 
 class VisualizationError(VppbError):

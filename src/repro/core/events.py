@@ -33,6 +33,7 @@ __all__ = [
     "EventRecord",
     "BLOCKING_PRIMITIVES",
     "TRY_PRIMITIVES",
+    "ACCESS_PRIMITIVES",
 ]
 
 
@@ -58,6 +59,14 @@ class Primitive(enum.Enum):
     # "does not model I/O"; this primitive lifts that, recording blocking
     # I/O waits so replay can overlap them across processors) -----------
     IO_WAIT = "io_wait"
+
+    # --- shared-variable accesses (Eraser-style instrumentation: the
+    # probe the lockset race rule of `vppb lint` consumes.  A real
+    # recorder gets these from binary instrumentation of loads/stores;
+    # our virtual programs declare them explicitly.  Record-only: no
+    # scheduling effect, negligible cost) -------------------------------
+    SHARED_READ = "shared_read"
+    SHARED_WRITE = "shared_write"
 
     # --- thread management -------------------------------------------------
     THR_CREATE = "thr_create"
@@ -115,6 +124,14 @@ TRY_PRIMITIVES = frozenset(
         Primitive.SEMA_TRYWAIT,
         Primitive.RW_TRYRDLOCK,
         Primitive.RW_TRYWRLOCK,
+    }
+)
+
+#: Shared-variable access records consumed by the lockset race rule.
+ACCESS_PRIMITIVES = frozenset(
+    {
+        Primitive.SHARED_READ,
+        Primitive.SHARED_WRITE,
     }
 )
 

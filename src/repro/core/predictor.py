@@ -170,6 +170,11 @@ def _op_from_records(
             return op_mod.RwWrLock(obj_name, source=src)
         return op_mod.Noop(prim, call.obj, busy=True, source=src)
 
+    if prim is Primitive.SHARED_READ:
+        return op_mod.SharedRead(obj_name, source=src)
+    if prim is Primitive.SHARED_WRITE:
+        return op_mod.SharedWrite(obj_name, source=src)
+
     if prim is Primitive.IO_WAIT:
         # the §6 I/O extension: replay the recorded wait as itself
         duration = call.arg

@@ -687,6 +687,10 @@ class Simulator:
         status = Status.BUSY if op.busy else Status.OK
         self._complete_now(thread, rt, op, not op.busy, status)
 
+    def _h_shared_access(self, thread, rt, op: op_mod.Op) -> None:
+        # record-only instrumentation point: no blocking, no side effect
+        self._complete_now(thread, rt, op, None)
+
     def _h_thr_create(self, thread, rt, op: op_mod.ThrCreate) -> None:
         child = self._spawn(thread, op)
         self._complete_now(thread, rt, op, int(child.tid), target=int(child.tid))
@@ -773,6 +777,8 @@ class Simulator:
         op_mod.Delay: _h_delay,
         op_mod.IoWait: _h_io_wait,
         op_mod.Noop: _h_noop,
+        op_mod.SharedRead: _h_shared_access,
+        op_mod.SharedWrite: _h_shared_access,
         op_mod.ThrCreate: _h_thr_create,
         op_mod.ThrJoin: _h_thr_join,
         op_mod.ThrExit: _h_thr_exit,

@@ -221,3 +221,94 @@ def _delete_header(text: str, rng: random.Random) -> str:
     """Lose the version header (the first thing truncation-from-the-top eats)."""
     lines = _lines(text)
     return "".join(l for l in lines if not l.lstrip().startswith("# vppb-log"))
+
+
+@corruptor("invert-lock-order")
+def _invert_lock_order(text: str, rng: random.Random) -> str:
+    """Invert one thread's lock nesting (semantic damage, not syntax).
+
+    Finds a properly nested window ``lock A .. lock B .. unlock B ..
+    unlock A`` in one thread and swaps ``A`` and ``B`` on every
+    mutex line inside it, so that thread now nests B-then-A while the
+    rest of the log still nests A-then-B.  The result parses strictly,
+    replays fine on one schedule — and carries a latent ABBA deadlock
+    only a lock-order analysis (``vppb lint``, VPPB-R002) can see.
+    Logs without a two-lock nest get weaker semantic damage instead: one
+    complete lock..unlock span is retargeted onto a shadow mutex the
+    rest of the log never synchronises on (still balanced, still
+    parseable — but the critical section it guarded is now unprotected).
+    """
+    lines = _lines(text)
+
+    def fields_of(i: int):
+        parts = lines[i].split()
+        if len(parts) < 4 or parts[3] not in ("mutex_lock", "mutex_unlock"):
+            return None
+        obj = next((p[4:] for p in parts[4:] if p.startswith("obj=")), None)
+        return (parts[1], parts[2], parts[3], obj) if obj else None
+
+    # per-thread scan for lock-A .. lock-B .. unlock-B .. unlock-A windows
+    # (tracked on 'call' records; the paired 'ret' lines share the window)
+    windows: List[tuple] = []  # (tid, start_line, end_line, obj_a, obj_b)
+    nest: Dict[str, List[tuple]] = {}  # tid -> stack of (obj, line)
+    inner: Dict[str, str] = {}  # tid -> first nested lock of the open span
+    for i in _record_indices(lines):
+        parsed = fields_of(i)
+        if parsed is None:
+            continue
+        tid, phase, prim, obj = parsed
+        if phase != "call":
+            continue
+        stack = nest.setdefault(tid, [])
+        if prim == "mutex_lock":
+            stack.append((obj, i))
+            if len(stack) == 2 and tid not in inner and obj != stack[0][0]:
+                inner[tid] = obj
+        elif stack and stack[-1][0] == obj:
+            outer_obj, outer_line = stack.pop()
+            if not stack:
+                obj_b = inner.pop(tid, None)
+                if obj_b is not None:
+                    windows.append((tid, outer_line, i, outer_obj, obj_b))
+        else:
+            nest[tid] = []  # unbalanced; restart this thread's scan
+            inner.pop(tid, None)
+    if not windows:
+        # nothing nests: retarget one complete lock..unlock span instead
+        spans: List[tuple] = []  # (tid, start_line, end_line, obj)
+        open_lock: Dict[tuple, int] = {}
+        for i in _record_indices(lines):
+            parsed = fields_of(i)
+            if parsed is None:
+                continue
+            tid, phase, prim, obj = parsed
+            if prim == "mutex_lock" and phase == "call":
+                open_lock[(tid, obj)] = i
+            elif prim == "mutex_unlock" and phase == "ret":
+                start = open_lock.pop((tid, obj), None)
+                if start is not None:
+                    spans.append((tid, start, i, obj))
+        if not spans:
+            return text
+        tid, start, end, obj = spans[rng.randrange(len(spans))]
+        for i in range(start, end + 1):
+            parsed = fields_of(i)
+            if parsed and parsed[0] == tid and f"obj={obj}" in lines[i]:
+                lines[i] = lines[i].replace(f"obj={obj}", f"obj={obj}_shadow")
+        return "".join(lines)
+    tid, start, end, obj_a, obj_b = windows[rng.randrange(len(windows))]
+    # the window must close with the ret of the final unlock, or the swap
+    # would split that call/ret pair across two different objects
+    for j in range(end + 1, len(lines)):
+        if fields_of(j) == (tid, "ret", "mutex_unlock", obj_a):
+            end = j
+            break
+    for i in range(start, end + 1):
+        parsed = fields_of(i)
+        if parsed is None or parsed[0] != tid:
+            continue  # other threads' interleaved records stay intact
+        if f"obj={obj_a}" in lines[i]:
+            lines[i] = lines[i].replace(f"obj={obj_a}", f"obj={obj_b}")
+        elif f"obj={obj_b}" in lines[i]:
+            lines[i] = lines[i].replace(f"obj={obj_b}", f"obj={obj_a}")
+    return "".join(lines)

@@ -54,10 +54,13 @@ __all__ = [
     "ThrYield",
     "ThrSetPrio",
     "ThrSetConcurrency",
+    "SharedRead",
+    "SharedWrite",
     "mutex_id",
     "sema_id",
     "cond_id",
     "rwlock_id",
+    "var_id",
 ]
 
 
@@ -75,6 +78,11 @@ def cond_id(name: str) -> SyncObjectId:
 
 def rwlock_id(name: str) -> SyncObjectId:
     return SyncObjectId("rwlock", name)
+
+
+def var_id(name: str) -> SyncObjectId:
+    """Identity of an instrumented shared variable (kind ``var``)."""
+    return SyncObjectId("var", name)
 
 
 @dataclass(slots=True)
@@ -159,6 +167,45 @@ class IoWait(Op):
         self.primitive = Primitive.IO_WAIT
         if self.duration_us < 0:
             raise ValueError(f"negative io duration {self.duration_us}")
+
+
+# ---------------------------------------------------------------------------
+# shared-variable accesses (Eraser-style instrumentation)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class SharedRead(Op):
+    """Declare a read of shared variable ``name``.
+
+    Record-only: the access itself costs nothing and never blocks; its
+    value is the (timestamp, thread, variable, source) tuple the lockset
+    race rule of ``vppb lint`` consumes — our analogue of Eraser's
+    load instrumentation.
+    """
+
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.SHARED_READ
+
+    @property
+    def obj(self) -> SyncObjectId:
+        return var_id(self.name)
+
+
+@dataclass(slots=True)
+class SharedWrite(Op):
+    """Declare a write of shared variable ``name`` (store instrumentation)."""
+
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.primitive = Primitive.SHARED_WRITE
+
+    @property
+    def obj(self) -> SyncObjectId:
+        return var_id(self.name)
 
 
 # ---------------------------------------------------------------------------

@@ -25,7 +25,7 @@ from repro.core.result import (
     ThreadSegment,
 )
 
-__all__ = ["FlowRow", "FlowGraph"]
+__all__ = ["FlowRow", "FlowGraph", "FindingMarker", "match_findings"]
 
 
 @dataclass(frozen=True)
@@ -152,3 +152,53 @@ class FlowGraph:
 
     def event_count(self) -> int:
         return sum(len(r.events) for r in self.rows)
+
+
+# ---------------------------------------------------------------------------
+# lint overlay
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FindingMarker:
+    """A lint finding anchored onto the flow graph.
+
+    ``time_us`` is the start of the first placed event matching the
+    finding's thread and source location (``None`` when the finding has
+    no on-graph anchor — e.g. a whole-object observation); renderers draw
+    these as markers on the owning thread's row.
+    """
+
+    finding: object  # repro.analysis.lint.findings.Finding
+    tid: Optional[int]
+    time_us: Optional[int]
+
+
+def match_findings(graph: FlowGraph, findings: Sequence) -> List[FindingMarker]:
+    """Anchor lint findings (trace-side) to placed events (simulation-side).
+
+    The lint engine works on the recorded trace, the flow graph on a
+    simulated execution, so record indices do not line up; what survives
+    both worlds is (thread id, source location).  Each finding is matched
+    to the earliest event of its thread at its source line; findings
+    carrying neither stay unanchored (``time_us`` is ``None``)."""
+    markers: List[FindingMarker] = []
+    for finding in findings:
+        tid = getattr(finding, "tid", None)
+        source = getattr(finding, "source", None)
+        time_us = None
+        if tid is not None and source is not None:
+            try:
+                row = graph.row_for(tid)
+            except VisualizationError:
+                row = None
+            if row is not None:
+                for ev in row.events:
+                    if ev.source is not None and (
+                        ev.source.file == source.file
+                        and ev.source.line == source.line
+                    ):
+                        time_us = ev.start_us
+                        break
+        markers.append(FindingMarker(finding=finding, tid=tid, time_us=time_us))
+    return markers

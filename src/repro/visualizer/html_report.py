@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import html
 from pathlib import Path
-from typing import List, Union
+from typing import List, Optional, Set, Tuple, Union
 
 from repro.analysis.metrics import contention_by_object
 from repro.core.result import SimulationResult
@@ -32,6 +32,11 @@ th { background: #f0f0f0; } td.l, th.l { text-align: left; }
 .summary { background: #f7f7f7; padding: 0.8em 1.2em; border-radius: 6px; }
 .note { color: #666; font-size: 0.85em; }
 svg { max-width: 100%; height: auto; border: 1px solid #eee; }
+tr.flagged td { background: #fff2f0; }
+.sev-error { color: #b00020; font-weight: bold; }
+.sev-warning { color: #9a6700; font-weight: bold; }
+.sev-note { color: #555; }
+.lint-why { color: #666; font-size: 0.85em; }
 """
 
 _MAX_EVENT_ROWS = 2_000
@@ -99,7 +104,51 @@ def _bottleneck_section(result: SimulationResult, top: int) -> List[str]:
     return parts
 
 
-def _event_section(result: SimulationResult) -> List[str]:
+def _finding_sites(findings) -> Set[Tuple[int, str, int]]:
+    """(tid, file, line) triples a finding points at — primary or witness."""
+    sites: Set[Tuple[int, str, int]] = set()
+    for f in findings:
+        if f.tid is not None and f.source is not None:
+            sites.add((f.tid, f.source.file, f.source.line))
+        for site in f.related:
+            if site.tid is not None and site.source is not None:
+                sites.add((site.tid, site.source.file, site.source.line))
+    return sites
+
+
+def _lint_section(findings) -> List[str]:
+    parts = ["<h2>Static analysis (trace lint)</h2>"]
+    if not len(findings):
+        parts.append(
+            "<p class='note'>no findings: the recorded synchronisation "
+            "behaviour passed every lint rule</p>"
+        )
+        return parts
+    parts.append(
+        "<table><tr><th class='l'>severity</th><th class='l'>rule</th>"
+        "<th class='l'>thread</th><th class='l'>object</th>"
+        "<th class='l'>source</th><th class='l'>finding</th></tr>"
+    )
+    for f in findings:
+        witnesses = "".join(
+            f"<div class='lint-why'>see: {_esc(site.describe())}</div>"
+            for site in f.related
+        )
+        parts.append(
+            f"<tr><td class='l sev-{f.severity.value}'>{f.severity.value}</td>"
+            f"<td class='l'>{_esc(f.rule_id)}</td>"
+            f"<td class='l'>{'T%d' % f.tid if f.tid is not None else ''}</td>"
+            f"<td class='l'>{_esc(f.obj) if f.obj else ''}</td>"
+            f"<td class='l'>{_esc(f.source) if f.source else ''}</td>"
+            f"<td class='l'>{_esc(f.message)}{witnesses}</td></tr>"
+        )
+    parts.append("</table>")
+    return parts
+
+
+def _event_section(
+    result: SimulationResult, flagged: Set[Tuple[int, str, int]] = frozenset()
+) -> List[str]:
     parts = [
         "<h2>Events (the popup's content, tabulated)</h2>",
         "<table><tr><th>#</th><th class='l'>thread</th><th class='l'>event</th>"
@@ -111,8 +160,14 @@ def _event_section(result: SimulationResult) -> List[str]:
         obj = _esc(ev.obj) if ev.obj else (
             f"T{int(ev.target)}" if ev.target is not None else ""
         )
+        hit = (
+            ev.source is not None
+            and (int(ev.tid), ev.source.file, ev.source.line) in flagged
+        )
+        row_attr = " class='flagged'" if hit else ""
         parts.append(
-            f"<tr><td>{ev.index}</td><td class='l'>T{int(ev.tid)}</td>"
+            f"<tr{row_attr}>"
+            f"<td>{ev.index}</td><td class='l'>T{int(ev.tid)}</td>"
             f"<td class='l'>{_esc(ev.primitive.value)}</td>"
             f"<td class='l'>{obj}</td>"
             f"<td>{format_us(ev.start_us)}</td>"
@@ -137,10 +192,18 @@ def render_html_report(
     top_bottlenecks: int = 10,
     svg_width: int = 1100,
     compress_threads: bool = False,
+    findings=None,
 ) -> str:
-    """Build the standalone HTML report text."""
+    """Build the standalone HTML report text.
+
+    ``findings`` (a :class:`repro.analysis.lint.LintReport`, optional)
+    adds a "Static analysis" section and highlights the event-table rows
+    whose (thread, source) a finding points at."""
     svg = render_svg(
         result, width=svg_width, compress_threads=compress_threads, title=""
+    )
+    flagged: Set[Tuple[int, str, int]] = (
+        _finding_sites(findings) if findings is not None else set()
     )
     parts = [
         "<!DOCTYPE html>",
@@ -150,9 +213,10 @@ def render_html_report(
         *_summary_section(result, title),
         "<h2>Parallelism and execution flow (fig. 5 view)</h2>",
         svg,
+        *(_lint_section(findings) if findings is not None else []),
         *_stats_section(result),
         *_bottleneck_section(result, top_bottlenecks),
-        *_event_section(result),
+        *_event_section(result, flagged),
         "<p class='note'>generated by repro, a reproduction of VPPB "
         "(Broberg, Lundberg, Grahn — IPPS 1998)</p>",
         "</body></html>",

@@ -97,6 +97,9 @@ _STYLES: Dict[Primitive, EventStyle] = {
     ),
     Primitive.THREAD_START: EventStyle(Shape.TICK, _THREAD, "|", "thread_start"),
     Primitive.IO_WAIT: EventStyle(Shape.SQUARE, "#b8860b", "D", "io_wait"),
+    # shared-variable accesses (lint instrumentation): orange ticks
+    Primitive.SHARED_READ: EventStyle(Shape.TICK, "#cc7700", ".", "shared_read"),
+    Primitive.SHARED_WRITE: EventStyle(Shape.TICK, "#cc7700", "!", "shared_write"),
     Primitive.START_COLLECT: EventStyle(Shape.TICK, _THREAD, "[", "start_collect"),
     Primitive.END_COLLECT: EventStyle(Shape.TICK, _THREAD, "]", "end_collect"),
 }

@@ -28,7 +28,16 @@ from repro.program import ops as op
 from repro.program.program import Program, ThreadCtx, ThreadGen
 from repro.workloads.base import Workload, register
 
-__all__ = ["make_naive", "make_tuned", "make_program", "WORKLOAD", "WORKLOAD_TUNED"]
+__all__ = [
+    "make_naive",
+    "make_tuned",
+    "make_racy",
+    "make_clean",
+    "make_program",
+    "WORKLOAD",
+    "WORKLOAD_TUNED",
+    "WORKLOAD_RACY",
+]
 
 N_PRODUCERS = 150
 N_CONSUMERS = 75
@@ -136,6 +145,98 @@ def make_tuned(scale: float = 1.0, *, nthreads: int = 0) -> Program:
     return Program(name="prodcons-tuned", main=main)
 
 
+def make_racy(scale: float = 0.05, *, nthreads: int = 0) -> Program:
+    """A deliberately broken producer-consumer: the lint true-positive fixture.
+
+    Two defects are planted, one per headline rule:
+
+    * producers write the shared ``slot`` descriptor *before* taking any
+      lock while consumers read it under the buffer locks — an
+      Eraser-detectable data race (``VPPB-R001``);
+    * producers nest ``head`` → ``tail`` while consumers nest ``tail`` →
+      ``head`` — the classic ABBA inversion (``VPPB-R002``).  The
+      recorded one-LWP run cannot deadlock, which is exactly why only a
+      lock-order analysis can see the hazard.
+
+    The default scale keeps the fixture trace small enough for CI.
+    """
+    producers, consumers, per_consumer, extra = _sizes(scale)
+
+    def producer(ctx: ThreadCtx) -> ThreadGen:
+        for _ in range(ITEMS_PER_PRODUCER):
+            yield op.Compute(OUTSIDE_US)
+            yield op.SharedWrite("slot")  # BUG: published before locking
+            yield op.MutexLock("head")
+            yield op.MutexLock("tail")  # BUG: inverted vs. the consumer
+            yield op.Compute(COPY_US)
+            yield op.MutexUnlock("tail")
+            yield op.MutexUnlock("head")
+            yield op.SemaPost("items")
+
+    def consumer(ctx: ThreadCtx) -> ThreadGen:
+        n = per_consumer + (1 if ctx.args[0] < extra else 0)
+        for _ in range(n):
+            yield op.SemaWait("items")
+            yield op.MutexLock("tail")
+            yield op.MutexLock("head")
+            yield op.SharedRead("slot")
+            yield op.Compute(COPY_US)
+            yield op.MutexUnlock("head")
+            yield op.MutexUnlock("tail")
+            yield op.Compute(OUTSIDE_US)
+
+    def main(ctx: ThreadCtx) -> ThreadGen:
+        tids = []
+        for i in range(producers):
+            tids.append((yield op.ThrCreate(producer, args=(i,), name="producer")))
+        for i in range(consumers):
+            tids.append((yield op.ThrCreate(consumer, args=(i,), name="consumer")))
+        for tid in tids:
+            yield op.ThrJoin(tid)
+
+    return Program(name="prodcons-racy", main=main)
+
+
+def make_clean(scale: float = 0.05, *, nthreads: int = 0) -> Program:
+    """The same program with the defects fixed: the false-positive guard.
+
+    Every ``slot`` access happens under the ``buffer`` mutex and there is
+    a single lock, so a correct lint run must report **zero** findings —
+    any output here is a lint bug, not a program bug.
+    """
+    producers, consumers, per_consumer, extra = _sizes(scale)
+
+    def producer(ctx: ThreadCtx) -> ThreadGen:
+        for _ in range(ITEMS_PER_PRODUCER):
+            yield op.Compute(OUTSIDE_US)
+            yield op.MutexLock("buffer")
+            yield op.SharedWrite("slot")
+            yield op.Compute(COPY_US)
+            yield op.MutexUnlock("buffer")
+            yield op.SemaPost("items")
+
+    def consumer(ctx: ThreadCtx) -> ThreadGen:
+        n = per_consumer + (1 if ctx.args[0] < extra else 0)
+        for _ in range(n):
+            yield op.SemaWait("items")
+            yield op.MutexLock("buffer")
+            yield op.SharedRead("slot")
+            yield op.Compute(COPY_US)
+            yield op.MutexUnlock("buffer")
+            yield op.Compute(OUTSIDE_US)
+
+    def main(ctx: ThreadCtx) -> ThreadGen:
+        tids = []
+        for i in range(producers):
+            tids.append((yield op.ThrCreate(producer, args=(i,), name="producer")))
+        for i in range(consumers):
+            tids.append((yield op.ThrCreate(consumer, args=(i,), name="consumer")))
+        for tid in tids:
+            yield op.ThrJoin(tid)
+
+    return Program(name="prodcons-clean", main=main)
+
+
 def make_program(nthreads: int = 0, scale: float = 1.0) -> Program:
     """Registry entry point (the naive §5 program)."""
     return make_naive(scale, nthreads=nthreads)
@@ -155,6 +256,16 @@ WORKLOAD_TUNED = register(
         name="prodcons-tuned",
         description="§5 producer-consumer after tuning (100 buffers)",
         factory=lambda nthreads, scale: make_tuned(scale, nthreads=nthreads),
+        default_threads=0,
+    )
+)
+
+WORKLOAD_RACY = register(
+    Workload(
+        name="prodcons-racy",
+        description="producer-consumer with a planted race + ABBA inversion"
+        " (lint fixture)",
+        factory=lambda nthreads, scale: make_racy(nthreads=nthreads),
         default_threads=0,
     )
 )

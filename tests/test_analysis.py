@@ -16,6 +16,7 @@ from repro.analysis import (
     recording_overhead,
     top_bottleneck,
 )
+from repro.core.errors import AnalysisError, VppbError
 from repro.core.ids import SyncObjectId
 from repro.core.predictor import SpeedupPrediction
 from repro.program.mpexec import measure_speedup
@@ -33,14 +34,19 @@ class TestMetrics:
         assert prediction_error(2.0, 2.1) == pytest.approx(-0.05)
 
     def test_prediction_error_zero_real(self):
-        with pytest.raises(ZeroDivisionError):
+        with pytest.raises(AnalysisError):
+            prediction_error(0.0, 1.0)
+
+    def test_prediction_error_zero_real_is_catchable_as_vppb(self):
+        # callers catch one root type for every repro-raised failure
+        with pytest.raises(VppbError):
             prediction_error(0.0, 1.0)
 
     def test_recording_overhead(self):
         assert recording_overhead(103, 100) == pytest.approx(0.03)
 
     def test_recording_overhead_zero_plain(self):
-        with pytest.raises(ZeroDivisionError):
+        with pytest.raises(AnalysisError):
             recording_overhead(1, 0)
 
 

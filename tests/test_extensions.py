@@ -29,12 +29,16 @@ from tests.conftest import make_barrier_program, make_fig2_program
 
 class TestPosixNames:
     def test_every_library_primitive_has_a_posix_name(self):
+        from repro.core.events import ACCESS_PRIMITIVES
+
+        # markers and access probes are recorder instrumentation, not
+        # thread-library calls — they have no POSIX spelling
         markers = {
             Primitive.START_COLLECT,
             Primitive.END_COLLECT,
             Primitive.THREAD_START,
             Primitive.IO_WAIT,
-        }
+        } | set(ACCESS_PRIMITIVES)
         for prim in Primitive:
             if prim in markers:
                 continue

@@ -1,0 +1,582 @@
+"""Tests for the static trace-lint engine (races, lock order, hygiene).
+
+Three layers: rule-level checks on hand-written synthetic logs (each rule
+gets a minimal trace that must fire it and a near-miss that must not),
+end-to-end checks on the recorded prodcons fixtures (planted bugs found,
+clean variant silent), and serialisation checks (SARIF 2.1.0 shape,
+JSON, text, CLI exit codes).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import record_program
+from repro.analysis.lint import (
+    Severity,
+    all_rules,
+    render_json,
+    render_text,
+    rule_by_id,
+    run_lint,
+    sarif_json,
+    sweep,
+    to_sarif,
+)
+from repro.cli import main as cli_main
+from repro.core.errors import AnalysisError
+from repro.faultinject.corrupt import corrupt
+from repro.program import ops as op
+from repro.program.program import Program
+from repro.recorder import logfile
+from repro.workloads.prodcons import make_clean, make_racy
+
+# ---------------------------------------------------------------------------
+# synthetic-log helpers
+# ---------------------------------------------------------------------------
+
+_HEADER = "# vppb-log 1\n# program: synthetic\n# probe-overhead-us: 1\n"
+
+
+def _log(*records: str) -> str:
+    return _HEADER + "\n".join(records) + "\n"
+
+
+def _lint_text(text: str, **kw):
+    return run_lint(logfile.loads(text), **kw)
+
+
+def _spawn(t_us: int, target: int) -> list:
+    """A thr_create call/ret pair issued by main (T1)."""
+    return [
+        f"0.{t_us:06d} T1 call thr_create",
+        f"0.{t_us + 1:06d} T1 ret thr_create target=T{target} status=ok",
+    ]
+
+
+# ---------------------------------------------------------------------------
+# rule-level: each rule on a minimal synthetic trace
+# ---------------------------------------------------------------------------
+
+
+class TestLocksetRace:
+    def test_unprotected_write_write_race_fires(self):
+        text = _log(
+            *_spawn(10, 2),
+            *_spawn(12, 3),
+            "0.000020 T2 call shared_write obj=var:x src=a.c|5|w",
+            "0.000021 T2 ret shared_write obj=var:x status=ok src=a.c|5|w",
+            "0.000030 T3 call shared_write obj=var:x src=a.c|9|w",
+            "0.000031 T3 ret shared_write obj=var:x status=ok src=a.c|9|w",
+        )
+        report = _lint_text(text)
+        races = report.by_rule("VPPB-R001")
+        assert len(races) == 1
+        f = races[0]
+        assert f.severity is Severity.ERROR
+        assert str(f.obj) == "var:x"
+        assert f.tid == 3 and f.source.line == 9
+        assert f.related and f.related[0].tid == 2
+
+    def test_consistent_lock_is_silent(self):
+        text = _log(
+            *_spawn(10, 2),
+            *_spawn(12, 3),
+            "0.000020 T2 call mutex_lock obj=mutex:m",
+            "0.000021 T2 ret mutex_lock obj=mutex:m status=ok",
+            "0.000022 T2 call shared_write obj=var:x",
+            "0.000023 T2 ret shared_write obj=var:x status=ok",
+            "0.000024 T2 call mutex_unlock obj=mutex:m",
+            "0.000025 T2 ret mutex_unlock obj=mutex:m status=ok",
+            "0.000030 T3 call mutex_lock obj=mutex:m",
+            "0.000031 T3 ret mutex_lock obj=mutex:m status=ok",
+            "0.000032 T3 call shared_write obj=var:x",
+            "0.000033 T3 ret shared_write obj=var:x status=ok",
+            "0.000034 T3 call mutex_unlock obj=mutex:m",
+            "0.000035 T3 ret mutex_unlock obj=mutex:m status=ok",
+        )
+        assert not _lint_text(text).by_rule("VPPB-R001")
+
+    def test_single_thread_is_exempt(self):
+        # the virgin->exclusive initialisation window never reports
+        text = _log(
+            "0.000010 T1 call shared_write obj=var:x",
+            "0.000011 T1 ret shared_write obj=var:x status=ok",
+            "0.000012 T1 call shared_write obj=var:x",
+            "0.000013 T1 ret shared_write obj=var:x status=ok",
+        )
+        assert not _lint_text(text).by_rule("VPPB-R001")
+
+    def test_init_then_readonly_publish_is_benign(self):
+        # Eraser's read transition: writes by the initialiser followed by
+        # unlocked reads elsewhere stay in SHARED — no report
+        text = _log(
+            *_spawn(10, 2),
+            "0.000020 T1 call shared_write obj=var:x",
+            "0.000021 T1 ret shared_write obj=var:x status=ok",
+            "0.000030 T2 call shared_read obj=var:x",
+            "0.000031 T2 ret shared_read obj=var:x status=ok",
+            "0.000032 T2 call shared_read obj=var:x",
+            "0.000033 T2 ret shared_read obj=var:x status=ok",
+        )
+        assert not _lint_text(text).by_rule("VPPB-R001")
+
+    def test_semaphore_counts_as_protection(self):
+        # the binary-semaphore-as-mutex pattern must not be flagged
+        text = _log(
+            *_spawn(10, 2),
+            "0.000020 T2 call sema_wait obj=sema:s",
+            "0.000021 T2 ret sema_wait obj=sema:s status=ok",
+            "0.000022 T2 call shared_write obj=var:x",
+            "0.000023 T2 ret shared_write obj=var:x status=ok",
+            "0.000024 T2 call sema_post obj=sema:s",
+            "0.000025 T2 ret sema_post obj=sema:s status=ok",
+            "0.000030 T1 call sema_wait obj=sema:s",
+            "0.000031 T1 ret sema_wait obj=sema:s status=ok",
+            "0.000032 T1 call shared_write obj=var:x",
+            "0.000033 T1 ret shared_write obj=var:x status=ok",
+            "0.000034 T1 call sema_post obj=sema:s",
+            "0.000035 T1 ret sema_post obj=sema:s status=ok",
+        )
+        assert not _lint_text(text).by_rule("VPPB-R001")
+
+
+class TestLockOrder:
+    def _abba(self) -> str:
+        return _log(
+            *_spawn(10, 2),
+            *_spawn(12, 3),
+            "0.000020 T2 call mutex_lock obj=mutex:a src=a.c|3|p",
+            "0.000021 T2 ret mutex_lock obj=mutex:a status=ok src=a.c|3|p",
+            "0.000022 T2 call mutex_lock obj=mutex:b src=a.c|4|p",
+            "0.000023 T2 ret mutex_lock obj=mutex:b status=ok src=a.c|4|p",
+            "0.000024 T2 call mutex_unlock obj=mutex:b",
+            "0.000025 T2 ret mutex_unlock obj=mutex:b status=ok",
+            "0.000026 T2 call mutex_unlock obj=mutex:a",
+            "0.000027 T2 ret mutex_unlock obj=mutex:a status=ok",
+            "0.000030 T3 call mutex_lock obj=mutex:b src=a.c|8|q",
+            "0.000031 T3 ret mutex_lock obj=mutex:b status=ok src=a.c|8|q",
+            "0.000032 T3 call mutex_lock obj=mutex:a src=a.c|9|q",
+            "0.000033 T3 ret mutex_lock obj=mutex:a status=ok src=a.c|9|q",
+            "0.000034 T3 call mutex_unlock obj=mutex:a",
+            "0.000035 T3 ret mutex_unlock obj=mutex:a status=ok",
+            "0.000036 T3 call mutex_unlock obj=mutex:b",
+            "0.000037 T3 ret mutex_unlock obj=mutex:b status=ok",
+        )
+
+    def test_abba_cycle_reported_once_with_both_witnesses(self):
+        findings = _lint_text(self._abba()).by_rule("VPPB-R002")
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.severity is Severity.ERROR
+        witness_tids = {site.tid for site in f.related}
+        assert witness_tids == {2, 3}
+        witness_lines = {site.source.line for site in f.related}
+        assert witness_lines == {4, 9}  # the two inner acquisitions
+
+    def test_consistent_nesting_is_silent(self):
+        text = _log(
+            *_spawn(10, 2),
+            *_spawn(12, 3),
+            "0.000020 T2 call mutex_lock obj=mutex:a",
+            "0.000021 T2 ret mutex_lock obj=mutex:a status=ok",
+            "0.000022 T2 call mutex_lock obj=mutex:b",
+            "0.000023 T2 ret mutex_lock obj=mutex:b status=ok",
+            "0.000024 T2 call mutex_unlock obj=mutex:b",
+            "0.000025 T2 ret mutex_unlock obj=mutex:b status=ok",
+            "0.000026 T2 call mutex_unlock obj=mutex:a",
+            "0.000027 T2 ret mutex_unlock obj=mutex:a status=ok",
+            "0.000030 T3 call mutex_lock obj=mutex:a",
+            "0.000031 T3 ret mutex_lock obj=mutex:a status=ok",
+            "0.000032 T3 call mutex_lock obj=mutex:b",
+            "0.000033 T3 ret mutex_lock obj=mutex:b status=ok",
+            "0.000034 T3 call mutex_unlock obj=mutex:b",
+            "0.000035 T3 ret mutex_unlock obj=mutex:b status=ok",
+            "0.000036 T3 call mutex_unlock obj=mutex:a",
+            "0.000037 T3 ret mutex_unlock obj=mutex:a status=ok",
+        )
+        assert not _lint_text(text).by_rule("VPPB-R002")
+
+    def test_cond_wait_breaks_the_hold(self):
+        # waiting releases the mutex, so lock-b-during-wait is NOT nesting
+        text = _log(
+            *_spawn(10, 2),
+            "0.000020 T2 call mutex_lock obj=mutex:a",
+            "0.000021 T2 ret mutex_lock obj=mutex:a status=ok",
+            "0.000022 T2 call cond_wait obj=cond:c obj2=mutex:a",
+            "0.000030 T2 ret cond_wait obj=cond:c obj2=mutex:a status=ok",
+            "0.000032 T2 call mutex_unlock obj=mutex:a",
+            "0.000033 T2 ret mutex_unlock obj=mutex:a status=ok",
+        )
+        analysis = sweep(logfile.loads(text))
+        assert not analysis.edges
+        assert not analysis.hygiene
+
+
+class TestCondRules:
+    def test_wait_without_mutex(self):
+        text = _log(
+            *_spawn(10, 2),
+            "0.000020 T2 call cond_wait obj=cond:c obj2=mutex:m src=a.c|7|w",
+            "0.000021 T2 ret cond_wait obj=cond:c obj2=mutex:m status=ok",
+        )
+        findings = _lint_text(text).by_rule("VPPB-R003")
+        assert len(findings) == 1
+        assert findings[0].tid == 2
+        assert findings[0].severity is Severity.ERROR
+        assert findings[0].source.line == 7
+
+    def test_signal_without_waiter(self):
+        text = _log(
+            "0.000010 T1 call cond_signal obj=cond:c",
+            "0.000011 T1 ret cond_signal obj=cond:c status=ok",
+        )
+        findings = _lint_text(text).by_rule("VPPB-R004")
+        assert len(findings) == 1
+        assert str(findings[0].obj) == "cond:c"
+
+    def test_signal_with_waiter_is_fine(self):
+        text = _log(
+            *_spawn(10, 2),
+            "0.000020 T2 call mutex_lock obj=mutex:m",
+            "0.000021 T2 ret mutex_lock obj=mutex:m status=ok",
+            "0.000022 T2 call cond_wait obj=cond:c obj2=mutex:m",
+            "0.000040 T2 ret cond_wait obj=cond:c obj2=mutex:m status=ok",
+            "0.000042 T2 call mutex_unlock obj=mutex:m",
+            "0.000043 T2 ret mutex_unlock obj=mutex:m status=ok",
+            "0.000030 T1 call cond_signal obj=cond:c",
+            "0.000031 T1 ret cond_signal obj=cond:c status=ok",
+        )
+        assert not _lint_text(text).by_rule("VPPB-R004")
+
+    def test_timedwait_timeout_hotspot(self):
+        records = list(_spawn(10, 2))
+        t = 20
+        for _ in range(3):
+            records += [
+                f"0.{t:06d} T2 call mutex_lock obj=mutex:m",
+                f"0.{t + 1:06d} T2 ret mutex_lock obj=mutex:m status=ok",
+                f"0.{t + 2:06d} T2 call cond_timedwait obj=cond:c obj2=mutex:m src=a.c|9|poll",
+                f"0.{t + 8:06d} T2 ret cond_timedwait obj=cond:c obj2=mutex:m status=timeout src=a.c|9|poll",
+                f"0.{t + 9:06d} T2 call mutex_unlock obj=mutex:m",
+                f"0.{t + 10:06d} T2 ret mutex_unlock obj=mutex:m status=ok",
+            ]
+            t += 20
+        findings = _lint_text(_log(*records)).by_rule("VPPB-R005")
+        assert len(findings) == 1
+        assert findings[0].source.line == 9
+        assert "3 of 3" in findings[0].message
+
+
+class TestHygieneRules:
+    def test_unlock_without_lock(self):
+        text = _log(
+            *_spawn(10, 2),
+            "0.000020 T2 call mutex_unlock obj=mutex:m src=a.c|4|w",
+            "0.000021 T2 ret mutex_unlock obj=mutex:m status=ok",
+        )
+        findings = _lint_text(text).by_rule("VPPB-R006")
+        assert len(findings) == 1
+        assert findings[0].tid == 2
+        assert findings[0].severity is Severity.ERROR
+
+    def test_join_holding_lock(self):
+        text = _log(
+            *_spawn(10, 2),
+            "0.000020 T2 call thr_exit",
+            "0.000030 T1 call mutex_lock obj=mutex:m",
+            "0.000031 T1 ret mutex_lock obj=mutex:m status=ok",
+            "0.000032 T1 call thr_join target=T2 src=a.c|20|main",
+            "0.000033 T1 ret thr_join target=T2 status=ok",
+            "0.000034 T1 call mutex_unlock obj=mutex:m",
+            "0.000035 T1 ret mutex_unlock obj=mutex:m status=ok",
+        )
+        findings = _lint_text(text).by_rule("VPPB-R007")
+        assert len(findings) == 1
+        assert findings[0].tid == 1
+        assert "mutex:m" in findings[0].message
+
+    def test_never_contended_lock(self):
+        records = list(_spawn(10, 2))
+        t = 20
+        for _ in range(4):  # meets the min_acquisitions evidence bar
+            records += [
+                f"0.{t:06d} T2 call mutex_lock obj=mutex:mine",
+                f"0.{t + 1:06d} T2 ret mutex_lock obj=mutex:mine status=ok",
+                f"0.{t + 2:06d} T2 call mutex_unlock obj=mutex:mine",
+                f"0.{t + 3:06d} T2 ret mutex_unlock obj=mutex:mine status=ok",
+            ]
+            t += 10
+        findings = _lint_text(_log(*records)).by_rule("VPPB-R008")
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.NOTE
+        assert findings[0].tid == 2
+
+    def test_pathological_hold(self):
+        text = _log(
+            *_spawn(10, 2),
+            # T2 holds the shared mutex for ~90% of the monitored run
+            "0.000020 T2 call mutex_lock obj=mutex:m src=a.c|3|hog",
+            "0.000021 T2 ret mutex_lock obj=mutex:m status=ok src=a.c|3|hog",
+            "0.900000 T2 call mutex_unlock obj=mutex:m",
+            "0.900001 T2 ret mutex_unlock obj=mutex:m status=ok",
+            "0.900010 T1 call mutex_lock obj=mutex:m",
+            "0.900011 T1 ret mutex_lock obj=mutex:m status=ok",
+            "0.900012 T1 call mutex_unlock obj=mutex:m",
+            "0.900013 T1 ret mutex_unlock obj=mutex:m status=ok",
+        )
+        findings = _lint_text(text).by_rule("VPPB-R009")
+        assert len(findings) == 1
+        assert findings[0].tid == 2
+        assert findings[0].source.line == 3
+
+
+# ---------------------------------------------------------------------------
+# engine: registry, selection, report mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_registry_has_the_catalog(self):
+        ids = [r.id for r in all_rules()]
+        assert ids == sorted(ids)
+        assert {f"VPPB-R{n:03d}" for n in range(1, 10)} <= set(ids)
+        for rule in all_rules():
+            assert rule.title and rule.rationale
+
+    def test_rule_by_id_accepts_short_spellings(self):
+        assert rule_by_id("R001").id == "VPPB-R001"
+        assert rule_by_id("r001").id == "VPPB-R001"
+        assert rule_by_id("VPPB-R001").id == "VPPB-R001"
+
+    def test_unknown_rule_id_raises_analysis_error(self):
+        with pytest.raises(AnalysisError):
+            rule_by_id("R999")
+        with pytest.raises(AnalysisError):
+            _lint_text(_log("0.000010 T1 call thr_exit"), select=["R999"])
+
+    def test_select_and_ignore(self):
+        text = _log(
+            *_spawn(10, 2),
+            "0.000020 T2 call mutex_unlock obj=mutex:m",
+            "0.000021 T2 ret mutex_unlock obj=mutex:m status=ok",
+        )
+        only = _lint_text(text, select=["R006"])
+        assert only.rules_run == ("VPPB-R006",)
+        assert len(only) == 1
+        ignored = _lint_text(text, ignore=["R006"])
+        assert "VPPB-R006" not in ignored.rules_run
+        assert not ignored.by_rule("VPPB-R006")
+
+    def test_report_sorted_worst_first(self):
+        trace = record_program(make_racy()).trace
+        report = run_lint(trace)
+        ranks = [f.severity.rank for f in report.findings]
+        assert ranks == sorted(ranks, reverse=True)
+
+    def test_severity_parse(self):
+        assert Severity.parse("ERROR") is Severity.ERROR
+        with pytest.raises(ValueError):
+            Severity.parse("fatal")
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: the prodcons fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def racy_trace():
+    return record_program(make_racy()).trace
+
+
+@pytest.fixture(scope="module")
+def racy_report(racy_trace):
+    return run_lint(racy_trace)
+
+
+class TestProdconsFixtures:
+    def test_planted_race_found(self, racy_trace, racy_report):
+        races = racy_report.by_rule("VPPB-R001")
+        assert races, "the planted data race was not found"
+        f = races[0]
+        assert str(f.obj) == "var:slot"
+        assert f.tid in {int(t) for t in racy_trace.thread_ids()}
+        assert f.source is not None and f.source.file.endswith("prodcons.py")
+
+    def test_planted_abba_found_with_witnesses(self, racy_trace, racy_report):
+        cycles = racy_report.by_rule("VPPB-R002")
+        assert cycles, "the planted lock-order inversion was not found"
+        f = cycles[0]
+        names = {str(o) for o in (f.obj,)} | {
+            w for site in f.related for w in ("mutex:head", "mutex:tail")
+            if w in site.label
+        }
+        assert "mutex:head" in names and "mutex:tail" in names
+        tids = {site.tid for site in f.related}
+        assert len(tids) >= 2  # witnesses from both sides of the inversion
+        for site in f.related:
+            assert site.source is not None
+            assert site.source.file.endswith("prodcons.py")
+
+    def test_clean_variant_is_silent(self):
+        trace = record_program(make_clean()).trace
+        report = run_lint(trace)
+        assert not report.at_least(Severity.ERROR), render_text(report)
+
+    def test_bundled_clean_workloads_have_no_errors(self):
+        # the §4 validation suite analogues must lint clean
+        from repro.workloads import all_workloads, get_workload
+
+        for name in ("fft", "lu", "prodcons", "prodcons-tuned"):
+            try:
+                workload = get_workload(name)
+            except KeyError:
+                continue
+            trace = record_program(workload.make_program(4, 0.02)).trace
+            report = run_lint(trace)
+            assert not report.at_least(Severity.ERROR), (
+                name + ": " + render_text(report)
+            )
+
+    def test_corrupted_log_gains_a_lock_order_finding(self, racy_trace):
+        # the chaos-side fixture: inverting one window of a consistent log
+        def worker(ctx):
+            for _ in range(3):
+                yield op.Compute(100)
+                yield op.MutexLock("A")
+                yield op.MutexLock("B")
+                yield op.Compute(500)
+                yield op.MutexUnlock("B")
+                yield op.MutexUnlock("A")
+
+        def main(ctx):
+            tids = []
+            for _ in range(3):
+                tids.append((yield op.ThrCreate(worker, name="worker")))
+            for tid in tids:
+                yield op.ThrJoin(tid)
+
+        text = logfile.dumps(record_program(Program("nested", main)).trace)
+        assert not _lint_text(text).by_rule("VPPB-R002")
+        damaged = corrupt(text, "invert-lock-order", seed=0)
+        assert damaged != text
+        report = _lint_text(damaged)  # must still parse strictly
+        assert report.by_rule("VPPB-R002")
+
+
+# ---------------------------------------------------------------------------
+# serialisation: SARIF 2.1.0, JSON, text
+# ---------------------------------------------------------------------------
+
+
+class TestSerialisation:
+    def test_sarif_shape(self, racy_report):
+        log = to_sarif(racy_report)
+        assert log["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in log["$schema"]
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "vppb-lint"
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert "VPPB-R001" in rule_ids
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in (
+                "note", "warning", "error",
+            )
+        assert run["results"], "racy fixture must produce results"
+        for result in run["results"]:
+            assert result["ruleId"].startswith("VPPB-R")
+            assert result["level"] in ("note", "warning", "error")
+            assert result["message"]["text"]
+            assert result["ruleIndex"] == rule_ids.index(result["ruleId"])
+        located = [r for r in run["results"] if "locations" in r]
+        assert located
+        phys = located[0]["locations"][0]["physicalLocation"]
+        assert phys["artifactLocation"]["uri"].endswith("prodcons.py")
+        assert phys["region"]["startLine"] >= 1
+
+    def test_sarif_json_round_trips(self, racy_report):
+        parsed = json.loads(sarif_json(racy_report))
+        assert parsed["runs"][0]["properties"]["program"] == "prodcons-racy"
+
+    def test_json_render(self, racy_report):
+        data = json.loads(render_json(racy_report))
+        assert data["program"] == "prodcons-racy"
+        assert data["counts"].get("error", 0) >= 2
+        assert all("rule_id" in f for f in data["findings"])
+
+    def test_text_render(self, racy_report):
+        text = render_text(racy_report)
+        assert "VPPB-R001" in text and "VPPB-R002" in text
+        assert "prodcons-racy:" in text.splitlines()[-1]
+        bare = render_text(racy_report, explain=False)
+        assert "why:" not in bare
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestLintCli:
+    @pytest.fixture(scope="class")
+    def racy_log(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("lint") / "racy.log"
+        logfile.dump(record_program(make_racy()).trace, path)
+        return str(path)
+
+    @pytest.fixture(scope="class")
+    def clean_log(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("lint") / "clean.log"
+        logfile.dump(record_program(make_clean()).trace, path)
+        return str(path)
+
+    def test_exit_one_on_errors(self, racy_log, capsys):
+        assert cli_main(["lint", racy_log]) == 1
+        out = capsys.readouterr().out
+        assert "VPPB-R001" in out and "VPPB-R002" in out
+
+    def test_exit_zero_on_clean(self, clean_log, capsys):
+        assert cli_main(["lint", clean_log]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_fail_on_never(self, racy_log, capsys):
+        assert cli_main(["lint", racy_log, "--fail-on", "never"]) == 0
+        capsys.readouterr()
+
+    def test_bad_fail_on_is_usage_error(self, racy_log, capsys):
+        assert cli_main(["lint", racy_log, "--fail-on", "fatal"]) == 2
+        capsys.readouterr()
+
+    def test_unknown_rule_is_usage_error(self, racy_log, capsys):
+        assert cli_main(["lint", racy_log, "--select", "R999"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_missing_log_is_usage_error(self, tmp_path, capsys):
+        assert cli_main(["lint", str(tmp_path / "nope.log")]) == 2
+        capsys.readouterr()
+
+    def test_select_filters(self, racy_log, capsys):
+        assert cli_main(["lint", racy_log, "--select", "R002"]) == 1
+        out = capsys.readouterr().out
+        assert "VPPB-R002" in out and "VPPB-R001" not in out
+
+    def test_sarif_output_file(self, racy_log, tmp_path, capsys):
+        out_path = tmp_path / "lint.sarif"
+        code = cli_main(
+            ["lint", racy_log, "--format", "sarif", "-o", str(out_path)]
+        )
+        capsys.readouterr()
+        assert code == 1
+        log = json.loads(out_path.read_text())
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"]
+
+    def test_json_format_stdout(self, racy_log, capsys):
+        assert cli_main(["lint", racy_log, "--format", "json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["program"] == "prodcons-racy"

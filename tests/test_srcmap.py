@@ -1,0 +1,102 @@
+"""Tests for the two-phase source mapping (§3.1 %i7 capture + translation).
+
+Round-trip edge cases: sites whose file no longer exists on disk, line
+zero, duplicated code-object identities, and the (code, line) cache the
+post-run translation relies on.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.events import SourceLocation
+from repro.recorder.srcmap import AddressMap, RawCallSite, capture_call_site
+
+
+def _code_for(filename: str, func: str = "f", lineno: int = 1):
+    """A real code object claiming to come from *filename*."""
+    src = "\n" * (lineno - 1) + f"def {func}():\n    pass\n"
+    namespace: dict = {}
+    exec(compile(src, filename, "exec"), namespace)
+    return namespace[func].__code__
+
+
+class TestCapture:
+    def test_captures_this_test_frame(self):
+        site = capture_call_site(depth=1)
+        assert site is not None
+        assert site.code.co_filename == __file__
+        assert site.code.co_name == "test_captures_this_test_frame"
+        assert site.lineno > 0
+
+    def test_too_deep_returns_none(self):
+        assert capture_call_site(depth=10_000) is None
+
+
+class TestResolve:
+    def test_round_trip(self):
+        site = capture_call_site(depth=1)
+        loc = AddressMap().resolve(site)
+        assert isinstance(loc, SourceLocation)
+        assert loc.file == __file__
+        assert loc.line == site.lineno
+        assert loc.function == "test_round_trip"
+
+    def test_none_resolves_to_none(self):
+        assert AddressMap().resolve(None) is None
+
+    def test_missing_file_still_resolves(self):
+        # translation is symbolic (like the paper's debugger pass over a
+        # stripped binary's tables) — the file need not exist on disk
+        code = _code_for("/nonexistent/deleted_module.py", "ghost", lineno=12)
+        loc = AddressMap().resolve(RawCallSite(code=code, lineno=12))
+        assert loc.file == "/nonexistent/deleted_module.py"
+        assert loc.line == 12
+        assert loc.function == "ghost"
+
+    def test_line_zero(self):
+        # a probe fired from C code reports line 0; keep it, don't crash
+        code = _code_for("synthetic.py")
+        loc = AddressMap().resolve(RawCallSite(code=code, lineno=0))
+        assert loc.line == 0
+        assert loc.file == "synthetic.py"
+
+
+class TestCache:
+    def test_same_site_translates_once_and_is_shared(self):
+        amap = AddressMap()
+        site = capture_call_site(depth=1)
+        first = amap.resolve(site)
+        second = amap.resolve(RawCallSite(code=site.code, lineno=site.lineno))
+        assert first is second  # cache hit: identical object
+        assert len(amap) == 1
+
+    def test_duplicated_code_ids_with_different_lines_stay_distinct(self):
+        # two probe sites in the same function share id(code) — the cache
+        # key must include the line or they would alias
+        amap = AddressMap()
+        code = _code_for("dup.py", "worker", lineno=5)
+        a = amap.resolve(RawCallSite(code=code, lineno=5))
+        b = amap.resolve(RawCallSite(code=code, lineno=9))
+        assert len(amap) == 2
+        assert (a.file, a.function) == (b.file, b.function)
+        assert a.line == 5 and b.line == 9
+
+    def test_distinct_live_code_objects_never_alias(self):
+        # id() is only unique among *live* objects; holding both code
+        # objects must give two cache entries even at the same line
+        amap = AddressMap()
+        code_a = _code_for("left.py", "f", lineno=3)
+        code_b = _code_for("right.py", "f", lineno=3)
+        loc_a = amap.resolve(RawCallSite(code=code_a, lineno=3))
+        loc_b = amap.resolve(RawCallSite(code=code_b, lineno=3))
+        assert len(amap) == 2
+        assert loc_a.file == "left.py" and loc_b.file == "right.py"
+
+    def test_interned_small_lineno_not_conflated_across_maps(self):
+        # independent maps must not share state
+        code = _code_for("solo.py")
+        a = AddressMap()
+        b = AddressMap()
+        a.resolve(RawCallSite(code=code, lineno=1))
+        assert len(a) == 1 and len(b) == 0
