@@ -9,19 +9,38 @@ one" — invites batch questions.  These helpers answer the common ones:
   the trace's maximum achievable speed-up (buy-this-many-CPUs advice);
 * :func:`lwp_sensitivity` — how the program responds to LWP-pool limits
   on a fixed machine (the ``thr_setconcurrency`` tuning question).
+
+All three route through a :class:`~repro.jobs.engine.JobEngine`, so every
+simulated point is content-addressed: repeated questions about the same
+trace are answered from the result cache, and a pooled engine (pass one,
+or set ``VPPB_WORKERS``) runs the points in parallel.  Numbers are
+identical to the old serial implementations — the simulator is
+deterministic and the engine executes the same jobs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.analysis.critical_path import max_speedup
 from repro.core.config import SimConfig
-from repro.core.predictor import SpeedupPrediction, compile_trace, predict, predict_speedup
+from repro.core.errors import AnalysisError, SimulationError
+from repro.core.predictor import SpeedupPrediction
 from repro.core.trace import Trace
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.jobs.engine import JobEngine
+
 __all__ = ["speedup_curve", "KneePoint", "find_knee", "lwp_sensitivity"]
+
+
+def _engine(engine: "Optional[JobEngine]") -> "JobEngine":
+    if engine is not None:
+        return engine
+    from repro.jobs.engine import default_engine
+
+    return default_engine()
 
 
 def speedup_curve(
@@ -29,15 +48,12 @@ def speedup_curve(
     max_cpus: int,
     *,
     base_config: Optional[SimConfig] = None,
+    engine: "Optional[JobEngine]" = None,
 ) -> List[SpeedupPrediction]:
     """Predicted speed-up for every machine size from 1 to *max_cpus*."""
     if max_cpus < 1:
         raise ValueError(f"max_cpus must be >= 1, got {max_cpus}")
-    plan = compile_trace(trace)
-    return [
-        predict_speedup(trace, cpus, base_config=base_config, plan=plan)
-        for cpus in range(1, max_cpus + 1)
-    ]
+    return _engine(engine).speedup_curve(trace, max_cpus, base_config=base_config)
 
 
 @dataclass(frozen=True)
@@ -50,7 +66,12 @@ class KneePoint:
 
     @property
     def fraction_of_bound(self) -> float:
-        return self.speedup / self.bound if self.bound else 0.0
+        if not self.bound:
+            raise AnalysisError(
+                "trace has a zero speed-up bound (no measurable work); "
+                "fraction of the bound is undefined"
+            )
+        return self.speedup / self.bound
 
 
 def find_knee(
@@ -59,26 +80,37 @@ def find_knee(
     target_fraction: float = 0.8,
     max_cpus: int = 32,
     base_config: Optional[SimConfig] = None,
+    engine: "Optional[JobEngine]" = None,
 ) -> KneePoint:
     """Smallest CPU count reaching *target_fraction* of the achievable
     speed-up.
 
     Doubles the machine until the target is met (or ``max_cpus`` is hit),
-    then walks back linearly — cheap because replays are fast relative to
-    recording.
+    then walks back with a binary search.  Every probe goes through the
+    engine, so the points the exponential phase and the walk-back share
+    are simulated once.
     """
     if not 0 < target_fraction <= 1:
         raise ValueError(f"target_fraction must be in (0, 1], got {target_fraction}")
+    eng = _engine(engine)
     bound = max_speedup(trace, base_config=base_config)
-    plan = compile_trace(trace)
     target = bound * target_fraction
+
+    from repro.jobs.model import TraceRef
+
+    ref = TraceRef.from_trace(trace)
+
+    def probe(cpus: int) -> SpeedupPrediction:
+        return eng.predict_speedups(
+            trace, [cpus], base_config=base_config, trace_ref=ref
+        )[0]
 
     # exponential probe
     cpus = 1
-    last = predict_speedup(trace, cpus, base_config=base_config, plan=plan)
+    last = probe(cpus)
     while last.speedup < target and cpus < max_cpus:
         cpus = min(max_cpus, cpus * 2)
-        last = predict_speedup(trace, cpus, base_config=base_config, plan=plan)
+        last = probe(cpus)
     if last.speedup < target:
         return KneePoint(cpus=cpus, speedup=last.speedup, bound=bound)
 
@@ -87,7 +119,7 @@ def find_knee(
     best = (cpus, last.speedup)
     while lo < hi:
         mid = (lo + hi) // 2
-        pred = predict_speedup(trace, mid, base_config=base_config, plan=plan)
+        pred = probe(mid)
         if pred.speedup >= target:
             best = (mid, pred.speedup)
             hi = mid
@@ -102,13 +134,14 @@ def lwp_sensitivity(
     lwp_counts: Sequence[Optional[int]] = (1, 2, 4, 8, None),
     *,
     base_config: Optional[SimConfig] = None,
+    engine: "Optional[JobEngine]" = None,
 ) -> Dict[Optional[int], int]:
     """Makespan under each LWP-pool limit (None = on-demand)."""
+    from repro.jobs.model import TraceRef
+
     base = base_config or SimConfig()
-    plan = compile_trace(trace)
-    out: Dict[Optional[int], int] = {}
-    for lwps in lwp_counts:
-        config = SimConfig(
+    configs = [
+        SimConfig(
             cpus=cpus,
             lwps=lwps,
             comm_delay_us=base.comm_delay_us,
@@ -116,5 +149,19 @@ def lwp_sensitivity(
             dispatch=base.dispatch,
             time_slicing=base.time_slicing,
         )
-        out[lwps] = predict(trace, config, plan=plan).makespan_us
+        for lwps in lwp_counts
+    ]
+    outcomes = _engine(engine).makespans(
+        TraceRef.from_trace(trace),
+        configs,
+        labels=[f"lwps={n}" for n in lwp_counts],
+    )
+    out: Dict[Optional[int], int] = {}
+    for lwps, outcome in zip(lwp_counts, outcomes):
+        if not outcome.ok or not outcome.complete:
+            raise SimulationError(
+                f"lwp sensitivity job ({outcome.label}) failed: "
+                f"{outcome.error or outcome.reason}"
+            )
+        out[lwps] = outcome.makespan_us
     return out

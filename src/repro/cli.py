@@ -26,6 +26,10 @@ on disk:
 * ``vppb lint run.log --format sarif`` — static synchronisation analysis
   of the recorded trace (races, lock-order inversions, cond misuse);
   exits 1 when findings reach the ``--fail-on`` severity;
+* ``vppb batch sweep.json`` — run a scenario-grid manifest through the
+  batch job engine (worker pool + content-addressed result cache);
+* ``vppb serve`` — long-lived local prediction service over HTTP
+  (trace uploads, prediction requests, ``/metrics``);
 * ``vppb workloads`` — list the bundled programs.
 """
 
@@ -114,6 +118,62 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_rep = sub.add_parser("report", parents=[common], help="sweep + bottlenecks")
     p_rep.add_argument("--cpus", type=_parse_cpus, default=[2, 4, 8])
+    p_rep.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="run the sweep on N worker processes (0 = in-process)",
+    )
+    p_rep.add_argument(
+        "--no-cache", action="store_true", help="bypass the result cache"
+    )
+
+    p_batch = sub.add_parser(
+        "batch", help="run a sweep manifest through the batch job engine"
+    )
+    p_batch.add_argument("manifest", help="sweep manifest (JSON; see docs/service.md)")
+    p_batch.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (default: up to 8, one per CPU)",
+    )
+    p_batch.add_argument(
+        "--inline", action="store_true",
+        help="run jobs in-process instead of on a worker pool",
+    )
+    p_batch.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory (default: $VPPB_CACHE_DIR or ~/.cache/vppb)",
+    )
+    p_batch.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor persist cached results",
+    )
+    p_batch.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="report format (default: table)",
+    )
+    p_batch.add_argument(
+        "-o", "--output", default=None, help="write the report here (else stdout)"
+    )
+
+    p_srv = sub.add_parser(
+        "serve", help="long-lived local prediction service (HTTP)"
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8123)
+    p_srv.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (default: up to 8, one per CPU)",
+    )
+    p_srv.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory (default: $VPPB_CACHE_DIR or ~/.cache/vppb)",
+    )
+    p_srv.add_argument(
+        "--spool-dir", default=None, metavar="DIR",
+        help="where uploaded traces are spooled (default: a temp dir)",
+    )
+    p_srv.add_argument(
+        "--quiet", action="store_true", help="suppress per-request log lines"
+    )
 
     p_stats = sub.add_parser(
         "stats", parents=[common], help="per-thread time decomposition"
@@ -314,24 +374,96 @@ def _cmd_visualize(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.jobs import JobEngine, default_engine
+
     trace = logfile.load(args.log)
-    plan = compile_trace(trace)
-    print(f"speed-up prediction for {trace.meta.program}")
-    for cpus in args.cpus:
-        pred = predict_speedup(
-            trace, cpus, base_config=_config_from(args, cpus), plan=plan
+    if args.workers and args.workers > 1:
+        engine = JobEngine(workers=args.workers, mode="process")
+    else:
+        engine = default_engine()
+    try:
+        predictions = engine.predict_speedups(
+            trace,
+            args.cpus,
+            base_config=_config_from(args, 1),
+            use_cache=not args.no_cache,
         )
-        print(f"  {cpus:>2} CPUs: {pred.speedup:.2f}")
-    worst = max(args.cpus)
-    result = predict(trace, _config_from(args, worst))
-    profiles = contention_by_object(result)[:5]
-    if profiles:
-        print(f"top blocking objects on {worst} CPUs:")
-        for p in profiles:
-            print(
-                f"  {str(p.obj):<24} blocked {to_seconds(p.total_blocked_us):.4f}s "
-                f"over {p.blocking_operations}/{p.operations} ops"
-            )
+        print(f"speed-up prediction for {trace.meta.program}")
+        for pred in predictions:
+            print(f"  {pred.cpus:>2} CPUs: {pred.speedup:.2f}")
+        worst = max(args.cpus)
+        result = predict(trace, _config_from(args, worst))
+        profiles = contention_by_object(result)[:5]
+        if profiles:
+            print(f"top blocking objects on {worst} CPUs:")
+            for p in profiles:
+                print(
+                    f"  {str(p.obj):<24} blocked {to_seconds(p.total_blocked_us):.4f}s "
+                    f"over {p.blocking_operations}/{p.operations} ops"
+                )
+    finally:
+        if engine is not default_engine():
+            engine.close()
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.core.errors import AnalysisError, TraceError
+    from repro.jobs import JobEngine, ResultCache, SweepManifest, default_cache_dir
+    from repro.jobs.manifest import run_manifest
+
+    try:
+        manifest = SweepManifest.load(args.manifest)
+    except AnalysisError as exc:
+        print(f"batch: {exc}", file=sys.stderr)
+        return 2
+
+    cache_root = None
+    if not args.no_cache:
+        cache_root = args.cache_dir or default_cache_dir()
+    engine = JobEngine(
+        workers=args.workers,
+        mode="inline" if args.inline else "process",
+        cache=ResultCache(cache_root),
+    )
+    try:
+        report = run_manifest(manifest, engine, use_cache=not args.no_cache)
+    except (OSError, TraceError) as exc:
+        print(f"batch: cannot run {args.manifest}: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        engine.close()
+
+    text = report.to_json() if args.format == "json" else report.format_table()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(
+            f"wrote {args.output} ({len(report.scenarios)} scenarios, "
+            f"{len(report.failed)} failed)"
+        )
+    else:
+        print(text)
+    return 1 if report.failed else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.jobs import JobEngine, ResultCache, default_cache_dir
+    from repro.jobs.service import serve
+
+    engine = JobEngine(
+        workers=args.workers,
+        cache=ResultCache(args.cache_dir or default_cache_dir()),
+    )
+    serve(
+        host=args.host,
+        port=args.port,
+        engine=engine,
+        spool_dir=Path(args.spool_dir) if args.spool_dir else None,
+        verbose=not args.quiet,
+    )
     return 0
 
 
@@ -590,6 +722,8 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "visualize": _cmd_visualize,
     "report": _cmd_report,
+    "batch": _cmd_batch,
+    "serve": _cmd_serve,
     "stats": _cmd_stats,
     "knee": _cmd_knee,
     "whatif": _cmd_whatif,

@@ -1,0 +1,60 @@
+"""Batch simulation service: content-addressed jobs over a worker pool.
+
+The answer to "how would this trace behave on N CPUs?" is a pure
+function of *(trace, configuration, engine version)* — so prediction
+workloads batch and cache perfectly.  This package provides the three
+layers that exploit that:
+
+* :mod:`repro.jobs.model` / :mod:`repro.jobs.fingerprint` — the job
+  model: a :class:`SimJob` is one *(trace, config)* pair with a
+  deterministic content fingerprint;
+* :mod:`repro.jobs.engine` / :mod:`repro.jobs.cache` — the
+  :class:`JobEngine`: a process pool with backpressure, per-job
+  watchdog budgets, crash retry, and a disk-backed LRU
+  :class:`ResultCache` in front;
+* :mod:`repro.jobs.manifest` / :mod:`repro.jobs.service` — the user
+  surfaces: ``vppb batch`` sweep manifests and the ``vppb serve`` HTTP
+  service.
+
+The analysis sweeps (:func:`repro.analysis.whatif.speedup_curve` and
+friends) route through :func:`default_engine`, so library callers share
+one cache — and one pool, when ``VPPB_WORKERS`` asks for it.
+"""
+
+from repro.jobs.cache import CACHE_FORMAT_VERSION, ResultCache, default_cache_dir
+from repro.jobs.engine import JobEngine, default_engine
+from repro.jobs.fingerprint import (
+    ENGINE_VERSION,
+    canonical_config,
+    config_fingerprint,
+    job_fingerprint,
+    trace_fingerprint,
+)
+from repro.jobs.manifest import BatchReport, ScenarioResult, SweepManifest, run_manifest
+from repro.jobs.metrics import EngineMetrics
+from repro.jobs.model import JobOutcome, SimJob, TraceRef
+from repro.jobs.service import PredictionService, make_server, serve
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "ENGINE_VERSION",
+    "BatchReport",
+    "EngineMetrics",
+    "JobEngine",
+    "JobOutcome",
+    "PredictionService",
+    "ResultCache",
+    "ScenarioResult",
+    "SimJob",
+    "SweepManifest",
+    "TraceRef",
+    "canonical_config",
+    "config_fingerprint",
+    "default_cache_dir",
+    "default_engine",
+    "job_fingerprint",
+    "make_server",
+    "run_manifest",
+    "serve",
+    "trace_fingerprint",
+]

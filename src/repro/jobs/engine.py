@@ -1,0 +1,354 @@
+"""The batch execution engine: a process pool with a cache in front.
+
+:class:`JobEngine` turns a list of :class:`~repro.jobs.model.SimJob`
+into :class:`~repro.jobs.model.JobOutcome`, in order, with:
+
+* **content-addressed caching** — every job is looked up in the
+  :class:`~repro.jobs.cache.ResultCache` first and stored on success,
+  so re-running a sweep is mostly disk reads;
+* **in-flight dedup** — jobs with equal fingerprints inside one batch
+  execute once and share the result (a CPU sweep's 1-CPU point and its
+  uniprocessor baseline often collide);
+* **backpressure** — at most ``max_pending`` jobs are in the pool at a
+  time; further submissions block the submitting thread instead of
+  buffering unboundedly (a service under load degrades to queueing at
+  the socket, not to memory growth);
+* **deadline budgets** — each job runs under a
+  :class:`~repro.core.engine.Watchdog`; an over-budget replay comes
+  back as a *partial* outcome (``status="budget-exhausted"``), not an
+  error;
+* **crash containment** — a job that kills its worker process breaks
+  the pool; the engine rebuilds the pool, retries the job once, and
+  degrades it to a failed outcome if it crashes again.  A poisoned job
+  therefore never takes the rest of the sweep down with it.
+
+``mode="inline"`` runs the identical worker code path in-process — the
+degenerate pool used for tiny traces, tests, and determinism checks
+(inline, pooled and cached execution must agree bit for bit).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import SimConfig
+from repro.core.errors import SimulationError
+from repro.core.predictor import SpeedupPrediction
+from repro.core.trace import Trace
+from repro.jobs.cache import ResultCache
+from repro.jobs.metrics import EngineMetrics
+from repro.jobs.model import JobOutcome, SimJob, TraceRef
+from repro.jobs.worker import run_payload
+
+__all__ = ["JobEngine", "default_engine"]
+
+
+class JobEngine:
+    """Run simulation jobs on a worker pool behind a result cache.
+
+    Parameters
+    ----------
+    workers:
+        Pool size (``None`` = ``os.cpu_count()``, capped at 8 — replay
+        is CPU-bound and a local service should not starve the machine).
+    mode:
+        ``"process"`` (default) or ``"inline"``.
+    cache:
+        A :class:`ResultCache`; ``None`` gives a memory-only cache.
+        Pass ``use_cache=False`` per call to bypass lookups entirely.
+    max_pending:
+        Backpressure bound on jobs submitted but not yet finished.
+    job_max_events / job_max_wall_s:
+        Per-job watchdog budgets (``None`` disables that budget).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: Optional[int] = None,
+        mode: str = "process",
+        cache: Optional[ResultCache] = None,
+        max_pending: int = 64,
+        job_max_events: Optional[int] = 50_000_000,
+        job_max_wall_s: Optional[float] = None,
+    ) -> None:
+        if mode not in ("process", "inline"):
+            raise ValueError(f"mode must be 'process' or 'inline', got {mode!r}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        import os
+
+        self.mode = mode
+        self.workers = workers or min(8, os.cpu_count() or 1)
+        self.cache = cache if cache is not None else ResultCache(None)
+        self.metrics = EngineMetrics()
+        self._budget = (job_max_events, job_max_wall_s)
+        self._slots = threading.BoundedSemaphore(max_pending)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._closed:
+                raise RuntimeError("engine is closed")
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            return self._pool
+
+    def _discard_pool(self, broken: ProcessPoolExecutor) -> None:
+        """Drop a broken pool so the next submit builds a fresh one."""
+        with self._pool_lock:
+            if self._pool is broken:
+                self._pool = None
+        broken.shutdown(wait=False)
+
+    def close(self) -> None:
+        with self._pool_lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "JobEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def _payload(self, job: SimJob) -> Dict:
+        return {
+            "fingerprint": job.fingerprint,
+            "trace_fp": job.trace.fingerprint,
+            "trace_path": job.trace.path,
+            "trace_text": job.trace.text if job.trace.path is None else None,
+            "config": job.config,
+            "budget": self._budget,
+            "label": job.label,
+        }
+
+    def _run_inline(self, job: SimJob) -> JobOutcome:
+        return JobOutcome.from_dict(run_payload(self._payload(job)))
+
+    def _submit(self, job: SimJob) -> Future:
+        """Submit under backpressure; the slot frees when the job ends."""
+        self._slots.acquire()
+        self.metrics.submitted()
+        try:
+            future = self._get_pool().submit(run_payload, self._payload(job))
+        except BaseException:
+            self._slots.release()
+            raise
+        future.add_done_callback(lambda _f: self._slots.release())
+        return future
+
+    def _collect(self, job: SimJob, future: Future) -> JobOutcome:
+        """Resolve one future, retrying once across a pool rebuild."""
+        attempts = 1
+        while True:
+            try:
+                return JobOutcome.from_dict(future.result())
+            except BrokenProcessPool:
+                with self._pool_lock:
+                    broken = self._pool
+                if broken is not None:
+                    self._discard_pool(broken)
+                if attempts >= 2:
+                    self.metrics.crashed(retried=False)
+                    return JobOutcome(
+                        fingerprint=job.fingerprint,
+                        status=JobOutcome.FAILED,
+                        error="worker crashed twice; job abandoned",
+                        attempts=attempts,
+                        label=job.label,
+                    )
+                self.metrics.crashed(retried=True)
+                attempts += 1
+                self._slots.acquire()
+                try:
+                    future = self._get_pool().submit(
+                        run_payload, self._payload(job)
+                    )
+                except BaseException:
+                    self._slots.release()
+                    raise
+                future.add_done_callback(lambda _f: self._slots.release())
+
+    def run(self, jobs: Sequence[SimJob], *, use_cache: bool = True) -> List[JobOutcome]:
+        """Execute *jobs*, returning outcomes in submission order.
+
+        Never raises for job-level failures; inspect each outcome's
+        ``error``/``status``.
+        """
+        jobs = list(jobs)
+        outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+
+        # cache front + in-flight dedup
+        pending: Dict[str, List[int]] = {}
+        for i, job in enumerate(jobs):
+            fp = job.fingerprint
+            cached = self.cache.get(fp) if use_cache else None
+            if cached is not None:
+                outcomes[i] = cached.with_label(job.label)
+            else:
+                pending.setdefault(fp, []).append(i)
+
+        if self.mode == "inline":
+            resolved = {}
+            for fp, indices in pending.items():
+                self.metrics.submitted()
+                resolved[fp] = self._run_inline(jobs[indices[0]])
+                self._account(resolved[fp])
+        else:
+            futures = {
+                fp: self._submit(jobs[indices[0]])
+                for fp, indices in pending.items()
+            }
+            resolved = {}
+            for fp, indices in pending.items():
+                resolved[fp] = self._collect(jobs[indices[0]], futures[fp])
+                self._account(resolved[fp])
+
+        for fp, indices in pending.items():
+            outcome = resolved[fp]
+            if use_cache:
+                self.cache.put(outcome)
+            for i in indices:
+                outcomes[i] = outcome.with_label(jobs[i].label)
+        return outcomes  # type: ignore[return-value]
+
+    def _account(self, outcome: JobOutcome) -> None:
+        self.metrics.finished(
+            ok=outcome.ok,
+            partial=outcome.ok and not outcome.complete,
+            elapsed_s=outcome.elapsed_s if outcome.ok else None,
+        )
+
+    # ------------------------------------------------------------------
+    # sweep helpers (the engine-backed analysis entry points)
+    # ------------------------------------------------------------------
+
+    def makespans(
+        self,
+        trace_ref: TraceRef,
+        configs: Sequence[SimConfig],
+        *,
+        labels: Optional[Sequence[str]] = None,
+        use_cache: bool = True,
+    ) -> List[JobOutcome]:
+        """One job per config over a fixed trace."""
+        labels = labels or [""] * len(configs)
+        jobs = [
+            SimJob(trace=trace_ref, config=cfg, label=lbl)
+            for cfg, lbl in zip(configs, labels)
+        ]
+        return self.run(jobs, use_cache=use_cache)
+
+    def predict_speedups(
+        self,
+        trace: Trace,
+        cpu_counts: Sequence[int],
+        *,
+        base_config: Optional[SimConfig] = None,
+        trace_ref: Optional[TraceRef] = None,
+        use_cache: bool = True,
+        allow_partial: bool = False,
+    ) -> List[SpeedupPrediction]:
+        """Engine-backed :func:`repro.core.predictor.predict_speedup` sweep.
+
+        Identical numbers to the serial path: the baseline is the
+        replayed uni-processor execution of the same base config, and
+        the simulator itself is deterministic.  Raises
+        :class:`SimulationError` if any job failed — including partial
+        replays (deadlock, budget), matching the serial strict
+        behaviour, unless ``allow_partial`` accepts them.
+        """
+        from repro.program.uniexec import uniprocessor_config
+
+        base = base_config or SimConfig()
+        ref = trace_ref or TraceRef.from_trace(trace)
+        configs = [uniprocessor_config(base)] + [
+            base.with_cpus(n) for n in cpu_counts
+        ]
+        labels = ["baseline"] + [f"{n}cpu" for n in cpu_counts]
+        outcomes = self.makespans(ref, configs, labels=labels, use_cache=use_cache)
+        for outcome in outcomes:
+            if not outcome.ok:
+                raise SimulationError(
+                    f"batch job {outcome.label or outcome.fingerprint[:12]} "
+                    f"failed: {outcome.error}"
+                )
+            if not outcome.complete and not allow_partial:
+                raise SimulationError(
+                    f"batch job {outcome.label or outcome.fingerprint[:12]} "
+                    f"came back partial ({outcome.status}): {outcome.reason}"
+                )
+        baseline_us = outcomes[0].makespan_us
+        return [
+            SpeedupPrediction(
+                cpus=n, uniprocessor_us=baseline_us, makespan_us=out.makespan_us
+            )
+            for n, out in zip(cpu_counts, outcomes[1:])
+        ]
+
+    def speedup_curve(
+        self,
+        trace: Trace,
+        max_cpus: int,
+        *,
+        base_config: Optional[SimConfig] = None,
+        use_cache: bool = True,
+        allow_partial: bool = False,
+    ) -> List[SpeedupPrediction]:
+        if max_cpus < 1:
+            raise ValueError(f"max_cpus must be >= 1, got {max_cpus}")
+        return self.predict_speedups(
+            trace,
+            list(range(1, max_cpus + 1)),
+            base_config=base_config,
+            use_cache=use_cache,
+            allow_partial=allow_partial,
+        )
+
+
+# ---------------------------------------------------------------------------
+# the shared default engine
+# ---------------------------------------------------------------------------
+
+_DEFAULT_ENGINE: Optional[JobEngine] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_engine() -> JobEngine:
+    """The process-wide engine behind the analysis convenience functions.
+
+    Inline (no worker processes) with a memory-only cache by default, so
+    library callers get result dedup for free without surprise
+    subprocesses.  Set ``VPPB_WORKERS=N`` (N >= 2) to make the default
+    engine a real pool — every existing sweep then parallelises without
+    a code change.
+    """
+    global _DEFAULT_ENGINE
+    with _DEFAULT_LOCK:
+        if _DEFAULT_ENGINE is None:
+            import os
+
+            workers = int(os.environ.get("VPPB_WORKERS", "0") or 0)
+            if workers >= 2:
+                _DEFAULT_ENGINE = JobEngine(workers=workers, mode="process")
+            else:
+                _DEFAULT_ENGINE = JobEngine(mode="inline")
+        return _DEFAULT_ENGINE

@@ -1,0 +1,119 @@
+"""Content addressing for simulation work.
+
+A prediction is a pure function of *(trace, configuration, engine
+version)* — the simulator is deterministic by construction (the engine
+breaks event-queue ties by insertion order).  That purity is what makes
+batch prediction cacheable: two jobs with the same fingerprint are the
+same job, whether they run inline, in a worker process, or in another
+process next week.
+
+* :func:`trace_fingerprint` hashes the canonical text serialisation of a
+  trace (the log-file format is itself canonical: one record per line in
+  time order, sorted header tables);
+* :func:`canonical_config` lowers a :class:`~repro.core.config.SimConfig`
+  to a JSON-safe dict with sorted keys, covering every field that can
+  change a simulation outcome (costs, dispatch table, per-thread
+  policies included);
+* :func:`job_fingerprint` combines both with :data:`ENGINE_VERSION`, so
+  bumping the version invalidates every cached result at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict
+
+from repro.core.config import SimConfig, ThreadPolicy
+from repro.core.trace import Trace
+
+__all__ = [
+    "ENGINE_VERSION",
+    "trace_fingerprint",
+    "canonical_config",
+    "config_fingerprint",
+    "job_fingerprint",
+]
+
+#: Version of the prediction engine baked into every job fingerprint.
+#: Bump on any change that can alter a simulation outcome (scheduler
+#: semantics, cost model defaults, replay rules): every previously
+#: cached result then misses and is recomputed.
+ENGINE_VERSION = 1
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def trace_fingerprint(trace: Trace) -> str:
+    """Stable content hash of a trace (hex SHA-256).
+
+    Uses the canonical log-file serialisation, so a trace has the same
+    fingerprint in memory, on disk, and after a dump/load round trip.
+    """
+    from repro.recorder.logfile import dumps
+
+    return _sha256(dumps(trace))
+
+
+def _canonical_policy(policy: ThreadPolicy) -> Dict[str, Any]:
+    return {
+        "bound": policy.bound,
+        "cpu": policy.cpu,
+        "priority": policy.priority,
+        "rt_priority": policy.rt_priority,
+    }
+
+
+def canonical_config(config: SimConfig) -> Dict[str, Any]:
+    """JSON-safe canonical form of a :class:`SimConfig`.
+
+    Every simulation-relevant field appears, in a representation that is
+    independent of dict ordering and enum identity, so equal configs
+    serialise to byte-identical JSON.
+    """
+    costs = config.costs
+    dispatch = config.dispatch
+    return {
+        "cpus": config.cpus,
+        "lwps": config.lwps,
+        "comm_delay_us": config.comm_delay_us,
+        "time_slicing": config.time_slicing,
+        "rt_quantum_us": config.rt_quantum_us,
+        "thread_policies": {
+            str(tid): _canonical_policy(pol)
+            for tid, pol in sorted(config.thread_policies.items())
+        },
+        "costs": {
+            "base_costs": {
+                prim.value: cost
+                for prim, cost in sorted(
+                    costs.base_costs.items(), key=lambda kv: kv[0].value
+                )
+            },
+            "bound_create_factor": costs.bound_create_factor,
+            "bound_sync_factor": costs.bound_sync_factor,
+            "thread_switch_us": costs.thread_switch_us,
+            "lwp_switch_us": costs.lwp_switch_us,
+        },
+        "dispatch": [
+            [e.quantum_us, e.tqexp, e.slpret, e.maxwait_us, e.lwait]
+            for e in dispatch.entries()
+        ],
+    }
+
+
+def config_fingerprint(config: SimConfig) -> str:
+    """Hex SHA-256 of the canonical configuration."""
+    text = json.dumps(canonical_config(config), sort_keys=True, separators=(",", ":"))
+    return _sha256(text)
+
+
+def job_fingerprint(trace_fp: str, config: SimConfig) -> str:
+    """Fingerprint of one unit of simulation work.
+
+    ``sha256(engine_version || trace_fp || config_fp)`` — the content
+    address under which the job's result is cached.
+    """
+    return _sha256(f"vppb-job:v{ENGINE_VERSION}:{trace_fp}:{config_fingerprint(config)}")

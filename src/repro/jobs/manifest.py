@@ -1,0 +1,316 @@
+"""Sweep manifests: a declarative grid of prediction scenarios.
+
+A manifest is a small JSON document describing everything ``vppb
+batch`` should simulate from one trace::
+
+    {
+      "trace": "prodcons.log",
+      "cpus": [1, 2, 3, 4, 5, 6, 7, 8],
+      "bindings": ["unbound", "bound"],
+      "lwps": [null],
+      "comm_delay_us": [0]
+    }
+
+``cpus`` may also be a ``{"min": 1, "max": 8}`` range.  The grid is the
+cross product of all four axes; every cell becomes one content-addressed
+job plus one shared uniprocessor-baseline job, so speed-ups match the
+serial :func:`repro.analysis.whatif.speedup_curve` exactly.
+
+``bindings`` values: ``"unbound"`` replays threads on the shared LWP
+pool as recorded; ``"bound"`` gives every thread its own LWP (the §3.2
+all-threads-bound manipulation, with the paper's bound-thread cost
+multipliers applied).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.core.config import SimConfig, ThreadPolicy
+from repro.core.errors import AnalysisError
+from repro.core.trace import Trace
+from repro.jobs.engine import JobEngine
+from repro.jobs.model import JobOutcome, SimJob, TraceRef
+from repro.program.uniexec import uniprocessor_config
+
+__all__ = ["SweepManifest", "ScenarioResult", "BatchReport", "run_manifest"]
+
+_BINDINGS = ("unbound", "bound")
+
+
+def _parse_cpus(value: Any) -> List[int]:
+    if isinstance(value, dict):
+        try:
+            lo, hi = int(value["min"]), int(value["max"])
+        except (KeyError, TypeError, ValueError):
+            raise AnalysisError(f"bad cpus range {value!r} (need min/max ints)")
+        if not 1 <= lo <= hi:
+            raise AnalysisError(f"bad cpus range {lo}..{hi}")
+        return list(range(lo, hi + 1))
+    if isinstance(value, list) and value:
+        try:
+            cpus = [int(v) for v in value]
+        except (TypeError, ValueError):
+            raise AnalysisError(f"bad cpus list {value!r}")
+        if any(n < 1 for n in cpus):
+            raise AnalysisError(f"bad cpus list {value!r}: counts must be >= 1")
+        return cpus
+    raise AnalysisError(f"manifest 'cpus' must be a non-empty list or min/max, got {value!r}")
+
+
+@dataclass(frozen=True)
+class SweepManifest:
+    """A validated sweep description (see module docstring for format)."""
+
+    trace_path: Path
+    cpus: Sequence[int]
+    bindings: Sequence[str] = ("unbound",)
+    lwps: Sequence[Optional[int]] = (None,)
+    comm_delays_us: Sequence[int] = (0,)
+
+    @classmethod
+    def from_dict(
+        cls, data: Dict[str, Any], *, base_dir: Optional[Path] = None
+    ) -> "SweepManifest":
+        if not isinstance(data, dict):
+            raise AnalysisError("manifest must be a JSON object")
+        if "trace" not in data:
+            raise AnalysisError("manifest is missing the 'trace' key")
+        unknown = set(data) - {"trace", "cpus", "bindings", "lwps", "comm_delay_us"}
+        if unknown:
+            raise AnalysisError(f"unknown manifest keys: {sorted(unknown)}")
+        trace_path = Path(data["trace"])
+        if base_dir is not None and not trace_path.is_absolute():
+            trace_path = base_dir / trace_path
+        bindings = tuple(data.get("bindings", ["unbound"]))
+        for b in bindings:
+            if b not in _BINDINGS:
+                raise AnalysisError(
+                    f"unknown binding {b!r} (expected one of {_BINDINGS})"
+                )
+        lwps_raw = data.get("lwps", [None])
+        lwps: List[Optional[int]] = []
+        for v in lwps_raw:
+            if v is None:
+                lwps.append(None)
+            else:
+                try:
+                    lwps.append(int(v))
+                except (TypeError, ValueError):
+                    raise AnalysisError(f"bad lwps value {v!r}")
+        delays = [int(v) for v in data.get("comm_delay_us", [0])]
+        if not bindings or not lwps or not delays:
+            raise AnalysisError("manifest axes must be non-empty")
+        return cls(
+            trace_path=trace_path,
+            cpus=tuple(_parse_cpus(data.get("cpus", [2, 4, 8]))),
+            bindings=bindings,
+            lwps=tuple(lwps),
+            comm_delays_us=tuple(delays),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SweepManifest":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise AnalysisError(f"cannot read manifest {path}: {exc}")
+        except ValueError as exc:
+            raise AnalysisError(f"manifest {path} is not valid JSON: {exc}")
+        return cls.from_dict(data, base_dir=path.parent)
+
+    # ------------------------------------------------------------------
+
+    def grid_size(self) -> int:
+        return (
+            len(self.cpus) * len(self.bindings)
+            * len(self.lwps) * len(self.comm_delays_us)
+        )
+
+    def configs(self, trace: Trace) -> List["_Cell"]:
+        """Expand the grid; needs the trace for the all-bound policy."""
+        tids = [int(t) for t in trace.thread_ids()]
+        bound_policies = {t: ThreadPolicy(bound=True) for t in tids}
+        cells = []
+        for binding in self.bindings:
+            policies = bound_policies if binding == "bound" else {}
+            for lwps in self.lwps:
+                for delay in self.comm_delays_us:
+                    for cpus in self.cpus:
+                        label = f"{cpus}cpu/{binding}"
+                        if lwps is not None:
+                            label += f"/lwps={lwps}"
+                        if delay:
+                            label += f"/comm={delay}us"
+                        cells.append(
+                            _Cell(
+                                label=label,
+                                cpus=cpus,
+                                binding=binding,
+                                lwps=lwps,
+                                comm_delay_us=delay,
+                                config=SimConfig(
+                                    cpus=cpus,
+                                    lwps=lwps,
+                                    comm_delay_us=delay,
+                                    thread_policies=policies,
+                                ),
+                            )
+                        )
+        return cells
+
+
+@dataclass(frozen=True)
+class _Cell:
+    label: str
+    cpus: int
+    binding: str
+    lwps: Optional[int]
+    comm_delay_us: int
+    config: SimConfig
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One grid cell's outcome, with its speed-up when computable."""
+
+    label: str
+    cpus: int
+    binding: str
+    lwps: Optional[int]
+    comm_delay_us: int
+    outcome: JobOutcome
+    speedup: Optional[float]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "cpus": self.cpus,
+            "binding": self.binding,
+            "lwps": self.lwps,
+            "comm_delay_us": self.comm_delay_us,
+            "status": self.outcome.status,
+            "makespan_us": self.outcome.makespan_us,
+            "speedup": self.speedup,
+            "from_cache": self.outcome.from_cache,
+            "error": self.outcome.error,
+            "reason": self.outcome.reason,
+            "fingerprint": self.outcome.fingerprint,
+        }
+
+
+@dataclass
+class BatchReport:
+    """Everything ``vppb batch`` emits: rows plus engine metrics."""
+
+    program: str
+    trace_fingerprint: str
+    baseline_us: Optional[int]
+    scenarios: List[ScenarioResult]
+    metrics: Dict[str, Any]
+
+    @property
+    def failed(self) -> List[ScenarioResult]:
+        return [s for s in self.scenarios if not s.outcome.ok]
+
+    def cache_hit_rate(self) -> float:
+        served = [s for s in self.scenarios if s.outcome.ok]
+        if not served:
+            return 0.0
+        return sum(1 for s in served if s.outcome.from_cache) / len(served)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "program": self.program,
+                "trace_fingerprint": self.trace_fingerprint,
+                "baseline_us": self.baseline_us,
+                "scenarios": [s.to_dict() for s in self.scenarios],
+                "metrics": self.metrics,
+            },
+            indent=2,
+        )
+
+    def format_table(self) -> str:
+        lines = [
+            f"batch sweep of {self.program} "
+            f"({len(self.scenarios)} scenarios, trace {self.trace_fingerprint[:12]})",
+            f"{'scenario':<28} {'status':<18} {'makespan':>12} {'speedup':>8}  src",
+        ]
+        for s in self.scenarios:
+            if not s.outcome.ok:
+                lines.append(
+                    f"{s.label:<28} {'FAILED':<18} {'-':>12} {'-':>8}  "
+                    f"{s.outcome.error}"
+                )
+                continue
+            speed = f"{s.speedup:.2f}" if s.speedup is not None else "-"
+            src = "cache" if s.outcome.from_cache else "run"
+            lines.append(
+                f"{s.label:<28} {s.outcome.status:<18} "
+                f"{s.outcome.makespan_us:>10}us {speed:>8}  {src}"
+            )
+        m = self.metrics
+        cache = m.get("cache", {})
+        lines.append(
+            f"jobs: {m.get('jobs_completed', 0)} ok, {m.get('jobs_failed', 0)} failed, "
+            f"{m.get('jobs_partial', 0)} partial; cache: {cache.get('hits', 0)} hits / "
+            f"{cache.get('misses', 0)} misses (hit rate {cache.get('hit_rate', 0.0):.0%}); "
+            f"scenario hit rate {self.cache_hit_rate():.0%}"
+        )
+        return "\n".join(lines)
+
+
+def run_manifest(
+    manifest: SweepManifest,
+    engine: JobEngine,
+    *,
+    use_cache: bool = True,
+) -> BatchReport:
+    """Execute a sweep manifest through *engine* and assemble the report."""
+    from repro.recorder import logfile
+
+    trace = logfile.load(manifest.trace_path)
+    ref = TraceRef(fingerprint=trace.fingerprint(), path=str(manifest.trace_path))
+    cells = manifest.configs(trace)
+
+    # one shared uniprocessor baseline: uniprocessor_config() is
+    # invariant across the grid axes we expose (binding/lwps/comm
+    # delay), so a single job anchors every speed-up figure
+    baseline_job = SimJob(
+        trace=ref, config=uniprocessor_config(SimConfig()), label="baseline"
+    )
+    jobs = [baseline_job] + [
+        SimJob(trace=ref, config=cell.config, label=cell.label) for cell in cells
+    ]
+    outcomes = engine.run(jobs, use_cache=use_cache)
+
+    baseline = outcomes[0]
+    baseline_us = baseline.makespan_us if baseline.ok else None
+    scenarios = []
+    for cell, outcome in zip(cells, outcomes[1:]):
+        speedup = None
+        if outcome.ok and baseline_us and outcome.makespan_us:
+            speedup = baseline_us / outcome.makespan_us
+        scenarios.append(
+            ScenarioResult(
+                label=cell.label,
+                cpus=cell.cpus,
+                binding=cell.binding,
+                lwps=cell.lwps,
+                comm_delay_us=cell.comm_delay_us,
+                outcome=outcome,
+                speedup=speedup,
+            )
+        )
+    return BatchReport(
+        program=trace.meta.program,
+        trace_fingerprint=ref.fingerprint,
+        baseline_us=baseline_us,
+        scenarios=scenarios,
+        metrics=engine.metrics.snapshot(engine.cache.stats()),
+    )

@@ -1,0 +1,106 @@
+"""Engine/service observability: counters plus latency percentiles.
+
+One :class:`EngineMetrics` instance is shared by a
+:class:`~repro.jobs.engine.JobEngine` and (when serving) the HTTP
+``/metrics`` endpoint, so the numbers a sweep prints and the numbers an
+operator scrapes are the same numbers.  All updates are lock-protected —
+the service handles requests on multiple threads.
+
+Latencies are kept in a bounded ring (most recent
+:data:`LATENCY_WINDOW` job executions) and summarised as p50/p90/p99 on
+demand; for a local batch service exact order statistics over a recent
+window beat a streaming sketch in both simplicity and debuggability.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, Optional
+
+__all__ = ["LATENCY_WINDOW", "EngineMetrics"]
+
+LATENCY_WINDOW = 1024
+
+
+def _percentile(sorted_values, fraction: float) -> float:
+    """Nearest-rank percentile over a pre-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+class EngineMetrics:
+    """Thread-safe counters for one engine (and the service wrapping it)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.jobs_partial = 0
+        self.worker_crashes = 0
+        self.retries = 0
+        self._queue_depth = 0
+        self._latencies_s: Deque[float] = deque(maxlen=LATENCY_WINDOW)
+
+    # -- engine notifications ------------------------------------------
+
+    def submitted(self) -> None:
+        with self._lock:
+            self.jobs_submitted += 1
+            self._queue_depth += 1
+
+    def finished(
+        self, *, ok: bool, partial: bool, elapsed_s: Optional[float]
+    ) -> None:
+        with self._lock:
+            self._queue_depth = max(0, self._queue_depth - 1)
+            if ok:
+                self.jobs_completed += 1
+                if partial:
+                    self.jobs_partial += 1
+            else:
+                self.jobs_failed += 1
+            if elapsed_s is not None:
+                self._latencies_s.append(elapsed_s)
+
+    def crashed(self, *, retried: bool) -> None:
+        with self._lock:
+            self.worker_crashes += 1
+            if retried:
+                self.retries += 1
+
+    # -- views ----------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self._queue_depth
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        with self._lock:
+            values = sorted(self._latencies_s)
+        return {
+            "p50_s": round(_percentile(values, 0.50), 6),
+            "p90_s": round(_percentile(values, 0.90), 6),
+            "p99_s": round(_percentile(values, 0.99), 6),
+        }
+
+    def snapshot(self, cache_stats: Optional[Dict] = None) -> Dict:
+        """One JSON-safe dict with everything (`/metrics` body)."""
+        with self._lock:
+            out = {
+                "jobs_submitted": self.jobs_submitted,
+                "jobs_completed": self.jobs_completed,
+                "jobs_failed": self.jobs_failed,
+                "jobs_partial": self.jobs_partial,
+                "worker_crashes": self.worker_crashes,
+                "retries": self.retries,
+                "queue_depth": self._queue_depth,
+            }
+        out["latency"] = self.latency_percentiles()
+        if cache_stats is not None:
+            out["cache"] = cache_stats
+        return out

@@ -1,0 +1,154 @@
+"""The unit of batch work: one simulation of one trace under one config.
+
+A :class:`SimJob` pairs a :class:`TraceRef` (a log file on disk, or the
+canonical text of an in-memory trace) with a
+:class:`~repro.core.config.SimConfig`.  Its fingerprint is the content
+address of the result; equal fingerprints mean equal work, so the cache
+and the worker-side plan cache both key on it.
+
+A :class:`JobOutcome` is deliberately flat and JSON-safe — it crosses
+process boundaries (worker → engine) and lives in the on-disk cache, so
+it carries scalars, not simulator objects.  The simulator's graceful
+degradation surfaces here: a partial replay arrives as a normal outcome
+with ``status`` set to the :class:`~repro.core.result.RunStatus` value
+and ``reason`` describing the :class:`~repro.core.result.Incompleteness`;
+only a job that produced *no* result (unparseable trace, crashed worker)
+has ``error`` set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional
+
+from repro.core.config import SimConfig
+from repro.core.result import RunStatus
+from repro.core.trace import Trace
+from repro.jobs.fingerprint import job_fingerprint, trace_fingerprint
+
+__all__ = ["TraceRef", "SimJob", "JobOutcome"]
+
+
+@dataclass(frozen=True)
+class TraceRef:
+    """A trace by content: a path to a log file and/or its canonical text.
+
+    ``fingerprint`` is always set; ``path`` and ``text`` are alternative
+    ways for a worker to materialise the trace.  Prefer ``path`` when one
+    exists — it keeps the per-job pickle payload small.
+    """
+
+    fingerprint: str
+    path: Optional[str] = None
+    text: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.path is None and self.text is None:
+            raise ValueError("TraceRef needs a path or inline text")
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "TraceRef":
+        from repro.recorder.logfile import dumps
+
+        return cls(fingerprint=trace.fingerprint(), text=dumps(trace))
+
+    @classmethod
+    def from_path(cls, path: str) -> "TraceRef":
+        """Reference a log file on disk (reads it once to fingerprint)."""
+        from repro.recorder.logfile import load
+
+        return cls(fingerprint=trace_fingerprint(load(path)), path=str(path))
+
+    def load(self) -> Trace:
+        from repro.recorder import logfile
+
+        if self.path is not None:
+            return logfile.load(self.path)
+        return logfile.loads(self.text)
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation request: replay *trace* under *config*.
+
+    ``label`` is a human-readable scenario name carried through to
+    reports ("8cpu/bound"); it does not participate in the fingerprint.
+    """
+
+    trace: TraceRef
+    config: SimConfig
+    label: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        return job_fingerprint(self.trace.fingerprint, self.config)
+
+    @classmethod
+    def for_trace(
+        cls, trace: Trace, config: SimConfig, *, label: str = ""
+    ) -> "SimJob":
+        return cls(trace=TraceRef.from_trace(trace), config=config, label=label)
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """The (JSON-safe) result of one job.
+
+    ``status`` holds a :class:`RunStatus` value for any run that produced
+    a result — ``"complete"`` for a full replay, the degradation verdict
+    (``"deadlock"``, ``"budget-exhausted"``, ...) for a partial one — or
+    ``"failed"`` when no simulation happened at all (``error`` says why).
+    """
+
+    fingerprint: str
+    status: str
+    makespan_us: int = 0
+    engine_events: int = 0
+    reason: Optional[str] = None
+    error: Optional[str] = None
+    elapsed_s: float = 0.0
+    attempts: int = 1
+    from_cache: bool = False
+    label: str = ""
+
+    FAILED = "failed"
+
+    @property
+    def ok(self) -> bool:
+        """A result exists (complete or partial)."""
+        return self.error is None
+
+    @property
+    def complete(self) -> bool:
+        return self.status == RunStatus.COMPLETE.value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "status": self.status,
+            "makespan_us": self.makespan_us,
+            "engine_events": self.engine_events,
+            "reason": self.reason,
+            "error": self.error,
+            "elapsed_s": self.elapsed_s,
+            "attempts": self.attempts,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], *, from_cache: bool = False) -> "JobOutcome":
+        return cls(
+            fingerprint=data["fingerprint"],
+            status=data["status"],
+            makespan_us=int(data.get("makespan_us", 0)),
+            engine_events=int(data.get("engine_events", 0)),
+            reason=data.get("reason"),
+            error=data.get("error"),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+            attempts=int(data.get("attempts", 1)),
+            from_cache=from_cache,
+            label=data.get("label", ""),
+        )
+
+    def with_label(self, label: str) -> "JobOutcome":
+        return replace(self, label=label)

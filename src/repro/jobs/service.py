@@ -1,0 +1,272 @@
+"""``vppb serve`` — a local batch-prediction service over the job engine.
+
+Stdlib-only (``http.server``): a :class:`ThreadingHTTPServer` whose
+request threads submit jobs to the shared :class:`JobEngine`, so the
+engine's backpressure bound is the service's admission control — when
+the pool is saturated, request threads block in ``submit`` and clients
+see latency, never an unbounded in-memory queue.
+
+API (all bodies JSON unless noted):
+
+``POST /traces``
+    Body: a raw VPPB log file.  Parses it (400 on malformed logs),
+    spools it under its content fingerprint, returns
+    ``{"trace": <fingerprint>, "events": n, "threads": n}``.  Uploading
+    the same trace twice is idempotent.
+``POST /predict``
+    Body: ``{"trace": <fingerprint>}`` (previously uploaded) or
+    ``{"log": <raw log text>}`` (one-shot), plus optional ``cpus``
+    (list, default ``[2, 4, 8]``), ``lwps``, ``comm_delay_us`` and
+    ``binding`` (``"unbound"``/``"bound"``).  Returns the speed-up
+    predictions; repeated requests are served from the result cache.
+``GET /metrics``
+    Engine + cache + service counters (queue depth, jobs
+    completed/failed, cache hit rate, latency percentiles).
+``GET /healthz``
+    Liveness probe.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.config import SimConfig, ThreadPolicy
+from repro.core.errors import ConfigError, VppbError
+from repro.jobs.engine import JobEngine
+from repro.jobs.model import TraceRef
+
+__all__ = ["PredictionService", "make_server", "serve"]
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024  # a §4-sized log is ~15 MB
+
+
+class ServiceError(Exception):
+    """Maps straight to an HTTP error response."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        self.message = message
+        super().__init__(message)
+
+
+class PredictionService:
+    """The service state: an engine, a trace spool, request counters."""
+
+    def __init__(self, engine: JobEngine, *, spool_dir: Optional[Path] = None):
+        import tempfile
+
+        self.engine = engine
+        self.spool_dir = Path(
+            spool_dir if spool_dir is not None else tempfile.mkdtemp(prefix="vppb-spool-")
+        )
+        self.spool_dir.mkdir(parents=True, exist_ok=True)
+        self._traces: Dict[str, Path] = {}
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+
+    def store_trace(self, text: str) -> Dict[str, Any]:
+        from repro.recorder import logfile
+
+        try:
+            trace = logfile.loads(text)
+        except VppbError as exc:
+            raise ServiceError(400, f"malformed log: {exc}")
+        ref = TraceRef.from_trace(trace)
+        path = self.spool_dir / f"{ref.fingerprint}.log"
+        if not path.exists():
+            path.write_text(text, encoding="utf-8")
+        with self._lock:
+            self._traces[ref.fingerprint] = path
+        return {
+            "trace": ref.fingerprint,
+            "events": len(trace),
+            "threads": len(trace.thread_ids()),
+            "program": trace.meta.program,
+        }
+
+    def _resolve_trace(self, request: Dict[str, Any]) -> Tuple[TraceRef, Any]:
+        from repro.recorder import logfile
+
+        if "log" in request:
+            try:
+                trace = logfile.loads(request["log"])
+            except VppbError as exc:
+                raise ServiceError(400, f"malformed log: {exc}")
+            return TraceRef.from_trace(trace), trace
+        fp = request.get("trace")
+        if not fp:
+            raise ServiceError(400, "request needs 'trace' (fingerprint) or 'log'")
+        with self._lock:
+            path = self._traces.get(fp)
+        if path is None:
+            raise ServiceError(404, f"unknown trace {fp!r}; POST it to /traces first")
+        trace = logfile.load(path)
+        return TraceRef(fingerprint=fp, path=str(path)), trace
+
+    def predict(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        ref, trace = self._resolve_trace(request)
+        cpus = request.get("cpus", [2, 4, 8])
+        if not isinstance(cpus, list) or not cpus:
+            raise ServiceError(400, "'cpus' must be a non-empty list")
+        try:
+            cpus = [int(n) for n in cpus]
+        except (TypeError, ValueError):
+            raise ServiceError(400, f"bad 'cpus' list: {cpus!r}")
+        binding = request.get("binding", "unbound")
+        if binding not in ("unbound", "bound"):
+            raise ServiceError(400, f"unknown binding {binding!r}")
+        policies = (
+            {int(t): ThreadPolicy(bound=True) for t in trace.thread_ids()}
+            if binding == "bound"
+            else {}
+        )
+        try:
+            base = SimConfig(
+                lwps=request.get("lwps"),
+                comm_delay_us=int(request.get("comm_delay_us", 0)),
+                thread_policies=policies,
+            )
+        except (ConfigError, TypeError, ValueError) as exc:
+            raise ServiceError(400, f"bad configuration: {exc}")
+        try:
+            predictions = self.engine.predict_speedups(
+                trace, cpus, base_config=base, trace_ref=ref
+            )
+        except VppbError as exc:
+            raise ServiceError(422, f"prediction failed: {exc}")
+        return {
+            "trace": ref.fingerprint,
+            "program": trace.meta.program,
+            "binding": binding,
+            "predictions": [
+                {
+                    "cpus": p.cpus,
+                    "speedup": round(p.speedup, 6),
+                    "makespan_us": p.makespan_us,
+                    "uniprocessor_us": p.uniprocessor_us,
+                }
+                for p in predictions
+            ],
+        }
+
+    def metrics(self) -> Dict[str, Any]:
+        snapshot = self.engine.metrics.snapshot(self.engine.cache.stats())
+        with self._lock:
+            snapshot["service"] = {
+                "requests": self.requests,
+                "errors": self.errors,
+                "traces_spooled": len(self._traces),
+            }
+        return snapshot
+
+    def count_request(self, *, error: bool) -> None:
+        with self._lock:
+            self.requests += 1
+            if error:
+                self.errors += 1
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "_Server"
+
+    # -- plumbing -------------------------------------------------------
+
+    def log_message(self, fmt: str, *args) -> None:  # quiet by default
+        if self.server.verbose:
+            super().log_message(fmt, *args)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY_BYTES:
+            raise ServiceError(413, f"body larger than {_MAX_BODY_BYTES} bytes")
+        return self.rfile.read(length)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, method: str) -> None:
+        service = self.server.service
+        try:
+            if method == "GET" and self.path == "/healthz":
+                self._send_json(200, {"status": "ok"})
+            elif method == "GET" and self.path == "/metrics":
+                self._send_json(200, service.metrics())
+            elif method == "POST" and self.path == "/traces":
+                text = self._read_body().decode("utf-8", errors="replace")
+                self._send_json(200, service.store_trace(text))
+            elif method == "POST" and self.path == "/predict":
+                try:
+                    request = json.loads(self._read_body() or b"{}")
+                except ValueError as exc:
+                    raise ServiceError(400, f"body is not valid JSON: {exc}")
+                self._send_json(200, service.predict(request))
+            else:
+                raise ServiceError(404, f"no such endpoint: {method} {self.path}")
+        except ServiceError as exc:
+            service.count_request(error=True)
+            self._send_json(exc.status, {"error": exc.message})
+            return
+        service.count_request(error=False)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+
+    def __init__(self, address, service: PredictionService, *, verbose: bool = False):
+        self.service = service
+        self.verbose = verbose
+        super().__init__(address, _Handler)
+
+
+def make_server(
+    service: PredictionService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8123,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """Bind the service (``port=0`` picks a free port; see ``server_port``)."""
+    return _Server((host, port), service, verbose=verbose)
+
+
+def serve(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8123,
+    engine: Optional[JobEngine] = None,
+    spool_dir: Optional[Path] = None,
+    verbose: bool = True,
+) -> None:
+    """Run the service until interrupted (the ``vppb serve`` entry point)."""
+    engine = engine or JobEngine()
+    service = PredictionService(engine, spool_dir=spool_dir)
+    server = make_server(service, host=host, port=port, verbose=verbose)
+    print(
+        f"vppb serve: listening on http://{host}:{server.server_port} "
+        f"({engine.mode} engine, {engine.workers} workers); Ctrl-C to stop"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("vppb serve: shutting down")
+    finally:
+        server.server_close()
+        engine.close()

@@ -1,0 +1,106 @@
+"""Worker-side job execution (runs inside pool processes *and* inline).
+
+The engine submits :func:`run_payload` with a plain dict payload so the
+pickled work item stays small and version-skew-tolerant.  The function
+never raises for job-level problems — an unparseable trace, a diverging
+replay, an exhausted budget all come back as a result dict the engine
+turns into a :class:`~repro.jobs.model.JobOutcome`.  Only a genuine
+worker death (signal, ``os._exit``) surfaces as a broken pool, which
+the engine handles with a retry.
+
+Each worker process keeps a tiny plan cache keyed by trace fingerprint:
+a CPU sweep sends the same trace to the pool N times, and compiling the
+replay plan once per *process* instead of once per *job* is most of the
+win of batching.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.engine import Watchdog
+from repro.core.errors import VppbError
+from repro.core.predictor import compile_trace
+from repro.core.simulator import Simulator
+
+__all__ = ["run_payload", "CRASH_SENTINEL"]
+
+#: Trace text that makes the worker die abruptly instead of returning —
+#: the fault-injection hook behind the engine's crash-retry tests.  A
+#: real recorder can never emit it (log lines start with '#' or a
+#: timestamp).
+CRASH_SENTINEL = "#!vppb-faultinject-worker-crash\n"
+
+#: (trace fingerprint -> compiled ReplayPlan), per process.
+_PLAN_CACHE: "OrderedDict[str, Any]" = OrderedDict()
+_PLAN_CACHE_MAX = 4
+
+
+def _plan_for(fingerprint: str, path: Optional[str], text: Optional[str]):
+    plan = _PLAN_CACHE.get(fingerprint)
+    if plan is not None:
+        _PLAN_CACHE.move_to_end(fingerprint)
+        return plan
+    from repro.recorder import logfile
+
+    trace = logfile.load(path) if path is not None else logfile.loads(text)
+    plan = compile_trace(trace)
+    _PLAN_CACHE[fingerprint] = plan
+    while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+        _PLAN_CACHE.popitem(last=False)
+    return plan
+
+
+def run_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one job payload; always returns a result dict.
+
+    Payload keys: ``fingerprint``, ``trace_fp``, ``trace_path`` /
+    ``trace_text`` (one required), ``config`` (a pickled
+    :class:`~repro.core.config.SimConfig`), ``budget`` (an optional
+    ``(max_events, max_wall_s)`` pair) and ``label``.
+    """
+    text = payload.get("trace_text")
+    if text == CRASH_SENTINEL:
+        os._exit(3)  # simulate a segfaulting worker, not an exception
+
+    started = time.perf_counter()
+    base = {
+        "fingerprint": payload["fingerprint"],
+        "label": payload.get("label", ""),
+    }
+    try:
+        plan = _plan_for(
+            payload["trace_fp"], payload.get("trace_path"), text
+        )
+        watchdog = _watchdog_from(payload.get("budget"))
+        sim = Simulator(payload["config"], watchdog=watchdog, strict=False)
+        result = sim.run_replay(plan)
+    except VppbError as exc:
+        base.update(
+            status="failed",
+            error=f"{type(exc).__name__}: {exc}",
+            elapsed_s=time.perf_counter() - started,
+        )
+        return base
+    base.update(
+        status=result.status.value,
+        makespan_us=result.makespan_us,
+        engine_events=result.engine_events,
+        reason=(
+            result.incompleteness.describe() if result.incompleteness else None
+        ),
+        elapsed_s=time.perf_counter() - started,
+    )
+    return base
+
+
+def _watchdog_from(budget: Optional[Tuple[Optional[int], Optional[float]]]):
+    if budget is None:
+        return None
+    max_events, max_wall_s = budget
+    if max_events is None and max_wall_s is None:
+        return None
+    return Watchdog(max_events=max_events, max_wall_s=max_wall_s)

@@ -124,6 +124,10 @@ class DispatchTable:
     def entry(self, level: int) -> DispatchEntry:
         return self._entries[self._clamp(level)]
 
+    def entries(self) -> Sequence[DispatchEntry]:
+        """All rows, level 0 first (read-only view for serialisation)."""
+        return tuple(self._entries)
+
     def quantum_us(self, level: int) -> int:
         """Time slice for an LWP running at *level*."""
         return self.entry(level).quantum_us

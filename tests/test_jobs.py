@@ -1,0 +1,478 @@
+"""Batch job engine: fingerprints, cache, pool, manifests, service.
+
+The determinism contract under test: the same trace and config yield
+byte-identical fingerprints and equal predictions whether executed
+inline, on the process pool, or from a warm cache — and a poisoned job
+degrades to a failed outcome instead of killing its sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import http.client
+import threading
+
+import pytest
+
+from repro import SimConfig, record_program
+from repro.core.errors import AnalysisError, SimulationError
+from repro.core.predictor import compile_trace, predict_speedup
+from repro.faultinject import corrupt
+from repro.jobs import (
+    JobEngine,
+    JobOutcome,
+    ResultCache,
+    SimJob,
+    SweepManifest,
+    TraceRef,
+    canonical_config,
+    job_fingerprint,
+    trace_fingerprint,
+)
+from repro.jobs.manifest import run_manifest
+from repro.jobs.service import PredictionService, make_server
+from repro.jobs.worker import CRASH_SENTINEL
+from repro.recorder import logfile
+
+from tests.conftest import make_prodcons_program
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return record_program(make_prodcons_program()).trace
+
+
+@pytest.fixture(scope="module")
+def log_text(trace):
+    return logfile.dumps(trace)
+
+
+# ---------------------------------------------------------------------------
+# fingerprints
+# ---------------------------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_trace_fingerprint_stable_across_roundtrip(self, trace, log_text, tmp_path):
+        path = tmp_path / "t.log"
+        path.write_text(log_text)
+        reloaded = logfile.load(path)
+        assert trace.fingerprint() == reloaded.fingerprint()
+        assert trace.fingerprint() == trace_fingerprint(trace)
+
+    def test_fingerprint_memoised(self, trace):
+        assert trace.fingerprint() is trace.fingerprint()
+
+    def test_job_fingerprint_deterministic(self, trace):
+        a = SimJob.for_trace(trace, SimConfig(cpus=4))
+        b = SimJob.for_trace(trace, SimConfig(cpus=4))
+        assert a.fingerprint == b.fingerprint
+
+    def test_config_changes_fingerprint(self, trace):
+        fp = trace.fingerprint()
+        base = job_fingerprint(fp, SimConfig(cpus=4))
+        assert job_fingerprint(fp, SimConfig(cpus=8)) != base
+        assert job_fingerprint(fp, SimConfig(cpus=4, lwps=2)) != base
+        assert job_fingerprint(fp, SimConfig(cpus=4, comm_delay_us=5)) != base
+
+    def test_trace_changes_fingerprint(self, trace):
+        config = SimConfig(cpus=4)
+        assert job_fingerprint("aaaa", config) != job_fingerprint("bbbb", config)
+
+    def test_engine_version_bump_rekeys(self, trace, monkeypatch):
+        import repro.jobs.fingerprint as fpmod
+
+        before = job_fingerprint(trace.fingerprint(), SimConfig())
+        monkeypatch.setattr(fpmod, "ENGINE_VERSION", fpmod.ENGINE_VERSION + 1)
+        assert job_fingerprint(trace.fingerprint(), SimConfig()) != before
+
+    def test_canonical_config_is_json_safe_and_ordered(self):
+        from repro.core.config import ThreadPolicy
+
+        a = SimConfig(thread_policies={3: ThreadPolicy(bound=True), 1: ThreadPolicy()})
+        b = SimConfig(thread_policies={1: ThreadPolicy(), 3: ThreadPolicy(bound=True)})
+        assert json.dumps(canonical_config(a), sort_keys=True) == json.dumps(
+            canonical_config(b), sort_keys=True
+        )
+
+
+# ---------------------------------------------------------------------------
+# cache
+# ---------------------------------------------------------------------------
+
+
+def _outcome(fp: str, **kw) -> JobOutcome:
+    defaults = dict(status="complete", makespan_us=123, elapsed_s=0.5)
+    defaults.update(kw)
+    return JobOutcome(fingerprint=fp, **defaults)
+
+
+class TestResultCache:
+    def test_roundtrip_and_accounting(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("f" * 64) is None
+        cache.put(_outcome("f" * 64))
+        got = cache.get("f" * 64)
+        assert got is not None and got.makespan_us == 123 and got.from_cache
+        assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+        assert cache.hit_rate == 0.5
+
+    def test_persists_across_instances(self, tmp_path):
+        ResultCache(tmp_path).put(_outcome("a" * 64))
+        fresh = ResultCache(tmp_path)
+        assert fresh.get("a" * 64) is not None
+
+    def test_failed_outcomes_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_outcome("b" * 64, status="failed", error="boom"))
+        assert cache.get("b" * 64) is None
+
+    def test_version_bump_invalidates_disk_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_outcome("c" * 64))
+        path = cache._path_for("c" * 64)
+        doc = json.loads(path.read_text())
+        doc["format_version"] = 999
+        path.write_text(json.dumps(doc))
+        assert ResultCache(tmp_path).get("c" * 64) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_outcome("d" * 64))
+        cache._path_for("d" * 64).write_text("{not json")
+        assert ResultCache(tmp_path).get("d" * 64) is None
+
+    def test_lru_bound_with_disk_fallback(self, tmp_path):
+        cache = ResultCache(tmp_path, max_memory_entries=2)
+        for ch in "abc":
+            cache.put(_outcome(ch * 64))
+        assert len(cache._lru) == 2
+        # evicted entry still hits via disk
+        assert cache.get("a" * 64) is not None
+
+    def test_memory_only_mode(self):
+        cache = ResultCache(None)
+        cache.put(_outcome("e" * 64))
+        assert cache.get("e" * 64) is not None
+        assert cache.stats()["persistent"] is False
+
+
+# ---------------------------------------------------------------------------
+# engine: inline, pooled, cached — one contract
+# ---------------------------------------------------------------------------
+
+
+class TestEngineDeterminism:
+    def test_inline_pool_and_cache_agree(self, trace):
+        cpus = [1, 2, 4]
+        inline = JobEngine(mode="inline")
+        inline_preds = inline.predict_speedups(trace, cpus)
+        with JobEngine(workers=2) as pooled:
+            pool_preds = pooled.predict_speedups(trace, cpus)
+            warm_preds = pooled.predict_speedups(trace, cpus)  # cache hits
+            assert pooled.cache.hits >= len(cpus)
+        key = lambda preds: [(p.cpus, p.uniprocessor_us, p.makespan_us) for p in preds]
+        assert key(inline_preds) == key(pool_preds) == key(warm_preds)
+
+    def test_matches_serial_predictor(self, trace):
+        plan = compile_trace(trace)
+        engine = JobEngine(mode="inline")
+        for pred in engine.predict_speedups(trace, [2, 4]):
+            serial = predict_speedup(trace, pred.cpus, plan=plan)
+            assert pred.makespan_us == serial.makespan_us
+            assert pred.uniprocessor_us == serial.uniprocessor_us
+
+    def test_in_flight_dedup(self, trace):
+        engine = JobEngine(mode="inline")
+        job = SimJob.for_trace(trace, SimConfig(cpus=2), label="x")
+        twin = SimJob.for_trace(trace, SimConfig(cpus=2), label="y")
+        outcomes = engine.run([job, twin], use_cache=False)
+        assert engine.metrics.jobs_submitted == 1
+        assert [o.label for o in outcomes] == ["x", "y"]
+        assert outcomes[0].makespan_us == outcomes[1].makespan_us
+
+    def test_outcomes_keep_submission_order(self, trace):
+        engine = JobEngine(mode="inline")
+        jobs = [
+            SimJob.for_trace(trace, SimConfig(cpus=n), label=f"{n}cpu")
+            for n in (4, 1, 2)
+        ]
+        outcomes = engine.run(jobs)
+        assert [o.label for o in outcomes] == ["4cpu", "1cpu", "2cpu"]
+
+
+class TestEngineFaults:
+    def test_poisoned_job_does_not_kill_the_sweep(self, trace, log_text):
+        # a corruptor-damaged trace must fail its own job only
+        bad_text = corrupt(log_text, "mangle-primitive", seed=1)
+        bad = SimJob(
+            trace=TraceRef(fingerprint="bad" * 20 + "badb", text=bad_text),
+            config=SimConfig(cpus=2),
+            label="poisoned",
+        )
+        good = SimJob.for_trace(trace, SimConfig(cpus=2), label="healthy")
+        engine = JobEngine(mode="inline")
+        outcomes = engine.run([good, bad, good])
+        assert outcomes[0].ok and outcomes[2].ok
+        assert not outcomes[1].ok and outcomes[1].status == "failed"
+        assert "Error" in outcomes[1].error
+        assert engine.metrics.jobs_failed == 1
+
+    def test_worker_crash_retries_then_degrades(self, trace):
+        crash = SimJob(
+            trace=TraceRef(fingerprint="c" * 64, text=CRASH_SENTINEL),
+            config=SimConfig(cpus=2),
+            label="crash",
+        )
+        good = [
+            SimJob.for_trace(trace, SimConfig(cpus=n), label=f"{n}cpu")
+            for n in (1, 2, 4)
+        ]
+        with JobEngine(workers=2) as engine:
+            outcomes = engine.run([good[0], crash, good[1], good[2]])
+            assert engine.metrics.worker_crashes >= 1
+        crashed = outcomes[1]
+        assert not crashed.ok and "crash" in crashed.error
+        assert crashed.attempts == 2
+        for o in (outcomes[0], outcomes[2], outcomes[3]):
+            assert o.ok, o.error
+
+    def test_backpressure_bound_still_completes(self, trace):
+        with JobEngine(workers=2, max_pending=1) as engine:
+            preds = engine.predict_speedups(trace, [1, 2, 3, 4])
+        assert len(preds) == 4
+
+    def test_failed_job_raises_from_predict_speedups(self, trace, log_text):
+        bad_text = corrupt(log_text, "mangle-primitive", seed=1)
+        engine = JobEngine(mode="inline")
+        bad_trace_ref = TraceRef(fingerprint="z" * 64, text=bad_text)
+        with pytest.raises(SimulationError):
+            engine.predict_speedups(trace, [2], trace_ref=bad_trace_ref)
+
+
+# ---------------------------------------------------------------------------
+# whatif entry points route through the engine
+# ---------------------------------------------------------------------------
+
+
+class TestWhatifViaEngine:
+    def test_speedup_curve_engine_param(self, trace):
+        from repro.analysis.whatif import speedup_curve
+
+        engine = JobEngine(mode="inline")
+        curve = speedup_curve(trace, 4, engine=engine)
+        assert [p.cpus for p in curve] == [1, 2, 3, 4]
+        plan = compile_trace(trace)
+        for p in curve:
+            assert p.makespan_us == predict_speedup(trace, p.cpus, plan=plan).makespan_us
+
+    def test_find_knee_shares_probe_results(self, trace):
+        from repro.analysis.whatif import find_knee
+
+        engine = JobEngine(mode="inline")
+        knee = find_knee(trace, max_cpus=8, engine=engine)
+        assert knee.cpus >= 1
+        assert engine.cache.hits > 0  # exponential probe and walk-back overlap
+
+    def test_lwp_sensitivity_engine_param(self, trace):
+        from repro.analysis.whatif import lwp_sensitivity
+
+        makespans = lwp_sensitivity(trace, 4, (1, None), engine=JobEngine(mode="inline"))
+        assert makespans[1] >= makespans[None]
+
+
+class TestKneePointDegenerate:
+    def test_fraction_of_bound_raises_on_zero_bound(self):
+        from repro.analysis.whatif import KneePoint
+
+        knee = KneePoint(cpus=1, speedup=0.0, bound=0.0)
+        with pytest.raises(AnalysisError):
+            knee.fraction_of_bound
+
+    def test_fraction_of_bound_normal(self):
+        from repro.analysis.whatif import KneePoint
+
+        assert KneePoint(cpus=2, speedup=1.5, bound=3.0).fraction_of_bound == 0.5
+
+
+# ---------------------------------------------------------------------------
+# manifests and vppb batch
+# ---------------------------------------------------------------------------
+
+
+class TestManifest:
+    def test_grid_expansion(self, trace):
+        m = SweepManifest.from_dict(
+            {
+                "trace": "x.log",
+                "cpus": {"min": 1, "max": 4},
+                "bindings": ["unbound", "bound"],
+                "lwps": [None, 2],
+            }
+        )
+        assert m.grid_size() == 16
+        cells = m.configs(trace)
+        assert len(cells) == 16
+        labels = {c.label for c in cells}
+        assert "1cpu/unbound" in labels and "4cpu/bound/lwps=2" in labels
+        bound_cell = next(c for c in cells if c.binding == "bound")
+        assert len(bound_cell.config.thread_policies) == len(trace.thread_ids())
+
+    def test_validation_errors(self):
+        with pytest.raises(AnalysisError):
+            SweepManifest.from_dict({"cpus": [2]})  # no trace
+        with pytest.raises(AnalysisError):
+            SweepManifest.from_dict({"trace": "x", "cpus": []})
+        with pytest.raises(AnalysisError):
+            SweepManifest.from_dict({"trace": "x", "cpus": [0]})
+        with pytest.raises(AnalysisError):
+            SweepManifest.from_dict({"trace": "x", "bindings": ["sideways"]})
+        with pytest.raises(AnalysisError):
+            SweepManifest.from_dict({"trace": "x", "typo_key": 1})
+
+    def test_relative_trace_path_resolves_against_manifest(self, tmp_path):
+        (tmp_path / "sweep.json").write_text(
+            json.dumps({"trace": "run.log", "cpus": [2]})
+        )
+        m = SweepManifest.load(tmp_path / "sweep.json")
+        assert m.trace_path == tmp_path / "run.log"
+
+    def test_run_manifest_matches_serial_curve(self, trace, log_text, tmp_path):
+        from repro.analysis.whatif import speedup_curve
+
+        log = tmp_path / "run.log"
+        log.write_text(log_text)
+        manifest = SweepManifest.from_dict(
+            {"trace": str(log), "cpus": {"min": 1, "max": 4}}
+        )
+        engine = JobEngine(mode="inline", cache=ResultCache(tmp_path / "cache"))
+        report = run_manifest(manifest, engine)
+        serial = speedup_curve(trace, 4, engine=JobEngine(mode="inline"))
+        assert [s.outcome.makespan_us for s in report.scenarios] == [
+            p.makespan_us for p in serial
+        ]
+        assert [round(s.speedup, 9) for s in report.scenarios] == [
+            round(p.speedup, 9) for p in serial
+        ]
+        # warm rerun: everything from cache
+        rerun = run_manifest(manifest, engine)
+        assert rerun.cache_hit_rate() == 1.0
+        assert all(s.outcome.from_cache for s in rerun.scenarios)
+        assert json.loads(report.to_json())["program"] == trace.meta.program
+
+    def test_cli_batch(self, log_text, tmp_path, capsys):
+        from repro.cli import main
+
+        (tmp_path / "run.log").write_text(log_text)
+        manifest = tmp_path / "sweep.json"
+        manifest.write_text(
+            json.dumps({"trace": "run.log", "cpus": [1, 2], "bindings": ["unbound"]})
+        )
+        cache = str(tmp_path / "cache")
+        assert main(["batch", str(manifest), "--inline", "--cache-dir", cache]) == 0
+        cold = capsys.readouterr().out
+        assert "scenario hit rate 0%" in cold
+        assert main(["batch", str(manifest), "--inline", "--cache-dir", cache]) == 0
+        warm = capsys.readouterr().out
+        assert "scenario hit rate 100%" in warm
+
+    def test_cli_batch_bad_manifest(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{")
+        assert main(["batch", str(bad)]) == 2
+
+
+# ---------------------------------------------------------------------------
+# the HTTP service
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def service_conn(trace):
+    engine = JobEngine(mode="inline")
+    service = PredictionService(engine)
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    conn = http.client.HTTPConnection("127.0.0.1", server.server_port, timeout=30)
+    try:
+        yield conn, service
+    finally:
+        conn.close()
+        server.shutdown()
+        server.server_close()
+        engine.close()
+
+
+def _request(conn, method, path, body=None):
+    conn.request(
+        method, path, body=body if body is None or isinstance(body, bytes) else body.encode()
+    )
+    resp = conn.getresponse()
+    return resp.status, json.loads(resp.read())
+
+
+class TestService:
+    def test_upload_predict_metrics(self, service_conn, trace, log_text):
+        conn, _service = service_conn
+        status, uploaded = _request(conn, "POST", "/traces", log_text)
+        assert status == 200
+        assert uploaded["trace"] == trace.fingerprint()
+        assert uploaded["events"] == len(trace)
+
+        request = json.dumps({"trace": uploaded["trace"], "cpus": [2, 4]})
+        status, pred = _request(conn, "POST", "/predict", request)
+        assert status == 200
+        plan = compile_trace(trace)
+        for p in pred["predictions"]:
+            assert p["makespan_us"] == predict_speedup(trace, p["cpus"], plan=plan).makespan_us
+
+        # same request again: served from cache
+        status, _ = _request(conn, "POST", "/predict", request)
+        assert status == 200
+        status, metrics = _request(conn, "GET", "/metrics")
+        assert status == 200
+        assert metrics["cache"]["hits"] >= 3
+        assert metrics["jobs_failed"] == 0
+        assert metrics["service"]["traces_spooled"] == 1
+        assert {"p50_s", "p90_s", "p99_s"} <= set(metrics["latency"])
+
+    def test_predict_inline_log(self, service_conn, log_text):
+        conn, _service = service_conn
+        status, pred = _request(
+            conn, "POST", "/predict", json.dumps({"log": log_text, "cpus": [2]})
+        )
+        assert status == 200 and len(pred["predictions"]) == 1
+
+    def test_error_paths(self, service_conn):
+        conn, service = service_conn
+        status, body = _request(conn, "POST", "/predict", json.dumps({"trace": "nope"}))
+        assert status == 404 and "unknown trace" in body["error"]
+        status, _ = _request(conn, "POST", "/traces", "garbage")
+        assert status == 400
+        status, _ = _request(conn, "POST", "/predict", "{not json")
+        assert status == 400
+        status, _ = _request(conn, "GET", "/nothing")
+        assert status == 404
+        status, body = _request(conn, "GET", "/healthz")
+        assert status == 200 and body["status"] == "ok"
+        assert service.errors == 4
+
+    def test_bound_binding(self, service_conn, log_text):
+        conn, _service = service_conn
+        status, pred = _request(
+            conn,
+            "POST",
+            "/predict",
+            json.dumps({"log": log_text, "cpus": [4], "binding": "bound"}),
+        )
+        assert status == 200 and pred["binding"] == "bound"
+        status, _ = _request(
+            conn,
+            "POST",
+            "/predict",
+            json.dumps({"log": log_text, "cpus": [4], "binding": "sideways"}),
+        )
+        assert status == 400
