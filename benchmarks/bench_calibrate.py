@@ -1,0 +1,84 @@
+"""Calibration fit throughput: cold vs warm content-addressed cache.
+
+Not a paper table — this validates the calibration subsystem's
+performance claim: every parameter vector a fit visits becomes a batch
+of content-addressed jobs, so a *refit* over the same suite (tweaked
+budget, new CV split, a validation run) answers from the
+:class:`~repro.jobs.cache.ResultCache` instead of re-simulating.  The
+second fit must be dominated by cache reads — and must reproduce the
+first fit's parameters bit for bit, since the fitter is deterministic.
+
+``VPPB_BENCH_SCALE`` scales the calibration workload as in the other
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.calib import ObjectiveEvaluator, WorkloadSpec, fit, measure_suite
+from repro.jobs import JobEngine, ResultCache
+
+from _common import BENCH_SCALE, emit
+
+MAX_EVALS = 40
+
+SUITE = [
+    WorkloadSpec(name="synthetic", threads=4, scale=max(0.3, BENCH_SCALE), cpus=(2, 4), runs=2),
+    WorkloadSpec(name="prodcons", threads=4, scale=0.05, cpus=(2, 4), runs=2),
+]
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return measure_suite(SUITE)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_calibrate_throughput(benchmark, measured, tmp_path_factory):
+    cache = ResultCache(tmp_path_factory.mktemp("calib-cache"))
+    engine = JobEngine(mode="inline", cache=cache)
+
+    def run_fit():
+        evaluator = ObjectiveEvaluator(measured, engine=engine)
+        return fit(evaluator, max_evals=MAX_EVALS)
+
+    # cold: fresh disk cache, every visited vector simulates
+    cold_fit, cold_s = _timed(run_fit)
+    cold_stats = cache.stats()
+
+    # warm: identical fit, same cache — every vector is a disk read
+    warm_fit = benchmark.pedantic(run_fit, rounds=1, iterations=1)
+    _, warm_s = _timed(run_fit)
+    warm_stats = cache.stats()
+
+    # determinism is part of the contract: the refit retraces the fit
+    assert warm_fit.params == cold_fit.params
+    assert warm_fit.objective == cold_fit.objective
+    hits = warm_stats["hits"] - cold_stats["hits"]
+    misses = warm_stats["misses"] - cold_stats["misses"]
+    assert misses == 0, "warm refit should never simulate"
+
+    # a warm refit must beat cold simulation outright
+    assert warm_s < cold_s
+
+    lines = [
+        f"Calibration fit throughput ({len(SUITE)}-workload suite, "
+        f"{MAX_EVALS} evaluation budget, inline engine)",
+        f"{'mode':<24} {'wall (s)':>10} {'vs cold':>10}",
+        f"{'fit, cold cache':<24} {cold_s:>10.3f} {'1.00x':>10}",
+        f"{'refit, warm cache':<24} {warm_s:>10.3f} "
+        f"{cold_s / warm_s:>9.2f}x",
+        f"objective {cold_fit.baseline_objective:.4f} (defaults) -> "
+        f"{cold_fit.objective:.4f} in {cold_fit.evaluations} evaluations",
+        f"warm refit: {hits} cache hits / {misses} misses "
+        f"over two timed passes",
+    ]
+    emit("\n" + "\n".join(lines), artifact="calibrate.txt")

@@ -16,10 +16,19 @@ from typing import Dict, List, Optional
 
 from repro.analysis.metrics import ObjectContention, contention_by_object
 from repro.core.ids import SyncObjectId
-from repro.core.result import SimulationResult
+from repro.core.result import SegmentKind, SimulationResult
 from repro.core.timebase import to_seconds
 
-__all__ = ["ObjectDelta", "ComparisonReport", "compare_results", "format_comparison"]
+__all__ = [
+    "ObjectDelta",
+    "ComparisonReport",
+    "compare_results",
+    "format_comparison",
+    "PhaseDelta",
+    "ErrorAttribution",
+    "attribute_error",
+    "format_attribution",
+]
 
 
 @dataclass(frozen=True)
@@ -102,6 +111,110 @@ def compare_results(
         before_utilisation=before.utilisation(),
         after_utilisation=after.utilisation(),
     )
+
+
+@dataclass(frozen=True)
+class PhaseDelta:
+    """One thread-condition phase's contribution to a prediction gap."""
+
+    kind: SegmentKind
+    real_us: int
+    predicted_us: int
+
+    @property
+    def delta_us(self) -> int:
+        return self.predicted_us - self.real_us
+
+
+@dataclass(frozen=True)
+class ErrorAttribution:
+    """Where a measured-vs-predicted makespan gap lives (§4 error, by phase).
+
+    Both executions' thread time is bucketed by
+    :class:`~repro.core.result.SegmentKind` (running / runnable /
+    blocked / sleeping) and compared bucket by bucket: a predictor that
+    models compute correctly but mis-prices synchronisation shows its
+    whole gap in the BLOCKED bucket, one that mis-models the dispatcher
+    shows it under RUNNABLE.  Used by ``vppb validate --attribute`` to
+    say *why* a workload missed its error budget, not just that it did.
+    """
+
+    real_makespan_us: int
+    predicted_makespan_us: int
+    phases: List[PhaseDelta]
+
+    @property
+    def makespan_delta_us(self) -> int:
+        return self.predicted_makespan_us - self.real_makespan_us
+
+    def dominant(self) -> Optional[PhaseDelta]:
+        """The phase with the largest absolute gap, if any gap exists."""
+        moved = [p for p in self.phases if p.delta_us != 0]
+        return max(moved, key=lambda p: abs(p.delta_us)) if moved else None
+
+
+def _phase_totals(result: SimulationResult) -> Dict[SegmentKind, int]:
+    totals = {kind: 0 for kind in SegmentKind}
+    for segments in result.segments.values():
+        for seg in segments:
+            totals[seg.kind] += seg.duration_us
+    return totals
+
+
+def attribute_error(
+    real: SimulationResult, predicted: SimulationResult
+) -> ErrorAttribution:
+    """Attribute the gap between a measured and a predicted execution.
+
+    Degenerate inputs are well-defined rather than errors: identical
+    results attribute a zero gap to every phase, and a single-thread run
+    simply has no runnable/blocked time to disagree about.  A machine
+    mismatch (different CPU counts) raises — the comparison would
+    attribute scheduling differences to the model.
+    """
+    if real.config.cpus != predicted.config.cpus:
+        raise ValueError(
+            f"attributing across different machines: {real.config.cpus} vs "
+            f"{predicted.config.cpus} CPUs"
+        )
+    real_totals = _phase_totals(real)
+    pred_totals = _phase_totals(predicted)
+    phases = [
+        PhaseDelta(
+            kind=kind,
+            real_us=real_totals[kind],
+            predicted_us=pred_totals[kind],
+        )
+        for kind in SegmentKind
+    ]
+    return ErrorAttribution(
+        real_makespan_us=real.makespan_us,
+        predicted_makespan_us=predicted.makespan_us,
+        phases=phases,
+    )
+
+
+def format_attribution(attribution: ErrorAttribution) -> str:
+    """Human-readable phase table for the validate CLI."""
+    lines = [
+        f"makespan: real {to_seconds(attribution.real_makespan_us):.4f}s, "
+        f"predicted {to_seconds(attribution.predicted_makespan_us):.4f}s "
+        f"({attribution.makespan_delta_us / 1e6:+.4f}s)",
+        f"{'phase':<10} {'real':>12} {'predicted':>12} {'delta':>12}",
+    ]
+    for p in attribution.phases:
+        lines.append(
+            f"{p.kind.value:<10} {to_seconds(p.real_us):>11.4f}s "
+            f"{to_seconds(p.predicted_us):>11.4f}s {p.delta_us / 1e6:>+11.4f}s"
+        )
+    dom = attribution.dominant()
+    if dom is not None:
+        lines.append(
+            f"dominant gap: {dom.kind.value} time "
+            f"({dom.delta_us / 1e6:+.4f}s of "
+            f"{attribution.makespan_delta_us / 1e6:+.4f}s makespan gap)"
+        )
+    return "\n".join(lines)
 
 
 def format_comparison(report: ComparisonReport, *, top: int = 5) -> str:

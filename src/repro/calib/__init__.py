@@ -1,0 +1,175 @@
+"""Calibration & validation of the cost model against measured runs.
+
+The paper fixes its §3.2 cost parameters by microbenchmarking the
+target machine (×6.7 bound-thread creation, ×5.9 bound synchronisation)
+and then *validates* the whole pipeline by comparing predicted against
+measured speed-ups (Table 1, worst cell 6.2 %).  This package closes
+that loop for the reproduction:
+
+* :mod:`repro.calib.measure` runs the paired experiments — one
+  monitored uni-processor trace plus Table 1 "Real" ground truth per
+  workload, all seeded and exactly reproducible;
+* :mod:`repro.calib.space` / :mod:`repro.calib.objective` /
+  :mod:`repro.calib.fit` fit the tunable cost parameters by minimising
+  mean |§4 error| with derivative-free search, every simulation routed
+  through the content-addressed :class:`~repro.jobs.engine.JobEngine`;
+* :mod:`repro.calib.profile` persists the result as a versioned JSON
+  artifact that :class:`~repro.core.config.SimConfig` can load;
+* :mod:`repro.calib.report` re-measures a profile's own suite and turns
+  budget violations and drift into CI-friendly exit codes.
+
+:func:`calibrate` and :func:`validate` are the two entry points the CLI
+wraps; everything below them is library surface for tests and notebooks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.config import SimConfig
+from repro.calib.fit import (
+    DEFAULT_MAX_EVALS,
+    CrossValidation,
+    FitResult,
+    FoldResult,
+    cross_validate,
+    fit,
+)
+from repro.calib.measure import (
+    MeasuredWorkload,
+    Measurement,
+    WorkloadSpec,
+    default_suite,
+    measure_suite,
+)
+from repro.calib.objective import ErrorRow, ObjectiveEvaluator, mean_abs_error
+from repro.calib.profile import (
+    PROFILE_FORMAT,
+    PROFILE_VERSION,
+    CalibrationProfile,
+    machine_fingerprint,
+)
+from repro.calib.report import (
+    DEFAULT_DRIFT_TOLERANCE,
+    DEFAULT_ERROR_BUDGET,
+    DriftRow,
+    ValidationReport,
+    build_report,
+    detect_drift,
+    format_error_table,
+    format_validation,
+)
+from repro.calib.space import ParamSpace, default_space
+from repro.jobs.engine import JobEngine
+
+__all__ = [
+    "CalibrationProfile",
+    "CrossValidation",
+    "DriftRow",
+    "ErrorRow",
+    "FitResult",
+    "FoldResult",
+    "MeasuredWorkload",
+    "Measurement",
+    "ObjectiveEvaluator",
+    "ParamSpace",
+    "ValidationReport",
+    "WorkloadSpec",
+    "DEFAULT_DRIFT_TOLERANCE",
+    "DEFAULT_ERROR_BUDGET",
+    "DEFAULT_MAX_EVALS",
+    "PROFILE_FORMAT",
+    "PROFILE_VERSION",
+    "build_report",
+    "calibrate",
+    "cross_validate",
+    "default_space",
+    "default_suite",
+    "detect_drift",
+    "fit",
+    "format_error_table",
+    "format_validation",
+    "machine_fingerprint",
+    "mean_abs_error",
+    "measure_suite",
+    "validate",
+]
+
+
+def calibrate(
+    specs: Optional[Sequence[WorkloadSpec]] = None,
+    *,
+    base_config: Optional[SimConfig] = None,
+    engine: Optional[JobEngine] = None,
+    max_evals: int = DEFAULT_MAX_EVALS,
+    cv_folds: Optional[int] = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CalibrationProfile:
+    """Measure the suite, fit the cost model, return the profile.
+
+    ``cv_folds``: ``0`` = leave-one-out over workloads (the default),
+    ``k >= 2`` = k-fold, ``None`` = skip cross-validation.  The CV fits
+    share the engine's result cache with the main fit, so enabling CV
+    costs far less than ``folds`` extra fits.
+    """
+    suite = list(specs) if specs is not None else default_suite()
+    measured = measure_suite(suite, base_config=base_config, progress=progress)
+    evaluator = ObjectiveEvaluator(
+        measured, base_config=base_config, engine=engine
+    )
+    if progress:
+        progress(
+            f"fitting {len(evaluator.space)} parameters over "
+            f"{sum(len(m.measurements) for m in measured)} cells "
+            f"(budget {max_evals} evaluations)"
+        )
+    fitted = fit(evaluator, max_evals=max_evals)
+    cv = None
+    if cv_folds is not None and len(measured) >= 2:
+        cv = cross_validate(
+            evaluator,
+            folds=cv_folds,
+            max_evals=max_evals,
+            progress=progress,
+        )
+    if progress:
+        progress(
+            f"fit done: mean |error| {fitted.baseline_objective:.2%} -> "
+            f"{fitted.objective:.2%} in {fitted.evaluations} evaluations"
+        )
+    return CalibrationProfile.from_fit(
+        fitted, evaluator.error_table(fitted.params), suite, cv=cv
+    )
+
+
+def validate(
+    profile: CalibrationProfile,
+    *,
+    profile_path: str = "<profile>",
+    base_config: Optional[SimConfig] = None,
+    engine: Optional[JobEngine] = None,
+    budget: float = DEFAULT_ERROR_BUDGET,
+    drift_tolerance: float = DEFAULT_DRIFT_TOLERANCE,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ValidationReport:
+    """Re-measure a profile's own suite and score it fresh.
+
+    The suite specs inside the profile are fully seeded, so the fresh
+    error table is an exact function of (profile params, simulator
+    build); any disagreement with the recorded table is real drift, not
+    noise.
+    """
+    measured = measure_suite(
+        list(profile.suite), base_config=base_config, progress=progress
+    )
+    evaluator = ObjectiveEvaluator(
+        measured, base_config=base_config, engine=engine
+    )
+    fresh = evaluator.error_table(profile.params)
+    return build_report(
+        profile,
+        profile_path,
+        fresh,
+        budget=budget,
+        drift_tolerance=drift_tolerance,
+    )

@@ -1,0 +1,238 @@
+"""Paired measured/predicted experiments over the workload suite.
+
+One :class:`WorkloadSpec` names everything needed to reproduce one
+calibration data point: the workload, its thread count and scale, the
+program seed, the machine sizes to measure, and the ground-truth run
+protocol (runs, jitter, perturbation seed, probe overhead).  Because the
+"real machine" here is the seeded scheduler model of
+:func:`repro.program.mpexec.measure_speedup`, a spec is *fully
+deterministic* — the same spec measured on any host yields bit-identical
+speed-ups and an identical trace fingerprint.  That is what lets a
+committed :class:`~repro.calib.profile.CalibrationProfile` re-measure
+its own suite in CI and compare against the error table it recorded.
+
+:func:`measure_suite` produces, per spec:
+
+* the monitored uni-processor trace (recorded once, with probe
+  intrusion — the predictor's only input, exactly as in fig. 1), and
+* the Table 1 "Real" column: median-of-*runs* speed-up per CPU count.
+
+Measurement always runs under the *default* cost model: the measured
+machine is fixed; calibration fits only the predictor's side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import SimConfig
+from repro.core.errors import CalibrationError, MonitorabilityError
+from repro.core.trace import Trace
+from repro.jobs.model import TraceRef
+from repro.program.mpexec import DEFAULT_JITTER, DEFAULT_RUNS, measure_speedup
+from repro.program.uniexec import record_program
+from repro.recorder.recorder import DEFAULT_PROBE_OVERHEAD_US
+from repro.workloads import get_workload
+
+__all__ = [
+    "WorkloadSpec",
+    "Measurement",
+    "MeasuredWorkload",
+    "default_suite",
+    "measure_suite",
+]
+
+#: The CPU counts the paper's Table 1 reports.
+DEFAULT_CPUS = (2, 4, 8)
+
+#: Default program seed for calibration runs (any fixed value works; it
+#: only has to be recorded so validation rebuilds the same programs).
+DEFAULT_SEED = 1998
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything needed to reproduce one workload's measurements."""
+
+    name: str
+    threads: int = 4
+    scale: float = 0.05
+    seed: int = DEFAULT_SEED
+    cpus: Tuple[int, ...] = DEFAULT_CPUS
+    runs: int = DEFAULT_RUNS
+    jitter: float = DEFAULT_JITTER
+    seed0: int = 1
+    probe_overhead_us: int = DEFAULT_PROBE_OVERHEAD_US
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise CalibrationError(f"{self.name}: threads must be >= 1")
+        if self.scale <= 0:
+            raise CalibrationError(f"{self.name}: scale must be > 0")
+        if not self.cpus:
+            raise CalibrationError(f"{self.name}: no CPU counts to measure")
+        if any(c < 1 for c in self.cpus):
+            raise CalibrationError(f"{self.name}: CPU counts must be >= 1")
+        if self.runs < 1:
+            raise CalibrationError(f"{self.name}: runs must be >= 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "threads": self.threads,
+            "scale": self.scale,
+            "seed": self.seed,
+            "cpus": list(self.cpus),
+            "runs": self.runs,
+            "jitter": self.jitter,
+            "seed0": self.seed0,
+            "probe_overhead_us": self.probe_overhead_us,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WorkloadSpec":
+        try:
+            return cls(
+                name=str(data["name"]),
+                threads=int(data.get("threads", 4)),
+                scale=float(data.get("scale", 0.05)),
+                seed=int(data.get("seed", DEFAULT_SEED)),
+                cpus=tuple(int(c) for c in data.get("cpus", DEFAULT_CPUS)),
+                runs=int(data.get("runs", DEFAULT_RUNS)),
+                jitter=float(data.get("jitter", DEFAULT_JITTER)),
+                seed0=int(data.get("seed0", 1)),
+                probe_overhead_us=int(
+                    data.get("probe_overhead_us", DEFAULT_PROBE_OVERHEAD_US)
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CalibrationError(f"bad workload spec {data!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Ground truth for one (workload, cpus) cell: the Table 1 "Real"
+    median plus its min-max band."""
+
+    cpus: int
+    real_speedup: float
+    real_min: float
+    real_max: float
+
+
+@dataclass(frozen=True)
+class MeasuredWorkload:
+    """One workload's calibration data: its monitored trace and the
+    measured speed-ups the prediction must hit."""
+
+    spec: WorkloadSpec
+    trace: Trace
+    monitored_us: int
+    measurements: Tuple[Measurement, ...]
+    trace_ref: TraceRef = field(compare=False, hash=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.trace_ref is None:
+            object.__setattr__(self, "trace_ref", TraceRef.from_trace(self.trace))
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def real_speedup(self, cpus: int) -> float:
+        for m in self.measurements:
+            if m.cpus == cpus:
+                return m.real_speedup
+        raise CalibrationError(f"{self.name}: no measurement at {cpus} CPUs")
+
+
+def default_suite() -> List[WorkloadSpec]:
+    """The stock calibration suite: the seeded synthetic mix plus the
+    producer/consumer case study, at miniature scale.
+
+    Small on purpose — a fit evaluates the whole suite once per candidate
+    parameter vector, so suite cost multiplies fit cost.  ``vppb
+    calibrate --workload`` swaps in bigger kernels when wanted.
+    """
+    return [
+        WorkloadSpec(name="synthetic", threads=4, scale=1.0),
+        WorkloadSpec(name="prodcons", threads=4, scale=0.05),
+    ]
+
+
+def measure_one(
+    spec: WorkloadSpec,
+    *,
+    base_config: Optional[SimConfig] = None,
+) -> MeasuredWorkload:
+    """Record the monitored trace and measure ground truth for one spec."""
+    workload = get_workload(spec.name)
+    base = base_config or SimConfig()
+
+    program = workload.make_program(spec.threads, spec.scale, seed=spec.seed)
+    try:
+        recording = record_program(
+            program, overhead_us=spec.probe_overhead_us, base_config=base
+        )
+    except MonitorabilityError as exc:
+        raise CalibrationError(
+            f"workload {spec.name!r} cannot join the calibration suite: {exc}"
+        ) from exc
+
+    measurements: List[Measurement] = []
+    for cpus in spec.cpus:
+        # fresh program per run protocol: measure_speedup executes it
+        # live, and generators are consumed by execution
+        truth = measure_speedup(
+            workload.make_program(spec.threads, spec.scale, seed=spec.seed),
+            cpus,
+            base_config=base,
+            runs=spec.runs,
+            jitter=spec.jitter,
+            seed0=spec.seed0,
+        )
+        measurements.append(
+            Measurement(
+                cpus=cpus,
+                real_speedup=truth.speedup,
+                real_min=truth.speedups.minimum,
+                real_max=truth.speedups.maximum,
+            )
+        )
+
+    return MeasuredWorkload(
+        spec=spec,
+        trace=recording.trace,
+        monitored_us=recording.monitored_makespan_us,
+        measurements=tuple(measurements),
+    )
+
+
+def measure_suite(
+    specs: Sequence[WorkloadSpec],
+    *,
+    base_config: Optional[SimConfig] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[MeasuredWorkload]:
+    """Measure every spec; the expensive, run-once half of calibration.
+
+    Ground truth never depends on the fitted parameters, so one
+    ``measure_suite`` result serves an entire fit *and* later validation
+    runs against the same specs.
+    """
+    if not specs:
+        raise CalibrationError("empty calibration suite")
+    names = [s.name for s in specs]
+    if len(set(names)) != len(names):
+        raise CalibrationError(f"duplicate workloads in suite: {names}")
+    out = []
+    for spec in specs:
+        if progress:
+            progress(
+                f"measuring {spec.name} (threads={spec.threads}, "
+                f"scale={spec.scale}, cpus={list(spec.cpus)}, "
+                f"{spec.runs} runs each)"
+            )
+        out.append(measure_one(spec, base_config=base_config))
+    return out

@@ -1,0 +1,231 @@
+"""Validation reporting: error tables, drift detection, exit codes.
+
+``vppb validate`` answers two separate questions and encodes them in its
+exit status:
+
+* **budget** — does every (workload, cpus) cell's fresh |§4 error| stay
+  within the error budget?  The default budget is the paper's worst
+  Table 1 cell, Ocean at 8 CPUs: 6.2 %.  Any cell over budget →
+  exit ``2``.
+* **drift** — does the fresh error table still match the one the
+  profile recorded when it was fitted?  The suite is re-measured from
+  the profile's own specs (deterministic seeds), so any disagreement
+  beyond a small tolerance means the profile no longer describes this
+  build: the parameters were edited, the simulator changed, or the
+  workloads did.  Drift with errors still in budget → exit ``1``.
+
+Both clean → exit ``0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.calib.objective import (
+    DEFAULT_ERROR_BUDGET,
+    ErrorRow,
+    mean_abs_error,
+)
+from repro.calib.profile import CalibrationProfile
+
+__all__ = [
+    "DEFAULT_ERROR_BUDGET",
+    "DEFAULT_DRIFT_TOLERANCE",
+    "DriftRow",
+    "ValidationReport",
+    "detect_drift",
+    "build_report",
+    "format_error_table",
+    "format_validation",
+]
+
+#: Allowed |fresh − recorded| per cell before we call it drift.  The
+#: re-measurement is deterministic, so this only absorbs float round-trip
+#: noise (the profile rounds to 6 decimals), not behaviour changes.
+DEFAULT_DRIFT_TOLERANCE = 1e-4
+
+EXIT_OK = 0
+EXIT_DRIFT = 1
+EXIT_BUDGET = 2
+
+
+@dataclass(frozen=True)
+class DriftRow:
+    """One cell where the fresh error table left the recorded one."""
+
+    workload: str
+    cpus: int
+    recorded_error: Optional[float]
+    fresh_error: Optional[float]
+
+    @property
+    def drift(self) -> float:
+        if self.recorded_error is None or self.fresh_error is None:
+            return float("inf")
+        return abs(self.fresh_error - self.recorded_error)
+
+    def describe(self) -> str:
+        if self.recorded_error is None:
+            return (
+                f"{self.workload}@{self.cpus}cpu: cell not in recorded table "
+                f"(fresh error {self.fresh_error:+.4%})"
+            )
+        if self.fresh_error is None:
+            return (
+                f"{self.workload}@{self.cpus}cpu: recorded cell "
+                f"({self.recorded_error:+.4%}) missing from fresh table"
+            )
+        return (
+            f"{self.workload}@{self.cpus}cpu: error moved "
+            f"{self.recorded_error:+.4%} -> {self.fresh_error:+.4%} "
+            f"(drift {self.drift:.4%})"
+        )
+
+
+def detect_drift(
+    recorded: Sequence[ErrorRow],
+    fresh: Sequence[ErrorRow],
+    *,
+    tolerance: float = DEFAULT_DRIFT_TOLERANCE,
+) -> List[DriftRow]:
+    """Cells where the fresh table disagrees with the recorded one."""
+    rec = {(r.workload, r.cpus): r for r in recorded}
+    new = {(r.workload, r.cpus): r for r in fresh}
+    out: List[DriftRow] = []
+    for key in sorted(set(rec) | set(new)):
+        r, n = rec.get(key), new.get(key)
+        row = DriftRow(
+            workload=key[0],
+            cpus=key[1],
+            recorded_error=r.error if r else None,
+            fresh_error=n.error if n else None,
+        )
+        if row.drift > tolerance:
+            out.append(row)
+    return out
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Everything ``vppb validate`` concluded, ready to print or emit."""
+
+    profile_path: str
+    fresh_table: Tuple[ErrorRow, ...]
+    recorded_table: Tuple[ErrorRow, ...]
+    drift: Tuple[DriftRow, ...]
+    budget: float
+    drift_tolerance: float
+    machine_warnings: Tuple[str, ...] = ()
+
+    @property
+    def over_budget(self) -> List[ErrorRow]:
+        return [r for r in self.fresh_table if r.abs_error > self.budget]
+
+    @property
+    def mean_abs_error(self) -> float:
+        return mean_abs_error(self.fresh_table)
+
+    @property
+    def worst(self) -> ErrorRow:
+        return max(self.fresh_table, key=lambda r: r.abs_error)
+
+    @property
+    def exit_code(self) -> int:
+        if self.over_budget:
+            return EXIT_BUDGET
+        if self.drift:
+            return EXIT_DRIFT
+        return EXIT_OK
+
+    @property
+    def verdict(self) -> str:
+        return {
+            EXIT_OK: "ok",
+            EXIT_DRIFT: "drift",
+            EXIT_BUDGET: "over-budget",
+        }[self.exit_code]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "profile": self.profile_path,
+            "verdict": self.verdict,
+            "exit_code": self.exit_code,
+            "budget": self.budget,
+            "drift_tolerance": self.drift_tolerance,
+            "mean_abs_error": round(self.mean_abs_error, 6),
+            "worst": self.worst.to_dict(),
+            "error_table": [r.to_dict() for r in self.fresh_table],
+            "over_budget": [r.to_dict() for r in self.over_budget],
+            "drift": [d.describe() for d in self.drift],
+            "machine_warnings": list(self.machine_warnings),
+        }
+
+
+def build_report(
+    profile: CalibrationProfile,
+    profile_path: str,
+    fresh_table: Sequence[ErrorRow],
+    *,
+    budget: float = DEFAULT_ERROR_BUDGET,
+    drift_tolerance: float = DEFAULT_DRIFT_TOLERANCE,
+) -> ValidationReport:
+    return ValidationReport(
+        profile_path=profile_path,
+        fresh_table=tuple(fresh_table),
+        recorded_table=tuple(profile.error_table),
+        drift=tuple(
+            detect_drift(
+                profile.error_table, fresh_table, tolerance=drift_tolerance
+            )
+        ),
+        budget=budget,
+        drift_tolerance=drift_tolerance,
+        machine_warnings=tuple(profile.machine_mismatches()),
+    )
+
+
+def format_error_table(
+    rows: Sequence[ErrorRow], *, budget: Optional[float] = None
+) -> str:
+    """The Table 1 presentation: real vs predicted speed-up and §4 error."""
+    lines = [
+        f"{'workload':<12} {'cpus':>4} {'real':>8} {'predicted':>10} "
+        f"{'error':>9}"
+    ]
+    for r in rows:
+        flag = ""
+        if budget is not None and r.abs_error > budget:
+            flag = "  << over budget"
+        lines.append(
+            f"{r.workload:<12} {r.cpus:>4} {r.real_speedup:>8.3f} "
+            f"{r.predicted_speedup:>10.3f} {r.error:>+9.2%}{flag}"
+        )
+    lines.append(
+        f"mean |error| {mean_abs_error(rows):.2%}, "
+        f"worst {max(r.abs_error for r in rows):.2%}"
+    )
+    return "\n".join(lines)
+
+
+def format_validation(report: ValidationReport) -> str:
+    lines = [
+        f"profile: {report.profile_path}",
+        format_error_table(report.fresh_table, budget=report.budget),
+        f"error budget: {report.budget:.2%} per cell",
+    ]
+    if report.over_budget:
+        lines.append(
+            f"OVER BUDGET: {len(report.over_budget)} cell(s) exceed "
+            f"{report.budget:.2%}"
+        )
+    if report.drift:
+        lines.append(
+            f"DRIFT: fresh error table disagrees with the profile's "
+            f"recorded table in {len(report.drift)} cell(s):"
+        )
+        lines.extend(f"  {d.describe()}" for d in report.drift)
+    for warning in report.machine_warnings:
+        lines.append(f"note: fitted on a different host ({warning})")
+    lines.append(f"verdict: {report.verdict} (exit {report.exit_code})")
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""The calibration search space: named, bounded cost-model parameters.
+
+:class:`ParamSpace` is the fitter's view of
+:func:`repro.solaris.costs.tunable_params`: an ordered list of scalar
+knobs with bounds, convertible between the dict form the cost model
+consumes (:func:`repro.solaris.costs.apply_params`) and the plain vector
+form derivative-free optimisers walk.  All clipping happens here so the
+optimisers themselves stay unconstrained.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.errors import ConfigError
+from repro.solaris.costs import TunableParam, tunable_params
+
+__all__ = ["ParamSpace", "default_space"]
+
+
+@dataclass(frozen=True)
+class ParamSpace:
+    """An ordered, bounded set of tunable parameters.
+
+    The canonical order of ``params`` defines the vector layout; every
+    vector handed to or returned from the fitter has one component per
+    parameter, in this order.
+    """
+
+    params: Tuple[TunableParam, ...]
+
+    def __post_init__(self) -> None:
+        if not self.params:
+            raise ConfigError("parameter space is empty")
+        seen = set()
+        for p in self.params:
+            if p.name in seen:
+                raise ConfigError(f"duplicate parameter {p.name!r}")
+            seen.add(p.name)
+            if not p.lo < p.hi:
+                raise ConfigError(
+                    f"parameter {p.name!r} has an empty range [{p.lo}, {p.hi}]"
+                )
+            if not p.lo <= p.default <= p.hi:
+                raise ConfigError(
+                    f"parameter {p.name!r} default {p.default} outside "
+                    f"[{p.lo}, {p.hi}]"
+                )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def names(self) -> List[str]:
+        return [p.name for p in self.params]
+
+    def __len__(self) -> int:
+        return len(self.params)
+
+    def defaults(self) -> List[float]:
+        return [p.default for p in self.params]
+
+    def clip(self, vector: Sequence[float]) -> List[float]:
+        """Project a vector back into the box (NaN snaps to the default)."""
+        if len(vector) != len(self.params):
+            raise ConfigError(
+                f"vector of {len(vector)} values for a space of "
+                f"{len(self.params)} parameters"
+            )
+        out = []
+        for p, v in zip(self.params, vector):
+            if math.isnan(v):
+                v = p.default
+            out.append(min(p.hi, max(p.lo, float(v))))
+        return out
+
+    def to_dict(self, vector: Sequence[float]) -> Dict[str, float]:
+        """Vector → the named dict :func:`apply_params` consumes."""
+        return dict(zip(self.names, self.clip(vector)))
+
+    def to_vector(self, params: Mapping[str, float]) -> List[float]:
+        """Named dict → vector (missing names take their defaults)."""
+        unknown = set(params) - set(self.names)
+        if unknown:
+            raise ConfigError(
+                f"unknown parameter(s) {sorted(unknown)} for this space"
+            )
+        return self.clip(
+            [params.get(p.name, p.default) for p in self.params]
+        )
+
+    def steps(self, fraction: float = 0.1) -> List[float]:
+        """Initial coordinate-descent step per parameter: a fraction of
+        its range, but at least 1.0 for integral parameters (smaller
+        moves round away to nothing)."""
+        out = []
+        for p in self.params:
+            step = (p.hi - p.lo) * fraction
+            if p.integral:
+                step = max(1.0, step)
+            out.append(step)
+        return out
+
+    def subset(self, names: Sequence[str]) -> "ParamSpace":
+        """A space over only *names* (fixing everything else)."""
+        wanted = set(names)
+        unknown = wanted - set(self.names)
+        if unknown:
+            raise ConfigError(f"unknown parameter(s) {sorted(unknown)}")
+        return ParamSpace(tuple(p for p in self.params if p.name in wanted))
+
+
+def default_space() -> ParamSpace:
+    """The full cost-model space from :mod:`repro.solaris.costs`."""
+    return ParamSpace(tuple(tunable_params()))

@@ -30,7 +30,17 @@ on disk:
   batch job engine (worker pool + content-addressed result cache);
 * ``vppb serve`` — long-lived local prediction service over HTTP
   (trace uploads, prediction requests, ``/metrics``);
+* ``vppb calibrate -o profiles/default.json`` — fit the §3.2 cost
+  parameters to measured runs of the calibration suite and write the
+  profile artifact;
+* ``vppb validate --profile profiles/default.json`` — re-measure the
+  profile's own suite and gate on the §4 error budget (exit 0 ok,
+  1 drift, 2 over budget);
 * ``vppb workloads`` — list the bundled programs.
+
+The prediction commands (``predict``, ``report``, ``stats``, ``knee``,
+``visualize``, ``whatif``) all accept ``--profile PATH`` to run under a
+fitted cost model instead of the built-in defaults.
 """
 
 from __future__ import annotations
@@ -61,11 +71,17 @@ def _parse_cpus(text: str) -> List[int]:
 
 
 def _config_from(args: argparse.Namespace, cpus: int) -> SimConfig:
-    return SimConfig(
+    config = SimConfig(
         cpus=cpus,
         lwps=args.lwps,
         comm_delay_us=args.comm_delay,
     )
+    profile_path = getattr(args, "profile", None)
+    if profile_path:
+        from repro.calib import CalibrationProfile
+
+        config = CalibrationProfile.load(profile_path).apply(config)
+    return config
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,12 +100,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument(
         "--overhead", type=int, default=None, help="probe overhead per record (µs)"
     )
+    p_rec.add_argument(
+        "--seed", type=int, default=None,
+        help="pin the program's RNG streams so the recorded trace is "
+        "bit-reproducible (calibration inputs need this)",
+    )
 
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("log", help="log file from 'vppb record'")
     common.add_argument("--lwps", type=int, default=None, help="LWP pool size")
     common.add_argument(
         "--comm-delay", type=int, default=0, help="inter-CPU wake delay (µs)"
+    )
+    common.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="run under the fitted cost model from this calibration "
+        "profile (see 'vppb calibrate')",
     )
 
     p_pred = sub.add_parser("predict", parents=[common], help="predict speed-up")
@@ -271,6 +297,105 @@ def build_parser() -> argparse.ArgumentParser:
         help="omit the per-rule rationale lines from the text report",
     )
 
+    p_cal = sub.add_parser(
+        "calibrate",
+        help="fit the cost model to measured runs, write a profile",
+    )
+    p_cal.add_argument(
+        "-o", "--output", default="profiles/default.json", metavar="PATH",
+        help="where to write the profile (default: profiles/default.json)",
+    )
+    p_cal.add_argument(
+        "--workload", action="append", default=None, metavar="NAME[:THREADS[:SCALE]]",
+        help="add a workload to the suite (repeatable; default: the "
+        "stock synthetic+prodcons suite)",
+    )
+    p_cal.add_argument(
+        "--cpus", type=_parse_cpus, default=[2, 4, 8],
+        help="machine sizes to measure and fit against (default: 2,4,8)",
+    )
+    p_cal.add_argument(
+        "--seed", type=int, default=None,
+        help="program seed for the suite's measured runs",
+    )
+    p_cal.add_argument(
+        "--runs", type=int, default=5,
+        help="ground-truth runs per cell, median reported (default: 5)",
+    )
+    p_cal.add_argument(
+        "--max-evals", type=int, default=80,
+        help="objective evaluation budget for the fit (default: 80)",
+    )
+    p_cal.add_argument(
+        "--cv-folds", type=int, default=0, metavar="K",
+        help="k-fold cross-validation across workloads "
+        "(0 = leave-one-out, the default)",
+    )
+    p_cal.add_argument(
+        "--no-cv", action="store_true", help="skip cross-validation"
+    )
+    p_cal.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="fit on N worker processes (0 = in-process)",
+    )
+    p_cal.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory (default: $VPPB_CACHE_DIR or ~/.cache/vppb)",
+    )
+    p_cal.add_argument(
+        "--no-cache", action="store_true",
+        help="keep the result cache in memory only (no disk reads/writes)",
+    )
+    p_cal.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+
+    p_val = sub.add_parser(
+        "validate",
+        help="re-measure a profile's suite and gate on the error budget",
+    )
+    p_val.add_argument(
+        "--profile", required=True, metavar="PATH",
+        help="calibration profile to validate (from 'vppb calibrate')",
+    )
+    p_val.add_argument(
+        "--budget", type=float, default=None, metavar="FRAC",
+        help="per-cell |error| budget (default: 0.062, the paper's "
+        "worst Table 1 cell)",
+    )
+    p_val.add_argument(
+        "--drift-tolerance", type=float, default=None, metavar="FRAC",
+        help="allowed |fresh - recorded| error before a cell counts as drift",
+    )
+    p_val.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="report format (default: table)",
+    )
+    p_val.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="also write the JSON report here (the CI artifact)",
+    )
+    p_val.add_argument(
+        "--attribute", action="store_true",
+        help="break the worst cell's gap down by thread phase "
+        "(running/runnable/blocked/sleeping)",
+    )
+    p_val.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="validate on N worker processes (0 = in-process)",
+    )
+    p_val.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory (default: $VPPB_CACHE_DIR or ~/.cache/vppb)",
+    )
+    p_val.add_argument(
+        "--no-cache", action="store_true",
+        help="keep the result cache in memory only (no disk reads/writes)",
+    )
+    p_val.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+
     sub.add_parser("workloads", help="list bundled workloads")
     return parser
 
@@ -290,7 +415,7 @@ def _cmd_record(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return 2
-    program = workload.make_program(args.threads, args.scale)
+    program = workload.make_program(args.threads, args.scale, seed=args.seed)
     overhead = (
         DEFAULT_PROBE_OVERHEAD_US if args.overhead is None else args.overhead
     )
@@ -709,6 +834,193 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _calib_engine(args: argparse.Namespace):
+    """Engine for calibrate/validate honouring the cache/worker flags."""
+    from repro.jobs import JobEngine, ResultCache, default_cache_dir
+
+    cache_root = None
+    if not args.no_cache:
+        cache_root = args.cache_dir or default_cache_dir()
+    mode = "process" if args.workers and args.workers > 1 else "inline"
+    return JobEngine(
+        workers=args.workers if mode == "process" else None,
+        mode=mode,
+        cache=ResultCache(cache_root),
+    )
+
+
+def _calib_progress(args: argparse.Namespace):
+    if args.quiet:
+        return None
+    return lambda message: print(f"calib: {message}", file=sys.stderr)
+
+
+def _parse_workload_arg(text: str, args: argparse.Namespace):
+    """``NAME[:THREADS[:SCALE]]`` → WorkloadSpec with the shared flags."""
+    from repro.calib import WorkloadSpec
+    from repro.calib.measure import DEFAULT_SEED
+
+    name, _, rest = text.partition(":")
+    threads_s, _, scale_s = rest.partition(":")
+    try:
+        return WorkloadSpec(
+            name=name,
+            threads=int(threads_s) if threads_s else 4,
+            scale=float(scale_s) if scale_s else 1.0,
+            seed=args.seed if args.seed is not None else DEFAULT_SEED,
+            cpus=tuple(args.cpus),
+            runs=args.runs,
+        )
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad workload spec {text!r}: {exc}")
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    """Exit status: 0 — profile written; 2 — the suite cannot be
+    measured or the fit failed."""
+    from dataclasses import replace as dc_replace
+
+    from repro.calib import calibrate, default_suite, format_error_table
+    from repro.core.errors import CalibrationError
+
+    try:
+        if args.workload:
+            specs = [_parse_workload_arg(w, args) for w in args.workload]
+        else:
+            specs = default_suite()
+            specs = [
+                dc_replace(
+                    s,
+                    cpus=tuple(args.cpus),
+                    runs=args.runs,
+                    **({"seed": args.seed} if args.seed is not None else {}),
+                )
+                for s in specs
+            ]
+    except (argparse.ArgumentTypeError, CalibrationError) as exc:
+        print(f"calibrate: {exc}", file=sys.stderr)
+        return 2
+
+    engine = _calib_engine(args)
+    try:
+        profile = calibrate(
+            specs,
+            engine=engine,
+            max_evals=args.max_evals,
+            cv_folds=None if args.no_cv else args.cv_folds,
+            progress=_calib_progress(args),
+        )
+    except CalibrationError as exc:
+        print(f"calibrate: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        engine.close()
+
+    path = profile.save(args.output)
+    print(format_error_table(profile.error_table))
+    print(
+        f"mean |error| {profile.baseline_objective:.2%} (defaults) -> "
+        f"{profile.objective:.2%} (fitted) in {profile.evaluations} "
+        f"evaluations"
+    )
+    if profile.cv:
+        print(
+            f"cross-validation: mean holdout {profile.cv['mean_holdout']:.2%}, "
+            f"worst {profile.cv['worst_holdout']:.2%}"
+        )
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """Exit status: 0 — within budget, no drift; 1 — drift (the fresh
+    error table left the profile's recorded one); 2 — over the error
+    budget, or the profile/suite is unusable."""
+    import json as json_mod
+
+    from repro.calib import (
+        DEFAULT_DRIFT_TOLERANCE,
+        DEFAULT_ERROR_BUDGET,
+        CalibrationProfile,
+        format_validation,
+        validate,
+    )
+    from repro.core.errors import CalibrationError
+
+    try:
+        profile = CalibrationProfile.load(args.profile)
+    except CalibrationError as exc:
+        print(f"validate: {exc}", file=sys.stderr)
+        return 2
+
+    engine = _calib_engine(args)
+    try:
+        report = validate(
+            profile,
+            profile_path=str(args.profile),
+            engine=engine,
+            budget=(
+                args.budget if args.budget is not None else DEFAULT_ERROR_BUDGET
+            ),
+            drift_tolerance=(
+                args.drift_tolerance
+                if args.drift_tolerance is not None
+                else DEFAULT_DRIFT_TOLERANCE
+            ),
+            progress=_calib_progress(args),
+        )
+    except CalibrationError as exc:
+        print(f"validate: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        engine.close()
+
+    if args.format == "json":
+        print(json_mod.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_validation(report))
+
+    if args.attribute:
+        _print_attribution(profile, report)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json_mod.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    return report.exit_code
+
+
+def _print_attribution(profile, report) -> int:
+    """Phase breakdown of the worst cell's real-vs-predicted gap."""
+    from repro.analysis.compare import attribute_error, format_attribution
+    from repro.program.mpexec import run_multiprocessor
+    from repro.workloads import get_workload
+
+    worst = report.worst
+    spec = next(s for s in profile.suite if s.name == worst.workload)
+    workload = get_workload(spec.name)
+    config = profile.apply(SimConfig()).with_cpus(worst.cpus)
+    # noise-free ground-truth run vs the profile-configured replay
+    real = run_multiprocessor(
+        workload.make_program(spec.threads, spec.scale, seed=spec.seed),
+        config,
+    )
+    from repro.program.uniexec import record_program
+
+    recording = record_program(
+        workload.make_program(spec.threads, spec.scale, seed=spec.seed),
+        overhead_us=spec.probe_overhead_us,
+    )
+    predicted = predict(recording.trace, config)
+    print(
+        f"attribution for worst cell ({worst.workload}@{worst.cpus}cpu, "
+        f"error {worst.error:+.2%}):"
+    )
+    print(format_attribution(attribute_error(real, predicted)))
+    return 0
+
+
 def _cmd_workloads(_args: argparse.Namespace) -> int:
     from repro.workloads import all_workloads
 
@@ -730,14 +1042,23 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "doctor": _cmd_doctor,
     "lint": _cmd_lint,
+    "calibrate": _cmd_calibrate,
+    "validate": _cmd_validate,
     "workloads": _cmd_workloads,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.core.errors import VppbError
+
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except VppbError as exc:
+        # a command let a library error escape (bad profile on --profile,
+        # unmonitorable workload, ...): report it, don't traceback
+        print(f"vppb {args.command}: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # output piped into a pager/head that closed early — not an error
         try:

@@ -124,6 +124,15 @@ class SimConfig:
         policies[tid] = policy
         return replace(self, thread_policies=policies)
 
+    def with_costs(self, costs: CostModel) -> "SimConfig":
+        """Copy with a different cost model.
+
+        This is how a fitted :class:`~repro.calib.profile.CalibrationProfile`
+        enters a simulation: predictions then run under the profile's
+        measured parameters instead of the baked-in §3.2 constants.
+        """
+        return replace(self, costs=costs)
+
     def describe(self) -> str:
         """One-line human summary for reports."""
         lwps = "on-demand" if self.lwps is None else str(self.lwps)

@@ -20,6 +20,7 @@ __all__ = [
     "ReplayDivergenceError",
     "ConfigError",
     "AnalysisError",
+    "CalibrationError",
     "VisualizationError",
     "ProgramError",
 ]
@@ -143,6 +144,16 @@ class AnalysisError(VppbError):
     Raised for degenerate metric inputs (a zero real speed-up has no
     defined prediction error) and for bad lint requests (unknown rule
     ids, malformed severity thresholds).
+    """
+
+
+class CalibrationError(VppbError):
+    """Calibration could not fit or validate the cost model.
+
+    Raised when the measurement suite cannot be built (unknown workload,
+    unmonitorable program), when an objective evaluation loses a
+    simulation job, or when a profile fails structural checks (wrong
+    version, parameters outside the tunable space).
     """
 
 

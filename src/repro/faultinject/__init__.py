@@ -25,7 +25,12 @@ from repro.faultinject.corrupt import (
     corruption_corpus,
     truncate_at,
 )
-from repro.faultinject.perturb import drop_wakeups, skew_clock, stall_threads
+from repro.faultinject.perturb import (
+    drop_wakeups,
+    perturb_profile,
+    skew_clock,
+    stall_threads,
+)
 from repro.faultinject.chaos import ChaosOutcome, chaos_summary, run_chaos
 
 __all__ = [
@@ -34,6 +39,7 @@ __all__ = [
     "corruption_corpus",
     "truncate_at",
     "drop_wakeups",
+    "perturb_profile",
     "skew_clock",
     "stall_threads",
     "ChaosOutcome",

@@ -31,7 +31,13 @@ from repro.core.trace import Trace
 from repro.program import ops as op_mod
 from repro.program.behavior import Step
 
-__all__ = ["DroppedWakeups", "drop_wakeups", "skew_clock", "stall_threads"]
+__all__ = [
+    "DroppedWakeups",
+    "drop_wakeups",
+    "skew_clock",
+    "stall_threads",
+    "perturb_profile",
+]
 
 _WAKEUP_PRIMITIVES = (
     Primitive.SEMA_POST,
@@ -162,3 +168,41 @@ def stall_threads(
             steps.insert(at, Step(0, op_mod.Delay(stall_us)))
         out[tid] = steps
     return _copy_plan(plan, out)
+
+
+def perturb_profile(
+    profile_text: str,
+    *,
+    seed: int = 0,
+    factor_range: Tuple[float, float] = (1.5, 3.0),
+) -> str:
+    """Silently corrupt a calibration profile's fitted parameters.
+
+    Scales a seeded subset (at least one) of the profile's ``params`` by
+    factors drawn from *factor_range*, leaving the recorded error table
+    untouched — the exact failure mode drift detection exists for: a
+    profile whose parameters no longer produce the accuracy it claims.
+    ``vppb validate`` against the perturbed profile must flag the
+    mismatch (exit 1 or 2), never pass it.
+
+    Operates on the JSON text so it composes with the corruptor
+    pipeline; raises ``ValueError`` for input that is not a profile.
+    """
+    import json
+
+    lo, hi = factor_range
+    if not 0 < lo <= hi:
+        raise ValueError(f"bad factor range {factor_range!r}")
+    try:
+        document = json.loads(profile_text)
+    except ValueError as exc:
+        raise ValueError(f"not a calibration profile: {exc}") from exc
+    params = document.get("params")
+    if not isinstance(params, dict) or not params:
+        raise ValueError("not a calibration profile: no 'params' object")
+    rng = random.Random(f"vppb-profile-perturb-{seed}")
+    names = sorted(params)
+    count = rng.randint(1, len(names))
+    for name in rng.sample(names, count):
+        params[name] = round(float(params[name]) * rng.uniform(lo, hi), 6)
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -32,7 +32,7 @@ from __future__ import annotations
 import threading
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import SimConfig
 from repro.core.errors import SimulationError
@@ -254,6 +254,26 @@ class JobEngine:
         jobs = [
             SimJob(trace=trace_ref, config=cfg, label=lbl)
             for cfg, lbl in zip(configs, labels)
+        ]
+        return self.run(jobs, use_cache=use_cache)
+
+    def makespan_matrix(
+        self,
+        cells: Sequence[Tuple[TraceRef, SimConfig, str]],
+        *,
+        use_cache: bool = True,
+    ) -> List[JobOutcome]:
+        """One job per *(trace, config, label)* cell, in cell order.
+
+        The multi-trace counterpart of :meth:`makespans`: a calibration
+        objective evaluates one parameter vector against *every*
+        workload's trace at once, so the whole matrix is submitted as a
+        single batch — cross-workload cells run concurrently on the
+        pool, and content addressing makes a refit over previously
+        visited parameter vectors a pure cache read.
+        """
+        jobs = [
+            SimJob(trace=ref, config=cfg, label=lbl) for ref, cfg, lbl in cells
         ]
         return self.run(jobs, use_cache=use_cache)
 

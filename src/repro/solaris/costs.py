@@ -18,14 +18,19 @@ paper constants.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Mapping, Optional, Tuple
 
+from repro.core.errors import ConfigError
 from repro.core.events import Primitive
 
 __all__ = [
     "BOUND_CREATE_FACTOR",
     "BOUND_SYNC_FACTOR",
     "CostModel",
+    "TunableParam",
+    "tunable_params",
+    "default_params",
+    "apply_params",
 ]
 
 #: Creating a bound thread is 6.7x the cost of an unbound one (§3.2, [17]).
@@ -67,6 +72,11 @@ _SYNC_PRIMITIVES = frozenset(
     if p.value.split("_")[0] in ("mutex", "sema", "cond", "rw")
 )
 
+#: Thread-management primitives (the complement of the sync group).
+_THREAD_PRIMITIVES = frozenset(
+    p for p in _DEFAULT_BASE_COSTS if p not in _SYNC_PRIMITIVES
+)
+
 
 @dataclass(frozen=True)
 class CostModel:
@@ -100,6 +110,30 @@ class CostModel:
     bound_sync_factor: float = BOUND_SYNC_FACTOR
     thread_switch_us: int = 10
     lwp_switch_us: int = 0
+
+    def __post_init__(self) -> None:
+        # A zero or negative multiplier silently inverts the paper's
+        # bound-thread cost relation and produces absurd predictions;
+        # reject it at construction, naming the field.
+        for name in ("bound_create_factor", "bound_sync_factor"):
+            value = getattr(self, name)
+            if not value > 0:
+                raise ConfigError(
+                    f"CostModel.{name} must be > 0, got {value!r} "
+                    "(a bound-thread operation cannot be free or negative)"
+                )
+        for name in ("thread_switch_us", "lwp_switch_us"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigError(
+                    f"CostModel.{name} must be >= 0, got {value!r}"
+                )
+        for prim, cost in self.base_costs.items():
+            if cost < 0:
+                raise ConfigError(
+                    f"CostModel.base_costs[{prim.value}] must be >= 0, "
+                    f"got {cost!r}"
+                )
 
     def op_cost(self, primitive: Primitive, *, bound: bool = False) -> int:
         """Cost in µs of one call to *primitive* by a (un)bound thread."""
@@ -135,4 +169,102 @@ def free() -> CostModel:
         base_costs={p: 0 for p in _DEFAULT_BASE_COSTS},
         thread_switch_us=0,
         lwp_switch_us=0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# parameter-space introspection (the calibration subsystem fits over this)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TunableParam:
+    """One scalar knob of the cost model, with its fitting range.
+
+    ``integral`` marks parameters that land in integer-µs fields; the
+    calibrator may still move them continuously — :func:`apply_params`
+    rounds at application time.
+    """
+
+    name: str
+    default: float
+    lo: float
+    hi: float
+    doc: str
+    integral: bool = False
+
+
+#: The calibratable surface of :class:`CostModel`.  The two published
+#: multipliers are included — the paper measured them on one machine, a
+#: different machine is allowed to disagree — plus the absolute cost
+#: level of each primitive group and the user-level switch cost.  Ranges
+#: are wide enough to cover any plausible mid-90s-to-now machine while
+#: keeping the optimiser out of degenerate corners.
+_TUNABLE_PARAMS: Tuple[TunableParam, ...] = (
+    TunableParam(
+        "bound_create_factor", BOUND_CREATE_FACTOR, 1.0, 20.0,
+        "bound over unbound thread-creation cost ratio (paper: 6.7)",
+    ),
+    TunableParam(
+        "bound_sync_factor", BOUND_SYNC_FACTOR, 1.0, 20.0,
+        "bound over unbound synchronisation cost ratio (paper: 5.9)",
+    ),
+    TunableParam(
+        "sync_cost_scale", 1.0, 0.1, 10.0,
+        "multiplier on every sync-primitive base cost (mutex/sema/cond/rw)",
+    ),
+    TunableParam(
+        "thread_cost_scale", 1.0, 0.1, 10.0,
+        "multiplier on every thread-management base cost (create/join/...)",
+    ),
+    TunableParam(
+        "thread_switch_us", 10.0, 0.0, 200.0,
+        "user-level context switch cost in µs", integral=True,
+    ),
+)
+
+
+def tunable_params() -> Tuple[TunableParam, ...]:
+    """The cost model's calibratable parameters, in canonical order."""
+    return _TUNABLE_PARAMS
+
+
+def default_params() -> Dict[str, float]:
+    """Name → default value for every tunable parameter."""
+    return {p.name: p.default for p in _TUNABLE_PARAMS}
+
+
+def apply_params(
+    params: Mapping[str, float], *, base: Optional[CostModel] = None
+) -> CostModel:
+    """Build a :class:`CostModel` from a (possibly partial) parameter dict.
+
+    Unknown names raise :class:`~repro.core.errors.ConfigError` — a
+    profile fitted against a different parameter space must fail loudly,
+    not silently ignore half its parameters.  Scales are applied to
+    *base* (default: the stock model), so a profile composes with e.g. an
+    ablation-scaled base model.
+    """
+    known = {p.name for p in _TUNABLE_PARAMS}
+    unknown = set(params) - known
+    if unknown:
+        raise ConfigError(
+            f"unknown cost parameter(s) {sorted(unknown)}; "
+            f"expected a subset of {sorted(known)}"
+        )
+    base = base or CostModel()
+    values = default_params()
+    values.update({k: float(v) for k, v in params.items()})
+    sync_scale = values["sync_cost_scale"]
+    thread_scale = values["thread_cost_scale"]
+    base_costs = {
+        p: round(c * (sync_scale if p in _SYNC_PRIMITIVES else thread_scale))
+        for p, c in base.base_costs.items()
+    }
+    return CostModel(
+        base_costs=base_costs,
+        bound_create_factor=values["bound_create_factor"],
+        bound_sync_factor=values["bound_sync_factor"],
+        thread_switch_us=round(values["thread_switch_us"]),
+        lwp_switch_us=base.lwp_switch_us,
     )

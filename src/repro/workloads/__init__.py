@@ -1,6 +1,15 @@
 """Validation workloads: SPLASH-2 kernel models and the §5 case study."""
 
-from repro.workloads import excluded, fft, lu, ocean, prodcons, radix, water  # noqa: F401
+from repro.workloads import (  # noqa: F401
+    excluded,
+    fft,
+    lu,
+    ocean,
+    prodcons,
+    radix,
+    synthetic,
+    water,
+)
 from repro.workloads.base import (
     PAPER_TABLE1,
     PaperSpeedups,
@@ -21,5 +30,6 @@ __all__ = [
     "ocean",
     "prodcons",
     "radix",
+    "synthetic",
     "water",
 ]

@@ -18,7 +18,7 @@ recorded per processor setup.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.program import ops as op
 from repro.program.program import Program, ThreadCtx, ThreadGen, barrier
@@ -89,12 +89,25 @@ class Workload:
     factory: Callable[[int, float], Program]
     default_threads: int = 8
 
-    def make_program(self, nthreads: int, scale: float = 1.0) -> Program:
+    def make_program(
+        self, nthreads: int, scale: float = 1.0, *, seed: Optional[int] = None
+    ) -> Program:
+        """Build the program; ``seed`` pins its per-thread RNG streams.
+
+        Every program built with the same *(nthreads, scale, seed)*
+        triple records an identical trace and measures identically under
+        the same perturbation seeds — the reproducibility contract the
+        calibration suite fits against.  ``seed=None`` keeps the
+        factory's own default.
+        """
         if nthreads < 1:
             raise ValueError(f"nthreads must be >= 1, got {nthreads}")
         if scale <= 0:
             raise ValueError(f"scale must be > 0, got {scale}")
-        return self.factory(nthreads, scale)
+        program = self.factory(nthreads, scale)
+        if seed is not None:
+            program.seed = int(seed)
+        return program
 
 
 _REGISTRY: Dict[str, Workload] = {}
@@ -135,6 +148,7 @@ def _ensure_loaded() -> None:
         ocean,
         prodcons,
         radix,
+        synthetic,
         water,
     )
 

@@ -18,9 +18,9 @@ import random
 
 from repro.program import ops as op
 from repro.program.program import Program, ThreadCtx, ThreadGen, barrier
-from repro.workloads.base import spawn_and_join
+from repro.workloads.base import Workload, register, spawn_and_join
 
-__all__ = ["random_program", "event_rate_program"]
+__all__ = ["random_program", "event_rate_program", "make_program", "WORKLOAD"]
 
 
 def random_program(
@@ -107,3 +107,31 @@ def event_rate_program(
         main=spawn_and_join(nthreads, worker, set_concurrency=False),
         seed=seed,
     )
+
+
+def make_program(nthreads: int = 4, scale: float = 1.0) -> Program:
+    """Registry entry point: a fixed-structure random program.
+
+    The *structure* seed is pinned (the same mix of mutex/semaphore/
+    barrier steps every time) so the workload is a stable calibration
+    target; the per-thread compute durations still follow the program
+    seed, which :meth:`~repro.workloads.base.Workload.make_program`'s
+    ``seed=`` can override.  ``scale`` stretches the step count.
+    """
+    return random_program(
+        7,
+        nthreads=nthreads,
+        steps=max(4, round(24 * scale)),
+        max_compute_us=5_000,
+    )
+
+
+WORKLOAD = register(
+    Workload(
+        name="synthetic",
+        description="seeded random mutex/semaphore/barrier mix "
+        "(calibration + property-test workload)",
+        factory=make_program,
+        default_threads=4,
+    )
+)
