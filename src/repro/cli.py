@@ -46,6 +46,7 @@ fitted cost model instead of the built-in defaults.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -199,6 +200,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_srv.add_argument(
         "--quiet", action="store_true", help="suppress per-request log lines"
+    )
+    p_srv.add_argument(
+        "--max-inflight", type=int, default=8, metavar="N",
+        help="admission watermark: concurrent /predict requests before "
+        "shedding 429s (default: 8)",
+    )
+    p_srv.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="default per-request deadline; expiry returns 504 with any "
+        "partial result (default: none)",
+    )
+    p_srv.add_argument(
+        "--max-body-mb", type=float, default=None, metavar="MB",
+        help="request-body cap in MiB; larger uploads get 413 "
+        "(default: $VPPB_MAX_BODY_BYTES or 64 MiB)",
+    )
+    p_srv.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="graceful-shutdown budget for in-flight requests (default: 10)",
+    )
+    p_srv.add_argument(
+        "--legacy", action="store_true",
+        help="serve with the threaded http.server front end instead of "
+        "the asyncio one (no admission control or deadlines)",
+    )
+
+    p_client = sub.add_parser(
+        "client", help="call a running vppb serve instance (with retries)"
+    )
+    p_client.add_argument(
+        "action", choices=("predict", "upload", "metrics", "ready"),
+        help="predict: upload a log and predict speed-ups; upload: spool a "
+        "log; metrics: dump /metrics; ready: readiness probe",
+    )
+    p_client.add_argument(
+        "log", nargs="?", default=None,
+        help="trace log file (predict/upload)",
+    )
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, default=8123)
+    p_client.add_argument(
+        "--cpus", default="2,4,8", metavar="N,N,...",
+        help="CPU counts to predict (default: 2,4,8)",
+    )
+    p_client.add_argument(
+        "--binding", choices=("unbound", "bound"), default="unbound"
+    )
+    p_client.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline; a 504 still prints any partial result",
+    )
+    p_client.add_argument(
+        "--stream", action="store_true",
+        help="upload with chunked transfer encoding (streaming salvage)",
+    )
+    p_client.add_argument(
+        "--attempts", type=int, default=4,
+        help="max tries per request incl. backoff retries (default: 4)",
+    )
+    p_client.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="per-attempt socket timeout (default: 60)",
     )
 
     p_stats = sub.add_parser(
@@ -577,19 +640,86 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.jobs import JobEngine, ResultCache, default_cache_dir
     from repro.jobs.service import serve
+    from repro.jobs.service_async import serve_async
 
     engine = JobEngine(
         workers=args.workers,
         cache=ResultCache(args.cache_dir or default_cache_dir()),
     )
-    serve(
+    spool_dir = Path(args.spool_dir) if args.spool_dir else None
+    if args.legacy:
+        serve(
+            host=args.host,
+            port=args.port,
+            engine=engine,
+            spool_dir=spool_dir,
+            verbose=not args.quiet,
+        )
+        return 0
+    max_body_bytes = (
+        int(args.max_body_mb * 1024 * 1024) if args.max_body_mb else None
+    )
+    serve_async(
         host=args.host,
         port=args.port,
         engine=engine,
-        spool_dir=Path(args.spool_dir) if args.spool_dir else None,
+        spool_dir=spool_dir,
+        max_inflight=args.max_inflight,
+        default_deadline_s=args.deadline,
+        max_body_bytes=max_body_bytes,
+        drain_timeout_s=args.drain_timeout,
         verbose=not args.quiet,
     )
     return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.jobs.client import ClientError, ServiceClient
+
+    client = ServiceClient(
+        args.host,
+        args.port,
+        timeout_s=args.timeout,
+        attempts=args.attempts,
+    )
+    try:
+        if args.action == "ready":
+            payload = client.ready()
+            print(json.dumps(payload, indent=2))
+            return 0 if payload.get("status") == "ready" else 1
+        if args.action == "metrics":
+            print(json.dumps(client.metrics(), indent=2))
+            return 0
+        if args.log is None:
+            print(f"client {args.action}: needs a log file", file=sys.stderr)
+            return 2
+        upload = client.upload_trace(args.log, stream=args.stream)
+        if args.action == "upload":
+            print(json.dumps(upload, indent=2))
+            return 0
+        cpus = [int(n) for n in str(args.cpus).split(",") if n]
+        payload = client.predict(
+            trace=upload["trace"],
+            cpus=cpus,
+            binding=args.binding,
+            deadline_s=args.deadline,
+        )
+        print(json.dumps(payload, indent=2))
+        return 0
+    except ClientError as exc:
+        if exc.status == 504 and exc.partial is not None:
+            print(json.dumps(exc.body, indent=2))
+            print(
+                f"client: deadline exceeded after {exc.attempts} attempt(s); "
+                "partial result above",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"client: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"client: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -1036,6 +1166,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "batch": _cmd_batch,
     "serve": _cmd_serve,
+    "client": _cmd_client,
     "stats": _cmd_stats,
     "knee": _cmd_knee,
     "whatif": _cmd_whatif,

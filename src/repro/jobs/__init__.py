@@ -12,9 +12,12 @@ layers that exploit that:
   :class:`JobEngine`: a process pool with backpressure, per-job
   watchdog budgets, crash retry, and a disk-backed LRU
   :class:`ResultCache` in front;
-* :mod:`repro.jobs.manifest` / :mod:`repro.jobs.service` — the user
-  surfaces: ``vppb batch`` sweep manifests and the ``vppb serve`` HTTP
-  service.
+* :mod:`repro.jobs.manifest` / :mod:`repro.jobs.service` /
+  :mod:`repro.jobs.service_async` / :mod:`repro.jobs.client` — the user
+  surfaces: ``vppb batch`` sweep manifests, the ``vppb serve`` HTTP
+  service (asyncio front end with admission control, deadlines and a
+  circuit breaker — primitives in :mod:`repro.jobs.resilience`), and
+  the retrying ``vppb client``.
 
 The analysis sweeps (:func:`repro.analysis.whatif.speedup_curve` and
 friends) route through :func:`default_engine`, so library callers share
@@ -22,6 +25,7 @@ one cache — and one pool, when ``VPPB_WORKERS`` asks for it.
 """
 
 from repro.jobs.cache import CACHE_FORMAT_VERSION, ResultCache, default_cache_dir
+from repro.jobs.client import ClientError, ServiceClient
 from repro.jobs.engine import JobEngine, default_engine
 from repro.jobs.fingerprint import (
     ENGINE_VERSION,
@@ -33,28 +37,47 @@ from repro.jobs.fingerprint import (
 from repro.jobs.manifest import BatchReport, ScenarioResult, SweepManifest, run_manifest
 from repro.jobs.metrics import EngineMetrics
 from repro.jobs.model import JobOutcome, SimJob, TraceRef
+from repro.jobs.resilience import (
+    AdmissionGate,
+    BreakerOpenError,
+    CircuitBreaker,
+    Deadline,
+    backoff_delays,
+    retry_call,
+)
 from repro.jobs.service import PredictionService, make_server, serve
+from repro.jobs.service_async import AsyncPredictionServer, serve_async
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
     "ENGINE_VERSION",
+    "AdmissionGate",
+    "AsyncPredictionServer",
     "BatchReport",
+    "BreakerOpenError",
+    "CircuitBreaker",
+    "ClientError",
+    "Deadline",
     "EngineMetrics",
     "JobEngine",
     "JobOutcome",
     "PredictionService",
     "ResultCache",
+    "ServiceClient",
     "ScenarioResult",
     "SimJob",
     "SweepManifest",
     "TraceRef",
+    "backoff_delays",
     "canonical_config",
     "config_fingerprint",
     "default_cache_dir",
     "default_engine",
     "job_fingerprint",
     "make_server",
+    "retry_call",
     "run_manifest",
     "serve",
+    "serve_async",
     "trace_fingerprint",
 ]

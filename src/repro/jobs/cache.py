@@ -13,6 +13,12 @@ disk read on the next hit.  Writes go through a same-directory temp
 file + ``os.replace`` so a crashed writer can never leave a torn entry
 for a concurrent reader.
 
+A disk entry that exists but cannot be decoded (truncated JSON, a
+mismatched fingerprint, a torn write from a foreign tool) is
+*quarantined*: moved to ``<root>/corrupt/`` so it never poisons another
+read, counted in :meth:`ResultCache.stats`, and treated as a miss — the
+job simply re-runs.
+
 Only *successful* outcomes (complete or partial simulations) are
 cached; a failed job (``error`` set) is always retried next time.
 """
@@ -72,6 +78,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt_quarantined = 0
 
     # ------------------------------------------------------------------
 
@@ -129,17 +136,56 @@ class ResultCache:
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 document = json.load(fh)
-        except (OSError, ValueError):
+        except OSError:
+            return None  # plain miss: no entry
+        except ValueError:
+            self._quarantine(path, "undecodable JSON")
+            return None
+        if not isinstance(document, dict):
+            self._quarantine(path, "entry is not a JSON object")
             return None
         if document.get("format_version") != CACHE_FORMAT_VERSION:
-            return None
+            return None  # old format: ignorable, not damage
         try:
             outcome = JobOutcome.from_dict(document["outcome"], from_cache=True)
         except (KeyError, TypeError, ValueError):
+            self._quarantine(path, "entry does not decode to a JobOutcome")
             return None
         if outcome.fingerprint != fingerprint:
-            return None  # corrupt or misplaced entry
+            self._quarantine(path, "fingerprint mismatch (misplaced entry)")
+            return None
         return outcome
+
+    def _quarantine(self, path: Path, why: str) -> None:
+        """Move a damaged entry aside so it is diagnosed once, not re-read."""
+        dest_dir = self.root / "corrupt"
+        try:
+            dest_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest_dir / path.name)
+        except OSError:
+            # a concurrent reader may have quarantined it first; losing
+            # the race (or an unwritable cache) must still read as a miss
+            pass
+        self.corrupt_quarantined += 1
+
+    def flush(self) -> int:
+        """Persist every in-memory entry missing from disk; return count.
+
+        Normal ``put`` writes through immediately, so this only writes
+        entries the disk lost underneath us (a cleaned cache directory,
+        a quarantined entry whose job later succeeded elsewhere).  The
+        graceful-shutdown path calls it so a drained service leaves a
+        complete cache behind.  Memory-only caches flush nothing.
+        """
+        if self.root is None:
+            return 0
+        written = 0
+        for fingerprint, outcome in list(self._lru.items()):
+            if self._path_for(fingerprint).exists():
+                continue
+            self.put(outcome)
+            written += 1
+        return written
 
     def _remember(self, fingerprint: str, outcome: JobOutcome) -> None:
         # cached reads must report from_cache=True even when the entry
@@ -168,4 +214,5 @@ class ResultCache:
             "hit_rate": round(self.hit_rate, 4),
             "memory_entries": len(self._lru),
             "persistent": self.root is not None,
+            "corrupt_quarantined": self.corrupt_quarantined,
         }

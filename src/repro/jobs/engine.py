@@ -18,9 +18,15 @@ into :class:`~repro.jobs.model.JobOutcome`, in order, with:
   back as a *partial* outcome (``status="budget-exhausted"``), not an
   error;
 * **crash containment** — a job that kills its worker process breaks
-  the pool; the engine rebuilds the pool, retries the job once, and
-  degrades it to a failed outcome if it crashes again.  A poisoned job
-  therefore never takes the rest of the sweep down with it.
+  the pool; the engine rebuilds the pool (with exponential-backoff +
+  jitter between rebuild attempts), retries the job once, and degrades
+  it to a ``worker-crashed`` outcome if it crashes again.  A poisoned
+  job therefore never takes the rest of the sweep down with it;
+* **circuit breaking** — consecutive worker crashes trip a
+  :class:`~repro.jobs.resilience.CircuitBreaker` around the pool; while
+  it is open, jobs come back immediately as ``breaker-open`` outcomes
+  instead of being fed to a dying pool, and after a cooldown one job is
+  admitted as a probe (success closes the breaker again).
 
 ``mode="inline"`` runs the identical worker code path in-process — the
 degenerate pool used for tiny traces, tests, and determinism checks
@@ -29,10 +35,12 @@ degenerate pool used for tiny traces, tests, and determinism checks
 
 from __future__ import annotations
 
+import random
 import threading
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import SimConfig
 from repro.core.errors import SimulationError
@@ -41,9 +49,13 @@ from repro.core.trace import Trace
 from repro.jobs.cache import ResultCache
 from repro.jobs.metrics import EngineMetrics
 from repro.jobs.model import JobOutcome, SimJob, TraceRef
+from repro.jobs.resilience import CircuitBreaker, backoff_delays
 from repro.jobs.worker import run_payload
 
 __all__ = ["JobEngine", "default_engine"]
+
+#: A per-call watchdog budget: (max_events, max_wall_s).
+Budget = Tuple[Optional[int], Optional[float]]
 
 
 class JobEngine:
@@ -63,6 +75,11 @@ class JobEngine:
         Backpressure bound on jobs submitted but not yet finished.
     job_max_events / job_max_wall_s:
         Per-job watchdog budgets (``None`` disables that budget).
+    breaker:
+        The :class:`CircuitBreaker` guarding the pool.  ``None`` (the
+        default) builds one that trips after 4 consecutive worker
+        crashes and half-opens after 10 s; pass ``breaker=False`` to
+        disable circuit breaking entirely.
     """
 
     def __init__(
@@ -74,6 +91,8 @@ class JobEngine:
         max_pending: int = 64,
         job_max_events: Optional[int] = 50_000_000,
         job_max_wall_s: Optional[float] = None,
+        breaker=None,
+        retry_sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if mode not in ("process", "inline"):
             raise ValueError(f"mode must be 'process' or 'inline', got {mode!r}")
@@ -87,11 +106,23 @@ class JobEngine:
         self.workers = workers or min(8, os.cpu_count() or 1)
         self.cache = cache if cache is not None else ResultCache(None)
         self.metrics = EngineMetrics()
+        if breaker is None:
+            breaker = CircuitBreaker(failure_threshold=4, cooldown_s=10.0)
+        self.breaker: Optional[CircuitBreaker] = breaker or None
         self._budget = (job_max_events, job_max_wall_s)
         self._slots = threading.BoundedSemaphore(max_pending)
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_lock = threading.Lock()
         self._closed = False
+        self._retry_sleep = retry_sleep
+        # deterministic jitter: every engine replays the same backoff
+        # schedule, so crash-retry tests are reproducible
+        self._retry_rng = random.Random(0x5EED)
+
+    @property
+    def job_budget(self) -> Budget:
+        """The engine-level per-job watchdog budget."""
+        return self._budget
 
     # ------------------------------------------------------------------
     # pool lifecycle
@@ -129,39 +160,64 @@ class JobEngine:
     # execution
     # ------------------------------------------------------------------
 
-    def _payload(self, job: SimJob) -> Dict:
+    def _payload(self, job: SimJob, budget: Optional[Budget] = None) -> Dict:
         return {
             "fingerprint": job.fingerprint,
             "trace_fp": job.trace.fingerprint,
             "trace_path": job.trace.path,
             "trace_text": job.trace.text if job.trace.path is None else None,
             "config": job.config,
-            "budget": self._budget,
+            "budget": budget if budget is not None else self._budget,
             "label": job.label,
         }
 
-    def _run_inline(self, job: SimJob) -> JobOutcome:
-        return JobOutcome.from_dict(run_payload(self._payload(job)))
+    def _run_inline(self, job: SimJob, budget: Optional[Budget]) -> JobOutcome:
+        return JobOutcome.from_dict(run_payload(self._payload(job, budget)))
 
-    def _submit(self, job: SimJob) -> Future:
+    def _breaker_open_outcome(self, job: SimJob) -> JobOutcome:
+        self.metrics.breaker_rejected()
+        retry_after = self.breaker.reject_for() if self.breaker else None
+        hint = (
+            f"; retry in {retry_after:.1f}s" if retry_after else ""
+        )
+        return JobOutcome(
+            fingerprint=job.fingerprint,
+            status=JobOutcome.BREAKER_OPEN,
+            error=f"circuit breaker open after repeated worker crashes{hint}",
+            attempts=0,
+            label=job.label,
+        )
+
+    def _submit(self, job: SimJob, budget: Optional[Budget]) -> Future:
         """Submit under backpressure; the slot frees when the job ends."""
         self._slots.acquire()
         self.metrics.submitted()
         try:
-            future = self._get_pool().submit(run_payload, self._payload(job))
+            future = self._get_pool().submit(run_payload, self._payload(job, budget))
         except BaseException:
             self._slots.release()
             raise
         future.add_done_callback(lambda _f: self._slots.release())
         return future
 
-    def _collect(self, job: SimJob, future: Future) -> JobOutcome:
-        """Resolve one future, retrying once across a pool rebuild."""
+    def _collect(self, job: SimJob, future: Future, budget: Optional[Budget]) -> JobOutcome:
+        """Resolve one future, retrying once across a pool rebuild.
+
+        Rebuild attempts back off with deterministic jitter so a burst
+        of crashing jobs does not hammer pool reconstruction; every
+        crash is reported to the circuit breaker, every normal
+        resolution resets it.
+        """
         attempts = 1
+        delays = backoff_delays(
+            4, base_s=0.05, cap_s=1.0, rng=self._retry_rng
+        )
         while True:
             try:
-                return JobOutcome.from_dict(future.result())
+                outcome = JobOutcome.from_dict(future.result())
             except BrokenProcessPool:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
                 with self._pool_lock:
                     broken = self._pool
                 if broken is not None:
@@ -170,28 +226,44 @@ class JobEngine:
                     self.metrics.crashed(retried=False)
                     return JobOutcome(
                         fingerprint=job.fingerprint,
-                        status=JobOutcome.FAILED,
+                        status=JobOutcome.CRASHED,
                         error="worker crashed twice; job abandoned",
                         attempts=attempts,
                         label=job.label,
                     )
                 self.metrics.crashed(retried=True)
                 attempts += 1
+                delay = next(delays, 0.0)
+                if delay > 0:
+                    self._retry_sleep(delay)
                 self._slots.acquire()
                 try:
                     future = self._get_pool().submit(
-                        run_payload, self._payload(job)
+                        run_payload, self._payload(job, budget)
                     )
                 except BaseException:
                     self._slots.release()
                     raise
                 future.add_done_callback(lambda _f: self._slots.release())
+            else:
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                return outcome
 
-    def run(self, jobs: Sequence[SimJob], *, use_cache: bool = True) -> List[JobOutcome]:
+    def run(
+        self,
+        jobs: Sequence[SimJob],
+        *,
+        use_cache: bool = True,
+        budget: Optional[Budget] = None,
+    ) -> List[JobOutcome]:
         """Execute *jobs*, returning outcomes in submission order.
 
         Never raises for job-level failures; inspect each outcome's
-        ``error``/``status``.
+        ``error``/``status``.  *budget* overrides the engine-level
+        watchdog budget for this call only (a per-request deadline);
+        partial results produced under a per-call budget are **not**
+        cached — they reflect the caller's deadline, not the work.
         """
         jobs = list(jobs)
         outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
@@ -210,21 +282,27 @@ class JobEngine:
             resolved = {}
             for fp, indices in pending.items():
                 self.metrics.submitted()
-                resolved[fp] = self._run_inline(jobs[indices[0]])
+                resolved[fp] = self._run_inline(jobs[indices[0]], budget)
                 self._account(resolved[fp])
         else:
-            futures = {
-                fp: self._submit(jobs[indices[0]])
-                for fp, indices in pending.items()
-            }
-            resolved = {}
+            futures: Dict[str, Future] = {}
+            rejected: Dict[str, JobOutcome] = {}
             for fp, indices in pending.items():
-                resolved[fp] = self._collect(jobs[indices[0]], futures[fp])
-                self._account(resolved[fp])
+                if self.breaker is not None and not self.breaker.allow():
+                    rejected[fp] = self._breaker_open_outcome(jobs[indices[0]])
+                else:
+                    futures[fp] = self._submit(jobs[indices[0]], budget)
+            resolved = dict(rejected)
+            for fp, indices in pending.items():
+                if fp in futures:
+                    resolved[fp] = self._collect(
+                        jobs[indices[0]], futures[fp], budget
+                    )
+                    self._account(resolved[fp])
 
         for fp, indices in pending.items():
             outcome = resolved[fp]
-            if use_cache:
+            if use_cache and (budget is None or outcome.complete):
                 self.cache.put(outcome)
             for i in indices:
                 outcomes[i] = outcome.with_label(jobs[i].label)
@@ -235,6 +313,13 @@ class JobEngine:
             ok=outcome.ok,
             partial=outcome.ok and not outcome.complete,
             elapsed_s=outcome.elapsed_s if outcome.ok else None,
+        )
+
+    def snapshot(self) -> Dict:
+        """Engine + cache + breaker state in one JSON-safe dict."""
+        return self.metrics.snapshot(
+            self.cache.stats(),
+            breaker=self.breaker.snapshot() if self.breaker else None,
         )
 
     # ------------------------------------------------------------------
@@ -248,6 +333,7 @@ class JobEngine:
         *,
         labels: Optional[Sequence[str]] = None,
         use_cache: bool = True,
+        budget: Optional[Budget] = None,
     ) -> List[JobOutcome]:
         """One job per config over a fixed trace."""
         labels = labels or [""] * len(configs)
@@ -255,7 +341,7 @@ class JobEngine:
             SimJob(trace=trace_ref, config=cfg, label=lbl)
             for cfg, lbl in zip(configs, labels)
         ]
-        return self.run(jobs, use_cache=use_cache)
+        return self.run(jobs, use_cache=use_cache, budget=budget)
 
     def makespan_matrix(
         self,

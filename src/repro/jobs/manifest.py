@@ -217,6 +217,13 @@ class BatchReport:
     def failed(self) -> List[ScenarioResult]:
         return [s for s in self.scenarios if not s.outcome.ok]
 
+    def status_counts(self) -> Dict[str, int]:
+        """Scenario count per outcome status (complete, worker-crashed, ...)."""
+        counts: Dict[str, int] = {}
+        for s in self.scenarios:
+            counts[s.outcome.status] = counts.get(s.outcome.status, 0) + 1
+        return counts
+
     def cache_hit_rate(self) -> float:
         served = [s for s in self.scenarios if s.outcome.ok]
         if not served:
@@ -243,8 +250,11 @@ class BatchReport:
         ]
         for s in self.scenarios:
             if not s.outcome.ok:
+                # distinct failure modes stay distinct per cell:
+                # "failed" (the job raised), "worker-crashed" (retry
+                # exhausted), "breaker-open" (never attempted)
                 lines.append(
-                    f"{s.label:<28} {'FAILED':<18} {'-':>12} {'-':>8}  "
+                    f"{s.label:<28} {s.outcome.status.upper():<18} {'-':>12} {'-':>8}  "
                     f"{s.outcome.error}"
                 )
                 continue
@@ -253,6 +263,14 @@ class BatchReport:
             lines.append(
                 f"{s.label:<28} {s.outcome.status:<18} "
                 f"{s.outcome.makespan_us:>10}us {speed:>8}  {src}"
+            )
+        if self.failed:
+            by_status: Dict[str, int] = {}
+            for s in self.failed:
+                by_status[s.outcome.status] = by_status.get(s.outcome.status, 0) + 1
+            lines.append(
+                "unanswered cells: "
+                + ", ".join(f"{n}x {st}" for st, n in sorted(by_status.items()))
             )
         m = self.metrics
         cache = m.get("cache", {})
@@ -312,5 +330,5 @@ def run_manifest(
         trace_fingerprint=ref.fingerprint,
         baseline_us=baseline_us,
         scenarios=scenarios,
-        metrics=engine.metrics.snapshot(engine.cache.stats()),
+        metrics=engine.snapshot(),
     )

@@ -42,6 +42,7 @@ class EngineMetrics:
         self.jobs_partial = 0
         self.worker_crashes = 0
         self.retries = 0
+        self.jobs_rejected_breaker = 0
         self._queue_depth = 0
         self._latencies_s: Deque[float] = deque(maxlen=LATENCY_WINDOW)
 
@@ -72,6 +73,11 @@ class EngineMetrics:
             if retried:
                 self.retries += 1
 
+    def breaker_rejected(self) -> None:
+        """A job was refused outright because the circuit breaker is open."""
+        with self._lock:
+            self.jobs_rejected_breaker += 1
+
     # -- views ----------------------------------------------------------
 
     @property
@@ -88,7 +94,12 @@ class EngineMetrics:
             "p99_s": round(_percentile(values, 0.99), 6),
         }
 
-    def snapshot(self, cache_stats: Optional[Dict] = None) -> Dict:
+    def snapshot(
+        self,
+        cache_stats: Optional[Dict] = None,
+        *,
+        breaker: Optional[Dict] = None,
+    ) -> Dict:
         """One JSON-safe dict with everything (`/metrics` body)."""
         with self._lock:
             out = {
@@ -98,9 +109,12 @@ class EngineMetrics:
                 "jobs_partial": self.jobs_partial,
                 "worker_crashes": self.worker_crashes,
                 "retries": self.retries,
+                "jobs_rejected_breaker": self.jobs_rejected_breaker,
                 "queue_depth": self._queue_depth,
             }
         out["latency"] = self.latency_percentiles()
         if cache_stats is not None:
             out["cache"] = cache_stats
+        if breaker is not None:
+            out["breaker"] = breaker
         return out

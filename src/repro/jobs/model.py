@@ -96,8 +96,12 @@ class JobOutcome:
 
     ``status`` holds a :class:`RunStatus` value for any run that produced
     a result — ``"complete"`` for a full replay, the degradation verdict
-    (``"deadlock"``, ``"budget-exhausted"``, ...) for a partial one — or
-    ``"failed"`` when no simulation happened at all (``error`` says why).
+    (``"deadlock"``, ``"budget-exhausted"``, ...) for a partial one.
+    When no simulation happened at all, ``error`` says why and ``status``
+    distinguishes the failure modes: ``"failed"`` (the job itself raised),
+    ``"worker-crashed"`` (retry across pool rebuilds exhausted) and
+    ``"breaker-open"`` (the engine refused to attempt it) — so a batch
+    report can show *why* each cell went unanswered.
     """
 
     fingerprint: str
@@ -111,7 +115,12 @@ class JobOutcome:
     from_cache: bool = False
     label: str = ""
 
+    #: The job raised before producing any result (unparseable trace, ...).
     FAILED = "failed"
+    #: The job killed its worker process on every attempt (retry exhausted).
+    CRASHED = "worker-crashed"
+    #: The engine's circuit breaker was open; the job was never attempted.
+    BREAKER_OPEN = "breaker-open"
 
     @property
     def ok(self) -> bool:

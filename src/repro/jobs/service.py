@@ -1,10 +1,13 @@
-"""``vppb serve`` — a local batch-prediction service over the job engine.
+"""The prediction-service core, plus the legacy threaded front end.
 
-Stdlib-only (``http.server``): a :class:`ThreadingHTTPServer` whose
-request threads submit jobs to the shared :class:`JobEngine`, so the
-engine's backpressure bound is the service's admission control — when
-the pool is saturated, request threads block in ``submit`` and clients
-see latency, never an unbounded in-memory queue.
+:class:`PredictionService` owns everything transport-independent —
+trace spool, request parsing, the deadline/breaker-aware ``predict``
+path, error envelopes, counters — and is shared by both front ends:
+the asyncio server in :mod:`repro.jobs.service_async` (the ``vppb
+serve`` default: admission control, streaming ingest, graceful drain)
+and the stdlib ``http.server`` one kept here (``vppb serve --legacy``).
+Because the core is shared, both speak identical HTTP: same status
+codes, same JSON bodies, same ``Retry-After`` semantics.
 
 API (all bodies JSON unless noted):
 
@@ -12,54 +15,130 @@ API (all bodies JSON unless noted):
     Body: a raw VPPB log file.  Parses it (400 on malformed logs),
     spools it under its content fingerprint, returns
     ``{"trace": <fingerprint>, "events": n, "threads": n}``.  Uploading
-    the same trace twice is idempotent.
+    the same trace twice is idempotent.  (The async front end parses
+    this leniently via salvage, and streams.)
 ``POST /predict``
     Body: ``{"trace": <fingerprint>}`` (previously uploaded) or
     ``{"log": <raw log text>}`` (one-shot), plus optional ``cpus``
     (list, default ``[2, 4, 8]``), ``lwps``, ``comm_delay_us`` and
     ``binding`` (``"unbound"``/``"bound"``).  Returns the speed-up
     predictions; repeated requests are served from the result cache.
+    With a deadline (``deadline_s`` key, or front-end default), expiry
+    returns 504 carrying a partial-result envelope.
 ``GET /metrics``
     Engine + cache + service counters (queue depth, jobs
-    completed/failed, cache hit rate, latency percentiles).
+    completed/failed, cache hit rate, latency percentiles, breaker
+    state, shed/deadline/body-cap counts).
 ``GET /healthz``
-    Liveness probe.
+    Liveness probe.  (Readiness lives on the async front end.)
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.config import SimConfig, ThreadPolicy
 from repro.core.errors import ConfigError, VppbError
 from repro.jobs.engine import JobEngine
-from repro.jobs.model import TraceRef
+from repro.jobs.model import JobOutcome, TraceRef
 
-__all__ = ["PredictionService", "make_server", "serve"]
+__all__ = [
+    "DEFAULT_MAX_BODY_BYTES",
+    "DeadlineExceeded",
+    "PredictionService",
+    "ServiceError",
+    "default_max_body_bytes",
+    "make_server",
+    "serve",
+]
 
-_MAX_BODY_BYTES = 64 * 1024 * 1024  # a §4-sized log is ~15 MB
+#: Default request-body cap; a §4-sized log is ~15 MB.
+DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def default_max_body_bytes() -> int:
+    """``$VPPB_MAX_BODY_BYTES`` (bytes), else :data:`DEFAULT_MAX_BODY_BYTES`."""
+    env = os.environ.get("VPPB_MAX_BODY_BYTES")
+    if env:
+        try:
+            value = int(env)
+            if value >= 1:
+                return value
+        except ValueError:
+            pass
+    return DEFAULT_MAX_BODY_BYTES
 
 
 class ServiceError(Exception):
-    """Maps straight to an HTTP error response."""
+    """Maps straight to an HTTP error response.
 
-    def __init__(self, status: int, message: str):
+    ``retry_after_s`` (for 429/503) becomes a ``Retry-After`` header;
+    ``extra`` keys are merged into the JSON error body.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        retry_after_s: Optional[float] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ):
         self.status = status
         self.message = message
+        self.retry_after_s = retry_after_s
+        self.extra = extra
         super().__init__(message)
+
+    def body(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"error": self.message}
+        if self.extra:
+            payload.update(self.extra)
+        return payload
+
+
+class DeadlineExceeded(ServiceError):
+    """A per-request deadline ran out; 504 with a partial-result envelope.
+
+    ``partial`` carries whatever the watchdog salvaged: predictions for
+    the grid cells that completed inside the budget, plus the simulated
+    progress of the cells that did not.
+    """
+
+    def __init__(self, message: str, *, partial: Optional[Dict[str, Any]] = None):
+        super().__init__(
+            504, message, extra={"partial": partial} if partial else None
+        )
+        self.partial = partial
 
 
 class PredictionService:
-    """The service state: an engine, a trace spool, request counters."""
+    """The service state: an engine, a trace spool, request counters.
 
-    def __init__(self, engine: JobEngine, *, spool_dir: Optional[Path] = None):
+    Shared by both front ends — the legacy threaded server below and
+    the asyncio server in :mod:`repro.jobs.service_async` — so HTTP
+    semantics (status codes, error bodies, deadline envelopes) are
+    identical regardless of transport.
+    """
+
+    def __init__(
+        self,
+        engine: JobEngine,
+        *,
+        spool_dir: Optional[Path] = None,
+        max_body_bytes: Optional[int] = None,
+    ):
         import tempfile
 
         self.engine = engine
+        self.max_body_bytes = (
+            max_body_bytes if max_body_bytes is not None else default_max_body_bytes()
+        )
         self.spool_dir = Path(
             spool_dir if spool_dir is not None else tempfile.mkdtemp(prefix="vppb-spool-")
         )
@@ -68,8 +147,20 @@ class PredictionService:
         self._lock = threading.Lock()
         self.requests = 0
         self.errors = 0
+        self.requests_shed = 0
+        self.deadline_timeouts = 0
+        self.bodies_rejected = 0
+        self.streamed_uploads = 0
 
     # ------------------------------------------------------------------
+
+    def _spool(self, ref: TraceRef, text: str) -> Path:
+        path = self.spool_dir / f"{ref.fingerprint}.log"
+        if not path.exists():
+            path.write_text(text, encoding="utf-8")
+        with self._lock:
+            self._traces[ref.fingerprint] = path
+        return path
 
     def store_trace(self, text: str) -> Dict[str, Any]:
         from repro.recorder import logfile
@@ -79,16 +170,46 @@ class PredictionService:
         except VppbError as exc:
             raise ServiceError(400, f"malformed log: {exc}")
         ref = TraceRef.from_trace(trace)
-        path = self.spool_dir / f"{ref.fingerprint}.log"
-        if not path.exists():
-            path.write_text(text, encoding="utf-8")
-        with self._lock:
-            self._traces[ref.fingerprint] = path
+        self._spool(ref, text)
         return {
             "trace": ref.fingerprint,
             "events": len(trace),
             "threads": len(trace.thread_ids()),
             "program": trace.meta.program,
+        }
+
+    def store_salvaged(self, result) -> Dict[str, Any]:
+        """Spool a streamed-and-salvaged upload (a :class:`SalvageResult`).
+
+        The streaming ingest path parses leniently — a damaged log is
+        accepted if anything is replayable, and the response reports
+        every repair count so the client knows what it uploaded.
+        """
+        from repro.recorder import logfile
+
+        trace = result.trace
+        if len(trace) == 0:
+            raise ServiceError(
+                400,
+                "nothing salvageable in the uploaded log: "
+                + result.report.summary(),
+            )
+        text = logfile.dumps(trace)
+        ref = TraceRef.from_trace(trace)
+        self._spool(ref, text)
+        with self._lock:
+            self.streamed_uploads += 1
+        return {
+            "trace": ref.fingerprint,
+            "events": len(trace),
+            "threads": len(trace.thread_ids()),
+            "program": trace.meta.program,
+            "salvage": {
+                "clean": result.report.clean,
+                "repairs": len(result.report.repairs),
+                "records_kept": result.report.records_kept,
+                "counts": result.report.counts_by_kind(),
+            },
         }
 
     def _resolve_trace(self, request: Dict[str, Any]) -> Tuple[TraceRef, Any]:
@@ -110,8 +231,9 @@ class PredictionService:
         trace = logfile.load(path)
         return TraceRef(fingerprint=fp, path=str(path)), trace
 
-    def predict(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        ref, trace = self._resolve_trace(request)
+    def _parse_predict(
+        self, request: Dict[str, Any], trace
+    ) -> Tuple[List[int], str, SimConfig]:
         cpus = request.get("cpus", [2, 4, 8])
         if not isinstance(cpus, list) or not cpus:
             raise ServiceError(400, "'cpus' must be a non-empty list")
@@ -135,34 +257,149 @@ class PredictionService:
             )
         except (ConfigError, TypeError, ValueError) as exc:
             raise ServiceError(400, f"bad configuration: {exc}")
-        try:
-            predictions = self.engine.predict_speedups(
-                trace, cpus, base_config=base, trace_ref=ref
+        return cpus, binding, base
+
+    def check_breaker(self) -> None:
+        """503 + ``Retry-After`` while the engine's breaker refuses work."""
+        breaker = self.engine.breaker
+        if breaker is None:
+            return
+        retry_after = breaker.reject_for()
+        if retry_after is not None:
+            raise ServiceError(
+                503,
+                "service unavailable: circuit breaker open after repeated "
+                "worker crashes",
+                retry_after_s=max(0.1, retry_after),
+                extra={"breaker": breaker.snapshot()},
             )
-        except VppbError as exc:
-            raise ServiceError(422, f"prediction failed: {exc}")
-        return {
+
+    def predict(
+        self, request: Dict[str, Any], *, deadline_s: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Answer one prediction request.
+
+        With *deadline_s* set, every simulation cell runs under a
+        watchdog wall budget of the remaining deadline; cells the
+        watchdog had to cut short surface as a
+        :class:`DeadlineExceeded` (HTTP 504) carrying the partial
+        envelope rather than a silent half-answer.
+        """
+        ref, trace = self._resolve_trace(request)
+        cpus, binding, base = self._parse_predict(request, trace)
+        self.check_breaker()
+        if deadline_s is None:
+            try:
+                predictions = self.engine.predict_speedups(
+                    trace, cpus, base_config=base, trace_ref=ref
+                )
+            except VppbError as exc:
+                raise ServiceError(422, f"prediction failed: {exc}")
+            return {
+                "trace": ref.fingerprint,
+                "program": trace.meta.program,
+                "binding": binding,
+                "predictions": [
+                    {
+                        "cpus": p.cpus,
+                        "speedup": round(p.speedup, 6),
+                        "makespan_us": p.makespan_us,
+                        "uniprocessor_us": p.uniprocessor_us,
+                    }
+                    for p in predictions
+                ],
+            }
+        return self._predict_with_deadline(
+            ref, trace, cpus, binding, base, deadline_s
+        )
+
+    def _predict_with_deadline(
+        self, ref, trace, cpus, binding, base, deadline_s
+    ) -> Dict[str, Any]:
+        from repro.program.uniexec import uniprocessor_config
+
+        if deadline_s <= 0:
+            raise ServiceError(400, f"bad deadline {deadline_s!r}: must be > 0")
+        configs = [uniprocessor_config(base)] + [base.with_cpus(n) for n in cpus]
+        labels = ["baseline"] + [f"{n}cpu" for n in cpus]
+        max_events = self.engine.job_budget[0]
+        outcomes = self.engine.makespans(
+            ref, configs, labels=labels, budget=(max_events, deadline_s)
+        )
+        broken = [o for o in outcomes if not o.ok]
+        if broken:
+            if any(o.status == JobOutcome.BREAKER_OPEN for o in broken):
+                self.check_breaker()  # raises 503 with Retry-After
+            raise ServiceError(
+                422,
+                "prediction failed: "
+                + "; ".join(f"{o.label}: {o.error}" for o in broken),
+            )
+        baseline, rest = outcomes[0], outcomes[1:]
+        partial_cells = [o for o in outcomes if not o.complete]
+        if not partial_cells:
+            return {
+                "trace": ref.fingerprint,
+                "program": trace.meta.program,
+                "binding": binding,
+                "predictions": [
+                    {
+                        "cpus": n,
+                        "speedup": round(baseline.makespan_us / o.makespan_us, 6)
+                        if o.makespan_us
+                        else None,
+                        "makespan_us": o.makespan_us,
+                        "uniprocessor_us": baseline.makespan_us,
+                    }
+                    for n, o in zip(cpus, rest)
+                ],
+            }
+        # the watchdog salvaged at least one cell: 504 + what we have
+        with self._lock:
+            self.deadline_timeouts += 1
+        envelope: Dict[str, Any] = {
             "trace": ref.fingerprint,
             "program": trace.meta.program,
             "binding": binding,
+            "deadline_s": deadline_s,
             "predictions": [
                 {
-                    "cpus": p.cpus,
-                    "speedup": round(p.speedup, 6),
-                    "makespan_us": p.makespan_us,
-                    "uniprocessor_us": p.uniprocessor_us,
+                    "cpus": n,
+                    "speedup": round(baseline.makespan_us / o.makespan_us, 6),
+                    "makespan_us": o.makespan_us,
+                    "uniprocessor_us": baseline.makespan_us,
                 }
-                for p in predictions
+                for n, o in zip(cpus, rest)
+                if o.complete and baseline.complete and o.makespan_us
+            ],
+            "incomplete": [
+                {
+                    "label": o.label,
+                    "status": o.status,
+                    "reason": o.reason,
+                    "simulated_us": o.makespan_us,
+                    "engine_events": o.engine_events,
+                }
+                for o in partial_cells
             ],
         }
+        raise DeadlineExceeded(
+            f"deadline of {deadline_s}s exceeded; "
+            f"{len(partial_cells)}/{len(outcomes)} cells salvaged as partial",
+            partial=envelope,
+        )
 
     def metrics(self) -> Dict[str, Any]:
-        snapshot = self.engine.metrics.snapshot(self.engine.cache.stats())
+        snapshot = self.engine.snapshot()
         with self._lock:
             snapshot["service"] = {
                 "requests": self.requests,
                 "errors": self.errors,
                 "traces_spooled": len(self._traces),
+                "requests_shed": self.requests_shed,
+                "deadline_timeouts": self.deadline_timeouts,
+                "bodies_rejected": self.bodies_rejected,
+                "streamed_uploads": self.streamed_uploads,
             }
         return snapshot
 
@@ -171,6 +408,14 @@ class PredictionService:
             self.requests += 1
             if error:
                 self.errors += 1
+
+    def count_shed(self) -> None:
+        with self._lock:
+            self.requests_shed += 1
+
+    def count_rejected_body(self) -> None:
+        with self._lock:
+            self.bodies_rejected += 1
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -183,16 +428,34 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(fmt, *args)
 
     def _read_body(self) -> bytes:
-        length = int(self.headers.get("Content-Length") or 0)
-        if length > _MAX_BODY_BYTES:
-            raise ServiceError(413, f"body larger than {_MAX_BODY_BYTES} bytes")
+        cap = self.server.service.max_body_bytes
+        raw = self.headers.get("Content-Length") or "0"
+        try:
+            length = int(raw)
+        except ValueError:
+            raise ServiceError(400, f"bad Content-Length: {raw!r}")
+        if length < 0:
+            raise ServiceError(400, f"bad Content-Length: {raw!r}")
+        if length > cap:
+            self.server.service.count_rejected_body()
+            raise ServiceError(
+                413, f"body of {length} bytes exceeds the {cap}-byte cap"
+            )
         return self.rfile.read(length)
 
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        *,
+        retry_after_s: Optional[float] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after_s is not None:
+            self.send_header("Retry-After", str(max(1, round(retry_after_s))))
         self.end_headers()
         self.wfile.write(body)
 
@@ -216,7 +479,7 @@ class _Handler(BaseHTTPRequestHandler):
                 raise ServiceError(404, f"no such endpoint: {method} {self.path}")
         except ServiceError as exc:
             service.count_request(error=True)
-            self._send_json(exc.status, {"error": exc.message})
+            self._send_json(exc.status, exc.body(), retry_after_s=exc.retry_after_s)
             return
         service.count_request(error=False)
 

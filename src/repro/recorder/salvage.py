@@ -30,6 +30,7 @@ Everything is reported; nothing is silently discarded.
 
 from __future__ import annotations
 
+import codecs
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -42,12 +43,23 @@ from repro.recorder import logfile
 
 __all__ = [
     "Repair",
+    "SalvageLimitError",
     "SalvageReport",
     "SalvageResult",
+    "SalvageStream",
     "salvage_trace",
     "salvage_loads",
     "salvage_load",
 ]
+
+
+class SalvageLimitError(TraceError):
+    """A streaming salvage exceeded its input-size cap."""
+
+    def __init__(self, message: str, *, limit: int, seen: int):
+        super().__init__(message)
+        self.limit = limit
+        self.seen = seen
 
 
 @dataclass(frozen=True)
@@ -375,8 +387,129 @@ def salvage_trace(
 
 
 # ---------------------------------------------------------------------------
-# lenient text parsing
+# lenient text parsing (incremental)
 # ---------------------------------------------------------------------------
+
+
+class SalvageStream:
+    """Incremental salvage: feed a damaged log in chunks, finish once.
+
+    The streaming counterpart of :func:`salvage_loads`, built for the
+    service's chunked trace uploads — a multi-megabyte log flows
+    through :meth:`feed` one network chunk at a time and only the
+    *parsed records* are retained, never the raw text.  ``feed``
+    accepts ``bytes`` (decoded incrementally as UTF-8 with replacement,
+    so a multi-byte character split across chunks is handled) or
+    ``str``.  ``max_bytes`` is a hard input cap: the first chunk that
+    crosses it raises :class:`SalvageLimitError` and the stream refuses
+    further input.
+
+    Line-level parsing happens as chunks arrive; the structural repairs
+    (call/ret pairing, orphan threads, ...) need the whole record list
+    and run in :meth:`finish`, which returns the same
+    :class:`SalvageResult` the one-shot functions do.  A trailing
+    partial line at finish is recorder-died-mid-write damage, exactly
+    as in :func:`salvage_loads`.
+    """
+
+    def __init__(
+        self,
+        *,
+        source: Optional[str] = None,
+        validate: bool = True,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self.bytes_fed = 0
+        self._validate = validate
+        self._report = SalvageReport(source=source)
+        self._decoder = codecs.getincrementaldecoder("utf-8")("replace")
+        self._acc = logfile._HeaderAcc()
+        self._records: List[Tuple[Optional[int], EventRecord]] = []
+        self._buffer = ""  # the current, still-incomplete line
+        self._lineno = 0
+        self._finished = False
+
+    @property
+    def records_parsed(self) -> int:
+        return len(self._records)
+
+    def feed(self, chunk: Union[str, bytes]) -> None:
+        """Consume one chunk of log input."""
+        if self._finished:
+            raise RuntimeError("SalvageStream already finished")
+        if isinstance(chunk, bytes):
+            self.bytes_fed += len(chunk)
+            text = self._decoder.decode(chunk)
+        else:
+            self.bytes_fed += len(chunk)
+            text = chunk
+        if self.max_bytes is not None and self.bytes_fed > self.max_bytes:
+            self._finished = True
+            raise SalvageLimitError(
+                f"log upload exceeds the {self.max_bytes}-byte cap",
+                limit=self.max_bytes,
+                seen=self.bytes_fed,
+            )
+        self._buffer += text
+        while True:
+            newline = self._buffer.find("\n")
+            if newline < 0:
+                break
+            line, self._buffer = (
+                self._buffer[:newline],
+                self._buffer[newline + 1:],
+            )
+            self._lineno += 1
+            self._consume_line(line, self._lineno)
+
+    def _consume_line(self, raw: str, lineno: int) -> None:
+        line = raw.strip()
+        if not line:
+            return
+
+        def on_repair(kind: str, detail: str, _lineno=lineno) -> None:
+            self._report.add(kind, detail, _lineno)
+
+        if line.startswith("#"):
+            logfile._parse_header_line(self._acc, line, lineno, on_repair=on_repair)
+            return
+        try:
+            self._records.append(
+                (lineno, logfile._parse_record(line, lineno, on_repair=on_repair))
+            )
+        except LogFormatError as exc:
+            self._report.add("dropped-unparsable-line", exc.message, lineno)
+
+    def finish(self) -> SalvageResult:
+        """Flush, run the structural repairs, and return the result."""
+        if self._finished:
+            raise RuntimeError("SalvageStream already finished")
+        self._finished = True
+        self._buffer += self._decoder.decode(b"", True)
+        if self._buffer:
+            # input ended without a trailing newline: the classic
+            # recorder-died-mid-write partial last line
+            self._lineno += 1
+            if self._buffer.strip():
+                self._report.add(
+                    "dropped-partial-last-line",
+                    f"no trailing newline: {self._buffer.strip()[:60]!r}",
+                    self._lineno,
+                )
+        self._report.total_lines = self._lineno
+        if not self._acc.saw_version:
+            self._report.add(
+                "missing-version-header", "no '# vppb-log <version>' line", 1
+            )
+        return salvage_trace(
+            self._records,
+            self._acc.meta(),
+            report=self._report,
+            validate=self._validate,
+        )
 
 
 def salvage_loads(
@@ -389,45 +522,11 @@ def salvage_loads(
 
     Never raises for malformed input: the worst possible outcome is an
     empty trace whose report explains why every line was dropped.
+    (One-shot wrapper over :class:`SalvageStream`.)
     """
-    report = SalvageReport(source=source)
-    lines = text.splitlines()
-    report.total_lines = len(lines)
-
-    # a partial last line is recorder-died-mid-write damage
-    truncated_tail: Optional[int] = None
-    if lines and text and not text.endswith("\n") and lines[-1].strip():
-        truncated_tail = len(lines)
-
-    acc = logfile._HeaderAcc()
-    records: List[Tuple[Optional[int], EventRecord]] = []
-    for lineno, raw in enumerate(lines, start=1):
-        line = raw.strip()
-        if not line:
-            continue
-        if lineno == truncated_tail:
-            report.add(
-                "dropped-partial-last-line",
-                f"no trailing newline: {line[:60]!r}",
-                lineno,
-            )
-            continue
-
-        def on_repair(kind: str, detail: str, _lineno=lineno) -> None:
-            report.add(kind, detail, _lineno)
-
-        if line.startswith("#"):
-            logfile._parse_header_line(acc, line, lineno, on_repair=on_repair)
-            continue
-        try:
-            records.append((lineno, logfile._parse_record(line, lineno, on_repair=on_repair)))
-        except LogFormatError as exc:
-            report.add("dropped-unparsable-line", exc.message, lineno)
-
-    if not acc.saw_version:
-        report.add("missing-version-header", "no '# vppb-log <version>' line", 1)
-
-    return salvage_trace(records, acc.meta(), report=report, validate=validate)
+    stream = SalvageStream(source=source, validate=validate)
+    stream.feed(text)
+    return stream.finish()
 
 
 def salvage_load(path: Union[str, Path], *, validate: bool = True) -> SalvageResult:
