@@ -100,16 +100,23 @@ class ServiceClient:
         Returns the decoded JSON body of a 2xx response; raises
         :class:`ClientError` otherwise.  ``chunks`` switches to chunked
         transfer encoding (streaming upload) — such requests are only
-        retried when the chunk source is re-iterable.
+        retried when the chunk source is re-iterable (a list, or a
+        generator *factory* wrapper like :class:`_Reiterable`); a plain
+        one-shot generator gets a single attempt, because replaying an
+        exhausted generator would silently send an empty body.
         """
+        if chunks is not None and iter(chunks) is chunks:
+            attempts = 1  # one-shot iterator: a retry cannot replay it
+        else:
+            attempts = self.attempts
         delays = backoff_delays(
-            self.attempts,
+            attempts,
             base_s=self.backoff_base_s,
             cap_s=self.backoff_cap_s,
             rng=self._rng,
         )
         last_error: Optional[ClientError] = None
-        for attempt in range(1, self.attempts + 1):
+        for attempt in range(1, attempts + 1):
             try:
                 status, payload, retry_after = self._once(
                     method, path, body=body, headers=headers, chunks=chunks
@@ -132,7 +139,7 @@ class ServiceClient:
                 )
                 if status not in _RETRYABLE_STATUSES:
                     raise last_error
-            if attempt == self.attempts:
+            if attempt == attempts:
                 break
             delay = next(delays, 0.0)
             if retry_after is not None:

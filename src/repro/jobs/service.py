@@ -328,8 +328,29 @@ class PredictionService:
         )
         broken = [o for o in outcomes if not o.ok]
         if broken:
-            if any(o.status == JobOutcome.BREAKER_OPEN for o in broken):
-                self.check_breaker()  # raises 503 with Retry-After
+            rejected = [
+                o for o in broken if o.status == JobOutcome.BREAKER_OPEN
+            ]
+            if rejected:
+                # While half-open the breaker admits a single probe, so
+                # the other grid cells come back BREAKER_OPEN even when
+                # the probe succeeds (closing the breaker).  That is a
+                # transient refusal, never a client error: always answer
+                # 503 + Retry-After so the client retries the full grid.
+                self.check_breaker()  # raises with the live cooldown while open
+                breaker = self.engine.breaker
+                raise ServiceError(
+                    503,
+                    "service unavailable: circuit breaker refused "
+                    + ", ".join(o.label for o in rejected)
+                    + " while recovering from worker crashes; retry shortly",
+                    retry_after_s=1.0,
+                    extra=(
+                        {"breaker": breaker.snapshot()}
+                        if breaker is not None
+                        else None
+                    ),
+                )
             raise ServiceError(
                 422,
                 "prediction failed: "

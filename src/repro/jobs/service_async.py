@@ -76,7 +76,7 @@ _READ_CHUNK = 64 * 1024
 
 
 class _Request:
-    __slots__ = ("method", "path", "version", "headers", "close")
+    __slots__ = ("method", "path", "version", "headers", "close", "body_consumed")
 
     def __init__(self, method: str, path: str, version: str, headers: Dict[str, str]):
         self.method = method
@@ -85,6 +85,13 @@ class _Request:
         self.headers = headers
         conn = headers.get("connection", "").lower()
         self.close = conn == "close" or (version == "HTTP/1.0" and conn != "keep-alive")
+        # True once the framed body has been read off the socket in
+        # full; starts True for bodyless requests.  While False the
+        # connection cannot be reused: leftover body bytes would be
+        # parsed as the next request line.
+        length = headers.get("content-length", "").strip()
+        chunked = "chunked" in headers.get("transfer-encoding", "").lower()
+        self.body_consumed = not chunked and length in ("", "0")
 
 
 class AsyncPredictionServer:
@@ -111,6 +118,8 @@ class AsyncPredictionServer:
         self.verbose = verbose
         self.draining = False
         self.hard_timeouts = 0
+        self.abandoned_workers = 0  # executor threads outliving a 504
+        self._abandoned_lock = threading.Lock()
         self.flushed_on_shutdown = 0
         self._inflight = 0
         self._idle: Optional[asyncio.Event] = None
@@ -247,6 +256,7 @@ class AsyncPredictionServer:
                         trailer = await reader.readline()
                         if trailer in (b"\r\n", b"\n", b""):
                             break
+                    request.body_consumed = True
                     return
                 total += size
                 if total > cap:
@@ -278,6 +288,7 @@ class AsyncPredictionServer:
                     raise ConnectionError("client closed mid-body")
                 remaining -= len(chunk)
                 yield chunk
+            request.body_consumed = True
 
     async def _read_json(self, reader, request: _Request) -> Dict[str, Any]:
         body = bytearray()
@@ -320,9 +331,12 @@ class AsyncPredictionServer:
                     None,
                 )
             self.service.count_request(error=error)
-            # a 413 can leave unread body bytes on the socket; the only
-            # safe continuation is to close
-            must_close = status == 413
+            # any response sent before the body was fully read (413
+            # mid-stream, 429 shed, 404, bad deadline, ...) leaves
+            # unread body bytes on the socket; a keep-alive read would
+            # parse those as the next request line, so the only safe
+            # continuation is to close
+            must_close = not request.body_consumed
             await self._send(
                 writer, status, payload, retry_after_s=retry_after, close=must_close
             )
@@ -373,6 +387,7 @@ class AsyncPredictionServer:
             "inflight": self._inflight,
             "draining": self.draining,
             "hard_timeouts": self.hard_timeouts,
+            "abandoned_workers": self.abandoned_workers,
             "default_deadline_s": self.default_deadline_s,
         }
         return snapshot
@@ -408,14 +423,18 @@ class AsyncPredictionServer:
                 retry_after_s=self.gate.retry_after_s,
                 extra={"admission": self.gate.snapshot()},
             )
+        release_on_exit = True
         try:
             body = await self._read_json(reader, request)
             deadline_s = self._deadline_for(request, body)
             loop = asyncio.get_running_loop()
-            work = loop.run_in_executor(
-                self._executor,
-                functools.partial(self.service.predict, body, deadline_s=deadline_s),
+            # submit directly (not run_in_executor) so the concurrent
+            # future stays reachable after a hard timeout abandons the
+            # awaitable wrapper
+            work_cf = self._executor.submit(
+                functools.partial(self.service.predict, body, deadline_s=deadline_s)
             )
+            work = asyncio.wrap_future(work_cf, loop=loop)
             if deadline_s is None:
                 return await work
             # the watchdog honours the deadline cooperatively; this
@@ -424,6 +443,15 @@ class AsyncPredictionServer:
                 return await asyncio.wait_for(work, deadline_s * 1.5 + 0.5)
             except asyncio.TimeoutError:
                 self.hard_timeouts += 1
+                # the simulation is still burning its executor thread:
+                # keep the admission slot held until that thread really
+                # ends, so a storm of wedged requests sheds 429s instead
+                # of exhausting the pool and queueing admitted work that
+                # can never start before its own deadline
+                release_on_exit = False
+                with self._abandoned_lock:
+                    self.abandoned_workers += 1
+                work_cf.add_done_callback(self._reap_abandoned)
                 raise ServiceError(
                     504,
                     f"deadline of {deadline_s}s exceeded before the engine "
@@ -431,7 +459,16 @@ class AsyncPredictionServer:
                     retry_after_s=self.gate.retry_after_s,
                 )
         finally:
-            self.gate.leave()
+            if release_on_exit:
+                self.gate.leave()
+
+    def _reap_abandoned(self, done) -> None:
+        # runs on the executor thread when an abandoned simulation ends
+        self.gate.leave()  # thread-safe
+        with self._abandoned_lock:
+            self.abandoned_workers -= 1
+        if not done.cancelled():
+            done.exception()  # retrieved; the client already got its 504
 
     def _deadline_for(
         self, request: _Request, body: Dict[str, Any]

@@ -454,14 +454,21 @@ class SalvageStream:
                 seen=self.bytes_fed,
             )
         self._buffer += text
-        while True:
-            newline = self._buffer.find("\n")
-            if newline < 0:
-                break
-            line, self._buffer = (
-                self._buffer[:newline],
-                self._buffer[newline + 1:],
-            )
+        if not self._buffer:
+            return
+        # split exactly as str.splitlines does ('\n', '\r', '\r\n' and
+        # the unicode separators), so CR-only and NEL-separated logs
+        # salvage the same as through the one-shot path
+        pieces = self._buffer.splitlines(keepends=True)
+        self._buffer = ""
+        last = len(pieces) - 1
+        for index, piece in enumerate(pieces):
+            line = piece.splitlines()[0]
+            if index == last and (line == piece or piece.endswith("\r")):
+                # unterminated tail — or a trailing bare '\r' that may
+                # be the first half of a '\r\n' split across chunks
+                self._buffer = piece
+                return
             self._lineno += 1
             self._consume_line(line, self._lineno)
 
@@ -489,14 +496,19 @@ class SalvageStream:
             raise RuntimeError("SalvageStream already finished")
         self._finished = True
         self._buffer += self._decoder.decode(b"", True)
-        if self._buffer:
-            # input ended without a trailing newline: the classic
-            # recorder-died-mid-write partial last line
+        for piece in self._buffer.splitlines(keepends=True):
+            line = piece.splitlines()[0]
             self._lineno += 1
-            if self._buffer.strip():
+            if line != piece:
+                # a held-back terminated line (e.g. a trailing bare
+                # '\r' that never grew into '\r\n') is a real line
+                self._consume_line(line, self._lineno)
+            elif line.strip():
+                # input ended without a trailing newline: the classic
+                # recorder-died-mid-write partial last line
                 self._report.add(
                     "dropped-partial-last-line",
-                    f"no trailing newline: {self._buffer.strip()[:60]!r}",
+                    f"no trailing newline: {line.strip()[:60]!r}",
                     self._lineno,
                 )
         self._report.total_lines = self._lineno

@@ -291,6 +291,25 @@ class TestSalvageStream:
         result = stream.finish()
         assert result.report.total_lines == 2
 
+    @pytest.mark.parametrize("sep", ["\r", "\r\n", "\x85", "\u2028"])
+    def test_alternative_line_separators_match_newline(self, sep, log_text):
+        """CR-only, CRLF and unicode-separated logs salvage identically
+        to the plain-\\n version (str.splitlines parity)."""
+        base = salvage_loads(log_text)
+        result = salvage_loads(log_text.replace("\n", sep))
+        assert result.trace.fingerprint() == base.trace.fingerprint()
+        assert result.report.records_kept == base.report.records_kept
+
+    def test_crlf_split_across_chunk_boundary(self, log_text):
+        base = salvage_loads(log_text)
+        data = log_text.replace("\n", "\r\n").encode("utf-8")
+        stream = SalvageStream()
+        for i in range(0, len(data), 7):  # guarantees split \r|\n pairs
+            stream.feed(data[i : i + 7])
+        result = stream.finish()
+        assert result.trace.fingerprint() == base.trace.fingerprint()
+        assert result.report.records_kept == base.report.records_kept
+
 
 # ----------------------------------------------------------------------
 # engine integration
@@ -355,6 +374,34 @@ class TestServiceCore:
         assert err.value.status == 503
         assert err.value.retry_after_s == pytest.approx(30.0)
         assert err.value.body()["breaker"]["state"] == "open"
+
+    def test_breaker_refused_cells_are_503_even_after_probe_closes(
+        self, log_text
+    ):
+        """Half-open breaker + multi-cell grid: the probe succeeds (and
+        closes the breaker) while the other cells come back
+        BREAKER_OPEN.  That refusal is transient, so it must surface as
+        a retryable 503, never a 422 client error."""
+        engine = JobEngine(mode="inline")  # breaker closed: probe succeeded
+        service = PredictionService(engine)
+
+        def fake_makespans(ref, configs, labels=None, budget=None):
+            fp = "f" * 64
+            return [
+                JobOutcome(fingerprint=fp, status="complete",
+                           makespan_us=1000, label=labels[0]),
+                JobOutcome(fingerprint=fp, status=JobOutcome.BREAKER_OPEN,
+                           error="circuit breaker open", label=labels[1]),
+                JobOutcome(fingerprint=fp, status=JobOutcome.BREAKER_OPEN,
+                           error="circuit breaker open", label=labels[2]),
+            ]
+
+        engine.makespans = fake_makespans
+        with pytest.raises(ServiceError) as err:
+            service.predict({"log": log_text, "cpus": [2, 4]}, deadline_s=5.0)
+        engine.close()
+        assert err.value.status == 503
+        assert err.value.retry_after_s is not None
 
     def test_deadline_partial_becomes_504_envelope(self, trace, log_text):
         engine = JobEngine(mode="inline")
@@ -528,6 +575,114 @@ class TestAsyncService:
             # after the burst the server still admits work
             status, ready, _ = _request(bg.port, "GET", "/healthz/ready")
             assert status == 200 and ready["status"] == "ready"
+
+    def test_error_with_unread_body_closes_keepalive_connection(
+        self, inline_service, log_text
+    ):
+        """An error sent before the request body was read (404 here)
+        must close the connection: leftover body bytes would otherwise
+        be parsed as the next request line, desyncing the stream."""
+        with BackgroundServer(inline_service) as bg:
+            conn = http.client.HTTPConnection("127.0.0.1", bg.port, timeout=15)
+            try:
+                body = json.dumps({"log": log_text}).encode("utf-8")
+                conn.request("POST", "/nope", body=body)
+                response = conn.getresponse()
+                assert response.status == 404
+                assert response.getheader("Connection") == "close"
+                response.read()
+            finally:
+                conn.close()
+            # a fully-read body keeps the connection reusable: a second
+            # request on the same socket must not see a desynced stream
+            conn = http.client.HTTPConnection("127.0.0.1", bg.port, timeout=15)
+            try:
+                conn.request(
+                    "POST", "/predict",
+                    body=json.dumps({"log": log_text, "cpus": [2]}),
+                )
+                first = conn.getresponse()
+                assert first.status == 200
+                assert first.getheader("Connection") == "keep-alive"
+                first.read()
+                conn.request("GET", "/metrics")
+                second = conn.getresponse()
+                assert second.status == 200
+                json.loads(second.read())
+            finally:
+                conn.close()
+
+    def test_shed_429_with_unread_body_closes_connection(
+        self, inline_service, log_text
+    ):
+        release = threading.Event()
+        real_predict = inline_service.predict
+
+        def slow_predict(request, *, deadline_s=None):
+            release.wait(10.0)
+            return real_predict(request, deadline_s=deadline_s)
+
+        inline_service.predict = slow_predict
+        body = json.dumps({"log": log_text, "cpus": [2]})
+        with BackgroundServer(inline_service, max_inflight=1) as bg:
+            t = threading.Thread(
+                target=_request,
+                args=(bg.port, "POST", "/predict"),
+                kwargs={"body": body},
+            )
+            t.start()
+            deadline = time.time() + 5.0
+            while time.time() < deadline:  # wait for the slot to fill
+                _, m, _ = _request(bg.port, "GET", "/metrics")
+                if m["async"]["admission"]["in_flight"] >= 1:
+                    break
+                time.sleep(0.05)
+            conn = http.client.HTTPConnection("127.0.0.1", bg.port, timeout=15)
+            try:
+                conn.request("POST", "/predict", body=body)
+                response = conn.getresponse()
+                # shed before the body was read -> must not stay open
+                assert response.status == 429
+                assert response.getheader("Connection") == "close"
+                response.read()
+            finally:
+                conn.close()
+            release.set()
+            t.join(timeout=15.0)
+
+    def test_hard_timeout_holds_slot_until_thread_ends(
+        self, inline_service, log_text
+    ):
+        """After a hard 504 the simulation thread is still running; its
+        admission slot stays held (new work sheds as 429) until the
+        thread really finishes, so wedged requests can never exhaust
+        the executor."""
+        release = threading.Event()
+
+        def wedged(request, *, deadline_s=None):
+            release.wait(10.0)
+            return {}
+
+        inline_service.predict = wedged
+        body = json.dumps({"log": log_text, "deadline_s": 0.1})
+        with BackgroundServer(inline_service, max_inflight=1) as bg:
+            status, _, _ = _request(bg.port, "POST", "/predict", body=body)
+            assert status == 504
+            # the wedged thread still owns the only slot
+            status, _, _ = _request(bg.port, "POST", "/predict", body=body)
+            assert status == 429
+            _, m, _ = _request(bg.port, "GET", "/metrics")
+            assert m["async"]["abandoned_workers"] == 1
+            assert m["async"]["admission"]["in_flight"] == 1
+            release.set()  # the thread ends; the slot frees
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                _, m, _ = _request(bg.port, "GET", "/metrics")
+                if m["async"]["admission"]["in_flight"] == 0:
+                    break
+                time.sleep(0.05)
+            assert m["async"]["admission"]["in_flight"] == 0
+            assert m["async"]["abandoned_workers"] == 0
 
     def test_hard_timeout_maps_to_504(self, inline_service, log_text):
         def wedged(request, *, deadline_s=None):
@@ -772,6 +927,24 @@ class TestServiceClient:
         with pytest.raises(ClientError, match="cannot reach"):
             client.metrics()
         assert len(sleeps) == 2
+
+    def test_plain_generator_upload_gets_single_attempt(self):
+        """A one-shot generator cannot be replayed: retrying it would
+        silently send an empty chunked body, so the client must fail
+        after the first attempt instead."""
+        sleeps = []
+        client = ServiceClient(
+            port=1, attempts=4, sleep=sleeps.append, timeout_s=1.0
+        )
+
+        def chunk_gen():
+            yield b"# vppb-log v1\n"
+
+        with pytest.raises(ClientError) as err:
+            client.request("POST", "/traces", chunks=chunk_gen())
+        assert err.value.attempts == 1
+        assert client.retries == 0
+        assert sleeps == []
 
     def test_4xx_is_not_retried(self, log_text):
         engine = JobEngine(mode="inline")
