@@ -42,3 +42,25 @@ def save_artifact(name: str, content: str) -> Path:
     path = RESULTS_DIR / name
     path.write_text(content)
     return path
+
+
+def save_json(name: str, payload) -> Path:
+    """Write a machine-readable ``BENCH_*.json`` perf artifact.
+
+    Every benchmark that makes a performance claim commits one of these
+    (and CI uploads a freshly-measured copy) so the perf trajectory is
+    diffable across PRs instead of living in prose.
+    """
+    import json
+
+    return save_artifact(name, json.dumps(payload, indent=2) + "\n")
+
+
+def load_json(name: str):
+    """Read a committed ``BENCH_*.json`` baseline; None when absent."""
+    import json
+
+    path = RESULTS_DIR / name
+    if not path.is_file():
+        return None
+    return json.loads(path.read_text())

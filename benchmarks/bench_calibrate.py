@@ -21,7 +21,7 @@ import pytest
 from repro.calib import ObjectiveEvaluator, WorkloadSpec, fit, measure_suite
 from repro.jobs import JobEngine, ResultCache
 
-from _common import BENCH_SCALE, emit
+from _common import BENCH_SCALE, emit, save_json
 
 MAX_EVALS = 40
 
@@ -82,3 +82,24 @@ def test_calibrate_throughput(benchmark, measured, tmp_path_factory):
         f"over two timed passes",
     ]
     emit("\n" + "\n".join(lines), artifact="calibrate.txt")
+    save_json(
+        "BENCH_calibrate.json",
+        {
+            "benchmark": "calibration-refit",
+            "config": {
+                "suite": [w.name for w in SUITE],
+                "max_evals": MAX_EVALS,
+                "scale": BENCH_SCALE,
+            },
+            "results": {
+                "fit_cold_s": round(cold_s, 6),
+                "refit_warm_s": round(warm_s, 6),
+                "refit_speedup": round(cold_s / warm_s, 3),
+                "evaluations": cold_fit.evaluations,
+                "objective": cold_fit.objective,
+                "baseline_objective": cold_fit.baseline_objective,
+                "warm_cache_hits": hits,
+                "warm_cache_misses": misses,
+            },
+        },
+    )

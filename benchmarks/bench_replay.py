@@ -1,0 +1,273 @@
+"""Replay-engine throughput: compiled opcode fast path vs legacy walker.
+
+Not a paper table — this benchmark backs the simulator-core performance
+claim: lowering each thread's ``Step`` list to flat opcode arrays and
+replaying them through the fast interpreter multiplies replay throughput
+while producing **bit-identical** results (parity is asserted on every
+timed run; a mismatch fails the benchmark outright).
+
+Fixtures span the contention spectrum, because the two engines share all
+scheduler/block/wake machinery and the fast path can only shrink the
+per-step interpreter cost:
+
+* ``lock-ladder`` — uncontended sync-heavy replay, the pure measure of
+  interpreter dispatch (the **headline** replay-throughput figure);
+* ``prodcons`` — contended producer/consumer, dominated by shared
+  block/wake scheduling;
+* ``barrier-fft`` — a SPLASH-2-shaped numeric workload between the two.
+
+Output: ``benchmarks/results/BENCH_replay.json`` with per-fixture
+events/sec, plan compile time, p50/p90 replay times and speedups.
+
+``--check`` re-measures and gates against the committed baseline: the
+measured *speedup ratio* (fast vs legacy, same machine, same run) must
+stay within ``--tolerance`` (default 20 %) of the committed one.  The
+ratio — not absolute throughput — is gated so the check holds on CI
+hardware that is faster or slower than the machine that committed the
+baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from _common import BENCH_RUNS, BENCH_SCALE, emit, load_json, save_json  # noqa: E402
+
+from repro import Program, SimConfig, record_program  # noqa: E402
+from repro.core.predictor import compile_trace  # noqa: E402
+from repro.core.simulator import Simulator  # noqa: E402
+from repro.program import ops as op  # noqa: E402
+from repro.workloads import get_workload  # noqa: E402
+
+BASELINE = "BENCH_replay.json"
+
+
+# ---------------------------------------------------------------------------
+# fixtures
+# ---------------------------------------------------------------------------
+
+
+def make_lock_ladder(scale: float) -> Program:
+    """One thread hammering an uncontended mutex: no blocking, no
+    preemption, so replay time is pure interpreter dispatch plus
+    sync-table bookkeeping — the cost the compiled fast path attacks."""
+    rounds = max(1_000, int(20_000 * scale))
+
+    def main(ctx):
+        for _ in range(rounds):
+            yield op.MutexLock("m")
+            yield op.MutexUnlock("m")
+
+    return Program("lock-ladder", main)
+
+
+def _fixtures(scale: float):
+    return [
+        ("lock-ladder", make_lock_ladder(scale), 1),
+        ("prodcons", get_workload("prodcons").make_program(4, max(0.2, scale)), 4),
+        ("barrier-fft", get_workload("fft").make_program(4, max(0.2, scale)), 4),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# measurement
+# ---------------------------------------------------------------------------
+
+
+def _replay_s(plan, config, engine: str) -> float:
+    sim = Simulator(config)
+    start = time.perf_counter()
+    sim.run_replay(plan, replay_engine=engine)
+    return time.perf_counter() - start
+
+
+def _stats(times, events: int):
+    ordered = sorted(times)
+    best = ordered[0]
+    return {
+        "best_s": round(best, 6),
+        "p50_s": round(statistics.median(ordered), 6),
+        "p90_s": round(ordered[min(len(ordered) - 1, int(0.9 * len(ordered)))], 6),
+        "events_per_s": round(events / best),
+    }
+
+
+def bench_fixture(name: str, program: Program, cpus: int, runs: int) -> dict:
+    trace = record_program(program).trace
+
+    compile_start = time.perf_counter()
+    plan = compile_trace(trace)
+    compile_s = time.perf_counter() - compile_start
+    if not plan.fast_replayable():
+        raise SystemExit(f"{name}: plan did not lower to the fast form")
+
+    # parity first, on a shared config object (SimulationResult equality
+    # includes the config, and each SimConfig owns its DispatchTable)
+    config = SimConfig(cpus=cpus)
+    reference = Simulator(config).run_replay(plan, replay_engine="legacy")
+    fast_result = Simulator(config).run_replay(plan, replay_engine="fast")
+    if reference != fast_result:
+        raise SystemExit(f"{name}: fast replay diverged from legacy (parity)")
+
+    # interleave engines so machine noise hits both alike
+    legacy_times, fast_times = [], []
+    for _ in range(runs):
+        legacy_times.append(_replay_s(plan, config, "legacy"))
+        fast_times.append(_replay_s(plan, config, "fast"))
+
+    events = reference.engine_events
+    legacy = _stats(legacy_times, events)
+    fast = _stats(fast_times, events)
+    return {
+        "name": name,
+        "cpus": cpus,
+        "engine_events": events,
+        "plan_events": plan.event_count,
+        "compile_s": round(compile_s, 6),
+        "legacy": legacy,
+        "fast": fast,
+        "speedup": round(legacy["best_s"] / fast["best_s"], 3),
+        "parity": True,
+    }
+
+
+def run_bench(runs: int, scale: float) -> dict:
+    fixtures = [
+        bench_fixture(name, program, cpus, runs)
+        for name, program, cpus in _fixtures(scale)
+    ]
+    total_events = sum(f["engine_events"] for f in fixtures)
+    total_legacy = sum(f["legacy"]["best_s"] for f in fixtures)
+    total_fast = sum(f["fast"]["best_s"] for f in fixtures)
+    headline = next(f for f in fixtures if f["name"] == "lock-ladder")
+    return {
+        "benchmark": "replay-fastpath",
+        "config": {
+            "scale": scale,
+            "runs": runs,
+            "python": sys.version.split()[0],
+        },
+        "fixtures": fixtures,
+        "headline": {
+            "fixture": headline["name"],
+            "speedup": headline["speedup"],
+            "fast_events_per_s": headline["fast"]["events_per_s"],
+            "note": (
+                "uncontended sync-heavy replay: pure interpreter throughput, "
+                "unaffected by the block/wake machinery both engines share"
+            ),
+        },
+        "aggregate": {
+            "engine_events": total_events,
+            "legacy_s": round(total_legacy, 6),
+            "fast_s": round(total_fast, 6),
+            "speedup": round(total_legacy / total_fast, 3),
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# gate
+# ---------------------------------------------------------------------------
+
+
+def check(report: dict, baseline: dict, tolerance: float) -> list:
+    """Compare measured speedup ratios against the committed baseline."""
+    failures = []
+    base_fixtures = {f["name"]: f for f in baseline.get("fixtures", [])}
+    for fixture in report["fixtures"]:
+        base = base_fixtures.get(fixture["name"])
+        if base is None:
+            continue
+        floor = base["speedup"] * (1.0 - tolerance)
+        if fixture["speedup"] < floor:
+            failures.append(
+                f"{fixture['name']}: speedup {fixture['speedup']:.2f}x fell "
+                f"below {floor:.2f}x ({(1 - tolerance):.0%} of committed "
+                f"{base['speedup']:.2f}x)"
+            )
+    base_headline = baseline.get("headline", {}).get("speedup")
+    if base_headline:
+        floor = base_headline * (1.0 - tolerance)
+        if report["headline"]["speedup"] < floor:
+            failures.append(
+                f"headline: speedup {report['headline']['speedup']:.2f}x fell "
+                f"below {floor:.2f}x"
+            )
+    return failures
+
+
+def _render_table(report: dict) -> str:
+    lines = [
+        f"Replay throughput: fast opcode interpreter vs legacy Step walker "
+        f"(scale {report['config']['scale']}, best of {report['config']['runs']})",
+        f"{'fixture':<14} {'events':>8} {'compile':>9} {'legacy ev/s':>12} "
+        f"{'fast ev/s':>12} {'speedup':>8}",
+    ]
+    for f in report["fixtures"]:
+        lines.append(
+            f"{f['name']:<14} {f['engine_events']:>8} {f['compile_s']*1e3:>7.1f}ms "
+            f"{f['legacy']['events_per_s']:>12,} {f['fast']['events_per_s']:>12,} "
+            f"{f['speedup']:>7.2f}x"
+        )
+    agg = report["aggregate"]
+    lines.append(
+        f"{'aggregate':<14} {agg['engine_events']:>8} {'':>9} "
+        f"{'':>12} {'':>12} {agg['speedup']:>7.2f}x"
+    )
+    lines.append(
+        f"headline (interpreter throughput, {report['headline']['fixture']}): "
+        f"{report['headline']['speedup']:.2f}x at "
+        f"{report['headline']['fast_events_per_s']:,} events/s"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--runs", type=int, default=max(3, BENCH_RUNS))
+    parser.add_argument("--scale", type=float, default=BENCH_SCALE)
+    parser.add_argument(
+        "--check", action="store_true",
+        help=f"gate measured speedups against the committed {BASELINE}",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed fractional speedup drop in --check mode (default 0.20)",
+    )
+    parser.add_argument(
+        "--artifact", default=BASELINE,
+        help=f"result JSON filename under benchmarks/results/ (default {BASELINE})",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_bench(args.runs, args.scale)
+    save_json(args.artifact, report)
+    emit(_render_table(report))
+
+    if args.check:
+        baseline = load_json(BASELINE)
+        if baseline is None:
+            emit(f"GATE FAILED: no committed baseline {BASELINE}")
+            return 1
+        failures = check(report, baseline, args.tolerance)
+        if failures:
+            emit("GATE FAILED: " + "; ".join(failures))
+            return 1
+        emit(
+            f"gate passed: headline {report['headline']['speedup']:.2f}x "
+            f"(committed {baseline['headline']['speedup']:.2f}x, "
+            f"tolerance {args.tolerance:.0%})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

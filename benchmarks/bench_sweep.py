@@ -23,7 +23,7 @@ from repro.jobs import JobEngine, ResultCache, TraceRef
 from repro.program.uniexec import record_program
 from repro.workloads import get_workload
 
-from _common import BENCH_SCALE, emit
+from _common import BENCH_SCALE, emit, save_json
 
 SWEEP_CPUS = list(range(1, 9))
 POOL_WORKERS = 4
@@ -102,3 +102,23 @@ def test_sweep_throughput(benchmark, trace, trace_ref, tmp_path_factory):
         f"(hit rate {cache_stats['hit_rate']:.0%})",
     ]
     emit("\n" + "\n".join(lines), artifact="sweep.txt")
+    save_json(
+        "BENCH_sweep.json",
+        {
+            "benchmark": "batch-sweep",
+            "config": {
+                "workload": "fft",
+                "scale": BENCH_SCALE,
+                "sweep_cpus": SWEEP_CPUS,
+                "pool_workers": POOL_WORKERS,
+            },
+            "results": {
+                "serial_s": round(serial_s, 6),
+                "pooled_cold_s": round(cold_s, 6),
+                "pooled_warm_s": round(warm_s, 6),
+                "pooled_speedup": round(serial_s / cold_s, 3),
+                "warm_speedup": round(serial_s / warm_s, 3),
+                "cache": cache_stats,
+            },
+        },
+    )

@@ -74,33 +74,54 @@ class ScheduledEvent:
 
 
 class EventQueue:
-    """A lazy-deletion binary heap of :class:`ScheduledEvent`."""
+    """A lazy-deletion binary heap of :class:`ScheduledEvent`.
+
+    The heap stores ``(time_us, seq, event)`` tuples so ordering is decided
+    by C-level tuple comparison; ``ScheduledEvent.__lt__`` exists only for
+    callers that compare handles directly.  Profiling showed the Python
+    ``__lt__`` dominating replay (one call per sift step per event).
+    """
 
     def __init__(self) -> None:
-        self._heap: List[ScheduledEvent] = []
+        self._heap: List[tuple] = []
         self._counter = itertools.count()
 
     def push(self, time_us: int, action: Callable[[], None], label: str = "") -> ScheduledEvent:
         ev = ScheduledEvent(time_us, next(self._counter), action, label)
-        heapq.heappush(self._heap, ev)
+        heapq.heappush(self._heap, (time_us, ev.seq, ev))
+        return ev
+
+    def repush(self, time_us: int, ev: ScheduledEvent) -> ScheduledEvent:
+        """Re-arm an already-executed event object at a new time.
+
+        The replay fast path recycles its one-in-flight-per-thread burst
+        and quantum events through this instead of allocating a fresh
+        :class:`ScheduledEvent` per arm.  The caller must guarantee *ev*
+        is live (not cancelled) and no longer in the heap — i.e. its
+        previous occurrence was popped and executed.
+        """
+        seq = next(self._counter)
+        ev.time_us = time_us
+        ev.seq = seq
+        heapq.heappush(self._heap, (time_us, seq, ev))
         return ev
 
     def pop(self) -> Optional[ScheduledEvent]:
         """Pop the earliest live event, or None when the queue is drained."""
         while self._heap:
-            ev = heapq.heappop(self._heap)
+            ev = heapq.heappop(self._heap)[2]
             if not ev.cancelled:
                 return ev
         return None
 
     def peek_time(self) -> Optional[int]:
         """Timestamp of the earliest live event without popping it."""
-        while self._heap and self._heap[0].cancelled:
+        while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
-        return self._heap[0].time_us if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def __len__(self) -> int:
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        return sum(1 for entry in self._heap if not entry[2].cancelled)
 
     def __bool__(self) -> bool:
         return self.peek_time() is not None
@@ -155,61 +176,78 @@ class Engine:
     # ------------------------------------------------------------------
 
     def run(self) -> int:
-        """Run until the queue drains; return the final simulated time."""
+        """Run until the queue drains; return the final simulated time.
+
+        This is the innermost loop of every simulation, so the hot state is
+        bound to locals: the heap list is consumed directly (actions push
+        onto the same list object via :meth:`EventQueue.push`), ``heappop``
+        is a local, and the budget checks are inlined integer compares with
+        exactly the legacy trip points.  Only the wall-clock probe is
+        amortised (every ``check_every`` events, as before).
+        """
         watchdog = self.watchdog
         if watchdog is not None and self._wall_start is None:
             self._wall_start = time.monotonic()
-        while True:
-            ev = self.queue.pop()
-            if ev is None:
-                return self.now_us
-            if ev.time_us < self.now_us:
-                raise SimulationError(
-                    f"time went backwards: now={self.now_us}, event={ev!r}"
-                )
-            self.now_us = ev.time_us
-            self.events_executed += 1
-            if self.events_executed > self.max_events:
-                raise LivelockError(
-                    f"exceeded {self.max_events} events at t={self.now_us}us; "
-                    "simulation is likely livelocked"
-                )
-            if self.max_time_us is not None and self.now_us > self.max_time_us:
-                raise LivelockError(
-                    f"simulated time exceeded ceiling {self.max_time_us}us"
-                )
-            if watchdog is not None:
-                self._check_watchdog(watchdog)
-            ev.action()
-
-    def _check_watchdog(self, watchdog: Watchdog) -> None:
-        if (
-            watchdog.max_events is not None
-            and self.events_executed > watchdog.max_events
-        ):
-            raise BudgetExceededError(
-                f"event budget of {watchdog.max_events} exhausted "
-                f"at t={self.now_us}us",
-                budget="events",
-            )
-        if (
-            watchdog.max_time_us is not None
-            and self.now_us > watchdog.max_time_us
-        ):
-            raise BudgetExceededError(
-                f"simulated-time budget of {watchdog.max_time_us}us exhausted",
-                budget="simulated-time",
-            )
-        if (
-            watchdog.max_wall_s is not None
-            and self.events_executed % watchdog.check_every == 0
-            and time.monotonic() - (self._wall_start or 0.0) > watchdog.max_wall_s
-        ):
-            raise BudgetExceededError(
-                f"wall-clock budget of {watchdog.max_wall_s}s exhausted "
-                f"after {self.events_executed} events (t={self.now_us}us)",
-                budget="wall-clock",
-            )
+        heap = self.queue._heap
+        heappop = heapq.heappop
+        max_events = self.max_events
+        max_time_us = self.max_time_us
+        if watchdog is not None:
+            wd_events = watchdog.max_events
+            wd_time_us = watchdog.max_time_us
+            wd_wall_s = watchdog.max_wall_s
+            check_every = watchdog.check_every
+        else:
+            wd_events = wd_time_us = wd_wall_s = None
+            check_every = 0
+        executed = self.events_executed
+        try:
+            while heap:
+                entry = heappop(heap)
+                ev = entry[2]
+                if ev.cancelled:
+                    continue
+                time_us = entry[0]
+                if time_us < self.now_us:
+                    raise SimulationError(
+                        f"time went backwards: now={self.now_us}, event={ev!r}"
+                    )
+                self.now_us = time_us
+                executed += 1
+                if executed > max_events:
+                    raise LivelockError(
+                        f"exceeded {max_events} events at t={self.now_us}us; "
+                        "simulation is likely livelocked"
+                    )
+                if max_time_us is not None and time_us > max_time_us:
+                    raise LivelockError(
+                        f"simulated time exceeded ceiling {max_time_us}us"
+                    )
+                if wd_events is not None and executed > wd_events:
+                    raise BudgetExceededError(
+                        f"event budget of {wd_events} exhausted "
+                        f"at t={self.now_us}us",
+                        budget="events",
+                    )
+                if wd_time_us is not None and time_us > wd_time_us:
+                    raise BudgetExceededError(
+                        f"simulated-time budget of {wd_time_us}us exhausted",
+                        budget="simulated-time",
+                    )
+                if (
+                    wd_wall_s is not None
+                    and executed % check_every == 0
+                    and time.monotonic() - (self._wall_start or 0.0) > wd_wall_s
+                ):
+                    raise BudgetExceededError(
+                        f"wall-clock budget of {wd_wall_s}s exhausted "
+                        f"after {executed} events (t={self.now_us}us)",
+                        budget="wall-clock",
+                    )
+                ev.action()
+            return self.now_us
+        finally:
+            self.events_executed = executed
 
     def step(self) -> bool:
         """Execute a single event; return False when the queue is empty."""

@@ -15,8 +15,9 @@ The Simulator's product is everything the Visualizer needs (§3.3):
 from __future__ import annotations
 
 import enum
+import operator
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from repro.core.config import SimConfig
 from repro.core.events import Primitive, SourceLocation, Status
@@ -124,8 +125,7 @@ class ThreadSegment:
         return self.end_us - self.start_us
 
 
-@dataclass(frozen=True, slots=True)
-class PlacedEvent:
+class PlacedEvent(NamedTuple):
     """A simulated thread-library call, positioned in simulated time.
 
     ``start_us`` is when the call began executing, ``end_us`` when it
@@ -133,6 +133,10 @@ class PlacedEvent:
     popup reports "when the event started, ended, and how long it took to
     perform").  ``cpu`` is the processor the thread was running on when it
     made the call.
+
+    A NamedTuple rather than a dataclass: one instance is built per
+    simulated library call, so construction cost is on the replay hot
+    path for both engines.
     """
 
     index: int
@@ -235,7 +239,10 @@ class ResultBuilder:
         self.config = config
         self._segments: Dict[ThreadId, List[ThreadSegment]] = {}
         self._open: Dict[ThreadId, Tuple[SegmentKind, int, Optional[int]]] = {}
-        self._events: List[PlacedEvent] = []
+        #: event rows (PlacedEvent fields minus the leading index), kept as
+        #: plain tuples until build() — constructing the NamedTuple once,
+        #: with the final timeline index, halves per-event build cost
+        self._events: List[tuple] = []
         self._cpu_busy: List[int] = [0] * config.cpus
 
     # -- notifications from the scheduler/simulator ----------------------
@@ -252,14 +259,16 @@ class ResultBuilder:
         if open_seg is not None:
             prev_kind, start_us, prev_cpu = open_seg
             if time_us > start_us:
-                self._segments.setdefault(tid, []).append(
+                # the key exists: it was created when the segment opened
+                self._segments[tid].append(
                     ThreadSegment(tid, prev_kind, start_us, time_us, prev_cpu)
                 )
             if prev_kind is SegmentKind.RUNNING and prev_cpu is not None:
                 self._cpu_busy[prev_cpu] += time_us - start_us
         if kind is not None:
             self._open[tid] = (kind, time_us, cpu)
-            self._segments.setdefault(tid, [])
+            if tid not in self._segments:
+                self._segments[tid] = []
 
     def event_placed(
         self,
@@ -275,18 +284,7 @@ class ResultBuilder:
         source: Optional[SourceLocation] = None,
     ) -> None:
         self._events.append(
-            PlacedEvent(
-                index=len(self._events),
-                tid=tid,
-                primitive=primitive,
-                start_us=start_us,
-                end_us=end_us,
-                cpu=cpu,
-                obj=obj,
-                target=target,
-                status=status,
-                source=source,
-            )
+            (tid, primitive, start_us, end_us, cpu, obj, target, status, source)
         )
 
     # -- finalisation ------------------------------------------------------
@@ -302,22 +300,11 @@ class ResultBuilder:
         # Close any segment still open at the end of the run.
         for tid in list(self._open):
             self.thread_condition(tid, None, makespan_us)
-        events = sorted(self._events, key=lambda ev: (ev.start_us, ev.index))
-        events = [
-            PlacedEvent(
-                index=i,
-                tid=ev.tid,
-                primitive=ev.primitive,
-                start_us=ev.start_us,
-                end_us=ev.end_us,
-                cpu=ev.cpu,
-                obj=ev.obj,
-                target=ev.target,
-                status=ev.status,
-                source=ev.source,
-            )
-            for i, ev in enumerate(events)
-        ]
+        # timeline order = (start_us, append order); rows are appended in
+        # order, so a stable sort on start_us (row field 2) is equivalent
+        rows = self._events
+        rows.sort(key=operator.itemgetter(2))
+        events = [PlacedEvent(i, *row) for i, row in enumerate(rows)]
         return SimulationResult(
             config=self.config,
             makespan_us=makespan_us,

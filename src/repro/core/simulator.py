@@ -29,8 +29,10 @@ The same class performs three roles from the paper's figure 1:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Protocol
+import os
+from dataclasses import dataclass, field
+from heapq import heappush
+from typing import Callable, Dict, Iterator, List, Optional, Protocol, Tuple
 
 from repro.core.config import SimConfig
 from repro.core.engine import Engine, Watchdog
@@ -89,41 +91,245 @@ class ReplayThreadMeta:
     bound: bool = False
 
 
+# ---------------------------------------------------------------------------
+# compiled replay plans (the fast interpreter's instruction set)
+# ---------------------------------------------------------------------------
+
+#: Op type → (opcode, Simulator handler attribute).  The opcode is the
+#: index into the per-run pre-bound handler table; ``_f_*`` handlers are
+#: fast-path specialisations, the remaining entries reuse the legacy
+#: ``_h_*`` methods (blocking/rare ops whose cost is not per-step).
+_FAST_DISPATCH: List[Tuple[type, str]] = [
+    (op_mod.MutexLock, "_f_mutex_lock"),
+    (op_mod.MutexTrylock, "_f_mutex_trylock"),
+    (op_mod.MutexUnlock, "_f_mutex_unlock"),
+    (op_mod.SemaInit, "_f_sema_init"),
+    (op_mod.SemaWait, "_f_sema_wait"),
+    (op_mod.SemaTryWait, "_f_sema_trywait"),
+    (op_mod.SemaPost, "_f_sema_post"),
+    (op_mod.CondWait, "_h_cond_wait"),
+    (op_mod.CondTimedWait, "_h_cond_timedwait"),
+    (op_mod.CondSignal, "_f_cond_signal"),
+    (op_mod.CondBroadcast, "_f_cond_broadcast"),
+    (op_mod.RwRdLock, "_f_rw_rdlock"),
+    (op_mod.RwWrLock, "_f_rw_wrlock"),
+    (op_mod.RwTryRdLock, "_f_rw_tryrdlock"),
+    (op_mod.RwTryWrLock, "_f_rw_trywrlock"),
+    (op_mod.RwUnlock, "_f_rw_unlock"),
+    (op_mod.Resched, "_h_resched"),
+    (op_mod.Delay, "_h_delay"),
+    (op_mod.IoWait, "_h_io_wait"),
+    (op_mod.Noop, "_f_noop"),
+    (op_mod.SharedRead, "_f_shared_access"),
+    (op_mod.SharedWrite, "_f_shared_access"),
+    (op_mod.ThrCreate, "_h_thr_create"),
+    (op_mod.ThrJoin, "_h_thr_join"),
+    (op_mod.ThrExit, "_h_thr_exit"),
+    (op_mod.ThrYield, "_h_thr_yield"),
+    (op_mod.ThrSetPrio, "_f_thr_setprio"),
+    (op_mod.ThrSetConcurrency, "_f_thr_setconcurrency"),
+]
+
+_OPCODE_OF: Dict[type, int] = {
+    cls: code for code, (cls, _) in enumerate(_FAST_DISPATCH)
+}
+
+#: Primitive → index into the per-run cost rows (0 = "no primitive").
+_PRIM_IDX: Dict[Primitive, int] = {p: i + 1 for i, p in enumerate(Primitive)}
+
+# opcodes the deferred-return path special-cases (timeout status, wildcard
+# join target) — int compares instead of isinstance in the hot loop
+_CODE_COND_TIMEDWAIT = _OPCODE_OF[op_mod.CondTimedWait]
+_CODE_THR_JOIN = _OPCODE_OF[op_mod.ThrJoin]
+
+#: ops whose sync object can be resolved once per run instead of per
+#: execution: creation takes no parameters for these kinds, so resolving
+#: (and so creating) early is invisible in the result.  Semaphores are
+#: excluded — sema() uses the initial count only at creation, so first
+#: touch must stay at execution time.  Index into _attach_fast's resolver
+#: tuple: 1 = mutex, 2 = condvar, 3 = rwlock.  Steps are compiled to
+#: small-int *slots* (one per distinct object a thread touches) so a
+#: replay resolves each object once, not once per step.
+_SYNC_KIND: Dict[type, int] = {
+    op_mod.MutexLock: 1,
+    op_mod.MutexTrylock: 1,
+    op_mod.MutexUnlock: 1,
+    op_mod.CondSignal: 2,
+    op_mod.CondBroadcast: 2,
+    op_mod.RwRdLock: 3,
+    op_mod.RwWrLock: 3,
+    op_mod.RwTryRdLock: 3,
+    op_mod.RwTryWrLock: 3,
+    op_mod.RwUnlock: 3,
+}
+
+
+class CompiledThread:
+    """One thread's step list lowered to flat parallel arrays.
+
+    Built once per :class:`ReplayPlan` and shared by every replay of the
+    plan: small-int op-codes (indices into the simulator's pre-bound
+    handler table), burst work, cost-table primitive indices, and the
+    per-step constants the placed events need (sync-object id, target
+    tid) so the hot loop touches no op attributes or properties.  The
+    original ``Op`` objects ride along because completion events carry
+    ``op.source`` and the handlers apply op semantics.
+    """
+
+    __slots__ = (
+        "codes", "works", "prims", "ops", "objs", "targets",
+        "sync_slots", "slot_specs", "create_idx", "src_len", "n",
+    )
+
+    def __init__(self, steps: List[Step]):
+        seq = list(steps)
+        self.src_len = len(steps)
+        if not seq or type(seq[-1].op) is not op_mod.ThrExit:
+            # the legacy path synthesises Step(0, ThrExit()) when a
+            # behaviour runs dry; bake the same sentinel in
+            seq.append(Step(0, op_mod.ThrExit()))
+        ops = tuple(s.op for s in seq)
+        self.ops = ops
+        self.works = tuple(s.work_us for s in seq)
+        self.codes = tuple(_OPCODE_OF[type(op)] for op in ops)
+        self.prims = tuple(
+            0 if op.primitive is None else _PRIM_IDX[op.primitive] for op in ops
+        )
+        self.objs = tuple(op.obj for op in ops)
+        self.targets = tuple(Simulator._op_target(op) for op in ops)
+        # per-step sync slot: 0 = none, j >= 1 indexes slot_specs[j - 1]
+        slot_of: Dict[Tuple[int, str], int] = {}
+        specs: List[Tuple[int, str]] = []
+        slots = []
+        for op in ops:
+            kind = _SYNC_KIND.get(type(op), 0)
+            if kind:
+                key = (kind, op.name)
+                j = slot_of.get(key)
+                if j is None:
+                    j = slot_of[key] = len(specs) + 1
+                    specs.append(key)
+                slots.append(j)
+            else:
+                slots.append(0)
+        self.sync_slots = tuple(slots)
+        self.slot_specs = tuple(specs)
+        #: steps whose cost needs the child policy (thr_create, §3.2)
+        self.create_idx = tuple(
+            i for i, op in enumerate(ops) if type(op) is op_mod.ThrCreate
+        )
+        self.n = len(seq)
+
+
+def _compile_steps(steps: List[Step]) -> Optional[CompiledThread]:
+    """Lower one thread's steps; None when an op type is not compilable
+    (an Op subclass outside the vocabulary — the plan then replays on the
+    legacy object-walking path)."""
+    for step in steps:
+        if type(step.op) not in _OPCODE_OF:
+            return None
+    return CompiledThread(steps)
+
+
 @dataclass
 class ReplayPlan:
     """A compiled trace: per-thread step lists plus thread attributes.
 
     Produced by :func:`repro.core.predictor.compile_trace`; consumed by
-    :meth:`Simulator.run_replay`.
+    :meth:`Simulator.run_replay`.  Construction eagerly lowers every
+    thread's steps into a :class:`CompiledThread` (``compiled``) for the
+    fast replay interpreter, and caches ``total_steps()`` /
+    ``event_count``.  Do not mutate ``steps`` in place afterwards — build
+    a new plan instead (the fault-injection and what-if transforms do).
     """
 
     steps: Dict[int, List[Step]]
     meta: Dict[int, ReplayThreadMeta]
     program_name: str = "a.out"
 
+    def __post_init__(self) -> None:
+        total = 0
+        compiled: Optional[Dict[int, CompiledThread]] = {}
+        for tid, steps in self.steps.items():
+            total += len(steps)
+            if compiled is not None:
+                ct = _compile_steps(steps)
+                compiled = None if ct is None else compiled
+                if compiled is not None:
+                    compiled[tid] = ct
+        self._total_steps = total
+        #: number of recorded library calls the plan replays (one placed
+        #: event per step) — what watchdog event budgets and the replay
+        #: benchmark size themselves against
+        self.event_count = total
+        self.compiled = compiled
+
     def total_steps(self) -> int:
-        return sum(len(s) for s in self.steps.values())
+        return self._total_steps
+
+    def fast_replayable(self) -> bool:
+        """True when every thread lowered and the step lists still match
+        the compiled form (guards against in-place mutation)."""
+        if self.compiled is None:
+            return False
+        for tid, steps in self.steps.items():
+            ct = self.compiled.get(tid)
+            if ct is None or ct.src_len != len(steps):
+                return False
+        return True
 
 
 # ---------------------------------------------------------------------------
 
 
-@dataclass
 class _ThreadRt:
-    """Transient per-thread simulation state."""
+    """Transient per-thread simulation state (slots: hot-loop attribute
+    access and no per-thread ``__dict__``).
 
-    behavior: ThreadBehavior
-    ctx: Optional[ThreadCtx] = None
-    current_op: Optional[op_mod.Op] = None
-    op_cost_us: int = 0
-    op_call_time_us: int = 0
-    #: a blocking op returned control; its RET record / placed event are due
-    #: when the thread next reaches a processor
-    pending_ret: bool = False
-    pending_result: object = NO_RESULT
-    #: extra CPU to fold into the next burst (return-probe overhead etc.)
-    extra_us: int = 0
-    started: bool = False
+    The ``c_*`` fields alias the thread's :class:`CompiledThread` arrays
+    plus the per-run cost array; ``cur_*`` cache the in-flight step's
+    constants so completion never re-derives them from the op.
+    """
+
+    __slots__ = (
+        "behavior", "ctx", "current_op", "op_cost_us", "op_call_time_us",
+        "pending_ret", "pending_result", "extra_us", "started",
+        # fast-interpreter state
+        "pos", "c_codes", "c_works", "c_costs", "c_objs", "c_targets",
+        "c_ops", "c_syncslots", "c_slotobjs",
+        "cur_code", "cur_obj", "cur_target", "cur_sync",
+    )
+
+    def __init__(
+        self,
+        behavior: Optional[ThreadBehavior],
+        ctx: Optional[ThreadCtx] = None,
+    ):
+        self.behavior = behavior
+        self.ctx = ctx
+        self.current_op: Optional[op_mod.Op] = None
+        self.op_cost_us = 0
+        self.op_call_time_us = 0
+        #: a blocking op returned control; its RET record / placed event
+        #: are due when the thread next reaches a processor
+        self.pending_ret = False
+        self.pending_result: object = NO_RESULT
+        #: extra CPU to fold into the next burst (return-probe overhead)
+        self.extra_us = 0
+        self.started = False
+        self.pos = 0
+        self.c_codes: Optional[tuple] = None
+        self.c_works: Optional[tuple] = None
+        self.c_costs: Optional[list] = None
+        self.c_objs: Optional[tuple] = None
+        self.c_targets: Optional[tuple] = None
+        self.c_ops: Optional[tuple] = None
+        self.c_syncslots: Optional[tuple] = None
+        self.c_slotobjs: Optional[tuple] = None
+        self.cur_code = 0
+        self.cur_obj = None
+        self.cur_target: Optional[int] = None
+        self.cur_sync: object = None
 
 
 class Simulator:
@@ -165,6 +371,17 @@ class Simulator:
         # replay context
         self._replay_plan: Optional[ReplayPlan] = None
 
+        # fast-interpreter state (armed by _setup_fast)
+        self._fast = False
+        self._fh: Optional[list] = None
+        self._cost_rows: Optional[tuple] = None
+        self._ev_list: Optional[list] = None
+        self._begin_burst: Optional[Callable[[SimThread, int], None]] = None
+        self._sched_pending: Optional[dict] = None
+        self._sched_bursts: Optional[dict] = None
+        self._heap: Optional[list] = None
+        self._evseq: Optional[Iterator[int]] = None
+
         self._finished = False
 
     # ==================================================================
@@ -185,12 +402,33 @@ class Simulator:
         behavior = LiveBehavior(program.main(ctx), perturb=self.perturb)
         return self._run(behavior, ctx=ctx, program_name=program.name)
 
-    def run_replay(self, plan: ReplayPlan) -> SimulationResult:
-        """Replay a compiled trace (the paper's prediction run)."""
+    def run_replay(
+        self, plan: ReplayPlan, *, replay_engine: Optional[str] = None
+    ) -> SimulationResult:
+        """Replay a compiled trace (the paper's prediction run).
+
+        ``replay_engine`` selects the interpreter: ``"fast"`` (default)
+        replays the plan's :class:`CompiledThread` arrays through the
+        opcode interpreter, ``"legacy"`` walks the original ``Step``
+        objects.  Unset, the ``VPPB_REPLAY`` environment variable decides
+        (defaulting to fast).  Both produce bit-identical results; the
+        fast path silently falls back to legacy when the plan did not
+        lower (op outside the vocabulary, mutated steps) or a probe is
+        attached (probe overhead bookkeeping needs the object path).
+        """
         self._replay_plan = plan
         if int(MAIN_THREAD_ID) not in plan.steps:
             raise SimulationError("replay plan lacks the main thread (tid 1)")
-        behavior = ReplayBehavior(plan.steps[int(MAIN_THREAD_ID)])
+        mode = replay_engine or os.environ.get("VPPB_REPLAY") or "fast"
+        if mode not in ("fast", "legacy"):
+            raise SimulationError(
+                f"unknown replay engine {mode!r} (expected 'fast' or 'legacy')"
+            )
+        if mode == "fast" and self.probe is None and plan.fast_replayable():
+            self._setup_fast()
+            behavior: Optional[ThreadBehavior] = None
+        else:
+            behavior = ReplayBehavior(plan.steps[int(MAIN_THREAD_ID)])
         return self._run(behavior, ctx=None, program_name=plan.program_name)
 
     # ==================================================================
@@ -199,7 +437,7 @@ class Simulator:
 
     def _run(
         self,
-        main_behavior: ThreadBehavior,
+        main_behavior: Optional[ThreadBehavior],
         *,
         ctx: Optional[ThreadCtx],
         program_name: str,
@@ -425,6 +663,336 @@ class Simulator:
         finally:
             self._current_cpu = None
             self.scheduler.end_atomic()
+
+    # ==================================================================
+    # fast replay interpreter
+    # ==================================================================
+    #
+    # The fast path replaces the two SchedulerListener entry points with
+    # interpreter loops over the plan's CompiledThread arrays: small-int
+    # opcode dispatch through a pre-bound handler table, per-step costs
+    # read from a precomputed row, and the probe/record plumbing (always
+    # dead during prediction — probes only exist while recording) removed
+    # instead of re-checked per event.  Blocking and rare ops reuse the
+    # legacy ``_h_*`` handlers, which stay parity-correct here because
+    # ``self.need_step`` is shadowed by :meth:`_need_step_fast` and
+    # ``_emit_record`` no-ops without a probe.
+
+    def _setup_fast(self) -> None:
+        self._fast = True
+        self._fh = [getattr(self, name) for _, name in _FAST_DISPATCH]
+        op_cost = self.config.costs.op_cost
+        # cost rows indexed by CompiledThread.prims: row 0 = unbound
+        # thread, row 1 = bound; slot 0 = "op has no primitive"
+        self._cost_rows = tuple(
+            (0,) + tuple(op_cost(p, bound=b) for p in Primitive)
+            for b in (False, True)
+        )
+        # pre-bound hot collaborators (one attribute hop per step instead
+        # of two or three)
+        self._ev_list = self.builder._events
+        self._begin_burst = self.scheduler.begin_burst_fast
+        self._sched_pending = self.scheduler._switch_cost_pending
+        self._sched_bursts = self.scheduler._burst_events
+        self._heap = self.engine.queue._heap
+        self._evseq = self.engine.queue._counter
+        # shadow the listener entry points (instance attribute wins over
+        # the class methods, for the scheduler and the reused handlers)
+        self.need_step = self._need_step_fast  # type: ignore[method-assign]
+        self.burst_complete = self._burst_complete_fast  # type: ignore[method-assign]
+
+    def _attach_fast(self, thread: SimThread, rt: _ThreadRt) -> None:
+        """Alias the compiled arrays onto the runtime at first dispatch.
+
+        Deferred to here (not _spawn) because ``register_thread`` applies
+        the run's binding policy *after* spawn, and boundness picks the
+        cost row.
+        """
+        assert self._replay_plan is not None and self._replay_plan.compiled is not None
+        ct = self._replay_plan.compiled[int(thread.tid)]
+        rt.c_codes = ct.codes
+        rt.c_works = ct.works
+        rt.c_objs = ct.objs
+        rt.c_targets = ct.targets
+        rt.c_ops = ct.ops
+        assert self._cost_rows is not None
+        row = self._cost_rows[1 if thread.bound else 0]
+        costs = [row[i] for i in ct.prims]
+        for i in ct.create_idx:
+            # thr_create cost follows the *child's* boundness (§3.2)
+            costs[i] = self._op_cost(thread, ct.ops[i])
+        rt.c_costs = costs
+        # resolve parameter-less sync objects once per run (mutex/cond/
+        # rwlock creation is invisible in the result, so doing it here
+        # rather than at first execution cannot perturb parity) — one
+        # resolution per distinct object, indexed per step via sync_slots
+        sync = self.sync
+        resolvers = (None, sync.mutex, sync.cond, sync.rwlock)
+        rt.c_slotobjs = (None,) + tuple(
+            resolvers[kind](name) for kind, name in ct.slot_specs
+        )
+        rt.c_syncslots = ct.sync_slots
+        rt.pos = 0
+        # fused burst completion — _burst_done bookkeeping plus the opcode
+        # dispatch of burst_complete in a single callback frame; the
+        # scheduler reuses it via thread.burst_action
+        tid = int(thread.tid)
+        sched = self.scheduler
+        def burst_action(
+            t=thread,
+            t_id=tid,
+            rt=rt,
+            events=sched._burst_events,
+            running=ThreadState.RUNNING,
+            sched=sched,
+            engine=self.engine,
+            fh=self._fh,
+            sim=self,
+        ):
+            events.pop(t_id, None)
+            t.burst_remaining_us = 0
+            if t.state is not running:
+                raise SimulationError(
+                    f"burst completion for non-running T{t_id}"
+                )
+            op = rt.current_op
+            if op is None:
+                raise SimulationError(
+                    f"burst completed with no op for T{t_id}"
+                )
+            sched._atomic_depth += 1  # inlined begin_atomic()
+            sim._current_cpu = t.last_cpu
+            try:
+                rt.op_call_time_us = engine.now_us - rt.op_cost_us
+                fh[rt.cur_code](t, rt, op)
+            finally:
+                sim._current_cpu = None
+                # inlined end_atomic(): depth is >= 1 by construction
+                depth = sched._atomic_depth - 1
+                sched._atomic_depth = depth
+                if depth == 0 and sched._dispatch_wanted:
+                    sched._dispatch_wanted = False
+                    sched._kernel_dispatch()
+        thread.burst_action = burst_action
+
+    def _need_step_fast(self, thread: SimThread) -> None:
+        """Fast-path ``need_step``: fetch/decode from the compiled arrays."""
+        rt = self._rt[int(thread.tid)]
+        op = rt.current_op
+        if op is not None:
+            if not rt.pending_ret:
+                # same-microsecond preemption cancelled the completion
+                # event before the op applied — apply it now (rare)
+                self._burst_complete_fast(thread)
+                return
+            # deferred return of a blocking call: place its event now
+            result = rt.pending_result
+            code = rt.cur_code
+            status = (
+                Status.TIMEOUT
+                if code == _CODE_COND_TIMEDWAIT and result is False
+                else Status.OK
+            )
+            if code == _CODE_THR_JOIN and isinstance(result, int):
+                target = result  # wildcard join: who we actually joined
+            else:
+                target = rt.cur_target
+            prim = op.primitive
+            if prim is not None:
+                self._ev_list.append(
+                    (thread.tid, prim, rt.op_call_time_us,
+                     self.engine.now_us, thread.last_cpu, rt.cur_obj,
+                     target, status, op.source)
+                )
+            rt.pending_ret = False
+            rt.current_op = None
+        rt.pending_result = NO_RESULT
+
+        codes = rt.c_codes
+        if codes is None:
+            self._attach_fast(thread, rt)
+            codes = rt.c_codes
+        i = rt.pos
+        rt.pos = i + 1
+        rt.current_op = rt.c_ops[i]
+        rt.cur_code = codes[i]
+        rt.cur_obj = rt.c_objs[i]
+        rt.cur_target = rt.c_targets[i]
+        rt.cur_sync = rt.c_slotobjs[rt.c_syncslots[i]]
+        cost = rt.c_costs[i]
+        rt.op_cost_us = cost
+        self._begin_burst(thread, rt.c_works[i] + cost)
+
+    def _burst_complete_fast(self, thread: SimThread) -> None:
+        """Fast-path ``burst_complete``: opcode dispatch, no record plumbing."""
+        rt = self._rt[int(thread.tid)]
+        op = rt.current_op
+        if op is None:
+            raise SimulationError(f"burst completed with no op for T{int(thread.tid)}")
+        sched = self.scheduler
+        sched._atomic_depth += 1  # inlined begin_atomic()
+        self._current_cpu = thread.last_cpu
+        try:
+            rt.op_call_time_us = self.engine.now_us - rt.op_cost_us
+            self._fh[rt.cur_code](thread, rt, op)
+        finally:
+            self._current_cpu = None
+            # inlined end_atomic(): depth is >= 1 by construction
+            depth = sched._atomic_depth - 1
+            sched._atomic_depth = depth
+            if depth == 0 and sched._dispatch_wanted:
+                sched._dispatch_wanted = False
+                sched._kernel_dispatch()
+
+    def _complete_now_fast(
+        self,
+        thread: SimThread,
+        rt: _ThreadRt,
+        op: op_mod.Op,
+        result: object,
+        status: Status = Status.OK,
+        *,
+        target: Optional[int] = None,
+    ) -> None:
+        """Non-blocking completion on the fast path: place the event from
+        the cached step constants and fetch the next instruction.
+
+        The fetch is inlined rather than delegated to
+        :meth:`_need_step_fast`: the op just completed synchronously, so
+        the deferred-return prologue there cannot apply (``current_op`` is
+        consumed here, ``pending_ret`` was never set).
+        """
+        prim = op.primitive
+        if prim is not None:
+            if target is None:
+                target = rt.cur_target
+            self._ev_list.append(
+                (thread.tid, prim, rt.op_call_time_us,
+                 self.engine.now_us, thread.last_cpu, rt.cur_obj,
+                 target, status, op.source)
+            )
+        rt.pending_result = NO_RESULT
+        i = rt.pos
+        rt.pos = i + 1
+        rt.current_op = rt.c_ops[i]
+        rt.cur_code = rt.c_codes[i]
+        rt.cur_obj = rt.c_objs[i]
+        rt.cur_target = rt.c_targets[i]
+        rt.cur_sync = rt.c_slotobjs[rt.c_syncslots[i]]
+        cost = rt.c_costs[i]
+        rt.op_cost_us = cost
+        # inlined begin_burst_fast (kept in lockstep with the scheduler's
+        # version; the state check is omitted because the thread just
+        # completed a burst inside an atomic section, so it is RUNNING by
+        # construction)
+        duration = rt.c_works[i] + cost
+        pending = self._sched_pending
+        if pending:
+            duration += pending.pop(thread.tid, 0)
+        thread.burst_remaining_us = duration
+        engine = self.engine
+        end = engine.now_us + duration
+        ev = thread.burst_event
+        if ev is None or ev.cancelled:
+            ev = engine.queue.push(end, thread.burst_action, "burst")
+            thread.burst_event = ev
+        else:
+            ev.time_us = end
+            ev.seq = seq = next(self._evseq)
+            heappush(self._heap, (end, seq, ev))
+        self._sched_bursts[thread.tid] = (ev, end)
+
+    # -- fast per-op handlers (hot completion ops only; blocking/rare ops
+    # -- reuse the legacy handlers via the dispatch table) -----------------
+
+    def _f_mutex_lock(self, thread, rt, op: op_mod.MutexLock) -> None:
+        if rt.cur_sync.lock(thread, self):
+            self._complete_now_fast(thread, rt, op, None)
+        else:
+            rt.pending_ret = True
+
+    def _f_mutex_trylock(self, thread, rt, op: op_mod.MutexTrylock) -> None:
+        ok = rt.cur_sync.trylock(thread)
+        self._complete_now_fast(thread, rt, op, ok, Status.OK if ok else Status.BUSY)
+
+    def _f_mutex_unlock(self, thread, rt, op: op_mod.MutexUnlock) -> None:
+        rt.cur_sync.unlock(thread, self)
+        self._complete_now_fast(thread, rt, op, None)
+
+    def _f_sema_init(self, thread, rt, op: op_mod.SemaInit) -> None:
+        self.sync.sema(op.name, op.count)
+        self._complete_now_fast(thread, rt, op, None)
+
+    def _f_sema_wait(self, thread, rt, op: op_mod.SemaWait) -> None:
+        if self.sync.sema(op.name).wait(thread, self):
+            self._complete_now_fast(thread, rt, op, None)
+        else:
+            rt.pending_ret = True
+
+    def _f_sema_trywait(self, thread, rt, op: op_mod.SemaTryWait) -> None:
+        ok = self.sync.sema(op.name).trywait(thread)
+        self._complete_now_fast(thread, rt, op, ok, Status.OK if ok else Status.BUSY)
+
+    def _f_sema_post(self, thread, rt, op: op_mod.SemaPost) -> None:
+        self.sync.sema(op.name).post(self)
+        self._complete_now_fast(thread, rt, op, None)
+
+    def _f_cond_signal(self, thread, rt, op: op_mod.CondSignal) -> None:
+        rt.cur_sync.signal(self)
+        self._complete_now_fast(thread, rt, op, None)
+
+    def _f_cond_broadcast(self, thread, rt, op: op_mod.CondBroadcast) -> None:
+        held = None
+        if op.expected_waiters is not None:
+            held = self._most_recent_mutex_of(thread)
+        proceeded = rt.cur_sync.broadcast(
+            thread, self, expected_waiters=op.expected_waiters, held_mutex=held
+        )
+        if proceeded:
+            self._complete_now_fast(thread, rt, op, None)
+        else:
+            rt.pending_ret = True
+
+    def _f_rw_rdlock(self, thread, rt, op: op_mod.RwRdLock) -> None:
+        if rt.cur_sync.rdlock(thread, self):
+            self._complete_now_fast(thread, rt, op, None)
+        else:
+            rt.pending_ret = True
+
+    def _f_rw_wrlock(self, thread, rt, op: op_mod.RwWrLock) -> None:
+        if rt.cur_sync.wrlock(thread, self):
+            self._complete_now_fast(thread, rt, op, None)
+        else:
+            rt.pending_ret = True
+
+    def _f_rw_tryrdlock(self, thread, rt, op: op_mod.RwTryRdLock) -> None:
+        ok = rt.cur_sync.tryrdlock(thread)
+        self._complete_now_fast(thread, rt, op, ok, Status.OK if ok else Status.BUSY)
+
+    def _f_rw_trywrlock(self, thread, rt, op: op_mod.RwTryWrLock) -> None:
+        ok = rt.cur_sync.trywrlock(thread)
+        self._complete_now_fast(thread, rt, op, ok, Status.OK if ok else Status.BUSY)
+
+    def _f_rw_unlock(self, thread, rt, op: op_mod.RwUnlock) -> None:
+        rt.cur_sync.unlock(thread, self)
+        self._complete_now_fast(thread, rt, op, None)
+
+    def _f_noop(self, thread, rt, op: op_mod.Noop) -> None:
+        if op.busy:
+            self._complete_now_fast(thread, rt, op, False, Status.BUSY)
+        else:
+            self._complete_now_fast(thread, rt, op, True)
+
+    def _f_shared_access(self, thread, rt, op: op_mod.Op) -> None:
+        self._complete_now_fast(thread, rt, op, None)
+
+    def _f_thr_setprio(self, thread, rt, op: op_mod.ThrSetPrio) -> None:
+        thread.set_priority(op.priority)
+        self._complete_now_fast(thread, rt, op, None)
+
+    def _f_thr_setconcurrency(self, thread, rt, op: op_mod.ThrSetConcurrency) -> None:
+        self.scheduler.set_concurrency(op.level)
+        self._complete_now_fast(thread, rt, op, None)
 
     # ==================================================================
     # KernelAPI (used by the sync objects)
@@ -799,7 +1367,9 @@ class Simulator:
             if tid not in self._replay_plan.steps:
                 raise SimulationError(f"replay plan has no steps for T{tid}")
             meta = self._replay_plan.meta.get(tid, ReplayThreadMeta(tid))
-            behavior: ThreadBehavior = ReplayBehavior(self._replay_plan.steps[tid])
+            behavior: Optional[ThreadBehavior] = (
+                None if self._fast else ReplayBehavior(self._replay_plan.steps[tid])
+            )
             func_name = meta.func_name
             bound = op.bound or meta.bound
             ctx = None

@@ -313,6 +313,8 @@ class JobEngine:
             ok=outcome.ok,
             partial=outcome.ok and not outcome.complete,
             elapsed_s=outcome.elapsed_s if outcome.ok else None,
+            plan_cache_hits=outcome.plan_cache_hits,
+            plan_cache_misses=outcome.plan_cache_misses,
         )
 
     def snapshot(self) -> Dict:

@@ -280,6 +280,13 @@ class BatchReport:
             f"{cache.get('misses', 0)} misses (hit rate {cache.get('hit_rate', 0.0):.0%}); "
             f"scenario hit rate {self.cache_hit_rate():.0%}"
         )
+        plan_cache = m.get("plan_cache", {})
+        if plan_cache:
+            lines.append(
+                f"plan cache: {plan_cache.get('hits', 0)} hits / "
+                f"{plan_cache.get('misses', 0)} misses "
+                "(compiled replay plans reused across worker jobs)"
+            )
         return "\n".join(lines)
 
 

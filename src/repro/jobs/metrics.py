@@ -43,6 +43,8 @@ class EngineMetrics:
         self.worker_crashes = 0
         self.retries = 0
         self.jobs_rejected_breaker = 0
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
         self._queue_depth = 0
         self._latencies_s: Deque[float] = deque(maxlen=LATENCY_WINDOW)
 
@@ -54,7 +56,13 @@ class EngineMetrics:
             self._queue_depth += 1
 
     def finished(
-        self, *, ok: bool, partial: bool, elapsed_s: Optional[float]
+        self,
+        *,
+        ok: bool,
+        partial: bool,
+        elapsed_s: Optional[float],
+        plan_cache_hits: int = 0,
+        plan_cache_misses: int = 0,
     ) -> None:
         with self._lock:
             self._queue_depth = max(0, self._queue_depth - 1)
@@ -64,6 +72,8 @@ class EngineMetrics:
                     self.jobs_partial += 1
             else:
                 self.jobs_failed += 1
+            self.plan_cache_hits += plan_cache_hits
+            self.plan_cache_misses += plan_cache_misses
             if elapsed_s is not None:
                 self._latencies_s.append(elapsed_s)
 
@@ -111,6 +121,13 @@ class EngineMetrics:
                 "retries": self.retries,
                 "jobs_rejected_breaker": self.jobs_rejected_breaker,
                 "queue_depth": self._queue_depth,
+                # worker-side compile amortisation (plan LRU, see
+                # repro.jobs.worker): hits mean the sweep reused a
+                # compiled plan instead of re-parsing the trace
+                "plan_cache": {
+                    "hits": self.plan_cache_hits,
+                    "misses": self.plan_cache_misses,
+                },
             }
         out["latency"] = self.latency_percentiles()
         if cache_stats is not None:

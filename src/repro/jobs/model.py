@@ -114,6 +114,10 @@ class JobOutcome:
     attempts: int = 1
     from_cache: bool = False
     label: str = ""
+    #: 0-or-1 per job: did the worker's in-process plan cache serve the
+    #: compiled replay plan (hit) or compile it fresh (miss)?
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     #: The job raised before producing any result (unparseable trace, ...).
     FAILED = "failed"
@@ -142,6 +146,8 @@ class JobOutcome:
             "elapsed_s": self.elapsed_s,
             "attempts": self.attempts,
             "label": self.label,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
         }
 
     @classmethod
@@ -157,6 +163,8 @@ class JobOutcome:
             attempts=int(data.get("attempts", 1)),
             from_cache=from_cache,
             label=data.get("label", ""),
+            plan_cache_hits=int(data.get("plan_cache_hits", 0)),
+            plan_cache_misses=int(data.get("plan_cache_misses", 0)),
         )
 
     def with_label(self, label: str) -> "JobOutcome":

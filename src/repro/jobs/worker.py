@@ -11,7 +11,10 @@ the engine handles with a retry.
 Each worker process keeps a tiny plan cache keyed by trace fingerprint:
 a CPU sweep sends the same trace to the pool N times, and compiling the
 replay plan once per *process* instead of once per *job* is most of the
-win of batching.
+win of batching.  ``VPPB_PLAN_CACHE`` sizes the LRU (default 4 plans);
+every result dict reports whether its plan came from the cache
+(``plan_cache_hits`` / ``plan_cache_misses``, 0-or-1 per job) so
+``/metrics`` and ``vppb batch`` can show compile amortisation.
 """
 
 from __future__ import annotations
@@ -36,22 +39,42 @@ CRASH_SENTINEL = "#!vppb-faultinject-worker-crash\n"
 
 #: (trace fingerprint -> compiled ReplayPlan), per process.
 _PLAN_CACHE: "OrderedDict[str, Any]" = OrderedDict()
-_PLAN_CACHE_MAX = 4
+_DEFAULT_PLAN_CACHE_MAX = 4
+
+
+def _plan_cache_max() -> int:
+    """LRU capacity, configurable via ``VPPB_PLAN_CACHE`` (default 4).
+
+    Read per call rather than at import: worker processes inherit the
+    parent's environment, and tests (or a long-lived service) may adjust
+    the knob between batches.  Invalid or non-positive values fall back
+    to the default rather than erroring inside a worker.
+    """
+    raw = os.environ.get("VPPB_PLAN_CACHE")
+    if raw is None:
+        return _DEFAULT_PLAN_CACHE_MAX
+    try:
+        size = int(raw)
+    except ValueError:
+        return _DEFAULT_PLAN_CACHE_MAX
+    return size if size >= 1 else _DEFAULT_PLAN_CACHE_MAX
 
 
 def _plan_for(fingerprint: str, path: Optional[str], text: Optional[str]):
+    """Return ``(plan, cache_hit)`` for the trace, via the process LRU."""
     plan = _PLAN_CACHE.get(fingerprint)
     if plan is not None:
         _PLAN_CACHE.move_to_end(fingerprint)
-        return plan
+        return plan, True
     from repro.recorder import logfile
 
     trace = logfile.load(path) if path is not None else logfile.loads(text)
     plan = compile_trace(trace)
     _PLAN_CACHE[fingerprint] = plan
-    while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+    limit = _plan_cache_max()
+    while len(_PLAN_CACHE) > limit:
         _PLAN_CACHE.popitem(last=False)
-    return plan
+    return plan, False
 
 
 def run_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -72,7 +95,7 @@ def run_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         "label": payload.get("label", ""),
     }
     try:
-        plan = _plan_for(
+        plan, cache_hit = _plan_for(
             payload["trace_fp"], payload.get("trace_path"), text
         )
         watchdog = _watchdog_from(payload.get("budget"))
@@ -83,6 +106,10 @@ def run_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
             status="failed",
             error=f"{type(exc).__name__}: {exc}",
             elapsed_s=time.perf_counter() - started,
+            # a job that failed before (or during) compilation amortised
+            # nothing — count it as a plan-cache miss
+            plan_cache_hits=0,
+            plan_cache_misses=1,
         )
         return base
     base.update(
@@ -93,6 +120,8 @@ def run_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
             result.incompleteness.describe() if result.incompleteness else None
         ),
         elapsed_s=time.perf_counter() - started,
+        plan_cache_hits=1 if cache_hit else 0,
+        plan_cache_misses=0 if cache_hit else 1,
     )
     return base
 

@@ -14,8 +14,8 @@ pool unbound threads multiplex onto.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.ids import LwpId
 
@@ -34,7 +34,7 @@ class LwpState(enum.Enum):
     SLEEPING = "sleeping"  # its thread is blocked/sleeping (bound case) or parked
 
 
-@dataclass
+@dataclass(slots=True)
 class SimLwp:
     """A simulated LWP / kernel thread pair.
 
@@ -80,6 +80,16 @@ class SimLwp:
     cpu_time_us: int = 0
     dispatches: int = 0
     quantum_expiries: int = 0
+
+    #: Quantum-expiry closure cached by the scheduler (built once per LWP
+    #: instead of one lambda per arm).
+    quantum_action: Optional[Callable[[], None]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    #: Spare quantum ScheduledEvent recycled across arms (reused while its
+    #: previous occurrence executed; replaced when cancelled).
+    quantum_event: Optional[object] = field(default=None, repr=False, compare=False)
 
     @property
     def busy(self) -> bool:

@@ -33,7 +33,7 @@ from repro.core.config import SimConfig
 from repro.core.engine import Engine, ScheduledEvent
 from repro.core.errors import SimulationError
 from repro.core.ids import LwpId
-from repro.core.result import ResultBuilder, SegmentKind
+from repro.core.result import ResultBuilder, SegmentKind, ThreadSegment
 from repro.solaris.lwp import LwpState, SimLwp
 from repro.solaris.sync import WaitQueue
 from repro.solaris.thread_model import SimThread, ThreadState
@@ -122,6 +122,12 @@ class Scheduler:
         #: dispatch deferral depth: >0 while an operation is being applied
         self._atomic_depth = 0
         self._dispatch_wanted = False
+        #: LWPs currently in LwpState.RUNNABLE, keyed by lwp_id and kept in
+        #: became-runnable order by _set_lwp_state; _kernel_dispatch and the
+        #: quantum-expiry contender check consume it directly instead of
+        #: scanning every LWP (dispatch order is unaffected: the dispatch
+        #: sort key (-priority, enqueue_seq) is a total order)
+        self._runnable: Dict[LwpId, SimLwp] = {}
 
     # ------------------------------------------------------------------
     # small helpers
@@ -143,6 +149,17 @@ class Scheduler:
             self._pool_size += 1
         return lwp
 
+    def _set_lwp_state(self, lwp: SimLwp, state: LwpState) -> None:
+        """Single point for LWP state flips, keeping the runnable map."""
+        old = lwp.state
+        if old is not state:
+            runnable = LwpState.RUNNABLE
+            if old is runnable:
+                del self._runnable[lwp.lwp_id]
+            elif state is runnable:
+                self._runnable[lwp.lwp_id] = lwp
+            lwp.state = state
+
     @staticmethod
     def _effective_priority(lwp: SimLwp) -> int:
         """Global dispatch priority: every RT LWP outranks every TS LWP
@@ -152,17 +169,35 @@ class Scheduler:
     def _set_thread_state(
         self, thread: SimThread, state: ThreadState, cpu: Optional[int] = None
     ) -> None:
-        now = self.now_us
-        if thread.state is ThreadState.RUNNING and state is not ThreadState.RUNNING:
-            since = self._running_since.pop(int(thread.tid), now)
+        now = self.engine.now_us
+        tid = thread.tid
+        running = ThreadState.RUNNING
+        if thread.state is running and state is not running:
+            since = self._running_since.pop(tid, now)
             thread.cpu_time_us += now - since
-        if state is ThreadState.RUNNING:
-            self._running_since[int(thread.tid)] = now
+        if state is running:
+            self._running_since[tid] = now
         thread.state = state
-        if state in (ThreadState.ZOMBIE, ThreadState.DEAD):
-            self.builder.thread_condition(thread.tid, None, now)
+        if state is ThreadState.ZOMBIE or state is ThreadState.DEAD:
+            kind = None
         else:
-            self.builder.thread_condition(thread.tid, _STATE_TO_SEGMENT[state], now, cpu)
+            kind = _STATE_TO_SEGMENT[state]
+        # inlined ResultBuilder.thread_condition — every state flip lands
+        # here, and the extra call frame was measurable on replay profiles
+        b = self.builder
+        open_seg = b._open.pop(tid, None)
+        if open_seg is not None:
+            prev_kind, start_us, prev_cpu = open_seg
+            if now > start_us:
+                b._segments[tid].append(
+                    ThreadSegment(tid, prev_kind, start_us, now, prev_cpu)
+                )
+            if prev_kind is SegmentKind.RUNNING and prev_cpu is not None:
+                b._cpu_busy[prev_cpu] += now - start_us
+        if kind is not None:
+            b._open[tid] = (kind, now, cpu)
+            if tid not in b._segments:
+                b._segments[tid] = []
 
     # ------------------------------------------------------------------
     # atomic sections (operation application must not be preempted)
@@ -200,14 +235,14 @@ class Scheduler:
         if policy.rt_priority is not None:
             thread.rt_priority = policy.rt_priority
             thread.bound = True  # priocntl acts on an LWP of its own
-        thread.created_at_us = self.now_us
+        thread.created_at_us = self.engine.now_us
 
         if thread.bound:
             lwp = self._new_lwp(dedicated=True, bound_cpu=thread.bound_cpu)
             if thread.rt_priority is not None:
                 lwp.rt = True
                 lwp.kernel_priority = thread.rt_priority
-            lwp.state = LwpState.SLEEPING  # parked until the thread is runnable
+            self._set_lwp_state(lwp, LwpState.SLEEPING)  # parked until runnable
             lwp.thread = thread
             lwp.last_thread_tid = int(thread.tid)
             thread.lwp = lwp
@@ -242,12 +277,13 @@ class Scheduler:
     def _enqueue_runnable(self, thread: SimThread, boost: bool) -> None:
         if not thread.alive:
             raise SimulationError(f"waking dead thread T{int(thread.tid)}")
-        if thread.state in (ThreadState.RUNNABLE, ThreadState.RUNNING):
+        state = thread.state
+        if state is ThreadState.RUNNABLE or state is ThreadState.RUNNING:
             raise SimulationError(
                 f"T{int(thread.tid)} woken while {thread.state.value}"
             )
         self._set_thread_state(thread, ThreadState.RUNNABLE)
-        thread.runnable_since_us = self.now_us
+        thread.runnable_since_us = self.engine.now_us
         thread.enqueue_seq = next(self._seq)
 
         if thread.bound:
@@ -267,11 +303,13 @@ class Scheduler:
     def _grab_idle_lwp(self, thread: SimThread) -> Optional[SimLwp]:
         """Find or create an idle pool LWP for *thread* (prefer the LWP
         that last ran it, to skip the user-level switch cost)."""
-        for i, lwp in enumerate(self._idle_pool):
-            if lwp.last_thread_tid == int(thread.tid):
-                return self._idle_pool.pop(i)
-        if self._idle_pool:
-            return self._idle_pool.pop(0)
+        pool = self._idle_pool
+        tid = int(thread.tid)
+        for i, lwp in enumerate(pool):
+            if lwp.last_thread_tid == tid:
+                return pool.pop(i)
+        if pool:
+            return pool.pop(0)
         if self._pool_limit is None:
             return self._new_lwp(dedicated=False)
         return None
@@ -287,9 +325,9 @@ class Scheduler:
         self._lwp_runnable(lwp)
 
     def _lwp_runnable(self, lwp: SimLwp) -> None:
-        lwp.state = LwpState.RUNNABLE
+        self._set_lwp_state(lwp, LwpState.RUNNABLE)
         lwp.enqueue_seq = next(self._seq)
-        lwp.runnable_since_us = self.now_us
+        lwp.runnable_since_us = self.engine.now_us
 
     # ------------------------------------------------------------------
     # kernel-level dispatch
@@ -302,13 +340,15 @@ class Scheduler:
             self._dispatch_wanted = True
             return
         while True:
-            runnable = [l for l in self.lwps if l.state is LwpState.RUNNABLE]
-            if not runnable:
+            rmap = self._runnable
+            if not rmap:
                 return
+            runnable = list(rmap.values())
             self._apply_starvation_boosts(runnable)
-            runnable.sort(
-                key=lambda l: (-self._effective_priority(l), l.enqueue_seq)
-            )
+            if len(runnable) > 1:
+                runnable.sort(
+                    key=lambda l: (-self._effective_priority(l), l.enqueue_seq)
+                )
             placed = False
             for lwp in runnable:
                 cpu = self._find_cpu_for(lwp)
@@ -320,7 +360,7 @@ class Scheduler:
                 return
 
     def _apply_starvation_boosts(self, runnable: List[SimLwp]) -> None:
-        now = self.now_us
+        now = self.engine.now_us
         for lwp in runnable:
             if lwp.rt:
                 continue  # RT priorities are fixed, never lifted
@@ -372,14 +412,14 @@ class Scheduler:
         cpu.lwp = lwp
         cpu.last_lwp_id = int(lwp.lwp_id)
         lwp.cpu = cpu.index
-        lwp.state = LwpState.ONPROC
+        self._set_lwp_state(lwp, LwpState.ONPROC)
         lwp.dispatches += 1
         lwp.last_thread_tid = int(thread.tid)
 
         self._set_thread_state(thread, ThreadState.RUNNING, cpu.index)
         thread.last_cpu = cpu.index
         if thread.start_time_us is None:
-            thread.start_time_us = self.now_us
+            thread.start_time_us = self.engine.now_us
 
         if lwp.quantum_remaining_us <= 0:
             lwp.quantum_remaining_us = self._fresh_quantum(lwp)
@@ -409,7 +449,7 @@ class Scheduler:
         self.cpus[lwp.cpu].lwp = None
         lwp.cpu = None
         self._set_thread_state(thread, ThreadState.RUNNABLE)
-        thread.runnable_since_us = self.now_us
+        thread.runnable_since_us = self.engine.now_us
         self._lwp_runnable(lwp)
 
     def _save_burst_remainder(self, thread: SimThread) -> None:
@@ -423,7 +463,7 @@ class Scheduler:
             return
         handle, end_us = entry
         handle.cancel()
-        thread.burst_remaining_us = end_us - self.now_us
+        thread.burst_remaining_us = end_us - self.engine.now_us
 
     def _save_quantum_remainder(self, lwp: SimLwp) -> None:
         entry = self._quantum_events.pop(int(lwp.lwp_id), None)
@@ -431,19 +471,29 @@ class Scheduler:
             return
         handle, expiry_us = entry
         handle.cancel()
-        lwp.quantum_remaining_us = max(0, expiry_us - self.now_us)
+        lwp.quantum_remaining_us = max(0, expiry_us - self.engine.now_us)
 
     # ------------------------------------------------------------------
     # quanta
     # ------------------------------------------------------------------
 
     def _arm_quantum(self, lwp: SimLwp) -> None:
-        expiry = self.now_us + lwp.quantum_remaining_us
-        handle = self.engine.schedule_at(
-            expiry,
-            lambda: self._quantum_expired(lwp),
-            f"quantum LWP{int(lwp.lwp_id)}",
-        )
+        # hot under replay: one cached closure per LWP, constant label, a
+        # direct queue push (expiry is never in the past), and the
+        # ScheduledEvent recycled while its last occurrence executed
+        action = lwp.quantum_action
+        if action is None:
+            expired = self._quantum_expired
+            def action(l=lwp, fire=expired):
+                fire(l)
+            lwp.quantum_action = action
+        expiry = self.engine.now_us + lwp.quantum_remaining_us
+        handle = lwp.quantum_event
+        if handle is None or handle.cancelled:
+            handle = self.engine.queue.push(expiry, action, "quantum")
+            lwp.quantum_event = handle
+        else:
+            self.engine.queue.repush(expiry, handle)
         self._quantum_events[int(lwp.lwp_id)] = (handle, expiry)
 
     def _quantum_expired(self, lwp: SimLwp) -> None:
@@ -457,11 +507,11 @@ class Scheduler:
                 lwp.kernel_priority
             )
         lwp.quantum_remaining_us = self._fresh_quantum(lwp)
+        my_pri = self._effective_priority(lwp)
         contender = any(
-            other.state is LwpState.RUNNABLE
-            and self._effective_priority(other) >= self._effective_priority(lwp)
+            self._effective_priority(other) >= my_pri
             and (other.bound_cpu is None or other.bound_cpu == lwp.cpu)
-            for other in self.lwps
+            for other in self._runnable.values()
         )
         if contender:
             self._preempt(lwp)
@@ -486,7 +536,7 @@ class Scheduler:
         self._arm_burst(thread, duration_us)
 
     def _arm_burst(self, thread: SimThread, duration_us: int) -> None:
-        end = self.now_us + duration_us
+        end = self.engine.now_us + duration_us
         handle = self.engine.schedule_at(
             end, lambda: self._burst_done(thread), f"burst T{int(thread.tid)}"
         )
@@ -500,6 +550,52 @@ class Scheduler:
                 f"burst completion for non-running T{int(thread.tid)}"
             )
         self.listener.burst_complete(thread)
+
+    def begin_burst_fast(self, thread: SimThread, duration_us: int) -> None:
+        """:meth:`begin_burst` for the replay fast path: same semantics and
+        trip points, but the completion closure is built once per thread
+        (``thread.burst_action``, with :meth:`_burst_done`'s bookkeeping
+        fused in), the label is constant, and the event is pushed straight
+        onto the queue (the end time can never be in the past, so the
+        ``schedule_at`` guard is redundant).  Durations are ``work + cost``
+        of a compiled step, hence never negative."""
+        if thread.state is not ThreadState.RUNNING:
+            raise SimulationError(
+                f"begin_burst on {thread.state.value} T{int(thread.tid)}"
+            )
+        tid = int(thread.tid)
+        pending = self._switch_cost_pending
+        if pending:
+            duration_us += pending.pop(tid, 0)
+        thread.burst_remaining_us = duration_us
+        action = thread.burst_action
+        if action is None:
+            # normally pre-built (fused with the interpreter dispatch) by
+            # Simulator._attach_fast; this fallback fuses _burst_done only
+            def action(
+                t=thread,
+                t_id=tid,
+                events=self._burst_events,
+                complete=self.listener.burst_complete,
+                running=ThreadState.RUNNING,
+            ):
+                events.pop(t_id, None)
+                t.burst_remaining_us = 0
+                if t.state is not running:
+                    raise SimulationError(
+                        f"burst completion for non-running T{t_id}"
+                    )
+                complete(t)
+            thread.burst_action = action
+        engine = self.engine
+        end = engine.now_us + duration_us
+        ev = thread.burst_event
+        if ev is None or ev.cancelled:
+            ev = engine.queue.push(end, action, "burst")
+            thread.burst_event = ev
+        else:
+            engine.queue.repush(end, ev)
+        self._burst_events[tid] = (ev, end)
 
     # ------------------------------------------------------------------
     # blocking / waking / exiting / yielding (called during op application)
@@ -521,7 +617,7 @@ class Scheduler:
             raise SimulationError(
                 f"thread_exited on {thread.state.value} T{int(thread.tid)}"
             )
-        thread.end_time_us = self.now_us
+        thread.end_time_us = self.engine.now_us
         self._set_thread_state(thread, ThreadState.ZOMBIE)
         self._release_lwp_of(thread, exiting=True)
 
@@ -540,7 +636,7 @@ class Scheduler:
             self._kernel_dispatch()
             return
         self._set_thread_state(thread, ThreadState.RUNNABLE)
-        thread.runnable_since_us = self.now_us
+        thread.runnable_since_us = self.engine.now_us
         thread.enqueue_seq = next(self._seq)
         self._save_quantum_remainder(lwp)
         lwp.thread = None
@@ -571,7 +667,7 @@ class Scheduler:
             if lwp.cpu is not None:
                 self.cpus[lwp.cpu].lwp = None
                 lwp.cpu = None
-            lwp.state = LwpState.SLEEPING
+            self._set_lwp_state(lwp, LwpState.SLEEPING)
             self._kernel_dispatch()
             return
 
@@ -584,7 +680,7 @@ class Scheduler:
             if lwp.cpu is not None:
                 self.cpus[lwp.cpu].lwp = None
                 lwp.cpu = None
-            lwp.state = LwpState.IDLE
+            self._set_lwp_state(lwp, LwpState.IDLE)
             self.lwps.remove(lwp)
             self.retired_lwps.append(lwp)
             self._kernel_dispatch()
@@ -598,7 +694,7 @@ class Scheduler:
             if lwp.cpu is not None:
                 self.cpus[lwp.cpu].lwp = None
                 lwp.cpu = None
-            lwp.state = LwpState.IDLE
+            self._set_lwp_state(lwp, LwpState.IDLE)
             self._idle_pool.append(lwp)
             self._kernel_dispatch()
 
@@ -615,7 +711,7 @@ class Scheduler:
             self._set_thread_state(thread, ThreadState.RUNNING, lwp.cpu)
             thread.last_cpu = lwp.cpu
             if thread.start_time_us is None:
-                thread.start_time_us = self.now_us
+                thread.start_time_us = self.engine.now_us
             if lwp.quantum_remaining_us <= 0:
                 lwp.quantum_remaining_us = self._fresh_quantum(lwp)
             if self.config.time_slicing:

@@ -22,6 +22,7 @@ within a priority, matching Solaris sleep-queue policy.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
@@ -74,25 +75,34 @@ class KernelAPI(Protocol):
 
 
 class WaitQueue:
-    """Priority-ordered (then FIFO) queue of blocked threads."""
+    """Priority-ordered (then FIFO) queue of blocked threads.
+
+    Backed by a binary heap of ``(-priority, seq, thread)`` tuples: the
+    ``seq`` tie-break is unique per queue, so heap order never compares
+    threads and pop order is exactly the old min-scan's.  This doubles as
+    the scheduler's user-level run queue, which makes ``pop`` hot under
+    replay.
+    """
+
+    __slots__ = ("_items", "_seq")
 
     def __init__(self) -> None:
         self._items: List[Tuple[int, int, SimThread]] = []
         self._seq = itertools.count()
 
     def push(self, thread: SimThread) -> None:
-        self._items.append((-thread.priority, next(self._seq), thread))
+        heapq.heappush(self._items, (-thread.priority, next(self._seq), thread))
 
     def pop(self) -> SimThread:
         if not self._items:
             raise SimulationError("pop from empty wait queue")
-        best = min(range(len(self._items)), key=lambda i: self._items[i][:2])
-        return self._items.pop(best)[2]
+        return heapq.heappop(self._items)[2]
 
     def remove(self, thread: SimThread) -> bool:
         for i, (_, _, t) in enumerate(self._items):
             if t is thread:
                 del self._items[i]
+                heapq.heapify(self._items)
                 return True
         return False
 
@@ -108,6 +118,11 @@ class WaitQueue:
 
 class SimMutex:
     """A Solaris mutex with direct hand-off to the next waiter."""
+
+    __slots__ = (
+        "oid", "owner", "waiters", "acquired_seq",
+        "acquisitions", "contended_acquisitions",
+    )
 
     #: global acquisition stamp so "most recently acquired" is well defined
     _acquire_clock = itertools.count()
@@ -130,7 +145,10 @@ class SimMutex:
     def lock(self, thread: SimThread, kernel: KernelAPI) -> bool:
         """Acquire or block.  Returns True when acquired immediately."""
         if self.owner is None:
-            self._set_owner(thread)
+            # _set_owner inlined: uncontended acquire is replay-hot
+            self.owner = thread
+            self.acquired_seq = next(SimMutex._acquire_clock)
+            self.acquisitions += 1
             return True
         if self.owner is thread:
             raise ReplayDivergenceError(
@@ -167,17 +185,21 @@ class SimMutex:
                 f"T{int(thread.tid)} unlocks {self.oid} held by {holder}",
                 tid=int(thread.tid),
             )
-        if self.waiters:
-            heir = self.waiters.pop()
+        waiters = self.waiters
+        if waiters:
+            heir = waiters.pop()
             self._set_owner(heir)
             kernel.wake(heir)
         else:
+            # uncontended release is replay-hot
             self.owner = None
             self.acquired_seq = -1
 
 
 class SimSemaphore:
     """A counting semaphore; posts hand tokens directly to waiters."""
+
+    __slots__ = ("oid", "count", "waiters")
 
     def __init__(self, oid: SyncObjectId, initial: int = 0):
         if initial < 0:
@@ -217,6 +239,8 @@ class SimCondVar:
     replay heuristic: the broadcaster blocks until *n* waiters are present,
     then releases them all.
     """
+
+    __slots__ = ("oid", "waiters", "_wait_info", "_pending_broadcast")
 
     def __init__(self, oid: SyncObjectId):
         self.oid = oid
@@ -355,6 +379,8 @@ class SimCondVar:
 class SimRwLock:
     """A readers/writer lock with writer preference (Solaris policy)."""
 
+    __slots__ = ("oid", "readers", "writer", "_queue")
+
     def __init__(self, oid: SyncObjectId):
         self.oid = oid
         self.readers: List[SimThread] = []
@@ -425,7 +451,14 @@ class SimRwLock:
 
 
 class SyncObjectTable:
-    """Lazy registry of simulated synchronisation objects by id."""
+    """Lazy registry of simulated synchronisation objects by id.
+
+    The accessors are on the replay hot path (one lookup per sync op), so
+    each does a single ``dict.get`` instead of a membership test plus a
+    second lookup.
+    """
+
+    __slots__ = ("_mutexes", "_semas", "_conds", "_rwlocks")
 
     def __init__(self) -> None:
         self._mutexes: Dict[str, SimMutex] = {}
@@ -434,24 +467,28 @@ class SyncObjectTable:
         self._rwlocks: Dict[str, SimRwLock] = {}
 
     def mutex(self, name: str) -> SimMutex:
-        if name not in self._mutexes:
-            self._mutexes[name] = SimMutex(SyncObjectId("mutex", name))
-        return self._mutexes[name]
+        obj = self._mutexes.get(name)
+        if obj is None:
+            obj = self._mutexes[name] = SimMutex(SyncObjectId("mutex", name))
+        return obj
 
     def sema(self, name: str, initial: int = 0) -> SimSemaphore:
-        if name not in self._semas:
-            self._semas[name] = SimSemaphore(SyncObjectId("sema", name), initial)
-        return self._semas[name]
+        obj = self._semas.get(name)
+        if obj is None:
+            obj = self._semas[name] = SimSemaphore(SyncObjectId("sema", name), initial)
+        return obj
 
     def cond(self, name: str) -> SimCondVar:
-        if name not in self._conds:
-            self._conds[name] = SimCondVar(SyncObjectId("cond", name))
-        return self._conds[name]
+        obj = self._conds.get(name)
+        if obj is None:
+            obj = self._conds[name] = SimCondVar(SyncObjectId("cond", name))
+        return obj
 
     def rwlock(self, name: str) -> SimRwLock:
-        if name not in self._rwlocks:
-            self._rwlocks[name] = SimRwLock(SyncObjectId("rwlock", name))
-        return self._rwlocks[name]
+        obj = self._rwlocks.get(name)
+        if obj is None:
+            obj = self._rwlocks[name] = SimRwLock(SyncObjectId("rwlock", name))
+        return obj
 
     def all_mutexes(self) -> Dict[str, SimMutex]:
         return dict(self._mutexes)

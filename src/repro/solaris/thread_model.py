@@ -11,8 +11,8 @@ actually working, total lifetime).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.ids import ThreadId
 
@@ -44,7 +44,7 @@ class ThreadState(enum.Enum):
     DEAD = "dead"
 
 
-@dataclass
+@dataclass(slots=True)
 class SimThread:
     """A simulated user-level thread.
 
@@ -96,6 +96,16 @@ class SimThread:
     #: Time at which the thread last entered the RUNNABLE state (for
     #: starvation boosts and queue statistics).
     runnable_since_us: int = 0
+
+    #: Burst-completion closure cached by the replay fast path (built once
+    #: per thread instead of one lambda per burst).
+    burst_action: Optional[Callable[[], None]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    #: Spare burst ScheduledEvent recycled by the fast path (reused while
+    #: its previous occurrence executed; replaced when cancelled).
+    burst_event: Optional[object] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.bound_cpu is not None:

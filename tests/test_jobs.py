@@ -201,6 +201,91 @@ class TestEngineDeterminism:
         assert [o.label for o in outcomes] == ["4cpu", "1cpu", "2cpu"]
 
 
+class TestWorkerPlanCache:
+    """The worker-side compiled-plan LRU and its observability."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self, monkeypatch):
+        from collections import OrderedDict
+
+        from repro.jobs import worker
+
+        monkeypatch.setattr(worker, "_PLAN_CACHE", OrderedDict())
+
+    @staticmethod
+    def _payload(log_text, fp="f" * 64, cpus=2):
+        return {
+            "fingerprint": fp + f":{cpus}",
+            "trace_fp": fp,
+            "trace_text": log_text,
+            "config": SimConfig(cpus=cpus),
+        }
+
+    def test_first_job_misses_then_hits(self, log_text):
+        from repro.jobs.worker import run_payload
+
+        first = run_payload(self._payload(log_text, cpus=1))
+        second = run_payload(self._payload(log_text, cpus=2))
+        assert (first["plan_cache_hits"], first["plan_cache_misses"]) == (0, 1)
+        assert (second["plan_cache_hits"], second["plan_cache_misses"]) == (1, 0)
+
+    def test_cache_size_from_env(self, log_text, monkeypatch):
+        from repro.jobs import worker
+
+        monkeypatch.setenv("VPPB_PLAN_CACHE", "1")
+        worker.run_payload(self._payload(log_text, fp="a" * 64))
+        worker.run_payload(self._payload(log_text, fp="b" * 64))
+        # capacity 1: the second trace evicted the first
+        evicted = worker.run_payload(self._payload(log_text, fp="a" * 64))
+        assert evicted["plan_cache_misses"] == 1
+        assert list(worker._PLAN_CACHE) == ["a" * 64]
+
+    def test_invalid_env_falls_back_to_default(self, monkeypatch):
+        from repro.jobs import worker
+
+        monkeypatch.setenv("VPPB_PLAN_CACHE", "not-a-number")
+        assert worker._plan_cache_max() == worker._DEFAULT_PLAN_CACHE_MAX
+        monkeypatch.setenv("VPPB_PLAN_CACHE", "0")
+        assert worker._plan_cache_max() == worker._DEFAULT_PLAN_CACHE_MAX
+        monkeypatch.setenv("VPPB_PLAN_CACHE", "7")
+        assert worker._plan_cache_max() == 7
+
+    def test_outcome_and_metrics_surface_amortisation(self, trace):
+        engine = JobEngine(mode="inline")
+        outcomes = engine.makespans(
+            TraceRef.from_trace(trace),
+            [SimConfig(cpus=n) for n in (1, 2, 4)],
+            use_cache=False,
+        )
+        hits = sum(o.plan_cache_hits for o in outcomes)
+        misses = sum(o.plan_cache_misses for o in outcomes)
+        assert misses >= 1  # first job compiles
+        assert hits + misses == 3
+        snap = engine.snapshot()
+        assert snap["plan_cache"] == {"hits": hits, "misses": misses}
+
+    def test_outcome_dict_roundtrip_keeps_counts(self):
+        o = JobOutcome(
+            fingerprint="x", status="complete",
+            plan_cache_hits=1, plan_cache_misses=0,
+        )
+        back = JobOutcome.from_dict(o.to_dict())
+        assert back.plan_cache_hits == 1 and back.plan_cache_misses == 0
+
+    def test_batch_table_reports_plan_cache(self, trace, tmp_path):
+        import json as json_mod
+
+        path = tmp_path / "trace.log"
+        path.write_text(logfile.dumps(trace))
+        manifest = SweepManifest.from_dict(
+            {"trace": str(path), "cpus": [1, 2]}, base_dir=tmp_path
+        )
+        engine = JobEngine(mode="inline")
+        report = run_manifest(manifest, engine, use_cache=False)
+        assert "plan cache:" in report.format_table()
+        assert "plan_cache" in json_mod.loads(report.to_json())["metrics"]
+
+
 class TestEngineFaults:
     def test_poisoned_job_does_not_kill_the_sweep(self, trace, log_text):
         # a corruptor-damaged trace must fail its own job only
