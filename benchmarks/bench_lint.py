@@ -1,0 +1,233 @@
+"""Lint-engine throughput and predictive-grid cache effectiveness.
+
+Not a paper table — this benchmark backs the static-analysis performance
+claims: the whole rule catalog (lockset + happens-before + lock-order +
+hygiene) runs off **one** time-ordered sweep of the log, so lint
+throughput is a single events/s figure; and the ``--whatif`` grid is
+content-addressed through the ``JobEngine``'s ``ResultCache``, so a warm
+re-run of the same grid costs file reads, not simulations.
+
+Fixtures:
+
+* ``prodcons-racy`` — the planted-bug fixture: every expensive path is
+  exercised (HB race judging, witness synthesis, cycle detection);
+* ``prodcons-clean`` — the same program fixed: the all-rules-silent
+  sweep, lint's common case;
+* ``fft`` — a barrier-structured SPLASH-2 shape with many threads.
+
+Output: ``benchmarks/results/BENCH_lint.json`` with per-fixture lint
+events/s and the cold/warm grid timings.
+
+``--check`` re-measures and gates against the committed baseline on the
+machine-independent ratio: the warm-cache grid speedup (cold time /
+warm time, same machine, same run) must stay within ``--tolerance``
+(default 0.5, cache effects are noisy at these sizes) of the committed
+one, and the warm run must be 100 % cache hits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from _common import BENCH_RUNS, BENCH_SCALE, emit, load_json, save_json  # noqa: E402
+
+from repro import record_program  # noqa: E402
+from repro.analysis.lint import run_lint, whatif_lint  # noqa: E402
+from repro.jobs import JobEngine, ResultCache, SweepManifest  # noqa: E402
+from repro.workloads import get_workload  # noqa: E402
+from repro.workloads.prodcons import make_clean, make_racy  # noqa: E402
+
+BASELINE = "BENCH_lint.json"
+
+_GRID_CPUS = [1, 2, 4]
+
+
+def _fixtures(scale: float):
+    return [
+        ("prodcons-racy", make_racy(max(0.05, scale / 4))),
+        ("prodcons-clean", make_clean(max(0.05, scale / 4))),
+        ("fft", get_workload("fft").make_program(4, max(0.05, scale / 4))),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# measurement
+# ---------------------------------------------------------------------------
+
+
+def _stats(times, events: int):
+    ordered = sorted(times)
+    best = ordered[0]
+    return {
+        "best_s": round(best, 6),
+        "p50_s": round(statistics.median(ordered), 6),
+        "events_per_s": round(events / best) if best else 0,
+    }
+
+
+def bench_sweep(name: str, program, runs: int) -> dict:
+    trace = record_program(program).trace
+    times = []
+    report = None
+    for _ in range(runs):
+        start = time.perf_counter()
+        report = run_lint(trace)
+        times.append(time.perf_counter() - start)
+    return {
+        "name": name,
+        "events": len(trace),
+        "findings": len(report),
+        "lint": _stats(times, len(trace)),
+    }
+
+
+def bench_grid(runs: int) -> dict:
+    """Cold vs warm ``--whatif`` grid over the racy fixture."""
+    trace = record_program(make_racy()).trace
+    report = run_lint(trace)
+    manifest = SweepManifest.from_dict({"trace": "bench.log", "cpus": _GRID_CPUS})
+    cold_times, warm_times = [], []
+    warm_all_cached = True
+    for _ in range(runs):
+        with tempfile.TemporaryDirectory() as cache_dir:
+            engine = JobEngine(mode="inline", cache=ResultCache(cache_dir))
+            with engine:
+                start = time.perf_counter()
+                whatif_lint(trace, manifest, report=report, engine=engine)
+                cold_times.append(time.perf_counter() - start)
+                start = time.perf_counter()
+                warm = whatif_lint(trace, manifest, report=report, engine=engine)
+                warm_times.append(time.perf_counter() - start)
+                warm_all_cached &= all(c.from_cache for c in warm.cells)
+    cold = _stats(cold_times, len(trace) * len(_GRID_CPUS))
+    warm = _stats(warm_times, len(trace) * len(_GRID_CPUS))
+    return {
+        "grid_cpus": _GRID_CPUS,
+        "events": len(trace),
+        "cold": cold,
+        "warm": warm,
+        "warm_all_cached": warm_all_cached,
+        "speedup": round(cold["best_s"] / warm["best_s"], 3)
+        if warm["best_s"]
+        else 0.0,
+    }
+
+
+def run_bench(runs: int, scale: float) -> dict:
+    fixtures = [bench_sweep(name, prog, runs) for name, prog in _fixtures(scale)]
+    grid = bench_grid(runs)
+    total_events = sum(f["events"] for f in fixtures)
+    total_s = sum(f["lint"]["best_s"] for f in fixtures)
+    return {
+        "benchmark": "lint",
+        "config": {
+            "scale": scale,
+            "runs": runs,
+            "python": sys.version.split()[0],
+        },
+        "fixtures": fixtures,
+        "grid": grid,
+        "aggregate": {
+            "events": total_events,
+            "lint_s": round(total_s, 6),
+            "events_per_s": round(total_events / total_s) if total_s else 0,
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# gate
+# ---------------------------------------------------------------------------
+
+
+def check(report: dict, baseline: dict, tolerance: float) -> list:
+    failures = []
+    if not report["grid"]["warm_all_cached"]:
+        failures.append("warm grid re-run was not served entirely from cache")
+    base_speedup = baseline.get("grid", {}).get("speedup")
+    if base_speedup:
+        floor = base_speedup * (1.0 - tolerance)
+        if report["grid"]["speedup"] < floor:
+            failures.append(
+                f"grid warm-cache speedup {report['grid']['speedup']:.1f}x "
+                f"fell below {floor:.1f}x ({(1 - tolerance):.0%} of committed "
+                f"{base_speedup:.1f}x)"
+            )
+    return failures
+
+
+def _render_table(report: dict) -> str:
+    lines = [
+        f"Lint throughput: one-sweep rule catalog + happens-before "
+        f"(scale {report['config']['scale']}, best of {report['config']['runs']})",
+        f"{'fixture':<16} {'events':>8} {'findings':>9} {'lint best':>10} "
+        f"{'events/s':>10}",
+    ]
+    for f in report["fixtures"]:
+        lines.append(
+            f"{f['name']:<16} {f['events']:>8} {f['findings']:>9} "
+            f"{f['lint']['best_s']*1e3:>8.1f}ms {f['lint']['events_per_s']:>10,}"
+        )
+    agg = report["aggregate"]
+    lines.append(
+        f"{'aggregate':<16} {agg['events']:>8} {'':>9} "
+        f"{agg['lint_s']*1e3:>8.1f}ms {agg['events_per_s']:>10,}"
+    )
+    grid = report["grid"]
+    lines.append(
+        f"whatif grid {grid['grid_cpus']}: cold {grid['cold']['best_s']*1e3:.1f}ms, "
+        f"warm {grid['warm']['best_s']*1e3:.1f}ms "
+        f"({grid['speedup']:.1f}x, all-cached={grid['warm_all_cached']})"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--runs", type=int, default=max(3, BENCH_RUNS))
+    parser.add_argument("--scale", type=float, default=BENCH_SCALE)
+    parser.add_argument(
+        "--check", action="store_true",
+        help=f"gate the warm-cache grid speedup against the committed {BASELINE}",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.50,
+        help="allowed fractional speedup drop in --check mode (default 0.50)",
+    )
+    parser.add_argument(
+        "--artifact", default=BASELINE,
+        help=f"result JSON filename under benchmarks/results/ (default {BASELINE})",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_bench(args.runs, args.scale)
+    save_json(args.artifact, report)
+    emit(_render_table(report))
+
+    if args.check:
+        baseline = load_json(BASELINE)
+        if baseline is None:
+            emit(f"GATE FAILED: no committed baseline {BASELINE}")
+            return 1
+        failures = check(report, baseline, args.tolerance)
+        if failures:
+            emit("GATE FAILED: " + "; ".join(failures))
+            return 1
+        emit(
+            f"gate passed: warm grid speedup {report['grid']['speedup']:.1f}x "
+            f"(committed {baseline['grid']['speedup']:.1f}x, "
+            f"tolerance {args.tolerance:.0%})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,9 +24,24 @@ from repro.analysis.lint.engine import (
     run_lint,
 )
 from repro.analysis.lint.findings import Finding, LintReport, Severity, Site
+from repro.analysis.lint.hb import RaceDetector, RacePair, VarRaces
 from repro.analysis.lint.locks import LockAnalysis, sweep
+from repro.analysis.lint.predictive import (
+    WhatifCell,
+    WhatifResult,
+    probe_trace,
+    whatif_lint,
+)
 from repro.analysis.lint.render import render_json, render_text
 from repro.analysis.lint.sarif import sarif_json, to_sarif
+from repro.analysis.lint.witness import (
+    Witness,
+    WitnessReplay,
+    find_witness,
+    replay_witness,
+    synthesize_deadlock_witness,
+    synthesize_race_witness,
+)
 
 __all__ = [
     "LintContext",
@@ -41,6 +56,19 @@ __all__ = [
     "Site",
     "LockAnalysis",
     "sweep",
+    "RaceDetector",
+    "RacePair",
+    "VarRaces",
+    "Witness",
+    "WitnessReplay",
+    "find_witness",
+    "replay_witness",
+    "synthesize_deadlock_witness",
+    "synthesize_race_witness",
+    "WhatifCell",
+    "WhatifResult",
+    "probe_trace",
+    "whatif_lint",
     "render_json",
     "render_text",
     "sarif_json",

@@ -102,10 +102,16 @@ def _normalize_id(rule_id: str) -> str:
 
 
 class LintContext:
-    """What a rule gets to look at: the trace plus shared derived views."""
+    """What a rule gets to look at: the trace plus shared derived views.
 
-    def __init__(self, trace: Trace):
+    ``salvage`` is the :class:`~repro.recorder.salvage.SalvageReport`
+    when the trace came through the lenient loader (None for a cleanly
+    parsed log) — the incomplete-input rule reads it.
+    """
+
+    def __init__(self, trace: Trace, *, salvage=None):
         self.trace = trace
+        self.salvage = salvage
         self._per_thread = None
         self._analysis: Optional[LockAnalysis] = None
 
@@ -148,15 +154,19 @@ def run_lint(
     *,
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
+    salvage=None,
 ) -> LintReport:
     """Run the (filtered) rule set over a recorded trace.
 
     Purely static: no simulation happens; the engine reads the log the
     Recorder produced and nothing else.  Returns a sorted
-    :class:`~repro.analysis.lint.findings.LintReport`.
+    :class:`~repro.analysis.lint.findings.LintReport`.  Pass the
+    :class:`~repro.recorder.salvage.SalvageReport` as *salvage* when the
+    trace came through the lenient loader so the incomplete-input rule
+    can annotate the report.
     """
     rules = _selected_rules(select, ignore)
-    ctx = LintContext(trace)
+    ctx = LintContext(trace, salvage=salvage)
     findings: List[Finding] = []
     for rule in rules:
         findings.extend(rule.run(ctx))

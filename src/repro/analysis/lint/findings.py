@@ -10,6 +10,7 @@ same :class:`LintReport`.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -85,7 +86,15 @@ class Site:
 
 @dataclass(frozen=True)
 class Finding:
-    """One diagnosed problem in a recorded trace."""
+    """One diagnosed problem in a recorded trace.
+
+    ``witness`` (when a rule could synthesize one) is the serialized
+    replayable schedule that exhibits the hazard — see
+    :mod:`repro.analysis.lint.witness`.  ``manifests`` is filled by the
+    predictive ``--whatif`` grid: the machine-config labels under which
+    the hazard concretely manifested in replay (``None`` = grid not run,
+    ``()`` = run but never manifested).
+    """
 
     rule_id: str
     severity: Severity
@@ -95,6 +104,31 @@ class Finding:
     source: Optional[SourceLocation] = None
     event_index: Optional[int] = None
     related: Tuple[Site, ...] = ()
+    witness: Optional[Dict[str, object]] = None
+    manifests: Optional[Tuple[str, ...]] = None
+
+    def fingerprint(self) -> str:
+        """Stable identity across runs of the same program.
+
+        Hashes what the finding *is* (rule, operand, source sites) and
+        not where in this particular log it happened (no event indices,
+        no timestamps, no message text): re-recording the same program
+        yields the same fingerprint, so findings diff across runs and a
+        ``--baseline`` file keeps suppressing them.
+        """
+        parts = [
+            self.rule_id,
+            str(self.obj) if self.obj is not None else "",
+            f"{self.source.file}:{self.source.line}" if self.source else "",
+        ]
+        parts.extend(
+            sorted(
+                f"{s.source.file}:{s.source.line}" if s.source else s.label
+                for s in self.related
+            )
+        )
+        digest = hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+        return digest
 
     def to_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {
@@ -115,6 +149,11 @@ class Finding:
             out["event_index"] = self.event_index
         if self.related:
             out["related"] = [site.to_dict() for site in self.related]
+        out["fingerprint"] = self.fingerprint()
+        if self.witness is not None:
+            out["witness"] = self.witness
+        if self.manifests is not None:
+            out["manifests"] = list(self.manifests)
         return out
 
 

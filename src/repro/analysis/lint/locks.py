@@ -38,6 +38,8 @@ from repro.core.events import (
 from repro.core.ids import SyncObjectId
 from repro.core.trace import Trace
 
+from repro.analysis.lint.hb import RaceDetector, VarRaces
+
 __all__ = [
     "Acquisition",
     "Access",
@@ -160,6 +162,10 @@ class LockAnalysis:
     hygiene: List[HygieneEvent] = field(default_factory=list)
     conds: Dict[SyncObjectId, CondObservation] = field(default_factory=dict)
     lock_usage: Dict[SyncObjectId, LockUsage] = field(default_factory=dict)
+    #: happens-before classification of every conflicting access pair,
+    #: per variable (see :mod:`repro.analysis.lint.hb`): variables whose
+    #: conflicts are all fork/join/sema/cond-ordered do not appear
+    races: Dict[SyncObjectId, VarRaces] = field(default_factory=dict)
 
 
 def _is_ok(ret: EventRecord) -> bool:
@@ -181,6 +187,10 @@ def sweep(trace: Trace, *, block_threshold_us: int = 0) -> LockAnalysis:
         block_threshold_us = 4 * trace.meta.probe_overhead_us
 
     out = LockAnalysis(trace=trace)
+    # the happens-before detector rides the same pass: the sweep feeds it
+    # ordering edges (fork/join, lock hand-off, sema, condvar) and every
+    # shared access, and it classifies conflicting pairs (hb.py)
+    hb = RaceDetector()
     # per-thread: lock object -> live Acquisition (read-held rwlocks count
     # once per thread; the monitored uni-processor log can't nest them)
     held: Dict[int, Dict[SyncObjectId, Acquisition]] = {}
@@ -291,18 +301,21 @@ def sweep(trace: Trace, *, block_threshold_us: int = 0) -> LockAnalysis:
                 write_held = frozenset(
                     o for o, a in locks.items() if a.exclusive or o.kind == "sema"
                 )
-                out.accesses.append(
-                    Access(
-                        var=obj,
-                        tid=tid,
-                        is_write=prim is Primitive.SHARED_WRITE,
-                        time_us=rec.time_us,
-                        locks=all_held,
-                        write_locks=write_held,
-                        source=rec.source,
-                        event_index=index,
-                    )
+                access = Access(
+                    var=obj,
+                    tid=tid,
+                    is_write=prim is Primitive.SHARED_WRITE,
+                    time_us=rec.time_us,
+                    locks=all_held,
+                    write_locks=write_held,
+                    source=rec.source,
+                    event_index=index,
                 )
+                out.accesses.append(access)
+                if access.is_write:
+                    hb.write(access)
+                else:
+                    hb.read(access)
             continue
 
         # ---- lock acquisitions ----------------------------------------
@@ -320,6 +333,7 @@ def sweep(trace: Trace, *, block_threshold_us: int = 0) -> LockAnalysis:
                     call=call,
                     call_index=call_index,
                 )
+                hb.acquire_lock(tid, obj)
             else:
                 open_calls.pop((tid, prim, obj), None)
             continue
@@ -329,6 +343,7 @@ def sweep(trace: Trace, *, block_threshold_us: int = 0) -> LockAnalysis:
         if prim in _RELEASES and obj is not None:
             if rec.phase is Phase.CALL:
                 release(tid, obj, rec, index)
+                hb.release_lock(tid, obj)
             continue
 
         # ---- semaphores as protection spans ---------------------------
@@ -342,12 +357,14 @@ def sweep(trace: Trace, *, block_threshold_us: int = 0) -> LockAnalysis:
                     source=rec.source,
                     event_index=index,
                 )
+                hb.sync_recv(tid, obj)
             continue
         if prim is Primitive.SEMA_POST and obj is not None:
             if rec.phase is Phase.CALL:
                 # posting a sema this thread "holds" closes the protection
                 # span; posting one it does not hold is normal hand-off
                 thread_held(tid).pop(obj, None)
+                hb.sync_send(tid, obj)
             continue
 
         # ---- condition variables --------------------------------------
@@ -374,7 +391,12 @@ def sweep(trace: Trace, *, block_threshold_us: int = 0) -> LockAnalysis:
                 else:
                     # the wait atomically releases the mutex
                     parked[(tid, cond)] = locks.pop(mutex)
+                    hb.release_lock(tid, mutex)
             else:
+                if _is_ok(rec):
+                    # a successful wake absorbs the signallers' pasts; a
+                    # timeout saw no signal, so no edge
+                    hb.sync_recv(tid, cond)
                 acq = parked.pop((tid, cond), None)
                 if acq is not None:
                     # re-acquired before the wait returns (even on timeout)
@@ -386,6 +408,7 @@ def sweep(trace: Trace, *, block_threshold_us: int = 0) -> LockAnalysis:
                         source=acq.source,
                         event_index=acq.event_index,
                     )
+                    hb.acquire_lock(tid, acq.obj)
                 if prim is Primitive.COND_TIMEDWAIT:
                     key = str(rec.source) if rec.source else str(cond)
                     site = observation.timeout_sites.setdefault(
@@ -398,27 +421,41 @@ def sweep(trace: Trace, *, block_threshold_us: int = 0) -> LockAnalysis:
         if prim is Primitive.COND_SIGNAL and rec.phase is Phase.CALL:
             cond = obj if obj is not None else SyncObjectId("cond", "?")
             out.conds.setdefault(cond, CondObservation()).signals += 1
+            hb.sync_send(tid, cond)
             continue
         if prim is Primitive.COND_BROADCAST and rec.phase is Phase.CALL:
             cond = obj if obj is not None else SyncObjectId("cond", "?")
             out.conds.setdefault(cond, CondObservation()).broadcasts += 1
+            hb.sync_send(tid, cond)
+            continue
+
+        # ---- thread lifecycle: fork/join happens-before edges ----------
+        if prim is Primitive.THR_CREATE:
+            if rec.phase is Phase.RET and _is_ok(rec) and rec.target is not None:
+                hb.fork(tid, int(rec.target))
             continue
 
         # ---- joins while holding locks --------------------------------
-        if prim is Primitive.THR_JOIN and rec.phase is Phase.CALL:
-            locks = thread_held(tid)
-            lock_like = tuple(o for o in locks if o.kind in ORDERED_KINDS)
-            if lock_like:
-                out.hygiene.append(
-                    HygieneEvent(
-                        kind="join-holding-locks",
-                        tid=tid,
-                        obj=None,
-                        held=lock_like,
-                        source=rec.source,
-                        event_index=index,
+        if prim is Primitive.THR_JOIN:
+            if rec.phase is Phase.CALL:
+                locks = thread_held(tid)
+                lock_like = tuple(o for o in locks if o.kind in ORDERED_KINDS)
+                if lock_like:
+                    out.hygiene.append(
+                        HygieneEvent(
+                            kind="join-holding-locks",
+                            tid=tid,
+                            obj=None,
+                            held=lock_like,
+                            source=rec.source,
+                            event_index=index,
+                        )
                     )
-                )
+            elif _is_ok(rec) and rec.target is not None:
+                # the joined thread's entire life happens-before here
+                # (a wildcard join reaps an unknown thread: no edge)
+                hb.join(tid, int(rec.target))
             continue
 
+    out.races = hb.races
     return out

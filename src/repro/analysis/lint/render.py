@@ -35,6 +35,17 @@ def render_text(report: LintReport, *, explain: bool = True) -> str:
         )
         for site in finding.related:
             lines.append(f"    see: {site.describe()}")
+        if finding.witness is not None:
+            digest = str(finding.witness.get("digest", ""))[:12]
+            replay = finding.witness.get("replay", "")
+            lines.append(f"    witness: {digest} (replay: {replay})")
+        if finding.manifests is not None:
+            shown = (
+                ", ".join(finding.manifests)
+                if finding.manifests
+                else "never (no probed config reproduced it)"
+            )
+            lines.append(f"    manifests: {shown}")
         if explain and finding.rule_id not in explained:
             explained.add(finding.rule_id)
             try:

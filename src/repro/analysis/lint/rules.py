@@ -17,7 +17,12 @@ from repro.core.ids import SyncObjectId
 
 from repro.analysis.lint.engine import LintContext, Rule, register_rule
 from repro.analysis.lint.findings import Finding, Severity, Site
-from repro.analysis.lint.locks import Access, LockOrderEdge
+from repro.analysis.lint.hb import VarRaces
+from repro.analysis.lint.locks import LockOrderEdge
+from repro.analysis.lint.witness import (
+    synthesize_deadlock_witness,
+    synthesize_race_witness,
+)
 
 __all__ = [
     "LocksetRaceRule",
@@ -29,6 +34,7 @@ __all__ = [
     "JoinHoldingLockRule",
     "UncontendedLockRule",
     "PathologicalHoldRule",
+    "IncompleteInputRule",
 ]
 
 
@@ -44,16 +50,24 @@ def _fmt_locks(locks: Iterable[SyncObjectId]) -> str:
 
 @register_rule
 class LocksetRaceRule(Rule):
-    """The Eraser lockset algorithm over recorded shared accesses.
+    """Hybrid lockset ∩ happens-before race detection.
 
-    Per variable the candidate set C(v) starts as the accessor's full
+    The Eraser lockset algorithm (Savage et al., 1997) stays the *gate*:
+    per variable the candidate set C(v) starts as the accessor's full
     protection set and is intersected on every access once a second
     thread touches the variable; the virgin → exclusive → shared →
     shared-modified state machine suppresses initialisation and
-    read-only false positives exactly as in Eraser (Savage et al., 1997).
-    A write access refines with *write-capable* locks only (a read-held
-    readers/writer lock protects readers from writers, not writers from
-    each other).
+    read-only patterns, and a write refines with *write-capable* locks
+    only.  A gated variable is then judged by the happens-before
+    detector (:mod:`repro.analysis.lint.hb`):
+
+    * some conflicting pair is concurrent even under mutex hand-off
+      edges → **error**, with a replayable witness schedule;
+    * pairs are concurrent under fork/join/sema/cond edges but the
+      recorded lock hand-offs ordered every one → **warning** (the
+      ordering is this interleaving's accident, not the program's);
+    * every conflicting pair is fork/join/sema/cond-ordered → no
+      finding at all (the classic Eraser false positive, eliminated).
     """
 
     id = "VPPB-R001"
@@ -62,7 +76,10 @@ class LocksetRaceRule(Rule):
     rationale = (
         "Two threads touched the same shared variable, at least one wrote, "
         "and no lock was held across all accesses — the schedule, not the "
-        "program, decides the outcome."
+        "program, decides the outcome.  Happens-before analysis sets the "
+        "severity: error when a conflicting pair is provably concurrent "
+        "(with a replayable witness schedule), warning when only this "
+        "run's lock hand-off order kept the accesses apart."
     )
 
     _VIRGIN, _EXCLUSIVE, _SHARED, _SHARED_MODIFIED = range(4)
@@ -71,8 +88,6 @@ class LocksetRaceRule(Rule):
         states: Dict[SyncObjectId, int] = {}
         owners: Dict[SyncObjectId, int] = {}
         candidates: Dict[SyncObjectId, Set[SyncObjectId]] = {}
-        first_access: Dict[SyncObjectId, Access] = {}
-        last_write: Dict[SyncObjectId, Access] = {}
         reported: Set[SyncObjectId] = set()
 
         for acc in ctx.analysis.accesses:
@@ -83,7 +98,6 @@ class LocksetRaceRule(Rule):
             if state == self._VIRGIN:
                 states[var] = self._EXCLUSIVE
                 owners[var] = acc.tid
-                first_access[var] = acc
             elif state == self._EXCLUSIVE and acc.tid == owners[var]:
                 pass  # initialisation window: no refinement (Eraser)
             else:
@@ -107,37 +121,56 @@ class LocksetRaceRule(Rule):
                     and var not in reported
                 ):
                     reported.add(var)
-                    yield self._report(var, acc, first_access[var], last_write.get(var))
-            if acc.is_write:
-                last_write[var] = acc
+                    finding = self._judge(ctx, var)
+                    if finding is not None:
+                        yield finding
 
-    def _report(
-        self,
-        var: SyncObjectId,
-        acc: Access,
-        first: Access,
-        prev_write: Optional[Access],
-    ) -> Finding:
-        other = prev_write if prev_write is not None and prev_write.tid != acc.tid else first
+    def _judge(self, ctx: LintContext, var: SyncObjectId) -> Optional[Finding]:
+        """Happens-before verdict for a variable the lockset gated."""
+        info = ctx.analysis.races.get(var)
+        if info is None or not info.pairs:
+            # every conflicting pair is fork/join/sema/cond-ordered: no
+            # schedule reorders them — the lockset report was wrong
+            return None
+        pair = info.best_pair()
+        a, b = pair.earlier, pair.later
+        if pair.full_concurrent:
+            severity = Severity.ERROR
+            verdict = (
+                "no recorded synchronisation orders the accesses — "
+                "concurrent under happens-before"
+            )
+            raw = synthesize_race_witness(ctx.trace, pair)
+            witness = raw.to_dict() if raw is not None else None
+        else:
+            severity = Severity.WARNING
+            verdict = (
+                "this run's mutex hand-off order kept the accesses apart, "
+                "but nothing forces that order — fragile, not yet proven "
+                "concurrent"
+            )
+            witness = None
         related = [
             Site(
-                label=f"{'write' if other.is_write else 'read'} under "
-                f"{_fmt_locks(other.locks)}",
-                tid=other.tid,
-                source=other.source,
-                event_index=other.event_index,
+                label=f"{'write' if a.is_write else 'read'} under "
+                f"{_fmt_locks(a.locks)}",
+                tid=a.tid,
+                source=a.source,
+                event_index=a.event_index,
             )
         ]
         return self.finding(
-            f"data race on {var}: {'write' if acc.is_write else 'read'} by "
-            f"T{acc.tid} holding {_fmt_locks(acc.locks)} conflicts with "
-            f"T{other.tid} holding {_fmt_locks(other.locks)}; "
-            "no lock protects every access",
-            tid=acc.tid,
+            f"data race on {var}: {'write' if b.is_write else 'read'} by "
+            f"T{b.tid} holding {_fmt_locks(b.locks)} conflicts with "
+            f"T{a.tid} holding {_fmt_locks(a.locks)}; "
+            f"no lock protects every access; {verdict}",
+            severity=severity,
+            tid=b.tid,
             obj=var,
-            source=acc.source,
-            event_index=acc.event_index,
+            source=b.source,
+            event_index=b.event_index,
             related=tuple(related),
+            witness=witness,
         )
 
 
@@ -176,10 +209,13 @@ class LockOrderCycleRule(Rule):
                 succ = cycle[(i + 1) % len(cycle)]
                 edge = edges[(node, succ)]
                 witnesses.append(edge)
-            yield self._report(cycle, witnesses)
+            yield self._report(cycle, witnesses, ctx)
 
     def _report(
-        self, cycle: List[SyncObjectId], witnesses: List[LockOrderEdge]
+        self,
+        cycle: List[SyncObjectId],
+        witnesses: List[LockOrderEdge],
+        ctx: LintContext,
     ) -> Finding:
         chain = " -> ".join(str(o) for o in cycle + [cycle[0]])
         threads = sorted({w.tid for w in witnesses})
@@ -196,6 +232,7 @@ class LockOrderCycleRule(Rule):
                 )
             )
         first = witnesses[0]
+        raw = synthesize_deadlock_witness(ctx.trace, witnesses)
         return self.finding(
             f"lock-order cycle {chain} between threads "
             f"{', '.join(f'T{t}' for t in threads)}: the orderings are "
@@ -205,6 +242,7 @@ class LockOrderCycleRule(Rule):
             source=first.later_source,
             event_index=first.later_event_index,
             related=tuple(related),
+            witness=raw.to_dict() if raw is not None else None,
         )
 
 
@@ -448,3 +486,35 @@ class PathologicalHoldRule(Rule):
                     source=source,
                     event_index=index,
                 )
+
+
+# ---------------------------------------------------------------------------
+# VPPB-R010 — salvaged input
+# ---------------------------------------------------------------------------
+
+
+@register_rule
+class IncompleteInputRule(Rule):
+    id = "VPPB-R010"
+    severity = Severity.NOTE
+    title = "trace was salvaged; lint ran on an incomplete log"
+    rationale = (
+        "The log did not parse cleanly and the salvage pipeline repaired "
+        "or dropped records before analysis.  Every finding still points "
+        "at real recorded events, but silence proves nothing: a hazard "
+        "may have lived in the damaged region."
+    )
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        report = ctx.salvage
+        if report is None or report.clean:
+            return
+        counts = ", ".join(
+            f"{n}x {kind}" for kind, n in sorted(report.counts_by_kind().items())
+        )
+        yield self.finding(
+            f"input was salvaged: kept {report.records_kept} of "
+            f"{report.records_parsed} parsed records over "
+            f"{report.total_lines} lines ({len(report.repairs)} repairs: "
+            f"{counts}) — findings are valid, absence of findings is not",
+        )

@@ -3,7 +3,10 @@
 Emits the minimal-but-valid shape consumers (GitHub code scanning,
 VS Code SARIF viewer) expect: one run, ``tool.driver`` carrying the rule
 catalog, one ``result`` per finding with ``ruleId``/``level``/``message``
-and physical locations.  Witness sites become ``relatedLocations``.
+and physical locations.  Witness sites become ``relatedLocations``; each
+result carries a stable ``partialFingerprints`` entry (the same identity
+``vppb lint --baseline`` suppresses on), and replayable witness
+schedules plus ``--whatif`` manifestation tags ride in ``properties``.
 """
 
 from __future__ import annotations
@@ -70,6 +73,9 @@ def _result(finding: Finding, rule_index: Dict[str, int]) -> Dict[str, object]:
             related.append(rel)
     if related:
         result["relatedLocations"] = related
+    result["partialFingerprints"] = {
+        "vppbFingerprint/v1": finding.fingerprint()
+    }
     props: Dict[str, object] = {}
     if finding.tid is not None:
         props["tid"] = finding.tid
@@ -77,6 +83,10 @@ def _result(finding: Finding, rule_index: Dict[str, int]) -> Dict[str, object]:
         props["object"] = str(finding.obj)
     if finding.event_index is not None:
         props["eventIndex"] = finding.event_index
+    if finding.witness is not None:
+        props["witness"] = finding.witness
+    if finding.manifests is not None:
+        props["manifests"] = list(finding.manifests)
     if props:
         result["properties"] = props
     return result

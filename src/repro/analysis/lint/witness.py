@@ -1,0 +1,372 @@
+"""Replayable witness schedules for HB-confirmed races and deadlock cycles.
+
+A lint finding is a *claim* about schedules nobody observed; a witness
+makes the claim concrete: a minimally perturbed replay plan — one or two
+surgical ``Delay`` insertions, nothing else — that the deterministic
+simulator replays to actually *exhibit* the hazard (iReplayer's point:
+concurrency-bug evidence convinces when it replays).  Everything is
+derived from the trace alone:
+
+* **race** — the happens-before detector recorded a full-concurrent
+  access pair.  Delaying the recorded-earlier access's thread just
+  before that access flips the adjacency: replay places the recorded-
+  later access first, demonstrating that either order is reachable.
+* **deadlock** — an R002 lock-order cycle.  Delaying each cycle thread
+  just before its *second* (inner) acquisition stretches every
+  hold-and-wait window until they overlap: replay ends in
+  ``RunStatus.DEADLOCK`` with the cycle as diagnosis.
+
+Synthesis is static (one pass over the log to map event indices to plan
+steps); replay/verification runs only on demand — ``vppb lint
+--replay-witness``, the ``--whatif`` grid probes, the test suite, and
+the CI lint gate.
+
+The witness serialises to a small JSON object whose sha256 digest is its
+identity; the digest rides on the finding into JSON/SARIF/HTML together
+with the replay command that re-checks it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import SimConfig
+from repro.core.events import Phase, Primitive
+from repro.core.result import RunStatus, SimulationResult
+from repro.core.trace import Trace
+
+__all__ = [
+    "Witness",
+    "WitnessReplay",
+    "synthesize_race_witness",
+    "synthesize_deadlock_witness",
+    "apply_witness",
+    "replay_witness",
+    "find_witness",
+]
+
+#: Trace records that do not become plan steps (predictor._compile_thread
+#: skips them), so they must not advance the step counter either.
+_NON_STEP = (
+    Primitive.START_COLLECT,
+    Primitive.THREAD_START,
+    Primitive.END_COLLECT,
+)
+
+_ACCESS = (Primitive.SHARED_READ, Primitive.SHARED_WRITE)
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A minimally perturbed schedule plus the outcome it must exhibit."""
+
+    kind: str  # "race" | "deadlock"
+    rule_id: str
+    cpus: int
+    #: (tid, step_index, delay_us) — fed to faultinject.delay_steps
+    perturbations: Tuple[Tuple[int, int, int], ...]
+    expect: Dict[str, object]
+    program: str
+
+    @property
+    def digest(self) -> str:
+        payload = json.dumps(
+            {
+                "kind": self.kind,
+                "rule": self.rule_id,
+                "cpus": self.cpus,
+                "perturbations": [list(p) for p in self.perturbations],
+                "expect": self.expect,
+                "program": self.program,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def replay_command(self, log: str = "<log>") -> str:
+        return f"vppb lint {log} --replay-witness {self.digest[:12]}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "rule": self.rule_id,
+            "cpus": self.cpus,
+            "perturbations": [
+                {"tid": t, "step": s, "delay_us": d}
+                for t, s, d in self.perturbations
+            ],
+            "expect": self.expect,
+            "program": self.program,
+            "digest": self.digest,
+            "replay": self.replay_command(),
+        }
+
+
+@dataclass(frozen=True)
+class WitnessReplay:
+    """What replaying a witness actually produced."""
+
+    exhibited: bool
+    status: RunStatus
+    detail: str
+    result: Optional[SimulationResult] = None
+
+
+# ---------------------------------------------------------------------------
+# trace-index bookkeeping
+# ---------------------------------------------------------------------------
+
+
+def _index_trace(trace: Trace, wanted: Sequence[int]):
+    """Map global record indices to (plan step index, shared-access ordinal).
+
+    One pass.  The step index counts prior non-marker CALL records of the
+    same thread (each call+ret pair compiles to exactly one plan step);
+    the ordinal counts prior shared accesses of the same (tid, var), which
+    is how the access is located again among replayed PlacedEvents.
+    """
+    wanted_set = set(wanted)
+    steps: Dict[int, int] = {}
+    ordinals: Dict[int, int] = {}
+    call_count: Dict[int, int] = {}
+    access_count: Dict[Tuple[int, str], int] = {}
+    for i, rec in enumerate(trace):
+        if rec.phase is not Phase.CALL or rec.primitive in _NON_STEP:
+            continue
+        tid = int(rec.tid)
+        if i in wanted_set:
+            steps[i] = call_count.get(tid, 0)
+            if rec.primitive in _ACCESS and rec.obj is not None:
+                ordinals[i] = access_count.get((tid, str(rec.obj)), 0)
+        call_count[tid] = call_count.get(tid, 0) + 1
+        if rec.primitive in _ACCESS and rec.obj is not None:
+            key = (tid, str(rec.obj))
+            access_count[key] = access_count.get(key, 0) + 1
+    return steps, ordinals
+
+
+# ---------------------------------------------------------------------------
+# synthesis
+# ---------------------------------------------------------------------------
+
+
+def synthesize_race_witness(trace: Trace, pair) -> Optional[Witness]:
+    """Build the inversion witness for one full-concurrent access pair."""
+    a, b = pair.earlier, pair.later
+    if a.event_index is None or b.event_index is None:
+        return None
+    if a.tid == b.tid:
+        return None
+    steps, ordinals = _index_trace(trace, (a.event_index, b.event_index))
+    if a.event_index not in steps or b.event_index not in steps:
+        return None
+    # push the recorded-earlier access past the recorded-later one, with
+    # a wide margin: replay timings differ from recorded ones (§3.2 cost
+    # model), so the window is sized in multiples of the recorded gap
+    gap_us = max(0, b.time_us - a.time_us)
+    delay_us = max(1_000, gap_us * 4 + 200)
+    expect = {
+        "outcome": "inverted-accesses",
+        "var": str(a.var),
+        "first": {
+            "tid": a.tid,
+            "ordinal": ordinals[a.event_index],
+            "write": bool(a.is_write),
+        },
+        "second": {
+            "tid": b.tid,
+            "ordinal": ordinals[b.event_index],
+            "write": bool(b.is_write),
+        },
+    }
+    # one CPU suffices: a race is an *ordering* property, and the Delay
+    # flips the adjacency in virtual time regardless of parallelism.
+    # Serialising the machine also keeps unrelated lock contention (which
+    # can deadlock multi-CPU replays of buggy programs) from pre-empting
+    # the demonstration.
+    return Witness(
+        kind="race",
+        rule_id="VPPB-R001",
+        cpus=1,
+        perturbations=((a.tid, steps[a.event_index], delay_us),),
+        expect=expect,
+        program=trace.meta.program,
+    )
+
+
+def synthesize_deadlock_witness(trace: Trace, edges) -> Optional[Witness]:
+    """Build the hold-and-wait witness for one lock-order cycle.
+
+    *edges* are the cycle's :class:`LockOrderEdge` witnesses.  A cycle
+    recorded entirely by one thread cannot deadlock (a thread does not
+    contend with itself), so it gets no witness.
+    """
+    tids = {e.tid for e in edges}
+    if len(tids) < 2:
+        return None
+    indices = [e.later_event_index for e in edges]
+    if any(i is None for i in indices):
+        return None
+    steps, _ = _index_trace(trace, indices)
+    if any(i not in steps for i in indices):
+        return None
+    # every cycle thread pauses just before its inner acquisition, long
+    # enough that all the hold-and-wait windows are simultaneously open
+    delay_us = max(10_000, trace.duration_us)
+    perturbations = tuple(
+        (e.tid, steps[e.later_event_index], delay_us) for e in edges
+    )
+    expect = {
+        "outcome": "deadlock",
+        "locks": sorted({str(e.held) for e in edges} | {str(e.later) for e in edges}),
+        "tids": sorted(tids),
+    }
+    return Witness(
+        kind="deadlock",
+        rule_id="VPPB-R002",
+        cpus=max(2, len(tids)),
+        perturbations=perturbations,
+        expect=expect,
+        program=trace.meta.program,
+    )
+
+
+# ---------------------------------------------------------------------------
+# replay + verification
+# ---------------------------------------------------------------------------
+
+
+def apply_witness(plan, witness: Witness):
+    """The perturbed plan the witness describes (input plan untouched)."""
+    from repro.faultinject.perturb import delay_steps
+
+    return delay_steps(plan, witness.perturbations)
+
+
+def _locate_access(result: SimulationResult, var: str, spec: Dict[str, object]):
+    """Find the replayed PlacedEvent for an expectation's access spec."""
+    tid = int(spec["tid"])
+    wanted = int(spec["ordinal"])
+    seen = 0
+    for ev in result.events:
+        if (
+            int(ev.tid) == tid
+            and ev.primitive in _ACCESS
+            and ev.obj is not None
+            and str(ev.obj) == var
+        ):
+            if seen == wanted:
+                return ev
+            seen += 1
+    return None
+
+
+def replay_witness(
+    trace: Trace,
+    witness: Witness,
+    *,
+    plan=None,
+    max_events: int = 50_000_000,
+    watchdog=None,
+) -> WitnessReplay:
+    """Replay the witness schedule and check the claimed outcome.
+
+    Non-strict: a deadlock is a *successful* outcome for a deadlock
+    witness and the partial result still carries the placed events a
+    race witness needs.
+    """
+    from repro.core.predictor import compile_trace
+    from repro.core.simulator import Simulator
+
+    if plan is None:
+        plan = compile_trace(trace)
+    perturbed = apply_witness(plan, witness)
+    sim = Simulator(
+        SimConfig(cpus=witness.cpus),
+        max_events=max_events,
+        watchdog=watchdog,
+        strict=False,
+    )
+    result = sim.run_replay(perturbed)
+
+    if witness.kind == "deadlock":
+        if result.status is RunStatus.DEADLOCK:
+            ring = (
+                " -> ".join(f"T{t}" for t in result.incompleteness.cycle)
+                if result.incompleteness and result.incompleteness.cycle
+                else "?"
+            )
+            return WitnessReplay(
+                exhibited=True,
+                status=result.status,
+                detail=f"replay deadlocked as claimed (cycle {ring})",
+                result=result,
+            )
+        return WitnessReplay(
+            exhibited=False,
+            status=result.status,
+            detail=f"replay ended {result.status.value}, expected deadlock",
+            result=result,
+        )
+
+    # race: the recorded-later access must now be placed first
+    var = str(witness.expect["var"])
+    first = _locate_access(result, var, witness.expect["first"])
+    second = _locate_access(result, var, witness.expect["second"])
+    if first is None or second is None:
+        missing = "first" if first is None else "second"
+        return WitnessReplay(
+            exhibited=False,
+            status=result.status,
+            detail=(
+                f"the {missing} access of the pair was never placed "
+                f"(replay ended {result.status.value})"
+            ),
+            result=result,
+        )
+    if second.start_us < first.start_us:
+        return WitnessReplay(
+            exhibited=True,
+            status=result.status,
+            detail=(
+                f"access order inverted: T{int(second.tid)} touched {var} at "
+                f"{second.start_us}us, before T{int(first.tid)} at "
+                f"{first.start_us}us — the schedule, not the program, decides"
+            ),
+            result=result,
+        )
+    return WitnessReplay(
+        exhibited=False,
+        status=result.status,
+        detail=(
+            f"recorded order survived the perturbation "
+            f"({first.start_us}us before {second.start_us}us)"
+        ),
+        result=result,
+    )
+
+
+def find_witness(report, digest_prefix: str) -> Optional[Witness]:
+    """Resolve a (possibly abbreviated) witness digest against a report."""
+    prefix = digest_prefix.strip().lower()
+    for finding in report:
+        w = getattr(finding, "witness", None)
+        if not w:
+            continue
+        if str(w.get("digest", "")).startswith(prefix):
+            return Witness(
+                kind=str(w["kind"]),
+                rule_id=str(w["rule"]),
+                cpus=int(w["cpus"]),
+                perturbations=tuple(
+                    (int(p["tid"]), int(p["step"]), int(p["delay_us"]))
+                    for p in w["perturbations"]
+                ),
+                expect=dict(w["expect"]),
+                program=str(w.get("program", "")),
+            )
+    return None

@@ -359,6 +359,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-explain", action="store_true",
         help="omit the per-rule rationale lines from the text report",
     )
+    p_lint.add_argument(
+        "--strict-parse", action="store_true",
+        help="fail on a damaged log instead of salvaging and linting "
+        "what remains",
+    )
+    p_lint.add_argument(
+        "--whatif", default=None, metavar="MANIFEST",
+        help="predictive grid: probe every race/deadlock finding across "
+        "the machine configs of this sweep manifest (JSON; 'trace' "
+        "defaults to the linted log) and tag each finding with the "
+        "configs under which it manifests",
+    )
+    p_lint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="suppress findings whose fingerprints appear in FILE (a "
+        "previous json/sarif report, or one fingerprint per line); "
+        "exit 0 if only baselined findings remain",
+    )
+    p_lint.add_argument(
+        "--replay-witness", default=None, metavar="DIGEST",
+        help="replay the witness schedule with this digest (prefix ok) "
+        "and report whether it exhibits the claimed hazard "
+        "(exit 0 yes / 1 no)",
+    )
+    p_lint.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="worker processes for the --whatif grid (0 = inline)",
+    )
+    p_lint.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory for --whatif probes "
+        "(default: the standard vppb cache)",
+    )
+    p_lint.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the result cache for --whatif probes",
+    )
 
     p_cal = sub.add_parser(
         "calibrate",
@@ -908,21 +945,59 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_baseline_fingerprints(path: str) -> set:
+    """Fingerprints to suppress, from any report shape we ever emit.
+
+    Accepts the ``--format json`` report, a SARIF log (reading
+    ``partialFingerprints``), a JSON list of fingerprint strings, or
+    plain text with one fingerprint per line (``#`` comments allowed).
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    try:
+        data = json.loads(text)
+    except ValueError:
+        return {
+            line.strip()
+            for line in text.splitlines()
+            if line.strip() and not line.strip().startswith("#")
+        }
+    fps: set = set()
+    if isinstance(data, list):
+        fps.update(str(v) for v in data if isinstance(v, str))
+    elif isinstance(data, dict):
+        for f in data.get("findings", ()):
+            if isinstance(f, dict) and f.get("fingerprint"):
+                fps.add(str(f["fingerprint"]))
+        for run in data.get("runs", ()):
+            for result in run.get("results", ()):
+                partial = result.get("partialFingerprints", {})
+                if partial.get("vppbFingerprint/v1"):
+                    fps.add(str(partial["vppbFingerprint/v1"]))
+    return fps
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Static analysis of a recorded log.
 
-    Exit status: 0 — no finding reached the ``--fail-on`` severity;
-    1 — at least one did; 2 — bad request (unknown rule id, unreadable
-    log, bad severity).
+    Exit status: 0 — no finding reached the ``--fail-on`` severity
+    (after ``--baseline`` suppression); 1 — at least one did; 2 — bad
+    request (unknown rule id, unreadable log, bad severity).  Damaged
+    logs are salvaged and linted anyway (with an incomplete-input note)
+    unless ``--strict-parse`` forbids it.
     """
     from repro.analysis.lint import (
+        LintReport,
         Severity,
+        find_witness,
         render_json,
         render_text,
+        replay_witness,
         run_lint,
         sarif_json,
+        whatif_lint,
     )
-    from repro.core.errors import AnalysisError, TraceError
+    from repro.core.errors import AnalysisError, TraceError, VppbError
 
     fail_on: Optional[Severity]
     if args.fail_on.lower() == "never":
@@ -934,16 +1009,104 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"lint: {exc}", file=sys.stderr)
             return 2
 
+    # lenient load: a partially corrupt log still carries evidence, so
+    # lint what the salvage pipeline can keep (doctor's loader)
     try:
-        trace = logfile.load(args.log)
-    except (OSError, TraceError) as exc:
-        print(f"lint: cannot load {args.log}: {exc}", file=sys.stderr)
+        with open(args.log, "r", encoding="utf-8", errors="replace") as fh:
+            log_text = fh.read()
+    except OSError as exc:
+        print(f"lint: cannot read {args.log}: {exc}", file=sys.stderr)
         return 2
+    salvage = None
     try:
-        report = run_lint(trace, select=args.select, ignore=args.ignore)
+        trace = logfile.loads(log_text, mode="strict", source=str(args.log))
+    except TraceError as exc:
+        if args.strict_parse:
+            print(f"lint: cannot load {args.log}: {exc}", file=sys.stderr)
+            return 2
+        from repro.recorder.salvage import salvage_loads
+
+        result = salvage_loads(log_text, source=str(args.log))
+        if len(result.trace) == 0:
+            print(
+                f"lint: nothing salvageable from {args.log}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        trace, salvage = result.trace, result.report
+        print(f"lint: salvaged input — {salvage.summary()}", file=sys.stderr)
+
+    try:
+        report = run_lint(
+            trace, select=args.select, ignore=args.ignore, salvage=salvage
+        )
     except AnalysisError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
+
+    if args.whatif:
+        from repro.jobs import SweepManifest
+
+        try:
+            with open(args.whatif, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            if isinstance(data, dict):
+                data.setdefault("trace", str(args.log))
+            manifest = SweepManifest.from_dict(data)
+        except (OSError, ValueError, AnalysisError) as exc:
+            print(f"lint: bad --whatif manifest: {exc}", file=sys.stderr)
+            return 2
+        engine = _calib_engine(args)
+        with engine:
+            res = whatif_lint(trace, manifest, report=report, engine=engine)
+        report = res.report
+        for cell in res.cells:
+            where = "cache" if cell.from_cache else "probe"
+            verdict = cell.replay_status or cell.error or cell.status
+            print(
+                f"lint: whatif {cell.label}: {verdict} ({where})",
+                file=sys.stderr,
+            )
+
+    if args.replay_witness:
+        witness = find_witness(report, args.replay_witness)
+        if witness is None:
+            print(
+                f"lint: no finding carries a witness matching "
+                f"{args.replay_witness!r}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            replay = replay_witness(trace, witness)
+        except VppbError as exc:
+            print(f"lint: witness replay failed: {exc}", file=sys.stderr)
+            return 2
+        shown = "EXHIBITED" if replay.exhibited else "NOT EXHIBITED"
+        print(
+            f"witness {witness.digest[:12]} ({witness.kind}, "
+            f"{witness.cpus} cpu): {shown} — {replay.detail}"
+        )
+        return 0 if replay.exhibited else 1
+
+    if args.baseline:
+        try:
+            baselined = _lint_baseline_fingerprints(args.baseline)
+        except OSError as exc:
+            print(f"lint: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        kept = [f for f in report if f.fingerprint() not in baselined]
+        suppressed = len(report) - len(kept)
+        if suppressed:
+            print(
+                f"lint: {suppressed} finding(s) suppressed by baseline",
+                file=sys.stderr,
+            )
+        report = LintReport(
+            program=report.program,
+            findings=kept,
+            rules_run=report.rules_run,
+        ).sorted()
 
     if args.format == "sarif":
         text = sarif_json(report)

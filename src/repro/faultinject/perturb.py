@@ -33,6 +33,7 @@ from repro.program.behavior import Step
 
 __all__ = [
     "DroppedWakeups",
+    "delay_steps",
     "drop_wakeups",
     "skew_clock",
     "stall_threads",
@@ -57,6 +58,38 @@ class DroppedWakeups:
 
 def _copy_plan(plan: ReplayPlan, steps: Dict[int, List[Step]]) -> ReplayPlan:
     return ReplayPlan(steps=steps, meta=dict(plan.meta), program_name=plan.program_name)
+
+
+def delay_steps(
+    plan: ReplayPlan,
+    insertions: Sequence[Tuple[int, int, int]],
+) -> ReplayPlan:
+    """Insert targeted ``Delay`` steps: the deterministic sibling of
+    :func:`stall_threads`.
+
+    Each ``(tid, step_index, delay_us)`` entry inserts ``Step(0,
+    Delay(delay_us))`` immediately *before* that thread's
+    ``step_index``-th step, postponing everything from that step on.
+    This is how lint witness schedules are built: a minimal, surgical
+    nudge that forces a specific adjacency (a racy access inversion, a
+    deadlock cycle's hold-and-wait overlap) without touching any other
+    thread.  Returns a new plan; the input is untouched.
+    """
+    by_tid: Dict[int, List[Tuple[int, int]]] = {}
+    for tid, step_index, delay_us in insertions:
+        if delay_us < 0:
+            raise ValueError(f"delay_us must be >= 0, got {delay_us}")
+        by_tid.setdefault(int(tid), []).append((int(step_index), int(delay_us)))
+
+    out: Dict[int, List[Step]] = {}
+    for tid in sorted(plan.steps):
+        steps = list(plan.steps[tid])
+        # descending order keeps earlier indices valid across insertions
+        for step_index, delay_us in sorted(by_tid.get(tid, ()), reverse=True):
+            at = min(max(0, step_index), len(steps))
+            steps.insert(at, Step(0, op_mod.Delay(delay_us)))
+        out[tid] = steps
+    return _copy_plan(plan, out)
 
 
 def drop_wakeups(

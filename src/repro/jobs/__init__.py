@@ -29,14 +29,16 @@ from repro.jobs.client import ClientError, ServiceClient
 from repro.jobs.engine import JobEngine, default_engine
 from repro.jobs.fingerprint import (
     ENGINE_VERSION,
+    LINT_VERSION,
     canonical_config,
     config_fingerprint,
     job_fingerprint,
+    lint_job_fingerprint,
     trace_fingerprint,
 )
 from repro.jobs.manifest import BatchReport, ScenarioResult, SweepManifest, run_manifest
 from repro.jobs.metrics import EngineMetrics
-from repro.jobs.model import JobOutcome, SimJob, TraceRef
+from repro.jobs.model import JobOutcome, LintJob, SimJob, TraceRef
 from repro.jobs.resilience import (
     AdmissionGate,
     BreakerOpenError,
@@ -51,6 +53,7 @@ from repro.jobs.service_async import AsyncPredictionServer, serve_async
 __all__ = [
     "CACHE_FORMAT_VERSION",
     "ENGINE_VERSION",
+    "LINT_VERSION",
     "AdmissionGate",
     "AsyncPredictionServer",
     "BatchReport",
@@ -61,6 +64,7 @@ __all__ = [
     "EngineMetrics",
     "JobEngine",
     "JobOutcome",
+    "LintJob",
     "PredictionService",
     "ResultCache",
     "ServiceClient",
@@ -74,6 +78,7 @@ __all__ = [
     "default_cache_dir",
     "default_engine",
     "job_fingerprint",
+    "lint_job_fingerprint",
     "make_server",
     "retry_call",
     "run_manifest",

@@ -169,6 +169,7 @@ class JobEngine:
             "config": job.config,
             "budget": budget if budget is not None else self._budget,
             "label": job.label,
+            "kind": getattr(job, "kind", "sim"),
         }
 
     def _run_inline(self, job: SimJob, budget: Optional[Budget]) -> JobOutcome:
@@ -315,6 +316,9 @@ class JobEngine:
             elapsed_s=outcome.elapsed_s if outcome.ok else None,
             plan_cache_hits=outcome.plan_cache_hits,
             plan_cache_misses=outcome.plan_cache_misses,
+            lint_probe=bool(
+                outcome.payload and outcome.payload.get("kind") == "lint"
+            ),
         )
 
     def snapshot(self) -> Dict:

@@ -29,10 +29,12 @@ from repro.core.trace import Trace
 
 __all__ = [
     "ENGINE_VERSION",
+    "LINT_VERSION",
     "trace_fingerprint",
     "canonical_config",
     "config_fingerprint",
     "job_fingerprint",
+    "lint_job_fingerprint",
 ]
 
 #: Version of the prediction engine baked into every job fingerprint.
@@ -40,6 +42,12 @@ __all__ = [
 #: semantics, cost model defaults, replay rules): every previously
 #: cached result then misses and is recomputed.
 ENGINE_VERSION = 1
+
+#: Version of the lint rule set + manifestation probe baked into every
+#: lint-job fingerprint.  Bump whenever a rule, the happens-before
+#: analysis, or the manifestation criteria change — predictive-lint grid
+#: results cached under the old semantics then stop being served.
+LINT_VERSION = 1
 
 
 def _sha256(text: str) -> str:
@@ -117,3 +125,16 @@ def job_fingerprint(trace_fp: str, config: SimConfig) -> str:
     address under which the job's result is cached.
     """
     return _sha256(f"vppb-job:v{ENGINE_VERSION}:{trace_fp}:{config_fingerprint(config)}")
+
+
+def lint_job_fingerprint(trace_fp: str, config: SimConfig) -> str:
+    """Fingerprint of one predictive-lint probe (trace × grid config).
+
+    Separate namespace and version from plain simulation jobs: a lint
+    probe's result embeds rule semantics, so it must re-key when either
+    the prediction engine *or* the lint rule set changes.
+    """
+    return _sha256(
+        f"vppb-lint:v{LINT_VERSION}:e{ENGINE_VERSION}:"
+        f"{trace_fp}:{config_fingerprint(config)}"
+    )

@@ -43,6 +43,7 @@ class EngineMetrics:
         self.worker_crashes = 0
         self.retries = 0
         self.jobs_rejected_breaker = 0
+        self.lint_probes = 0
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
         self._queue_depth = 0
@@ -63,6 +64,7 @@ class EngineMetrics:
         elapsed_s: Optional[float],
         plan_cache_hits: int = 0,
         plan_cache_misses: int = 0,
+        lint_probe: bool = False,
     ) -> None:
         with self._lock:
             self._queue_depth = max(0, self._queue_depth - 1)
@@ -72,6 +74,8 @@ class EngineMetrics:
                     self.jobs_partial += 1
             else:
                 self.jobs_failed += 1
+            if lint_probe:
+                self.lint_probes += 1
             self.plan_cache_hits += plan_cache_hits
             self.plan_cache_misses += plan_cache_misses
             if elapsed_s is not None:
@@ -120,6 +124,9 @@ class EngineMetrics:
                 "worker_crashes": self.worker_crashes,
                 "retries": self.retries,
                 "jobs_rejected_breaker": self.jobs_rejected_breaker,
+                # predictive-lint manifestation probes executed (the
+                # "lint" job kind; cache hits show under cache stats)
+                "lint_probes": self.lint_probes,
                 "queue_depth": self._queue_depth,
                 # worker-side compile amortisation (plan LRU, see
                 # repro.jobs.worker): hits mean the sweep reused a

@@ -24,9 +24,13 @@ from typing import Any, Dict, Optional
 from repro.core.config import SimConfig
 from repro.core.result import RunStatus
 from repro.core.trace import Trace
-from repro.jobs.fingerprint import job_fingerprint, trace_fingerprint
+from repro.jobs.fingerprint import (
+    job_fingerprint,
+    lint_job_fingerprint,
+    trace_fingerprint,
+)
 
-__all__ = ["TraceRef", "SimJob", "JobOutcome"]
+__all__ = ["TraceRef", "SimJob", "LintJob", "JobOutcome"]
 
 
 @dataclass(frozen=True)
@@ -79,6 +83,9 @@ class SimJob:
     config: SimConfig
     label: str = ""
 
+    #: Worker-side dispatch key (see :func:`repro.jobs.worker.run_payload`).
+    kind = "sim"
+
     @property
     def fingerprint(self) -> str:
         return job_fingerprint(self.trace.fingerprint, self.config)
@@ -87,6 +94,36 @@ class SimJob:
     def for_trace(
         cls, trace: Trace, config: SimConfig, *, label: str = ""
     ) -> "SimJob":
+        return cls(trace=TraceRef.from_trace(trace), config=config, label=label)
+
+
+@dataclass(frozen=True)
+class LintJob:
+    """One predictive-lint probe: does each hazard *manifest* when the
+    trace replays under *config*?
+
+    Same shape as :class:`SimJob` (the engine treats both uniformly) but
+    a different fingerprint namespace — the result embeds lint-rule
+    semantics, not just simulation output, so it re-keys when either
+    version bumps.  The worker answers with a ``payload`` dict mapping
+    finding fingerprints to a manifested bool (see
+    :func:`repro.analysis.lint.predictive.probe_trace`).
+    """
+
+    trace: TraceRef
+    config: SimConfig
+    label: str = ""
+
+    kind = "lint"
+
+    @property
+    def fingerprint(self) -> str:
+        return lint_job_fingerprint(self.trace.fingerprint, self.config)
+
+    @classmethod
+    def for_trace(
+        cls, trace: Trace, config: SimConfig, *, label: str = ""
+    ) -> "LintJob":
         return cls(trace=TraceRef.from_trace(trace), config=config, label=label)
 
 
@@ -118,6 +155,10 @@ class JobOutcome:
     #: compiled replay plan (hit) or compile it fresh (miss)?
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    #: Kind-specific result data (JSON-safe).  Lint probes return their
+    #: per-finding manifestation verdicts here; plain simulation jobs
+    #: leave it None.
+    payload: Optional[Dict[str, Any]] = None
 
     #: The job raised before producing any result (unparseable trace, ...).
     FAILED = "failed"
@@ -148,6 +189,7 @@ class JobOutcome:
             "label": self.label,
             "plan_cache_hits": self.plan_cache_hits,
             "plan_cache_misses": self.plan_cache_misses,
+            "payload": self.payload,
         }
 
     @classmethod
@@ -165,6 +207,7 @@ class JobOutcome:
             label=data.get("label", ""),
             plan_cache_hits=int(data.get("plan_cache_hits", 0)),
             plan_cache_misses=int(data.get("plan_cache_misses", 0)),
+            payload=data.get("payload"),
         )
 
     def with_label(self, label: str) -> "JobOutcome":

@@ -25,10 +25,18 @@ API (all bodies JSON unless noted):
     predictions; repeated requests are served from the result cache.
     With a deadline (``deadline_s`` key, or front-end default), expiry
     returns 504 carrying a partial-result envelope.
+``POST /lint``
+    Body: ``{"trace": <fingerprint>}`` or ``{"log": <raw text>}``, plus
+    optional ``select``/``ignore`` rule lists and an optional ``whatif``
+    grid (``cpus``/``bindings``/``lwps``/``comm_delay_us``).  Returns
+    the static synchronisation findings — with a ``whatif`` grid, each
+    race/deadlock is additionally tagged with the machine configs it
+    concretely manifests under (content-addressed lint probes through
+    the same engine and cache as predictions).
 ``GET /metrics``
     Engine + cache + service counters (queue depth, jobs
     completed/failed, cache hit rate, latency percentiles, breaker
-    state, shed/deadline/body-cap counts).
+    state, shed/deadline/body-cap counts, lint requests/probes).
 ``GET /healthz``
     Liveness probe.  (Readiness lives on the async front end.)
 """
@@ -151,6 +159,7 @@ class PredictionService:
         self.deadline_timeouts = 0
         self.bodies_rejected = 0
         self.streamed_uploads = 0
+        self.lint_requests = 0
 
     # ------------------------------------------------------------------
 
@@ -410,6 +419,57 @@ class PredictionService:
             partial=envelope,
         )
 
+    def lint(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Answer one lint request, optionally predictive.
+
+        Request: ``trace`` (fingerprint) or ``log`` (raw text), optional
+        ``select``/``ignore`` rule-id lists, optional ``whatif`` — a
+        sweep-manifest grid (``cpus``, ``bindings``, ``lwps``,
+        ``comm_delay_us``; no ``trace`` key needed) whose configs each
+        finding is probed under via the engine's cached lint jobs.
+        """
+        from repro.analysis.lint import run_lint, whatif_lint
+        from repro.core.errors import AnalysisError
+
+        ref, trace = self._resolve_trace(request)
+        try:
+            report = run_lint(
+                trace,
+                select=request.get("select"),
+                ignore=request.get("ignore"),
+            )
+        except AnalysisError as exc:
+            raise ServiceError(400, f"bad lint request: {exc}")
+
+        body: Dict[str, Any] = {"trace": ref.fingerprint}
+        grid_spec = request.get("whatif")
+        if grid_spec is not None:
+            from repro.jobs.manifest import SweepManifest
+
+            if not isinstance(grid_spec, dict):
+                raise ServiceError(
+                    400, "'whatif' must be an object (a sweep-manifest grid)"
+                )
+            data = dict(grid_spec)
+            data.setdefault("trace", f"{ref.fingerprint}.log")
+            try:
+                manifest = SweepManifest.from_dict(data)
+            except AnalysisError as exc:
+                raise ServiceError(400, f"bad 'whatif' grid: {exc}")
+            self.check_breaker()
+            try:
+                result = whatif_lint(
+                    trace, manifest, report=report, engine=self.engine
+                )
+            except VppbError as exc:
+                raise ServiceError(422, f"lint grid failed: {exc}")
+            report = result.report
+            body["grid"] = [c.to_dict() for c in result.cells]
+        body.update(report.to_dict())
+        with self._lock:
+            self.lint_requests += 1
+        return body
+
     def metrics(self) -> Dict[str, Any]:
         snapshot = self.engine.snapshot()
         with self._lock:
@@ -421,6 +481,7 @@ class PredictionService:
                 "deadline_timeouts": self.deadline_timeouts,
                 "bodies_rejected": self.bodies_rejected,
                 "streamed_uploads": self.streamed_uploads,
+                "lint_requests": self.lint_requests,
             }
         return snapshot
 
@@ -496,6 +557,12 @@ class _Handler(BaseHTTPRequestHandler):
                 except ValueError as exc:
                     raise ServiceError(400, f"body is not valid JSON: {exc}")
                 self._send_json(200, service.predict(request))
+            elif method == "POST" and self.path == "/lint":
+                try:
+                    request = json.loads(self._read_body() or b"{}")
+                except ValueError as exc:
+                    raise ServiceError(400, f"body is not valid JSON: {exc}")
+                self._send_json(200, service.lint(request))
             else:
                 raise ServiceError(404, f"no such endpoint: {method} {self.path}")
         except ServiceError as exc:

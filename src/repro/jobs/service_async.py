@@ -360,6 +360,8 @@ class AsyncPredictionServer:
             return 200, await self._ingest_trace(request, reader), None
         if method == "POST" and path == "/predict":
             return 200, await self._predict(request, reader), None
+        if method == "POST" and path == "/lint":
+            return 200, await self._lint(request, reader), None
         raise ServiceError(404, f"no such endpoint: {method} {path}")
 
     def _readiness(self) -> Tuple[int, Dict[str, Any], Optional[float]]:
@@ -461,6 +463,29 @@ class AsyncPredictionServer:
         finally:
             if release_on_exit:
                 self.gate.leave()
+
+    async def _lint(self, request: _Request, reader) -> Dict[str, Any]:
+        """Lint shares predict's admission gate (a ``whatif`` grid costs
+        real engine work) but not its deadline machinery — findings are
+        all-or-nothing, there is no partial envelope to salvage."""
+        if not self.gate.try_enter():
+            self.service.count_shed()
+            raise ServiceError(
+                429,
+                f"server at capacity ({self.gate.capacity} requests in flight); "
+                "retry later",
+                retry_after_s=self.gate.retry_after_s,
+                extra={"admission": self.gate.snapshot()},
+            )
+        try:
+            body = await self._read_json(reader, request)
+            loop = asyncio.get_running_loop()
+            work_cf = self._executor.submit(
+                functools.partial(self.service.lint, body)
+            )
+            return await asyncio.wrap_future(work_cf, loop=loop)
+        finally:
+            self.gate.leave()
 
     def _reap_abandoned(self, done) -> None:
         # runs on the executor thread when an abandoned simulation ends

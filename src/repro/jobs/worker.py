@@ -41,6 +41,12 @@ CRASH_SENTINEL = "#!vppb-faultinject-worker-crash\n"
 _PLAN_CACHE: "OrderedDict[str, Any]" = OrderedDict()
 _DEFAULT_PLAN_CACHE_MAX = 4
 
+#: (trace fingerprint -> (Trace, lint probe context)), per process: a
+#: predictive-lint grid sends the same trace through N configs, and the
+#: lint pass + access indexing are identical for all N.  Sized with the
+#: plan cache — the two caches cover the same working set.
+_LINT_CACHE: "OrderedDict[str, Tuple[Any, Dict[str, Any]]]" = OrderedDict()
+
 
 def _plan_cache_max() -> int:
     """LRU capacity, configurable via ``VPPB_PLAN_CACHE`` (default 4).
@@ -60,15 +66,22 @@ def _plan_cache_max() -> int:
     return size if size >= 1 else _DEFAULT_PLAN_CACHE_MAX
 
 
-def _plan_for(fingerprint: str, path: Optional[str], text: Optional[str]):
-    """Return ``(plan, cache_hit)`` for the trace, via the process LRU."""
+def _plan_for(
+    fingerprint: str, path: Optional[str], text: Optional[str], *, trace=None
+):
+    """Return ``(plan, cache_hit)`` for the trace, via the process LRU.
+
+    Pass an already-loaded *trace* to skip the parse on a miss (the lint
+    probe path holds one anyway).
+    """
     plan = _PLAN_CACHE.get(fingerprint)
     if plan is not None:
         _PLAN_CACHE.move_to_end(fingerprint)
         return plan, True
-    from repro.recorder import logfile
+    if trace is None:
+        from repro.recorder import logfile
 
-    trace = logfile.load(path) if path is not None else logfile.loads(text)
+        trace = logfile.load(path) if path is not None else logfile.loads(text)
     plan = compile_trace(trace)
     _PLAN_CACHE[fingerprint] = plan
     limit = _plan_cache_max()
@@ -83,7 +96,9 @@ def run_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     Payload keys: ``fingerprint``, ``trace_fp``, ``trace_path`` /
     ``trace_text`` (one required), ``config`` (a pickled
     :class:`~repro.core.config.SimConfig`), ``budget`` (an optional
-    ``(max_events, max_wall_s)`` pair) and ``label``.
+    ``(max_events, max_wall_s)`` pair), ``label`` and ``kind`` —
+    ``"sim"`` (default: one replay, makespan out) or ``"lint"`` (one
+    predictive-lint manifestation probe, verdicts in ``payload``).
     """
     text = payload.get("trace_text")
     if text == CRASH_SENTINEL:
@@ -94,6 +109,8 @@ def run_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         "fingerprint": payload["fingerprint"],
         "label": payload.get("label", ""),
     }
+    if payload.get("kind", "sim") == "lint":
+        return _run_lint_probe(payload, base, started)
     try:
         plan, cache_hit = _plan_for(
             payload["trace_fp"], payload.get("trace_path"), text
@@ -122,6 +139,75 @@ def run_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         elapsed_s=time.perf_counter() - started,
         plan_cache_hits=1 if cache_hit else 0,
         plan_cache_misses=0 if cache_hit else 1,
+    )
+    return base
+
+
+def _lint_context_for(fingerprint: str, path: Optional[str], text: Optional[str]):
+    """Return ``(trace, probe context, cache_hit)`` via the process LRU."""
+    entry = _LINT_CACHE.get(fingerprint)
+    if entry is not None:
+        _LINT_CACHE.move_to_end(fingerprint)
+        return entry[0], entry[1], True
+    from repro.analysis.lint.predictive import lint_probe_context
+    from repro.recorder import logfile
+
+    trace = logfile.load(path) if path is not None else logfile.loads(text)
+    context = lint_probe_context(trace)
+    _LINT_CACHE[fingerprint] = (trace, context)
+    limit = _plan_cache_max()
+    while len(_LINT_CACHE) > limit:
+        _LINT_CACHE.popitem(last=False)
+    return trace, context, False
+
+
+def _run_lint_probe(
+    payload: Dict[str, Any], base: Dict[str, Any], started: float
+) -> Dict[str, Any]:
+    """One predictive-lint probe: lint + unperturbed replay + verdicts.
+
+    The probe itself completing is what ``status="complete"`` means here
+    — a replay that deadlocks under the probed config is a *successful*
+    probe (that's the prediction!), carried in the result payload, so
+    the engine caches it like any other complete outcome.
+    """
+    from repro.analysis.lint.predictive import probe_trace
+
+    try:
+        trace, context, lint_hit = _lint_context_for(
+            payload["trace_fp"], payload.get("trace_path"), payload.get("trace_text")
+        )
+        plan, plan_hit = _plan_for(payload["trace_fp"], None, None, trace=trace)
+        budget = payload.get("budget")
+        max_events = 50_000_000
+        if budget is not None and budget[0] is not None:
+            max_events = budget[0]
+        probe = probe_trace(
+            trace,
+            payload["config"],
+            plan=plan,
+            context=context,
+            max_events=max_events,
+            watchdog=_watchdog_from(budget),
+        )
+    except VppbError as exc:
+        base.update(
+            status="failed",
+            error=f"{type(exc).__name__}: {exc}",
+            elapsed_s=time.perf_counter() - started,
+            plan_cache_hits=0,
+            plan_cache_misses=1,
+        )
+        return base
+    base.update(
+        status="complete",
+        makespan_us=int(probe.pop("makespan_us", 0)),
+        engine_events=int(probe.pop("engine_events", 0)),
+        reason=probe.get("replay_reason"),
+        elapsed_s=time.perf_counter() - started,
+        plan_cache_hits=1 if (plan_hit and lint_hit) else 0,
+        plan_cache_misses=0 if (plan_hit and lint_hit) else 1,
+        payload=probe,
     )
     return base
 

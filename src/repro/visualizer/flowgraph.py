@@ -181,24 +181,29 @@ def match_findings(graph: FlowGraph, findings: Sequence) -> List[FindingMarker]:
     simulated execution, so record indices do not line up; what survives
     both worlds is (thread id, source location).  Each finding is matched
     to the earliest event of its thread at its source line; findings
-    carrying neither stay unanchored (``time_us`` is ``None``)."""
+    carrying neither stay unanchored (``time_us`` is ``None``).
+
+    The graph's events are indexed once by (thread, file, line), so
+    matching stays linear in events + findings rather than their product
+    — a full lint report over a large trace anchors in one sweep.
+    """
+    anchors: dict = {}
+    for row in graph.rows:
+        per_site = anchors.setdefault(int(row.tid), {})
+        for ev in row.events:
+            if ev.source is None:
+                continue
+            key = (ev.source.file, ev.source.line)
+            prior = per_site.get(key)
+            if prior is None or ev.start_us < prior:
+                per_site[key] = ev.start_us
+
     markers: List[FindingMarker] = []
     for finding in findings:
         tid = getattr(finding, "tid", None)
         source = getattr(finding, "source", None)
         time_us = None
         if tid is not None and source is not None:
-            try:
-                row = graph.row_for(tid)
-            except VisualizationError:
-                row = None
-            if row is not None:
-                for ev in row.events:
-                    if ev.source is not None and (
-                        ev.source.file == source.file
-                        and ev.source.line == source.line
-                    ):
-                        time_us = ev.start_us
-                        break
+            time_us = anchors.get(int(tid), {}).get((source.file, source.line))
         markers.append(FindingMarker(finding=finding, tid=tid, time_us=time_us))
     return markers

@@ -130,17 +130,33 @@ def _lint_section(findings) -> List[str]:
         "<th class='l'>source</th><th class='l'>finding</th></tr>"
     )
     for f in findings:
-        witnesses = "".join(
+        details = "".join(
             f"<div class='lint-why'>see: {_esc(site.describe())}</div>"
             for site in f.related
         )
+        witness = getattr(f, "witness", None)
+        if witness:
+            digest = str(witness.get("digest", ""))[:12]
+            replay = witness.get("replay", "")
+            details += (
+                f"<div class='lint-why'>witness {_esc(digest)} — "
+                f"<code>{_esc(replay)}</code></div>"
+            )
+        manifests = getattr(f, "manifests", None)
+        if manifests is not None:
+            shown = (
+                ", ".join(_esc(m) for m in manifests)
+                if manifests
+                else "never (no probed config reproduced it)"
+            )
+            details += f"<div class='lint-why'>manifests: {shown}</div>"
         parts.append(
             f"<tr><td class='l sev-{f.severity.value}'>{f.severity.value}</td>"
             f"<td class='l'>{_esc(f.rule_id)}</td>"
             f"<td class='l'>{'T%d' % f.tid if f.tid is not None else ''}</td>"
             f"<td class='l'>{_esc(f.obj) if f.obj else ''}</td>"
             f"<td class='l'>{_esc(f.source) if f.source else ''}</td>"
-            f"<td class='l'>{_esc(f.message)}{witnesses}</td></tr>"
+            f"<td class='l'>{_esc(f.message)}{details}</td></tr>"
         )
     parts.append("</table>")
     return parts
