@@ -44,6 +44,7 @@ def _ideal_config(trace: Trace, base: Optional[SimConfig] = None) -> SimConfig:
         costs=base.costs,
         dispatch=base.dispatch,
         time_slicing=base.time_slicing,
+        scheduler=base.scheduler,
     )
 
 

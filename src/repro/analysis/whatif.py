@@ -148,6 +148,7 @@ def lwp_sensitivity(
             costs=base.costs,
             dispatch=base.dispatch,
             time_slicing=base.time_slicing,
+            scheduler=base.scheduler,
         )
         for lwps in lwp_counts
     ]

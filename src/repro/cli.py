@@ -300,6 +300,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-lock", default=None, metavar="LOCK:N",
         help="split LOCK into N round-robin shards",
     )
+    p_what.add_argument(
+        "--scheduler", default=None, metavar="NAME[,NAME...]",
+        help="cross-OS what-if: predict the trace under these kernel "
+        "scheduler backends (e.g. solaris,clutch,cfs) and compare "
+        "speed-ups; cannot be combined with trace transformations",
+    )
 
     p_cmp = sub.add_parser(
         "compare", help="diff two logs' predicted executions (before/after)"
@@ -790,6 +796,51 @@ def _cmd_knee(args: argparse.Namespace) -> int:
     return 0
 
 
+def _whatif_schedulers(args: argparse.Namespace) -> int:
+    """Cross-OS what-if: one trace, several simulated kernels.
+
+    Every cell (and the shared recorded-uniprocessor baseline) runs
+    through the default :class:`JobEngine` and its result cache, so
+    repeated comparisons are served from content-addressed results.
+    """
+    from repro.jobs import default_engine
+    from repro.sched import available_backends
+
+    names = [s.strip() for s in args.scheduler.split(",") if s.strip()]
+    known = available_backends()
+    for name in names:
+        if name not in known:
+            print(
+                f"whatif: unknown scheduler {name!r} "
+                f"(known: {', '.join(known)})",
+                file=sys.stderr,
+            )
+            return 2
+    if not names:
+        print("whatif: --scheduler needs at least one name", file=sys.stderr)
+        return 2
+
+    trace = logfile.load(args.log)
+    engine = default_engine()
+    base = _config_from(args, 1)
+    rows = []
+    for name in names:
+        preds = engine.predict_speedups(
+            trace, [args.cpus], base_config=base.with_scheduler(name)
+        )
+        rows.append((name, preds[0]))
+    print(
+        f"cross-kernel what-if for {trace.meta.program} on {args.cpus} "
+        "CPUs (baseline: recorded uniprocessor run)"
+    )
+    print(f"{'scheduler':<10} {'makespan':>12} {'speedup':>8}")
+    for name, pred in rows:
+        print(f"{name:<10} {pred.makespan_us:>10}us {pred.speedup:>8.2f}")
+    best = max(rows, key=lambda r: r[1].speedup)
+    print(f"best: {best[0]} ({best[1].speedup:.2f}x)")
+    return 0
+
+
 def _cmd_whatif(args: argparse.Namespace) -> int:
     from repro.analysis.compare import compare_results, format_comparison
     from repro.analysis.transform import (
@@ -799,6 +850,19 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
         split_lock,
     )
     from repro.core.simulator import Simulator
+
+    if args.scheduler is not None:
+        transforms = (
+            args.scale_compute, args.scale_io, args.scale_cs, args.shard_lock,
+        )
+        if any(t is not None for t in transforms):
+            print(
+                "whatif: --scheduler cannot be combined with trace "
+                "transformations",
+                file=sys.stderr,
+            )
+            return 2
+        return _whatif_schedulers(args)
 
     trace = logfile.load(args.log)
     plan = compile_trace(trace)

@@ -79,6 +79,12 @@ class SimConfig:
         Round-robin time slice for real-time-class LWPs (the RT
         dispatch table's ``rt_quantum``; 100 ms default, matching the
         stock table's mid-range).
+    scheduler:
+        Which kernel dispatch policy the simulated machine runs — a
+        registered :mod:`repro.sched` backend name.  ``"solaris"``
+        (default) is the paper's two-level model; ``"clutch"`` and
+        ``"cfs"`` replay the same trace under XNU-Clutch-style and
+        Linux-CFS-style kernels for cross-OS what-if studies.
     """
 
     cpus: int = 1
@@ -89,6 +95,7 @@ class SimConfig:
     dispatch: DispatchTable = field(default_factory=DispatchTable.classic)
     time_slicing: bool = True
     rt_quantum_us: int = 100_000
+    scheduler: str = "solaris"
 
     def __post_init__(self) -> None:
         if self.cpus < 1:
@@ -99,6 +106,13 @@ class SimConfig:
             raise ConfigError(f"comm_delay_us must be >= 0, got {self.comm_delay_us}")
         if self.rt_quantum_us < 1:
             raise ConfigError(f"rt_quantum_us must be >= 1, got {self.rt_quantum_us}")
+        from repro.sched import available_backends  # lazy: avoids cycle
+
+        if self.scheduler not in available_backends():
+            raise ConfigError(
+                f"unknown scheduler {self.scheduler!r}; known: "
+                + ", ".join(available_backends())
+            )
         for tid, pol in self.thread_policies.items():
             if pol.cpu is not None and not (0 <= pol.cpu < self.cpus):
                 raise ConfigError(
@@ -133,6 +147,11 @@ class SimConfig:
         """
         return replace(self, costs=costs)
 
+    def with_scheduler(self, scheduler: str) -> "SimConfig":
+        """Copy with a different kernel scheduler backend (cross-OS
+        what-if: predict the same trace under another kernel)."""
+        return replace(self, scheduler=scheduler)
+
     def describe(self) -> str:
         """One-line human summary for reports."""
         lwps = "on-demand" if self.lwps is None else str(self.lwps)
@@ -143,4 +162,6 @@ class SimConfig:
             parts.append(f"{len(self.thread_policies)} thread override(s)")
         if not self.time_slicing:
             parts.append("no-timeslice")
+        if self.scheduler != "solaris":
+            parts.append(f"sched={self.scheduler}")
         return ", ".join(parts)

@@ -284,7 +284,7 @@ class JobEngine:
             for fp, indices in pending.items():
                 self.metrics.submitted()
                 resolved[fp] = self._run_inline(jobs[indices[0]], budget)
-                self._account(resolved[fp])
+                self._account(resolved[fp], jobs[indices[0]])
         else:
             futures: Dict[str, Future] = {}
             rejected: Dict[str, JobOutcome] = {}
@@ -299,7 +299,7 @@ class JobEngine:
                     resolved[fp] = self._collect(
                         jobs[indices[0]], futures[fp], budget
                     )
-                    self._account(resolved[fp])
+                    self._account(resolved[fp], jobs[indices[0]])
 
         for fp, indices in pending.items():
             outcome = resolved[fp]
@@ -309,7 +309,7 @@ class JobEngine:
                 outcomes[i] = outcome.with_label(jobs[i].label)
         return outcomes  # type: ignore[return-value]
 
-    def _account(self, outcome: JobOutcome) -> None:
+    def _account(self, outcome: JobOutcome, job) -> None:
         self.metrics.finished(
             ok=outcome.ok,
             partial=outcome.ok and not outcome.complete,
@@ -319,6 +319,7 @@ class JobEngine:
             lint_probe=bool(
                 outcome.payload and outcome.payload.get("kind") == "lint"
             ),
+            scheduler=job.config.scheduler,
         )
 
     def snapshot(self) -> Dict:

@@ -41,7 +41,8 @@ __all__ = [
 #: Bump on any change that can alter a simulation outcome (scheduler
 #: semantics, cost model defaults, replay rules): every previously
 #: cached result then misses and is recomputed.
-ENGINE_VERSION = 1
+#: v2: canonical configs gained the scheduler-backend axis.
+ENGINE_VERSION = 2
 
 #: Version of the lint rule set + manifestation probe baked into every
 #: lint-job fingerprint.  Bump whenever a rule, the happens-before
@@ -81,9 +82,17 @@ def canonical_config(config: SimConfig) -> Dict[str, Any]:
     independent of dict ordering and enum identity, so equal configs
     serialise to byte-identical JSON.
     """
+    from repro.sched import backend_version
+
     costs = config.costs
     dispatch = config.dispatch
     return {
+        # the backend's own version is part of the address: evolving one
+        # backend's semantics re-keys its jobs without touching the rest
+        "scheduler": {
+            "name": config.scheduler,
+            "version": backend_version(config.scheduler),
+        },
         "cpus": config.cpus,
         "lwps": config.lwps,
         "comm_delay_us": config.comm_delay_us,

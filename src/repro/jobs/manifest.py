@@ -8,11 +8,12 @@ batch`` should simulate from one trace::
       "cpus": [1, 2, 3, 4, 5, 6, 7, 8],
       "bindings": ["unbound", "bound"],
       "lwps": [null],
-      "comm_delay_us": [0]
+      "comm_delay_us": [0],
+      "schedulers": ["solaris", "clutch", "cfs"]
     }
 
 ``cpus`` may also be a ``{"min": 1, "max": 8}`` range.  The grid is the
-cross product of all four axes; every cell becomes one content-addressed
+cross product of all five axes; every cell becomes one content-addressed
 job plus one shared uniprocessor-baseline job, so speed-ups match the
 serial :func:`repro.analysis.whatif.speedup_curve` exactly.
 
@@ -20,6 +21,11 @@ serial :func:`repro.analysis.whatif.speedup_curve` exactly.
 pool as recorded; ``"bound"`` gives every thread its own LWP (the §3.2
 all-threads-bound manipulation, with the paper's bound-thread cost
 multipliers applied).
+
+``schedulers`` selects kernel scheduler backends (cross-OS what-if):
+any names registered in :mod:`repro.sched`.  Defaults to
+``["solaris"]``; cell labels carry a ``/<scheduler>`` suffix only for
+non-default backends, so single-kernel manifests keep their labels.
 """
 
 from __future__ import annotations
@@ -70,6 +76,7 @@ class SweepManifest:
     bindings: Sequence[str] = ("unbound",)
     lwps: Sequence[Optional[int]] = (None,)
     comm_delays_us: Sequence[int] = (0,)
+    schedulers: Sequence[str] = ("solaris",)
 
     @classmethod
     def from_dict(
@@ -79,7 +86,9 @@ class SweepManifest:
             raise AnalysisError("manifest must be a JSON object")
         if "trace" not in data:
             raise AnalysisError("manifest is missing the 'trace' key")
-        unknown = set(data) - {"trace", "cpus", "bindings", "lwps", "comm_delay_us"}
+        unknown = set(data) - {
+            "trace", "cpus", "bindings", "lwps", "comm_delay_us", "schedulers",
+        }
         if unknown:
             raise AnalysisError(f"unknown manifest keys: {sorted(unknown)}")
         trace_path = Path(data["trace"])
@@ -102,7 +111,16 @@ class SweepManifest:
                 except (TypeError, ValueError):
                     raise AnalysisError(f"bad lwps value {v!r}")
         delays = [int(v) for v in data.get("comm_delay_us", [0])]
-        if not bindings or not lwps or not delays:
+        from repro.sched import available_backends
+
+        schedulers = tuple(data.get("schedulers", ["solaris"]))
+        known = available_backends()
+        for s in schedulers:
+            if s not in known:
+                raise AnalysisError(
+                    f"unknown scheduler {s!r} (expected one of {known})"
+                )
+        if not bindings or not lwps or not delays or not schedulers:
             raise AnalysisError("manifest axes must be non-empty")
         return cls(
             trace_path=trace_path,
@@ -110,6 +128,7 @@ class SweepManifest:
             bindings=bindings,
             lwps=tuple(lwps),
             comm_delays_us=tuple(delays),
+            schedulers=schedulers,
         )
 
     @classmethod
@@ -129,6 +148,7 @@ class SweepManifest:
         return (
             len(self.cpus) * len(self.bindings)
             * len(self.lwps) * len(self.comm_delays_us)
+            * len(self.schedulers)
         )
 
     def configs(self, trace: Trace) -> List["_Cell"]:
@@ -136,31 +156,36 @@ class SweepManifest:
         tids = [int(t) for t in trace.thread_ids()]
         bound_policies = {t: ThreadPolicy(bound=True) for t in tids}
         cells = []
-        for binding in self.bindings:
-            policies = bound_policies if binding == "bound" else {}
-            for lwps in self.lwps:
-                for delay in self.comm_delays_us:
-                    for cpus in self.cpus:
-                        label = f"{cpus}cpu/{binding}"
-                        if lwps is not None:
-                            label += f"/lwps={lwps}"
-                        if delay:
-                            label += f"/comm={delay}us"
-                        cells.append(
-                            _Cell(
-                                label=label,
-                                cpus=cpus,
-                                binding=binding,
-                                lwps=lwps,
-                                comm_delay_us=delay,
-                                config=SimConfig(
+        for scheduler in self.schedulers:
+            for binding in self.bindings:
+                policies = bound_policies if binding == "bound" else {}
+                for lwps in self.lwps:
+                    for delay in self.comm_delays_us:
+                        for cpus in self.cpus:
+                            label = f"{cpus}cpu/{binding}"
+                            if lwps is not None:
+                                label += f"/lwps={lwps}"
+                            if delay:
+                                label += f"/comm={delay}us"
+                            if scheduler != "solaris":
+                                label += f"/{scheduler}"
+                            cells.append(
+                                _Cell(
+                                    label=label,
                                     cpus=cpus,
+                                    binding=binding,
                                     lwps=lwps,
                                     comm_delay_us=delay,
-                                    thread_policies=policies,
-                                ),
+                                    scheduler=scheduler,
+                                    config=SimConfig(
+                                        cpus=cpus,
+                                        lwps=lwps,
+                                        comm_delay_us=delay,
+                                        thread_policies=policies,
+                                        scheduler=scheduler,
+                                    ),
+                                )
                             )
-                        )
         return cells
 
 
@@ -172,6 +197,7 @@ class _Cell:
     lwps: Optional[int]
     comm_delay_us: int
     config: SimConfig
+    scheduler: str = "solaris"
 
 
 @dataclass(frozen=True)
@@ -185,6 +211,7 @@ class ScenarioResult:
     comm_delay_us: int
     outcome: JobOutcome
     speedup: Optional[float]
+    scheduler: str = "solaris"
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -193,6 +220,7 @@ class ScenarioResult:
             "binding": self.binding,
             "lwps": self.lwps,
             "comm_delay_us": self.comm_delay_us,
+            "scheduler": self.scheduler,
             "status": self.outcome.status,
             "makespan_us": self.outcome.makespan_us,
             "speedup": self.speedup,
@@ -230,38 +258,60 @@ class BatchReport:
             return 0.0
         return sum(1 for s in served if s.outcome.from_cache) / len(served)
 
+    def schedulers(self) -> List[str]:
+        """Distinct backends in this report, in first-seen order."""
+        seen: List[str] = []
+        for s in self.scenarios:
+            if s.scheduler not in seen:
+                seen.append(s.scheduler)
+        return seen
+
     def to_json(self) -> str:
+        by_scheduler = {
+            sched: [s.to_dict() for s in self.scenarios if s.scheduler == sched]
+            for sched in self.schedulers()
+        }
         return json.dumps(
             {
                 "program": self.program,
                 "trace_fingerprint": self.trace_fingerprint,
                 "baseline_us": self.baseline_us,
                 "scenarios": [s.to_dict() for s in self.scenarios],
+                # per-backend nesting of the same cells, so cross-OS
+                # consumers can index report["by_scheduler"]["cfs"]
+                # without re-filtering the flat list
+                "by_scheduler": by_scheduler,
                 "metrics": self.metrics,
             },
             indent=2,
         )
 
     def format_table(self) -> str:
+        multi = len(self.schedulers()) > 1
+        header = f"{'scenario':<28} "
+        if multi:
+            header += f"{'sched':<8} "
+        header += f"{'status':<18} {'makespan':>12} {'speedup':>8}  src"
         lines = [
             f"batch sweep of {self.program} "
             f"({len(self.scenarios)} scenarios, trace {self.trace_fingerprint[:12]})",
-            f"{'scenario':<28} {'status':<18} {'makespan':>12} {'speedup':>8}  src",
+            header,
         ]
         for s in self.scenarios:
+            sched_col = f"{s.scheduler:<8} " if multi else ""
             if not s.outcome.ok:
                 # distinct failure modes stay distinct per cell:
                 # "failed" (the job raised), "worker-crashed" (retry
                 # exhausted), "breaker-open" (never attempted)
                 lines.append(
-                    f"{s.label:<28} {s.outcome.status.upper():<18} {'-':>12} {'-':>8}  "
-                    f"{s.outcome.error}"
+                    f"{s.label:<28} {sched_col}{s.outcome.status.upper():<18} "
+                    f"{'-':>12} {'-':>8}  {s.outcome.error}"
                 )
                 continue
             speed = f"{s.speedup:.2f}" if s.speedup is not None else "-"
             src = "cache" if s.outcome.from_cache else "run"
             lines.append(
-                f"{s.label:<28} {s.outcome.status:<18} "
+                f"{s.label:<28} {sched_col}{s.outcome.status:<18} "
                 f"{s.outcome.makespan_us:>10}us {speed:>8}  {src}"
             )
         if self.failed:
@@ -287,6 +337,16 @@ class BatchReport:
                 f"{plan_cache.get('misses', 0)} misses "
                 "(compiled replay plans reused across worker jobs)"
             )
+        per_sched = m.get("schedulers", {})
+        if len(per_sched) > 1:
+            lines.append(
+                "per scheduler: "
+                + "; ".join(
+                    f"{name}: {per['jobs']} jobs, "
+                    f"{per['plan_cache_hits']} plan-cache hits"
+                    for name, per in sorted(per_sched.items())
+                )
+            )
         return "\n".join(lines)
 
 
@@ -305,7 +365,9 @@ def run_manifest(
 
     # one shared uniprocessor baseline: uniprocessor_config() is
     # invariant across the grid axes we expose (binding/lwps/comm
-    # delay), so a single job anchors every speed-up figure
+    # delay, and scheduler — the baseline models the *recorded* Solaris
+    # uniprocessor run), so a single job anchors every speed-up figure
+    # and cross-backend speed-ups stay comparable
     baseline_job = SimJob(
         trace=ref, config=uniprocessor_config(SimConfig()), label="baseline"
     )
@@ -330,6 +392,7 @@ def run_manifest(
                 comm_delay_us=cell.comm_delay_us,
                 outcome=outcome,
                 speedup=speedup,
+                scheduler=cell.scheduler,
             )
         )
     return BatchReport(

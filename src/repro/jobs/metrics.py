@@ -46,6 +46,9 @@ class EngineMetrics:
         self.lint_probes = 0
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+        #: per-scheduler-backend breakdown: jobs finished and plan-cache
+        #: traffic attributed to the backend the job simulated under
+        self.by_scheduler: Dict[str, Dict[str, int]] = {}
         self._queue_depth = 0
         self._latencies_s: Deque[float] = deque(maxlen=LATENCY_WINDOW)
 
@@ -65,6 +68,7 @@ class EngineMetrics:
         plan_cache_hits: int = 0,
         plan_cache_misses: int = 0,
         lint_probe: bool = False,
+        scheduler: Optional[str] = None,
     ) -> None:
         with self._lock:
             self._queue_depth = max(0, self._queue_depth - 1)
@@ -78,6 +82,14 @@ class EngineMetrics:
                 self.lint_probes += 1
             self.plan_cache_hits += plan_cache_hits
             self.plan_cache_misses += plan_cache_misses
+            if scheduler is not None:
+                per = self.by_scheduler.setdefault(
+                    scheduler,
+                    {"jobs": 0, "plan_cache_hits": 0, "plan_cache_misses": 0},
+                )
+                per["jobs"] += 1
+                per["plan_cache_hits"] += plan_cache_hits
+                per["plan_cache_misses"] += plan_cache_misses
             if elapsed_s is not None:
                 self._latencies_s.append(elapsed_s)
 
@@ -134,6 +146,13 @@ class EngineMetrics:
                 "plan_cache": {
                     "hits": self.plan_cache_hits,
                     "misses": self.plan_cache_misses,
+                },
+                # jobs and plan-cache traffic per kernel scheduler
+                # backend (cross-OS sweeps run the same trace under
+                # several kernels; this shows where the work went)
+                "schedulers": {
+                    name: dict(per)
+                    for name, per in sorted(self.by_scheduler.items())
                 },
             }
         out["latency"] = self.latency_percentiles()

@@ -20,8 +20,9 @@ API (all bodies JSON unless noted):
 ``POST /predict``
     Body: ``{"trace": <fingerprint>}`` (previously uploaded) or
     ``{"log": <raw log text>}`` (one-shot), plus optional ``cpus``
-    (list, default ``[2, 4, 8]``), ``lwps``, ``comm_delay_us`` and
-    ``binding`` (``"unbound"``/``"bound"``).  Returns the speed-up
+    (list, default ``[2, 4, 8]``), ``lwps``, ``comm_delay_us``,
+    ``binding`` (``"unbound"``/``"bound"``) and ``scheduler`` (a
+    backend name, default ``"solaris"``).  Returns the speed-up
     predictions; repeated requests are served from the result cache.
     With a deadline (``deadline_s`` key, or front-end default), expiry
     returns 504 carrying a partial-result envelope.
@@ -263,6 +264,7 @@ class PredictionService:
                 lwps=request.get("lwps"),
                 comm_delay_us=int(request.get("comm_delay_us", 0)),
                 thread_policies=policies,
+                scheduler=request.get("scheduler", "solaris"),
             )
         except (ConfigError, TypeError, ValueError) as exc:
             raise ServiceError(400, f"bad configuration: {exc}")

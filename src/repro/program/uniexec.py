@@ -42,6 +42,12 @@ def uniprocessor_config(base: Optional[SimConfig] = None) -> SimConfig:
     Time-slicing is irrelevant with a single LWP but left on; user threads
     switch only at library calls, exactly as on real Solaris under the
     Recorder.
+
+    Deliberately pinned to the default (Solaris) scheduler backend even
+    when *base* selects another kernel: the baseline models the machine
+    the trace was **recorded** on, so cross-backend speed-up figures
+    share one anchor.  (With one CPU and one LWP the dispatch policy
+    cannot change the outcome anyway — only the anchor's fingerprint.)
     """
     base = base or SimConfig()
     return SimConfig(

@@ -1,0 +1,282 @@
+"""A CFS-style scheduler backend (Linux's Completely Fair Scheduler).
+
+Fair-class LWPs are ordered by **virtual runtime**: every µs an LWP
+spends on a processor advances its vruntime by ``1024 / weight`` µs, so
+lighter (lower-priority) LWPs age faster and the one with the smallest
+vruntime always runs next.  The model follows the kernel's design:
+
+* **weights** come from the standard ``prio_to_weight`` table.  The
+  recorded Solaris TS priority (0..59, 29 default) maps linearly onto
+  nice +19..-20, with priority 29 landing on nice 0 (weight 1024), so
+  traces recorded without priority manipulation replay at uniform
+  weight;
+* **slicing**: the granted slice is ``max(min_granularity, latency /
+  nr)`` where ``nr`` counts the LWP itself plus the queued fair
+  contenders that may run on its CPU — the scheduling latency window
+  shared among the effective runqueue, floored so heavy contention
+  cannot shrink slices to nothing (defaults 6 ms / 0.75 ms, the
+  kernel's).  With no contender the tick is **parked** (NO_HZ): an
+  uncontended LWP runs untimed instead of flooding the event queue
+  with no-op expiries, and ``on_contention`` re-arms the tick the
+  moment a contender queues without placing;
+* **sleeper fairness**: an LWP waking from sleep/block is placed at
+  ``max(own vruntime, min_vruntime − latency/2)`` — it gets a modest
+  wake-up advantage but cannot bank unbounded credit while asleep.  A
+  brand-new LWP starts at ``min_vruntime`` (no credit for being born);
+* **wake-preemption**: a waking LWP preempts the running LWP with the
+  largest vruntime, but only when the victim trails by more than the
+  wakeup granularity (1 ms, scaled by the candidate's weight) —
+  hysteresis against preemption storms;
+* on **expiry** the LWP is requeued whenever any compatible contender
+  is queued (``check_preempt_tick``: exhausting the slice reschedules
+  if the runqueue is non-empty);
+* the **RT class** sits above the fair class, exactly as on Linux:
+  RT LWPs order by fixed priority ahead of every fair LWP, preempt any
+  fair LWP, round-robin on ``rt_quantum_us``, and are never charged
+  vruntime.
+
+Simplifications, documented as such: one global runqueue (per-CPU
+runqueues plus load balancing collapse to this on a machine whose CPUs
+are symmetric and whose affinity axis is per-thread binding), and
+vruntime lives on the LWP — under the two-level model the kernel
+schedules LWPs, so a pool LWP's vruntime follows the LWP, not the user
+thread it happens to carry.  All arithmetic is integer (vruntime in
+weighted µs, ``delta * 1024 // weight``); ties close by
+``enqueue_seq``; replay stays deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.sched.base import (
+    TICKLESS_SLICE_US,
+    SchedulerBackend,
+    register_backend,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.solaris.lwp import SimLwp
+    from repro.solaris.scheduler import SimCpu
+
+__all__ = ["CfsBackend"]
+
+#: scheduling latency window shared by the runqueue (µs)
+SCHED_LATENCY_US = 6_000
+#: slice floor under heavy contention (µs)
+MIN_GRANULARITY_US = 750
+#: wake-preemption hysteresis (µs, at nice-0 weight)
+WAKEUP_GRANULARITY_US = 1_000
+
+#: nice-0 load weight; vruntime advances by ``delta * 1024 // weight``
+NICE_0_WEIGHT = 1024
+
+#: the kernel's prio_to_weight[] table, nice -20 .. +19
+WEIGHTS = (
+    88761, 71755, 56483, 46273, 36291,
+    29154, 23254, 18705, 14949, 11916,
+    9548, 7620, 6100, 4904, 3906,
+    3121, 2501, 1991, 1586, 1277,
+    1024, 820, 655, 526, 423,
+    335, 272, 215, 172, 137,
+    110, 87, 70, 56, 45,
+    36, 29, 23, 18, 15,
+)
+
+
+def _weight(lwp: "SimLwp") -> int:
+    """Load weight from the recorded TS priority (29 → nice 0)."""
+    nice = (29 - lwp.kernel_priority) * 2 // 3
+    if nice < -20:
+        nice = -20
+    elif nice > 19:
+        nice = 19
+    return WEIGHTS[nice + 20]
+
+
+@register_backend
+class CfsBackend(SchedulerBackend):
+    """vruntime ordering, min-granularity slicing, wake-preemption."""
+
+    name = "cfs"
+    version = 1
+
+    def bind(self, sched) -> None:
+        super().bind(sched)
+        #: vruntime per LWP id (weighted µs)
+        self._vruntime: Dict[int, int] = {}
+        #: dispatch/charge timestamp per ONPROC LWP id
+        self._since_us: Dict[int, int] = {}
+        #: monotonic floor of the queue's vruntime (wake placement)
+        self._min_vruntime = 0
+
+    # -- vruntime accounting -------------------------------------------
+
+    def _vr(self, lwp: "SimLwp") -> int:
+        """Committed vruntime, initialised at min_vruntime on first use
+        (a new LWP earns no credit for not having existed)."""
+        lid = int(lwp.lwp_id)
+        vr = self._vruntime.get(lid)
+        if vr is None:
+            vr = self._min_vruntime
+            self._vruntime[lid] = vr
+        return vr
+
+    def _vr_now(self, lwp: "SimLwp", now: int) -> int:
+        """Committed vruntime plus the uncharged ONPROC stretch."""
+        vr = self._vr(lwp)
+        since = self._since_us.get(int(lwp.lwp_id))
+        if since is not None and now > since:
+            vr += (now - since) * NICE_0_WEIGHT // _weight(lwp)
+        return vr
+
+    def _charge(self, lwp: "SimLwp") -> None:
+        lid = int(lwp.lwp_id)
+        now = self.sched.engine.now_us
+        since = self._since_us.pop(lid, None)
+        if since is not None and not lwp.rt:
+            delta_vr = (now - since) * NICE_0_WEIGHT // _weight(lwp)
+            vr = self._vr(lwp) + delta_vr
+            self._vruntime[lid] = vr
+            if vr > self._min_vruntime:
+                # monotonic advance; lazily tightened in thread_setrun
+                self._advance_min_vruntime(now)
+
+    def _advance_min_vruntime(self, now: int) -> None:
+        """min_vruntime tracks the smallest vruntime still in play
+        (queued or running), and never moves backwards."""
+        floor: Optional[int] = None
+        for other in self.sched._runnable.values():
+            if other.rt:
+                continue
+            vr = self._vr(other)
+            if floor is None or vr < floor:
+                floor = vr
+        for cpu in self.sched.cpus:
+            running = cpu.lwp
+            if running is not None and not running.rt:
+                vr = self._vr_now(running, now)
+                if floor is None or vr < floor:
+                    floor = vr
+        if floor is not None and floor > self._min_vruntime:
+            self._min_vruntime = floor
+
+    def on_dispatch(self, lwp: "SimLwp") -> None:
+        self._since_us[int(lwp.lwp_id)] = self.sched.engine.now_us
+        # CFS grants a fresh slice per pick; a preempted LWP does not
+        # resume a banked remainder (its claim lives in vruntime)
+        lwp.quantum_remaining_us = 0
+
+    def on_deschedule(self, lwp: "SimLwp") -> None:
+        self._charge(lwp)
+
+    # -- the SchedulerBackend hooks ------------------------------------
+
+    def thread_setrun(self, lwp: "SimLwp", boost: bool) -> None:
+        if lwp.rt:
+            return
+        now = self.sched.engine.now_us
+        self._advance_min_vruntime(now)
+        lid = int(lwp.lwp_id)
+        vr = self._vr(lwp)
+        if boost:
+            # sleeper fairness: bounded wake-up credit
+            placed = self._min_vruntime - SCHED_LATENCY_US // 2
+            if placed > vr:
+                self._vruntime[lid] = placed
+
+    def thread_select(self, runnable: "List[SimLwp]") -> "List[SimLwp]":
+        if len(runnable) > 1:
+            runnable.sort(
+                key=lambda l: (
+                    (0, -l.kernel_priority, l.enqueue_seq)
+                    if l.rt
+                    else (1, self._vr(l), l.enqueue_seq)
+                )
+            )
+        return runnable
+
+    def quantum_for(self, lwp: "SimLwp") -> int:
+        if lwp.rt:
+            return self.config.rt_quantum_us
+        # the global-runqueue collapse of the per-CPU rq: this CPU's
+        # effective queue is the LWP itself plus every queued fair
+        # contender that may run here — NOT the other CPUs' running
+        # LWPs, which occupy their own runqueues
+        cpu = lwp.cpu
+        nr = 1
+        for o in self.sched._runnable.values():
+            if not o.rt and (o.bound_cpu is None or o.bound_cpu == cpu):
+                nr += 1
+        if nr == 1:
+            # nothing to share the latency window with: park the tick
+            # (NO_HZ); on_contention re-arms it when a contender queues
+            return TICKLESS_SLICE_US
+        return max(MIN_GRANULARITY_US, SCHED_LATENCY_US // nr)
+
+    def quantum_expire(self, lwp: "SimLwp") -> None:
+        # commit the consumed slice so the re-queued LWP sorts by what
+        # it actually ran; the LWP is still ONPROC (the mechanism's
+        # stale-timer guard), so restart the charge clock — a follow-up
+        # preemption then charges a zero-length stretch harmlessly
+        self._charge(lwp)
+        self._since_us[int(lwp.lwp_id)] = self.sched.engine.now_us
+
+    def quantum_yield(self, lwp: "SimLwp") -> bool:
+        """check_preempt_tick: exhausting the slice reschedules when
+        any compatible contender is queued."""
+        for other in self.sched._runnable.values():
+            if other.bound_cpu is None or other.bound_cpu == lwp.cpu:
+                return True
+        return False
+
+    def on_contention(self, runnable: "List[SimLwp]") -> None:
+        """A queued contender found no idle CPU and failed
+        wake-preemption: collapse any parked tickless slice back to the
+        real one, measured from the dispatch stamp, so the contender
+        waits at most a slice (Linux re-arms the tick the moment a
+        second task lands on a NO_HZ core)."""
+        now = self.sched.engine.now_us
+        retick = self.sched.retick
+        for cpu in self.sched.cpus:
+            running = cpu.lwp
+            if running is None or running.rt:
+                continue
+            slice_us = self.quantum_for(running)
+            if slice_us >= TICKLESS_SLICE_US:
+                continue  # no contender may run here
+            ran = now - self._since_us.get(int(running.lwp_id), now)
+            retick(running, max(MIN_GRANULARITY_US, slice_us - ran))
+
+    def find_victim(
+        self, lwp: "SimLwp", allowed: "List[SimCpu]"
+    ) -> "Optional[SimCpu]":
+        now = self.sched.engine.now_us
+        if lwp.rt:
+            # the RT class preempts any fair LWP, or a lower RT priority
+            victim_cpu: "Optional[SimCpu]" = None
+            best = (1, lwp.kernel_priority)  # (class, priority): fair < RT
+            for cpu in allowed:
+                running = cpu.lwp
+                assert running is not None
+                key = (1, running.kernel_priority) if running.rt else (0, 0)
+                if key < best:
+                    best = key
+                    victim_cpu = cpu
+            return victim_cpu
+        # fair wake-preemption: displace the largest-vruntime fair LWP,
+        # with the wakeup-granularity hysteresis; never preempt RT
+        gran_vr = WAKEUP_GRANULARITY_US * NICE_0_WEIGHT // _weight(lwp)
+        threshold = self._vr(lwp) + gran_vr
+        victim_cpu = None
+        worst = threshold
+        for cpu in allowed:
+            running = cpu.lwp
+            assert running is not None
+            if running.rt:
+                continue
+            vr = self._vr_now(running, now)
+            if vr > worst:
+                worst = vr
+                victim_cpu = cpu
+        return victim_cpu

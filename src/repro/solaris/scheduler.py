@@ -1,4 +1,4 @@
-"""The two-level Solaris 2.5 scheduler model (§3.2).
+"""The two-level scheduler *mechanism* (§3.2), policy supplied by a backend.
 
 Scheduling happens at two levels, exactly as the paper describes:
 
@@ -8,10 +8,22 @@ Scheduling happens at two levels, exactly as the paper describes:
   blocks, the LWP immediately picks the highest-priority runnable unbound
   thread, or parks idle.
 * **kernel level** — LWPs (kernel threads) are the only objects the
-  operating system schedules.  They run under the TS class: each carries a
-  kernel priority (0–59), receives the dispatch-table quantum for that
-  level, is demoted when the quantum expires and boosted when it returns
-  from sleep, and can preempt lower-priority LWPs when it wakes.
+  operating system schedules.  *Which* LWP runs next, for how long, and at
+  whose expense is decided by the configured
+  :class:`~repro.sched.base.SchedulerBackend`
+  (``SimConfig.scheduler``): the default ``"solaris"`` backend reproduces
+  the paper's TS/RT dispatch bit-for-bit (priority aging by the dispatch
+  table, sleep-return boosts, starvation lifts, priority preemption);
+  ``"clutch"`` and ``"cfs"`` replay the same trace under XNU-Clutch-style
+  and Linux-CFS-style kernels instead.
+
+This class owns everything backend-independent: CPUs, the LWP pool,
+burst/quantum event arming (with event recycling for the replay fast
+path), the runnable map, block/wake plumbing and the atomic dispatch
+deferral.  The backend's hot hooks are pre-bound to instance attributes
+in ``__init__`` — the same handler-binding discipline the compiled
+replay fast path uses — so backend dispatch adds one bound-method call,
+not an interface lookup, per decision.
 
 Threads bound to an LWP own a dedicated LWP for life; threads bound to a
 CPU have that LWP pinned to the processor.  A wake-up that crosses CPUs is
@@ -34,6 +46,7 @@ from repro.core.engine import Engine, ScheduledEvent
 from repro.core.errors import SimulationError
 from repro.core.ids import LwpId
 from repro.core.result import ResultBuilder, SegmentKind, ThreadSegment
+from repro.sched import create_backend
 from repro.solaris.lwp import LwpState, SimLwp
 from repro.solaris.sync import WaitQueue
 from repro.solaris.thread_model import SimThread, ThreadState
@@ -94,6 +107,25 @@ class Scheduler:
         self.listener = listener
         self.dispatch_table = config.dispatch
         self.costs = config.costs
+
+        # kernel policy: resolved from the config, hooks pre-bound as
+        # instance attributes (backend-dispatched handler bindings — the
+        # replay fast path's discipline applied to scheduling policy)
+        backend = create_backend(config.scheduler)
+        self.backend = backend
+        backend.bind(self)
+        self._setrun = backend.thread_setrun
+        self._sched_tick = backend.sched_tick
+        self._select = backend.thread_select
+        self._quantum_for = backend.quantum_for
+        self._quantum_expire_policy = backend.quantum_expire
+        self._quantum_yield = backend.quantum_yield
+        self._find_victim = backend.find_victim
+        # optional usage-accounting hooks; None (the Solaris case) keeps
+        # the stock placement path free of extra calls
+        self._on_dispatch = getattr(backend, "on_dispatch", None)
+        self._on_deschedule = getattr(backend, "on_deschedule", None)
+        self._on_contention = getattr(backend, "on_contention", None)
 
         self.cpus: List[SimCpu] = [SimCpu(i) for i in range(config.cpus)]
         self.lwps: List[SimLwp] = []
@@ -289,8 +321,7 @@ class Scheduler:
         if thread.bound:
             lwp = thread.lwp
             assert lwp is not None
-            if boost and not lwp.rt:
-                lwp.kernel_priority = self.dispatch_table.after_sleep(lwp.kernel_priority)
+            self._setrun(lwp, boost)
             self._lwp_runnable(lwp)
         else:
             lwp = self._grab_idle_lwp(thread)
@@ -320,8 +351,7 @@ class Scheduler:
         thread.lwp = lwp
         if lwp.last_thread_tid not in (None, int(thread.tid)):
             self._switch_cost_pending[int(thread.tid)] = self.costs.thread_switch_us
-        if boost:
-            lwp.kernel_priority = self.dispatch_table.after_sleep(lwp.kernel_priority)
+        self._setrun(lwp, boost)
         self._lwp_runnable(lwp)
 
     def _lwp_runnable(self, lwp: SimLwp) -> None:
@@ -334,8 +364,9 @@ class Scheduler:
     # ------------------------------------------------------------------
 
     def _kernel_dispatch(self) -> None:
-        """Match runnable LWPs to processors, preempting where TS priority
-        demands it.  Loops until no further placement is possible."""
+        """Match runnable LWPs to processors, preempting where the
+        backend's policy demands it.  Loops until no further placement
+        is possible."""
         if self._atomic_depth > 0:
             self._dispatch_wanted = True
             return
@@ -344,11 +375,8 @@ class Scheduler:
             if not rmap:
                 return
             runnable = list(rmap.values())
-            self._apply_starvation_boosts(runnable)
-            if len(runnable) > 1:
-                runnable.sort(
-                    key=lambda l: (-self._effective_priority(l), l.enqueue_seq)
-                )
+            self._sched_tick(runnable, self.engine.now_us)
+            runnable = self._select(runnable)
             placed = False
             for lwp in runnable:
                 cpu = self._find_cpu_for(lwp)
@@ -357,19 +385,12 @@ class Scheduler:
                     placed = True
                     break
             if not placed:
+                if self._on_contention is not None:
+                    # queued LWPs could not place: tickless backends
+                    # re-tick running LWPs so a parked quantum timer
+                    # cannot starve the queue (the NO_HZ re-arm)
+                    self._on_contention(runnable)
                 return
-
-    def _apply_starvation_boosts(self, runnable: List[SimLwp]) -> None:
-        now = self.engine.now_us
-        for lwp in runnable:
-            if lwp.rt:
-                continue  # RT priorities are fixed, never lifted
-            waited = now - lwp.runnable_since_us
-            if waited > self.dispatch_table.maxwait_us(lwp.kernel_priority):
-                lwp.kernel_priority = self.dispatch_table.after_starvation(
-                    lwp.kernel_priority
-                )
-                lwp.runnable_since_us = now
 
     def _find_cpu_for(self, lwp: SimLwp) -> Optional[SimCpu]:
         allowed = (
@@ -378,16 +399,9 @@ class Scheduler:
         for cpu in allowed:
             if cpu.idle:
                 return cpu
-        # preemption: displace the lowest-priority running LWP that is
-        # strictly below us (RT outranks every TS LWP)
-        victim_cpu: Optional[SimCpu] = None
-        victim_pri = self._effective_priority(lwp)
-        for cpu in allowed:
-            running = cpu.lwp
-            assert running is not None
-            if self._effective_priority(running) < victim_pri:
-                victim_pri = self._effective_priority(running)
-                victim_cpu = cpu
+        # no idle processor: the backend picks whose running LWP (if
+        # any) this candidate displaces
+        victim_cpu = self._find_victim(lwp, allowed)
         if victim_cpu is not None:
             self._preempt(victim_cpu.lwp)  # type: ignore[arg-type]
             return victim_cpu
@@ -415,6 +429,10 @@ class Scheduler:
         self._set_lwp_state(lwp, LwpState.ONPROC)
         lwp.dispatches += 1
         lwp.last_thread_tid = int(thread.tid)
+        if self._on_dispatch is not None:
+            # usage-accounting backends stamp the dispatch (and may
+            # clear quantum_remaining_us to force a fresh slice below)
+            self._on_dispatch(lwp)
 
         self._set_thread_state(thread, ThreadState.RUNNING, cpu.index)
         thread.last_cpu = cpu.index
@@ -433,9 +451,15 @@ class Scheduler:
             self.listener.need_step(thread)
 
     def _fresh_quantum(self, lwp: SimLwp) -> int:
-        if lwp.rt:
-            return self.config.rt_quantum_us
-        return self.dispatch_table.quantum_us(lwp.kernel_priority)
+        return self._quantum_for(lwp)
+
+    def _off_cpu(self, lwp: SimLwp) -> None:
+        """Single point where an LWP leaves its processor (accounting
+        hook for usage-driven backends)."""
+        if self._on_deschedule is not None:
+            self._on_deschedule(lwp)
+        self.cpus[lwp.cpu].lwp = None  # type: ignore[index]
+        lwp.cpu = None
 
     def _preempt(self, lwp: SimLwp) -> None:
         """Take a running LWP (and its thread) off its CPU, preserving the
@@ -446,8 +470,7 @@ class Scheduler:
         assert thread is not None
         self._save_burst_remainder(thread)
         self._save_quantum_remainder(lwp)
-        self.cpus[lwp.cpu].lwp = None
-        lwp.cpu = None
+        self._off_cpu(lwp)
         self._set_thread_state(thread, ThreadState.RUNNABLE)
         thread.runnable_since_us = self.engine.now_us
         self._lwp_runnable(lwp)
@@ -496,24 +519,32 @@ class Scheduler:
             self.engine.queue.repush(expiry, handle)
         self._quantum_events[int(lwp.lwp_id)] = (handle, expiry)
 
+    def retick(self, lwp: SimLwp, remaining_us: int) -> None:
+        """Pull a running LWP's armed quantum expiry forward to at most
+        *remaining_us* from now (never pushes it later).  No-op when no
+        timer is armed (``time_slicing=False``) or the timer already
+        fires sooner.  Backends call this from ``on_contention`` to end
+        a tickless stretch."""
+        entry = self._quantum_events.get(int(lwp.lwp_id))
+        if entry is None:
+            return
+        handle, expiry_us = entry
+        if expiry_us <= self.engine.now_us + remaining_us:
+            return
+        # the armed event is still in the heap, so it cannot be
+        # repushed in place — cancel it and let _arm_quantum allocate
+        handle.cancel()
+        lwp.quantum_remaining_us = remaining_us
+        self._arm_quantum(lwp)
+
     def _quantum_expired(self, lwp: SimLwp) -> None:
         self._quantum_events.pop(int(lwp.lwp_id), None)
         if lwp.state is not LwpState.ONPROC:
             return  # stale timer (LWP left the CPU at the same timestamp)
         lwp.quantum_expiries += 1
-        if not lwp.rt:
-            # TS aging; RT priorities are fixed (pure round-robin)
-            lwp.kernel_priority = self.dispatch_table.after_quantum_expiry(
-                lwp.kernel_priority
-            )
-        lwp.quantum_remaining_us = self._fresh_quantum(lwp)
-        my_pri = self._effective_priority(lwp)
-        contender = any(
-            self._effective_priority(other) >= my_pri
-            and (other.bound_cpu is None or other.bound_cpu == lwp.cpu)
-            for other in self._runnable.values()
-        )
-        if contender:
+        self._quantum_expire_policy(lwp)  # aging / usage accounting
+        lwp.quantum_remaining_us = self._quantum_for(lwp)
+        if self._quantum_yield(lwp):
             self._preempt(lwp)
             self._kernel_dispatch()
         else:
@@ -665,8 +696,7 @@ class Scheduler:
         if thread.bound and not exiting:
             # dedicated LWP sleeps with its thread
             if lwp.cpu is not None:
-                self.cpus[lwp.cpu].lwp = None
-                lwp.cpu = None
+                self._off_cpu(lwp)
             self._set_lwp_state(lwp, LwpState.SLEEPING)
             self._kernel_dispatch()
             return
@@ -678,8 +708,7 @@ class Scheduler:
         if thread.bound and exiting:
             # dedicated LWP dies with its thread
             if lwp.cpu is not None:
-                self.cpus[lwp.cpu].lwp = None
-                lwp.cpu = None
+                self._off_cpu(lwp)
             self._set_lwp_state(lwp, LwpState.IDLE)
             self.lwps.remove(lwp)
             self.retired_lwps.append(lwp)
@@ -692,8 +721,7 @@ class Scheduler:
             self._switch_to_on_lwp(nxt, lwp)
         else:
             if lwp.cpu is not None:
-                self.cpus[lwp.cpu].lwp = None
-                lwp.cpu = None
+                self._off_cpu(lwp)
             self._set_lwp_state(lwp, LwpState.IDLE)
             self._idle_pool.append(lwp)
             self._kernel_dispatch()

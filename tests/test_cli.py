@@ -152,6 +152,30 @@ class TestWhatifCommand:
         assert main(["whatif", str(log_path)]) == 2
         assert "no transformation" in capsys.readouterr().err
 
+    def test_cross_kernel_comparison(self, log_path, capsys):
+        rc = main(
+            ["whatif", str(log_path), "--cpus", "4",
+             "--scheduler", "clutch,cfs,solaris"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cross-kernel what-if" in out
+        for name in ("solaris", "clutch", "cfs"):
+            assert name in out
+        assert "best:" in out
+
+    def test_scheduler_rejects_unknown_backend(self, log_path, capsys):
+        assert main(["whatif", str(log_path), "--scheduler", "vms"]) == 2
+        assert "unknown scheduler" in capsys.readouterr().err
+
+    def test_scheduler_rejects_transform_combo(self, log_path, capsys):
+        rc = main(
+            ["whatif", str(log_path), "--scheduler", "cfs",
+             "--scale-compute", "0.5"]
+        )
+        assert rc == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
 
 class TestDoctorCommand:
     def test_healthy_log(self, log_path, capsys):

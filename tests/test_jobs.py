@@ -545,6 +545,26 @@ class TestService:
         assert status == 200 and body["status"] == "ok"
         assert service.errors == 4
 
+    def test_scheduler_backend(self, service_conn, log_text):
+        conn, _service = service_conn
+        status, pred = _request(
+            conn,
+            "POST",
+            "/predict",
+            json.dumps({"log": log_text, "cpus": [2], "scheduler": "cfs"}),
+        )
+        assert status == 200 and len(pred["predictions"]) == 1
+        status, metrics = _request(conn, "GET", "/metrics")
+        assert status == 200
+        assert metrics["schedulers"]["cfs"]["jobs"] == 1
+        status, body = _request(
+            conn,
+            "POST",
+            "/predict",
+            json.dumps({"log": log_text, "scheduler": "vms"}),
+        )
+        assert status == 400 and "unknown scheduler" in body["error"]
+
     def test_bound_binding(self, service_conn, log_text):
         conn, _service = service_conn
         status, pred = _request(

@@ -153,6 +153,34 @@ class TestConfigGridParity:
         assert_parity(mutex_plan, SimConfig(cpus=2, time_slicing=False))
 
 
+class TestSchedulerBackendParity:
+    """Each pluggable kernel backend keeps the fast path bit-identical
+    to the legacy walker — the compiled interpreter dispatches through
+    the same backend-bound mechanism hooks, so policy must never split
+    the engines."""
+
+    @pytest.mark.parametrize("scheduler", ["solaris", "clutch", "cfs"])
+    @pytest.mark.parametrize("cpus", [1, 2, 4])
+    def test_backend_grid(self, prodcons_plan, scheduler, cpus):
+        assert_parity(prodcons_plan, SimConfig(cpus=cpus, scheduler=scheduler))
+
+    @pytest.mark.parametrize("scheduler", ["clutch", "cfs"])
+    def test_backend_with_rt_thread(self, barrier_plan, scheduler):
+        cfg = SimConfig(
+            cpus=2,
+            scheduler=scheduler,
+            thread_policies={5: ThreadPolicy(rt_priority=10)},
+        )
+        assert_parity(barrier_plan, cfg)
+
+    @pytest.mark.parametrize("scheduler", ["clutch", "cfs"])
+    def test_backend_small_pool_and_delay(self, prodcons_plan, scheduler):
+        assert_parity(
+            prodcons_plan,
+            SimConfig(cpus=2, lwps=2, comm_delay_us=40, scheduler=scheduler),
+        )
+
+
 # ---------------------------------------------------------------------------
 # perturbed / degraded traces
 # ---------------------------------------------------------------------------

@@ -1,0 +1,289 @@
+"""Backend-conformance suite: every pluggable kernel, same contract.
+
+The policies differ — Solaris dispatch tables, Clutch EDF buckets, CFS
+vruntime — but the scheduling *contract* does not.  Each test here runs
+under every registered backend: runnable work gets dispatched, RT
+outranks timeshare, quanta are accounted, user-level priority hand-off
+works, and deadlock detection still fires.
+"""
+
+import pytest
+
+from repro import Program, SimConfig, ThreadPolicy, simulate_program
+from repro.core.errors import ConfigError, DeadlockError
+from repro.core.result import SegmentKind
+from repro.program import ops as op
+from repro.sched import (
+    SchedulerBackend,
+    available_backends,
+    backend_version,
+    create_backend,
+    register_backend,
+)
+from repro.solaris import costs as costs_mod
+
+FREE = costs_mod.free()
+BACKENDS = available_backends()
+
+
+def spawn_n_workers(n, body, join=True, **create_kw):
+    def main(ctx):
+        tids = []
+        for i in range(n):
+            tids.append((yield op.ThrCreate(body, **create_kw)))
+        if join:
+            for t in tids:
+                yield op.ThrJoin(t)
+
+    return main
+
+
+def running_time(result, tid):
+    return sum(
+        s.duration_us
+        for s in result.segments.get(tid, [])
+        if s.kind is SegmentKind.RUNNING
+    )
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_all_three_backends_registered(self):
+        assert {"solaris", "clutch", "cfs"} <= set(BACKENDS)
+
+    def test_listing_is_sorted(self):
+        assert BACKENDS == sorted(BACKENDS)
+
+    def test_create_unknown_name(self):
+        with pytest.raises(ValueError, match="solaris"):
+            create_backend("vms")
+
+    def test_versions_are_positive_ints(self):
+        for name in BACKENDS:
+            assert isinstance(backend_version(name), int)
+            assert backend_version(name) >= 1
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_backend
+            class Impostor(SchedulerBackend):  # pragma: no cover
+                name = "solaris"
+                version = 99
+
+
+class TestConfig:
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ConfigError, match="unknown scheduler"):
+            SimConfig(scheduler="vms")
+
+    def test_with_scheduler_copy(self):
+        base = SimConfig(cpus=4)
+        other = base.with_scheduler("cfs")
+        assert other.scheduler == "cfs" and other.cpus == 4
+        assert base.scheduler == "solaris"
+
+    def test_describe_mentions_non_default_backend(self):
+        assert "sched=cfs" in SimConfig(scheduler="cfs").describe()
+        assert "sched" not in SimConfig().describe()
+
+
+# ---------------------------------------------------------------------------
+# conformance: the contract every backend must honour
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheduler", BACKENDS)
+class TestConformance:
+    def test_parallel_work_scales(self, scheduler):
+        """Runnable work reaches idle processors under any policy."""
+
+        def w(ctx):
+            yield op.Compute(1000)
+
+        res = simulate_program(
+            Program("p", spawn_n_workers(4, w)),
+            SimConfig(cpus=4, costs=FREE, scheduler=scheduler),
+        )
+        assert res.makespan_us == 1000
+
+    def test_single_lwp_serialises(self, scheduler):
+        """User-level multiplexing is mechanism, not policy: one LWP
+        still runs threads one at a time under every backend."""
+
+        def w(ctx):
+            yield op.Compute(1000)
+
+        res = simulate_program(
+            Program("p", spawn_n_workers(4, w)),
+            SimConfig(cpus=4, lwps=1, costs=FREE, scheduler=scheduler),
+        )
+        assert res.makespan_us == 4000
+
+    def test_quantum_accounting(self, scheduler):
+        """Two CPU hogs on one processor: quanta expire and are counted,
+        and both hogs still run to completion."""
+        from repro.core.simulator import Simulator
+
+        def hog(ctx):
+            yield op.Compute(400_000)
+
+        prog = Program("hogs", spawn_n_workers(2, hog, bound=True))
+        sim = Simulator(SimConfig(cpus=1, costs=FREE, scheduler=scheduler))
+        res = sim.run_program(prog)
+        assert res.makespan_us >= 800_000
+        all_lwps = list(sim.scheduler.lwps) + list(sim.scheduler.retired_lwps)
+        assert sum(l.quantum_expiries for l in all_lwps) > 0
+        # both hogs ran to completion on the single CPU
+        for tid in (4, 5):
+            assert running_time(res, tid) >= 400_000
+
+    def test_no_time_slicing_disables_quanta(self, scheduler):
+        """time_slicing=False is a mechanism switch: no backend may arm
+        quantum timers when it is off."""
+        from repro.core.simulator import Simulator
+
+        def hog(ctx):
+            yield op.Compute(200_000)
+
+        prog = Program("hogs", spawn_n_workers(2, hog, bound=True))
+        sim = Simulator(
+            SimConfig(
+                cpus=1, costs=FREE, time_slicing=False, scheduler=scheduler
+            )
+        )
+        res = sim.run_program(prog)
+        assert res.makespan_us >= 400_000
+        all_lwps = list(sim.scheduler.lwps) + list(sim.scheduler.retired_lwps)
+        assert sum(l.quantum_expiries for l in all_lwps) == 0
+
+    def test_priority_handoff(self, scheduler):
+        """One LWP, a high- and a low-priority thread runnable: the
+        user-level scheduler hands the LWP to the higher priority first,
+        whatever kernel backend runs below it."""
+
+        def w(ctx):
+            yield op.Compute(1000)
+
+        def main(ctx):
+            lo = yield op.ThrCreate(w, priority=1)
+            hi = yield op.ThrCreate(w, priority=10)
+            yield op.ThrJoin(lo)
+            yield op.ThrJoin(hi)
+
+        res = simulate_program(
+            Program("p", main),
+            SimConfig(cpus=1, lwps=1, costs=FREE, scheduler=scheduler),
+        )
+        lo_first = next(
+            s for s in res.segments[4] if s.kind is SegmentKind.RUNNING
+        )
+        hi_first = next(
+            s for s in res.segments[5] if s.kind is SegmentKind.RUNNING
+        )
+        assert hi_first.start_us < lo_first.start_us
+
+    def test_rt_thread_runs_before_ts(self, scheduler):
+        """The RT class outranks timeshare under every backend (Clutch
+        FIXPRI, the CFS RT class, the Solaris RT class)."""
+
+        def w(ctx):
+            yield op.SemaWait("start")
+            yield op.Compute(50_000)
+
+        def main(ctx):
+            a = yield op.ThrCreate(w)
+            b = yield op.ThrCreate(w)
+            yield op.SemaPost("start")
+            yield op.SemaPost("start")
+            yield op.ThrJoin(a)
+            yield op.ThrJoin(b)
+
+        config = SimConfig(
+            cpus=1,
+            costs=FREE,
+            scheduler=scheduler,
+            thread_policies={5: ThreadPolicy(rt_priority=30)},
+        )
+        res = simulate_program(Program("p", main), config)
+        ts_run = next(
+            s for s in res.segments[4] if s.kind is SegmentKind.RUNNING
+        )
+        rt_run = next(
+            s for s in res.segments[5] if s.kind is SegmentKind.RUNNING
+        )
+        assert rt_run.start_us <= ts_run.start_us
+
+    def test_deadlock_detection_fires(self, scheduler):
+        """The watchdog's deadlock diagnosis is backend-independent."""
+
+        def t1(ctx):
+            yield op.MutexLock("a")
+            yield op.Compute(100)
+            yield op.MutexLock("b")
+
+        def t2(ctx):
+            yield op.MutexLock("b")
+            yield op.Compute(100)
+            yield op.MutexLock("a")
+
+        def main(ctx):
+            x = yield op.ThrCreate(t1)
+            y = yield op.ThrCreate(t2)
+            yield op.ThrJoin(x)
+            yield op.ThrJoin(y)
+
+        with pytest.raises(DeadlockError):
+            simulate_program(
+                Program("dl", main),
+                SimConfig(cpus=2, costs=FREE, scheduler=scheduler),
+            )
+
+    def test_deterministic(self, scheduler):
+        def w(ctx):
+            for _ in range(5):
+                yield op.MutexLock("m")
+                yield op.Compute(500)
+                yield op.MutexUnlock("m")
+
+        prog = Program("p", spawn_n_workers(4, w))
+        config = SimConfig(cpus=2, scheduler=scheduler)
+        first = simulate_program(prog, config)
+        second = simulate_program(prog, config)
+        assert first.makespan_us == second.makespan_us
+        assert first.events == second.events
+
+
+# ---------------------------------------------------------------------------
+# fingerprints (cache keys must not collide across backends)
+# ---------------------------------------------------------------------------
+
+
+class TestFingerprints:
+    def test_canonical_config_carries_backend_and_version(self):
+        from repro.jobs.fingerprint import canonical_config
+
+        canon = canonical_config(SimConfig(scheduler="clutch"))
+        assert canon["scheduler"] == {
+            "name": "clutch",
+            "version": backend_version("clutch"),
+        }
+
+    def test_job_fingerprints_distinct_per_backend(self):
+        from repro.jobs.fingerprint import job_fingerprint, lint_job_fingerprint
+
+        trace_fp = "f" * 64
+        sim_fps = {
+            job_fingerprint(trace_fp, SimConfig(cpus=4, scheduler=s))
+            for s in BACKENDS
+        }
+        lint_fps = {
+            lint_job_fingerprint(trace_fp, SimConfig(cpus=4, scheduler=s))
+            for s in BACKENDS
+        }
+        assert len(sim_fps) == len(BACKENDS)
+        assert len(lint_fps) == len(BACKENDS)
