@@ -1,0 +1,270 @@
+"""Analytic screening tier: throughput, soundness and decision parity.
+
+Not a paper table — this benchmark backs the tiered-prediction claims
+(``docs/analytic.md``): the calibrated closed-form models answer grid
+cells orders of magnitude faster than replay, their ``[lo, hi]``
+intervals bracket the DES makespan on the whole calibration suite, and
+``--tier auto`` reaches the *same* best-cell and knee decisions as full
+simulation while replaying only the cells the intervals cannot decide.
+
+Fixtures are the scalable suite workloads (``synthetic`` and ``fft`` at
+8 threads) swept over cpus x bindings x {solaris, cfs}.  ``prodcons``
+is deliberately absent from the escalation-rate gate: its speed-up
+curve is flat (the 4- and 8-CPU cells tie exactly), so *every* sound
+policy must replay most of its grid — it is covered by the bracketing
+gate instead, which runs the full committed-profile suite.
+
+Output: ``benchmarks/results/BENCH_analytic.json`` with per-fixture
+analytic/simulated cells-per-second, escalation rates and the decision
+blocks from both tiers.
+
+``--check`` gates on **absolute** claims, not a drift tolerance:
+
+* zero bracket violations on the committed profile's suite;
+* ``auto`` decisions identical to full simulation on every fixture;
+* aggregate escalation rate <= 30 % of fixture cells;
+* analytic cell throughput >= 10x the simulated (fast-path) throughput.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from _common import emit, save_json  # noqa: E402
+
+from repro.analytic import (  # noqa: E402
+    AnalyticProfile,
+    estimate_makespan,
+    extract_stats,
+    verify_profile,
+)
+from repro.jobs import JobEngine, ResultCache, SweepManifest  # noqa: E402
+from repro.jobs.manifest import run_manifest  # noqa: E402
+from repro.program.uniexec import record_program  # noqa: E402
+from repro.recorder import logfile  # noqa: E402
+from repro.workloads import get_workload  # noqa: E402
+
+BASELINE = "BENCH_analytic.json"
+PROFILE_PATH = Path(__file__).parent.parent / "profiles" / "analytic.json"
+
+#: the escalation-rate fixtures: scalable workloads with a real knee
+FIXTURES = (("synthetic", 8, 1.0), ("fft", 8, 0.05))
+GRID = {
+    "cpus": [1, 2, 4, 8],
+    "bindings": ["unbound", "bound"],
+    "schedulers": ["solaris", "cfs"],
+}
+
+ESCALATION_CAP = 0.30
+SPEEDUP_FLOOR = 10.0
+
+
+def bench_fixture(name: str, threads: int, scale: float, profile, workdir: Path):
+    program = get_workload(name).make_program(threads, scale, seed=11)
+    trace = record_program(program).trace
+    log = workdir / f"{name}.log"
+    logfile.dump(trace, log)
+    manifest = SweepManifest.from_dict(dict(GRID, trace=str(log)))
+
+    # decision parity + escalation count: fresh engines so neither tier
+    # is fed the other's cached replays
+    sim_engine = JobEngine(mode="inline", cache=ResultCache(None))
+    sim_start = time.perf_counter()
+    sim_report = run_manifest(manifest, sim_engine, tier="sim")
+    sim_s = time.perf_counter() - sim_start
+    sim_engine.close()
+
+    auto_engine = JobEngine(mode="inline", cache=ResultCache(None))
+    auto_start = time.perf_counter()
+    auto_report = run_manifest(
+        manifest, auto_engine, tier="auto", analytic_profile=profile
+    )
+    auto_s = time.perf_counter() - auto_start
+    auto_engine.close()
+
+    escalated = sum(1 for s in auto_report.scenarios if s.tier == "escalated")
+    analytic = sum(1 for s in auto_report.scenarios if s.tier == "analytic")
+    cells = len(auto_report.scenarios)
+
+    # raw analytic cell throughput: stats extraction amortised over the
+    # grid, then one closed-form estimate per cell (what an
+    # analytic-resolved cell actually costs)
+    configs = [c.config for c in manifest.configs(trace)]
+    extract_start = time.perf_counter()
+    stats = extract_stats(trace)
+    extract_s = time.perf_counter() - extract_start
+    est_start = time.perf_counter()
+    for config in configs:
+        estimate_makespan(stats, config, profile)
+    est_s = time.perf_counter() - est_start
+    analytic_cells_per_s = len(configs) / (extract_s + est_s)
+    sim_cells_per_s = (cells + 1) / sim_s  # +1: the baseline replay
+
+    return {
+        "name": name,
+        "threads": threads,
+        "scale": scale,
+        "cells": cells,
+        "analytic": analytic,
+        "escalated": escalated,
+        "escalation_rate": round(escalated / cells, 4),
+        "decisions_sim": sim_report.decisions,
+        "decisions_auto": auto_report.decisions,
+        "decisions_agree": sim_report.decisions == auto_report.decisions,
+        "sim_s": round(sim_s, 4),
+        "auto_s": round(auto_s, 4),
+        "extract_s": round(extract_s, 6),
+        "estimate_s": round(est_s, 6),
+        "sim_cells_per_s": round(sim_cells_per_s, 2),
+        "analytic_cells_per_s": round(analytic_cells_per_s, 2),
+        "analytic_speedup": round(analytic_cells_per_s / sim_cells_per_s, 1),
+    }
+
+
+def run_bench(profile) -> dict:
+    violations = verify_profile(profile)
+
+    with tempfile.TemporaryDirectory(prefix="vppb-bench-analytic-") as tmp:
+        workdir = Path(tmp)
+        fixtures = [
+            bench_fixture(name, threads, scale, profile, workdir)
+            for name, threads, scale in FIXTURES
+        ]
+
+    total_cells = sum(f["cells"] for f in fixtures)
+    total_escalated = sum(f["escalated"] for f in fixtures)
+    return {
+        "benchmark": "analytic-tier",
+        "config": {
+            "grid": GRID,
+            "fixtures": [
+                {"name": n, "threads": t, "scale": s} for n, t, s in FIXTURES
+            ],
+            "python": sys.version.split()[0],
+        },
+        "profile": {
+            "path": str(PROFILE_PATH),
+            "fingerprint": profile.fingerprint(),
+            "samples": profile.samples,
+            "pad": profile.pad,
+            "margin_keys": len(profile.margins),
+        },
+        "bracketing": {
+            "suite_cells": profile.samples,
+            "violations": violations,
+        },
+        "fixtures": fixtures,
+        "aggregate": {
+            "cells": total_cells,
+            "escalated": total_escalated,
+            "escalation_rate": round(total_escalated / total_cells, 4),
+            "decisions_agree": all(f["decisions_agree"] for f in fixtures),
+            "min_analytic_speedup": min(f["analytic_speedup"] for f in fixtures),
+        },
+    }
+
+
+def check(report: dict) -> list:
+    """Absolute gates: soundness and parity, not drift."""
+    failures = []
+    violations = report["bracketing"]["violations"]
+    if violations:
+        failures.append(
+            f"bracketing: {len(violations)} suite cells outside their "
+            f"interval (first: {violations[0]})"
+        )
+    for fixture in report["fixtures"]:
+        if not fixture["decisions_agree"]:
+            failures.append(
+                f"{fixture['name']}: tier=auto decisions diverged from "
+                f"simulation (auto {fixture['decisions_auto']} vs "
+                f"sim {fixture['decisions_sim']})"
+            )
+        if fixture["analytic_speedup"] < SPEEDUP_FLOOR:
+            failures.append(
+                f"{fixture['name']}: analytic throughput only "
+                f"{fixture['analytic_speedup']:.1f}x the simulated fast "
+                f"path (floor {SPEEDUP_FLOOR:.0f}x)"
+            )
+    rate = report["aggregate"]["escalation_rate"]
+    if rate > ESCALATION_CAP:
+        failures.append(
+            f"aggregate escalation rate {rate:.0%} exceeds the "
+            f"{ESCALATION_CAP:.0%} cap"
+        )
+    return failures
+
+
+def _render_table(report: dict) -> str:
+    lines = [
+        "Analytic screening tier vs full simulation "
+        f"(grid {len(GRID['cpus'])} cpus x {len(GRID['bindings'])} bindings "
+        f"x {len(GRID['schedulers'])} schedulers)",
+        f"{'fixture':<12} {'cells':>6} {'escalated':>10} {'sim c/s':>9} "
+        f"{'analytic c/s':>13} {'speedup':>9} {'agree':>6}",
+    ]
+    for f in report["fixtures"]:
+        lines.append(
+            f"{f['name']:<12} {f['cells']:>6} "
+            f"{f['escalated']:>6} ({f['escalation_rate']:.0%}) "
+            f"{f['sim_cells_per_s']:>9,.1f} {f['analytic_cells_per_s']:>13,.0f} "
+            f"{f['analytic_speedup']:>8,.0f}x {str(f['decisions_agree']):>6}"
+        )
+    agg = report["aggregate"]
+    lines.append(
+        f"aggregate: {agg['escalated']}/{agg['cells']} cells escalated "
+        f"({agg['escalation_rate']:.0%}), decisions agree: "
+        f"{agg['decisions_agree']}, min speedup {agg['min_analytic_speedup']:,}x"
+    )
+    lines.append(
+        f"bracketing: {len(report['bracketing']['violations'])} violations "
+        f"over the profile's {report['bracketing']['suite_cells']} suite cells"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="gate on bracketing, decision parity, escalation rate and "
+        "analytic throughput (absolute claims, no drift tolerance)",
+    )
+    parser.add_argument(
+        "--profile", default=str(PROFILE_PATH),
+        help=f"analytic calibration profile (default {PROFILE_PATH})",
+    )
+    parser.add_argument(
+        "--artifact", default=BASELINE,
+        help=f"result JSON filename under benchmarks/results/ (default {BASELINE})",
+    )
+    args = parser.parse_args(argv)
+
+    profile = AnalyticProfile.load(args.profile)
+    report = run_bench(profile)
+    save_json(args.artifact, report)
+    emit(_render_table(report))
+
+    if args.check:
+        failures = check(report)
+        if failures:
+            emit("GATE FAILED: " + "; ".join(failures))
+            return 1
+        emit(
+            f"gate passed: 0 bracket violations, decisions identical, "
+            f"{report['aggregate']['escalation_rate']:.0%} escalated, "
+            f">= {SPEEDUP_FLOOR:.0f}x analytic throughput"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -180,6 +180,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument(
         "-o", "--output", default=None, help="write the report here (else stdout)"
     )
+    p_batch.add_argument(
+        "--tier", choices=("sim", "analytic", "auto"), default="sim",
+        help="prediction tier: sim replays every cell; analytic answers "
+        "from calibrated closed-form intervals; auto screens analytically "
+        "and replays only the cells the intervals cannot decide "
+        "(default: sim)",
+    )
+    p_batch.add_argument(
+        "--analytic-profile", default=None, metavar="PATH",
+        help="analytic calibration profile for --tier analytic/auto "
+        "(default: $VPPB_ANALYTIC_PROFILE or profiles/analytic.json)",
+    )
+    p_batch.add_argument(
+        "--target", type=float, default=None, metavar="FRAC",
+        help="knee target as a fraction of each group's best speed-up "
+        "(default: 0.8)",
+    )
 
     p_srv = sub.add_parser(
         "serve", help="long-lived local prediction service (HTTP)"
@@ -270,6 +287,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--cpus", type=int, default=4)
     p_stats.add_argument(
         "--top", type=int, default=None, help="show only the N worst-utilised"
+    )
+    p_stats.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="text: simulated per-thread decomposition; json: the raw "
+        "TraceStats profile the analytic tier screens from (default: text)",
     )
 
     p_knee = sub.add_parser(
@@ -502,6 +524,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress progress lines"
     )
 
+    p_aca = sub.add_parser(
+        "calibrate-analytic",
+        help="fit the analytic tier's interval margins against the DES",
+    )
+    p_aca.add_argument(
+        "-o", "--output", default="profiles/analytic.json", metavar="PATH",
+        help="where to write the profile (default: profiles/analytic.json)",
+    )
+    p_aca.add_argument(
+        "--cpus", type=_parse_cpus, default=[1, 2, 4, 8],
+        help="CPU counts in the calibration grid (default: 1,2,4,8)",
+    )
+    p_aca.add_argument(
+        "--pad", type=float, default=None, metavar="FRAC",
+        help="safety pad beyond the observed model-error range; wider "
+        "brackets mean fewer bound violations off-suite but more "
+        "escalations (default: 0.02)",
+    )
+    p_aca.add_argument(
+        "--verify", metavar="PATH", default=None,
+        help="instead of fitting, re-check that PATH's intervals bracket "
+        "the DES on its own suite (exit 1 on violations)",
+    )
+    p_aca.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="simulate ground truth on N worker processes (0 = in-process)",
+    )
+    p_aca.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory (default: $VPPB_CACHE_DIR or ~/.cache/vppb)",
+    )
+    p_aca.add_argument(
+        "--no-cache", action="store_true",
+        help="keep the result cache in memory only (no disk reads/writes)",
+    )
+    p_aca.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+
     sub.add_parser("workloads", help="list bundled workloads")
     return parser
 
@@ -639,15 +700,35 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    from repro.core.errors import AnalysisError, TraceError
+    from repro.core.errors import TraceError, VppbError
     from repro.jobs import JobEngine, ResultCache, SweepManifest, default_cache_dir
     from repro.jobs.manifest import run_manifest
+    from repro.jobs.tiering import DEFAULT_TARGET_FRACTION
 
     try:
         manifest = SweepManifest.load(args.manifest)
-    except AnalysisError as exc:
+    except VppbError as exc:  # AnalysisError (shape) or ConfigError (keys)
         print(f"batch: {exc}", file=sys.stderr)
         return 2
+
+    analytic_profile = None
+    if args.tier != "sim":
+        from repro.analytic.profile import AnalyticProfile, default_profile_path
+        from repro.core.errors import CalibrationError
+
+        path = args.analytic_profile or default_profile_path()
+        if path is None:
+            print(
+                "batch: --tier needs an analytic profile; run "
+                "'vppb calibrate-analytic' or pass --analytic-profile",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            analytic_profile = AnalyticProfile.load(path)
+        except CalibrationError as exc:
+            print(f"batch: {exc}", file=sys.stderr)
+            return 2
 
     cache_root = None
     if not args.no_cache:
@@ -658,7 +739,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         cache=ResultCache(cache_root),
     )
     try:
-        report = run_manifest(manifest, engine, use_cache=not args.no_cache)
+        report = run_manifest(
+            manifest,
+            engine,
+            use_cache=not args.no_cache,
+            tier=args.tier,
+            analytic_profile=analytic_profile,
+            target_fraction=(
+                args.target if args.target is not None else DEFAULT_TARGET_FRACTION
+            ),
+        )
     except (OSError, TraceError) as exc:
         print(f"batch: cannot run {args.manifest}: {exc}", file=sys.stderr)
         return 2
@@ -769,6 +859,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.visualizer.stats import format_thread_stats
 
     trace = logfile.load(args.log)
+    if args.format == "json":
+        # the analytic tier's input: pure trace decomposition, no replay
+        from repro.analytic import extract_stats
+
+        print(json.dumps(extract_stats(trace).to_dict(), indent=2, sort_keys=True))
+        return 0
     result = predict(trace, _config_from(args, args.cpus))
     print(
         f"{trace.meta.program} on {args.cpus} CPUs (predicted), "
@@ -1378,6 +1474,57 @@ def _print_attribution(profile, report) -> int:
     return 0
 
 
+def _cmd_calibrate_analytic(args: argparse.Namespace) -> int:
+    """Exit status: 0 — profile written (or --verify clean); 1 — --verify
+    found bracket violations; 2 — calibration failed."""
+    from repro.analytic import (
+        DEFAULT_PAD,
+        AnalyticProfile,
+        calibrate_analytic,
+        verify_profile,
+    )
+    from repro.core.errors import CalibrationError
+
+    engine = _calib_engine(args)
+    try:
+        if args.verify:
+            profile = AnalyticProfile.load(args.verify)
+            violations = verify_profile(
+                profile,
+                engine=engine,
+                use_cache=not args.no_cache,
+                progress=_calib_progress(args),
+            )
+            if violations:
+                for line in violations:
+                    print(f"calibrate-analytic: VIOLATION {line}", file=sys.stderr)
+                return 1
+            print(
+                f"calibrate-analytic: {args.verify} brackets the DES on all "
+                f"{profile.samples} suite cells"
+            )
+            return 0
+        profile = calibrate_analytic(
+            engine=engine,
+            cpus=tuple(args.cpus),
+            pad=args.pad if args.pad is not None else DEFAULT_PAD,
+            use_cache=not args.no_cache,
+            progress=_calib_progress(args),
+        )
+    except CalibrationError as exc:
+        print(f"calibrate-analytic: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        engine.close()
+
+    path = profile.save(args.output)
+    print(
+        f"calibrated {len(profile.margins)} margin keys over "
+        f"{profile.samples} cells (pad {profile.pad:.0%}); wrote {path}"
+    )
+    return 0
+
+
 def _cmd_workloads(_args: argparse.Namespace) -> int:
     from repro.workloads import all_workloads
 
@@ -1401,6 +1548,7 @@ _COMMANDS = {
     "doctor": _cmd_doctor,
     "lint": _cmd_lint,
     "calibrate": _cmd_calibrate,
+    "calibrate-analytic": _cmd_calibrate_analytic,
     "validate": _cmd_validate,
     "workloads": _cmd_workloads,
 }

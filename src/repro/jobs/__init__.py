@@ -28,8 +28,10 @@ from repro.jobs.cache import CACHE_FORMAT_VERSION, ResultCache, default_cache_di
 from repro.jobs.client import ClientError, ServiceClient
 from repro.jobs.engine import JobEngine, default_engine
 from repro.jobs.fingerprint import (
+    ANALYTIC_VERSION,
     ENGINE_VERSION,
     LINT_VERSION,
+    analytic_job_fingerprint,
     canonical_config,
     config_fingerprint,
     job_fingerprint,
@@ -38,7 +40,13 @@ from repro.jobs.fingerprint import (
 )
 from repro.jobs.manifest import BatchReport, ScenarioResult, SweepManifest, run_manifest
 from repro.jobs.metrics import EngineMetrics
-from repro.jobs.model import JobOutcome, LintJob, SimJob, TraceRef
+from repro.jobs.model import AnalyticJob, JobOutcome, LintJob, SimJob, TraceRef
+from repro.jobs.tiering import (
+    DEFAULT_TARGET_FRACTION,
+    TierCell,
+    decide,
+    escalation_labels,
+)
 from repro.jobs.resilience import (
     AdmissionGate,
     BreakerOpenError,
@@ -52,9 +60,12 @@ from repro.jobs.service_async import AsyncPredictionServer, serve_async
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
+    "ANALYTIC_VERSION",
     "ENGINE_VERSION",
     "LINT_VERSION",
+    "DEFAULT_TARGET_FRACTION",
     "AdmissionGate",
+    "AnalyticJob",
     "AsyncPredictionServer",
     "BatchReport",
     "BreakerOpenError",
@@ -71,12 +82,16 @@ __all__ = [
     "ScenarioResult",
     "SimJob",
     "SweepManifest",
+    "TierCell",
     "TraceRef",
+    "analytic_job_fingerprint",
     "backoff_delays",
     "canonical_config",
     "config_fingerprint",
+    "decide",
     "default_cache_dir",
     "default_engine",
+    "escalation_labels",
     "job_fingerprint",
     "lint_job_fingerprint",
     "make_server",

@@ -161,7 +161,7 @@ class JobEngine:
     # ------------------------------------------------------------------
 
     def _payload(self, job: SimJob, budget: Optional[Budget] = None) -> Dict:
-        return {
+        payload = {
             "fingerprint": job.fingerprint,
             "trace_fp": job.trace.fingerprint,
             "trace_path": job.trace.path,
@@ -171,6 +171,11 @@ class JobEngine:
             "label": job.label,
             "kind": getattr(job, "kind", "sim"),
         }
+        if payload["kind"] == "analytic":
+            # ship the margins by value: worker processes must not
+            # depend on a profile file existing on their side
+            payload["analytic_profile"] = job.profile.to_dict()
+        return payload
 
     def _run_inline(self, job: SimJob, budget: Optional[Budget]) -> JobOutcome:
         return JobOutcome.from_dict(run_payload(self._payload(job, budget)))
@@ -319,6 +324,7 @@ class JobEngine:
             lint_probe=bool(
                 outcome.payload and outcome.payload.get("kind") == "lint"
             ),
+            analytic=getattr(job, "kind", "sim") == "analytic",
             scheduler=job.config.scheduler,
         )
 

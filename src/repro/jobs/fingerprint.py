@@ -30,11 +30,13 @@ from repro.core.trace import Trace
 __all__ = [
     "ENGINE_VERSION",
     "LINT_VERSION",
+    "ANALYTIC_VERSION",
     "trace_fingerprint",
     "canonical_config",
     "config_fingerprint",
     "job_fingerprint",
     "lint_job_fingerprint",
+    "analytic_job_fingerprint",
 ]
 
 #: Version of the prediction engine baked into every job fingerprint.
@@ -49,6 +51,12 @@ ENGINE_VERSION = 2
 #: analysis, or the manifestation criteria change — predictive-lint grid
 #: results cached under the old semantics then stop being served.
 LINT_VERSION = 1
+
+#: Version of the analytical tier (stats extractor + closed-form models)
+#: baked into every analytic-job fingerprint.  Bump when the extraction
+#: or model arithmetic changes; re-calibration alone re-keys through the
+#: profile fingerprint instead.
+ANALYTIC_VERSION = 1
 
 
 def _sha256(text: str) -> str:
@@ -145,5 +153,20 @@ def lint_job_fingerprint(trace_fp: str, config: SimConfig) -> str:
     """
     return _sha256(
         f"vppb-lint:v{LINT_VERSION}:e{ENGINE_VERSION}:"
+        f"{trace_fp}:{config_fingerprint(config)}"
+    )
+
+
+def analytic_job_fingerprint(
+    trace_fp: str, config: SimConfig, profile_fp: str
+) -> str:
+    """Fingerprint of one analytical estimate (trace × config × profile).
+
+    Includes the calibration profile's content hash: re-calibrating
+    changes the margins, so previously cached analytic answers must stop
+    being served even though trace and config are unchanged.
+    """
+    return _sha256(
+        f"vppb-analytic:v{ANALYTIC_VERSION}:e{ENGINE_VERSION}:{profile_fp}:"
         f"{trace_fp}:{config_fingerprint(config)}"
     )

@@ -30,21 +30,32 @@ non-default backends, so single-kernel manifests keep their labels.
 
 from __future__ import annotations
 
+import difflib
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import SimConfig, ThreadPolicy
-from repro.core.errors import AnalysisError
+from repro.core.errors import AnalysisError, ConfigError
 from repro.core.trace import Trace
 from repro.jobs.engine import JobEngine
 from repro.jobs.model import JobOutcome, SimJob, TraceRef
+from repro.jobs.tiering import (
+    DEFAULT_TARGET_FRACTION,
+    TierCell,
+    decide,
+    escalation_labels,
+)
 from repro.program.uniexec import uniprocessor_config
 
 __all__ = ["SweepManifest", "ScenarioResult", "BatchReport", "run_manifest"]
 
 _BINDINGS = ("unbound", "bound")
+
+_MANIFEST_KEYS = (
+    "trace", "cpus", "bindings", "lwps", "comm_delay_us", "schedulers",
+)
 
 
 def _parse_cpus(value: Any) -> List[int]:
@@ -80,17 +91,30 @@ class SweepManifest:
 
     @classmethod
     def from_dict(
-        cls, data: Dict[str, Any], *, base_dir: Optional[Path] = None
+        cls,
+        data: Dict[str, Any],
+        *,
+        base_dir: Optional[Path] = None,
+        source: Optional[str] = None,
     ) -> "SweepManifest":
         if not isinstance(data, dict):
             raise AnalysisError("manifest must be a JSON object")
         if "trace" not in data:
             raise AnalysisError("manifest is missing the 'trace' key")
-        unknown = set(data) - {
-            "trace", "cpus", "bindings", "lwps", "comm_delay_us", "schedulers",
-        }
+        unknown = sorted(set(data) - set(_MANIFEST_KEYS))
         if unknown:
-            raise AnalysisError(f"unknown manifest keys: {sorted(unknown)}")
+            # a typo'd axis silently shrinking the grid is the worst
+            # failure mode a sweep can have — reject, locate, suggest
+            parts = []
+            for key in unknown:
+                close = difflib.get_close_matches(key, _MANIFEST_KEYS, n=1)
+                hint = f" (did you mean {close[0]!r}?)" if close else ""
+                parts.append(f"{key!r}{hint}")
+            where = f"{source}: " if source else ""
+            raise ConfigError(
+                f"{where}unknown manifest key{'s' if len(parts) > 1 else ''} "
+                f"{', '.join(parts)}; valid keys: {', '.join(_MANIFEST_KEYS)}"
+            )
         trace_path = Path(data["trace"])
         if base_dir is not None and not trace_path.is_absolute():
             trace_path = base_dir / trace_path
@@ -140,7 +164,7 @@ class SweepManifest:
             raise AnalysisError(f"cannot read manifest {path}: {exc}")
         except ValueError as exc:
             raise AnalysisError(f"manifest {path} is not valid JSON: {exc}")
-        return cls.from_dict(data, base_dir=path.parent)
+        return cls.from_dict(data, base_dir=path.parent, source=str(path))
 
     # ------------------------------------------------------------------
 
@@ -202,7 +226,14 @@ class _Cell:
 
 @dataclass(frozen=True)
 class ScenarioResult:
-    """One grid cell's outcome, with its speed-up when computable."""
+    """One grid cell's outcome, with its speed-up when computable.
+
+    ``tier`` records how the cell was answered: ``"sim"`` (replayed),
+    ``"analytic"`` (interval decided it) or ``"escalated"`` (interval
+    straddled a decision, so it was replayed after all).  Analytic and
+    escalated cells keep the ``[lo, hi]`` makespan ``interval`` the
+    models produced.
+    """
 
     label: str
     cpus: int
@@ -212,6 +243,8 @@ class ScenarioResult:
     outcome: JobOutcome
     speedup: Optional[float]
     scheduler: str = "solaris"
+    tier: str = "sim"
+    interval: Optional[Tuple[int, int]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -224,6 +257,8 @@ class ScenarioResult:
             "status": self.outcome.status,
             "makespan_us": self.outcome.makespan_us,
             "speedup": self.speedup,
+            "tier": self.tier,
+            "interval": list(self.interval) if self.interval else None,
             "from_cache": self.outcome.from_cache,
             "error": self.outcome.error,
             "reason": self.outcome.reason,
@@ -240,6 +275,11 @@ class BatchReport:
     baseline_us: Optional[int]
     scenarios: List[ScenarioResult]
     metrics: Dict[str, Any]
+    #: which tier the sweep ran under ("sim", "analytic" or "auto")
+    tier: str = "sim"
+    #: the grid's decisions (best cell, per-group knees) — identical
+    #: across tiers by the escalation policy's construction
+    decisions: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def failed(self) -> List[ScenarioResult]:
@@ -276,6 +316,8 @@ class BatchReport:
                 "program": self.program,
                 "trace_fingerprint": self.trace_fingerprint,
                 "baseline_us": self.baseline_us,
+                "tier": self.tier,
+                "decisions": self.decisions,
                 "scenarios": [s.to_dict() for s in self.scenarios],
                 # per-backend nesting of the same cells, so cross-OS
                 # consumers can index report["by_scheduler"]["cfs"]
@@ -288,9 +330,12 @@ class BatchReport:
 
     def format_table(self) -> str:
         multi = len(self.schedulers()) > 1
+        tiered = self.tier != "sim"
         header = f"{'scenario':<28} "
         if multi:
             header += f"{'sched':<8} "
+        if tiered:
+            header += f"{'tier':<10} "
         header += f"{'status':<18} {'makespan':>12} {'speedup':>8}  src"
         lines = [
             f"batch sweep of {self.program} "
@@ -299,19 +344,21 @@ class BatchReport:
         ]
         for s in self.scenarios:
             sched_col = f"{s.scheduler:<8} " if multi else ""
+            tier_col = f"{s.tier:<10} " if tiered else ""
             if not s.outcome.ok:
                 # distinct failure modes stay distinct per cell:
                 # "failed" (the job raised), "worker-crashed" (retry
                 # exhausted), "breaker-open" (never attempted)
                 lines.append(
-                    f"{s.label:<28} {sched_col}{s.outcome.status.upper():<18} "
+                    f"{s.label:<28} {sched_col}{tier_col}"
+                    f"{s.outcome.status.upper():<18} "
                     f"{'-':>12} {'-':>8}  {s.outcome.error}"
                 )
                 continue
             speed = f"{s.speedup:.2f}" if s.speedup is not None else "-"
             src = "cache" if s.outcome.from_cache else "run"
             lines.append(
-                f"{s.label:<28} {sched_col}{s.outcome.status:<18} "
+                f"{s.label:<28} {sched_col}{tier_col}{s.outcome.status:<18} "
                 f"{s.outcome.makespan_us:>10}us {speed:>8}  {src}"
             )
         if self.failed:
@@ -347,7 +394,37 @@ class BatchReport:
                     for name, per in sorted(per_sched.items())
                 )
             )
+        if tiered:
+            analytic = sum(1 for s in self.scenarios if s.tier == "analytic")
+            escalated = sum(1 for s in self.scenarios if s.tier == "escalated")
+            total = len(self.scenarios)
+            lines.append(
+                f"tier: {analytic}/{total} cells answered analytically, "
+                f"{escalated} escalated to simulation"
+            )
+        if self.decisions:
+            knees = ", ".join(
+                f"{group or 'grid'}: {cpus if cpus is not None else '-'}cpu"
+                for group, cpus in sorted(self.decisions.get("knees", {}).items())
+            )
+            lines.append(
+                f"decisions: best {self.decisions.get('best')} "
+                f"(speedup {self.decisions.get('best_speedup')}); knee at "
+                f"{self.decisions.get('target_fraction'):.0%} of best: {knees}"
+            )
         return "\n".join(lines)
+
+
+def _cell_group(cell: _Cell) -> str:
+    """One speed-up curve per binding/lwps/comm/scheduler combination."""
+    group = cell.binding
+    if cell.lwps is not None:
+        group += f"/lwps={cell.lwps}"
+    if cell.comm_delay_us:
+        group += f"/comm={cell.comm_delay_us}us"
+    if cell.scheduler != "solaris":
+        group += f"/{cell.scheduler}"
+    return group
 
 
 def run_manifest(
@@ -355,9 +432,33 @@ def run_manifest(
     engine: JobEngine,
     *,
     use_cache: bool = True,
+    tier: str = "sim",
+    analytic_profile=None,
+    target_fraction: float = DEFAULT_TARGET_FRACTION,
 ) -> BatchReport:
-    """Execute a sweep manifest through *engine* and assemble the report."""
+    """Execute a sweep manifest through *engine* and assemble the report.
+
+    *tier* selects how grid cells are answered: ``"sim"`` replays every
+    cell; ``"analytic"`` answers every cell from the closed-form models
+    (needs *analytic_profile*, an
+    :class:`~repro.analytic.profile.AnalyticProfile`); ``"auto"`` starts
+    analytic and escalates to simulation exactly the cells whose
+    intervals cannot decide the sweep's queries (best cell, per-group
+    knee at *target_fraction* of the group's best speed-up) — decisions
+    then match a full ``"sim"`` run while replaying only the escalated
+    subset.  The uniprocessor baseline is always simulated.
+    """
     from repro.recorder import logfile
+
+    if tier not in ("sim", "analytic", "auto"):
+        raise AnalysisError(
+            f"unknown tier {tier!r} (expected 'sim', 'analytic' or 'auto')"
+        )
+    if tier != "sim" and analytic_profile is None:
+        raise AnalysisError(
+            f"tier {tier!r} needs an analytic profile — run "
+            "'vppb calibrate-analytic' or pass --analytic-profile"
+        )
 
     trace = logfile.load(manifest.trace_path)
     ref = TraceRef(fingerprint=trace.fingerprint(), path=str(manifest.trace_path))
@@ -371,15 +472,94 @@ def run_manifest(
     baseline_job = SimJob(
         trace=ref, config=uniprocessor_config(SimConfig()), label="baseline"
     )
-    jobs = [baseline_job] + [
-        SimJob(trace=ref, config=cell.config, label=cell.label) for cell in cells
-    ]
-    outcomes = engine.run(jobs, use_cache=use_cache)
 
-    baseline = outcomes[0]
+    if tier == "sim":
+        jobs = [baseline_job] + [
+            SimJob(trace=ref, config=cell.config, label=cell.label)
+            for cell in cells
+        ]
+        outcomes = engine.run(jobs, use_cache=use_cache)
+        baseline = outcomes[0]
+        cell_outcomes = {
+            cell.label: (outcome, "sim", None)
+            for cell, outcome in zip(cells, outcomes[1:])
+        }
+    else:
+        from repro.jobs.model import AnalyticJob
+
+        jobs = [baseline_job] + [
+            AnalyticJob(
+                trace=ref,
+                config=cell.config,
+                profile=analytic_profile,
+                label=cell.label,
+            )
+            for cell in cells
+        ]
+        outcomes = engine.run(jobs, use_cache=use_cache)
+        baseline = outcomes[0]
+        cell_outcomes = {}
+        for cell, outcome in zip(cells, outcomes[1:]):
+            interval = None
+            if outcome.ok and outcome.payload:
+                interval = (
+                    int(outcome.payload["lo_us"]),
+                    int(outcome.payload["hi_us"]),
+                )
+            cell_outcomes[cell.label] = (outcome, "analytic", interval)
+
+        if tier == "auto" and baseline.ok and baseline.makespan_us:
+            tier_cells = []
+            undecidable = []  # failed analytic answers must replay too
+            for cell in cells:
+                outcome, _, interval = cell_outcomes[cell.label]
+                if interval is None:
+                    undecidable.append(cell.label)
+                    continue
+                tier_cells.append(
+                    TierCell(
+                        label=cell.label,
+                        group=_cell_group(cell),
+                        cpus=cell.cpus,
+                        lo_us=interval[0],
+                        hi_us=interval[1],
+                        point_us=outcome.makespan_us,
+                        exact=False,
+                    )
+                )
+            escalate = set(undecidable) | set(
+                escalation_labels(
+                    tier_cells,
+                    baseline.makespan_us,
+                    target_fraction=target_fraction,
+                )
+            )
+            to_sim = [cell for cell in cells if cell.label in escalate]
+            if to_sim:
+                sim_outcomes = engine.run(
+                    [
+                        SimJob(trace=ref, config=cell.config, label=cell.label)
+                        for cell in to_sim
+                    ],
+                    use_cache=use_cache,
+                )
+                for cell, outcome in zip(to_sim, sim_outcomes):
+                    interval = cell_outcomes[cell.label][2]
+                    cell_outcomes[cell.label] = (outcome, "escalated", interval)
+        engine.metrics.tier_outcome(
+            analytic_hits=sum(
+                1 for o, t, _ in cell_outcomes.values() if t == "analytic" and o.ok
+            ),
+            escalations=sum(
+                1 for _, t, _ in cell_outcomes.values() if t == "escalated"
+            ),
+        )
+
     baseline_us = baseline.makespan_us if baseline.ok else None
     scenarios = []
-    for cell, outcome in zip(cells, outcomes[1:]):
+    tier_cells_final = []
+    for cell in cells:
+        outcome, cell_tier, interval = cell_outcomes[cell.label]
         speedup = None
         if outcome.ok and baseline_us and outcome.makespan_us:
             speedup = baseline_us / outcome.makespan_us
@@ -393,12 +573,32 @@ def run_manifest(
                 outcome=outcome,
                 speedup=speedup,
                 scheduler=cell.scheduler,
+                tier=cell_tier,
+                interval=interval,
             )
         )
+        if outcome.ok and outcome.makespan_us:
+            exact = cell_tier != "analytic"
+            tier_cells_final.append(
+                TierCell(
+                    label=cell.label,
+                    group=_cell_group(cell),
+                    cpus=cell.cpus,
+                    lo_us=interval[0] if (interval and not exact) else outcome.makespan_us,
+                    hi_us=interval[1] if (interval and not exact) else outcome.makespan_us,
+                    point_us=outcome.makespan_us,
+                    exact=exact,
+                )
+            )
+    decisions = decide(
+        tier_cells_final, baseline_us, target_fraction=target_fraction
+    )
     return BatchReport(
         program=trace.meta.program,
         trace_fingerprint=ref.fingerprint,
         baseline_us=baseline_us,
         scenarios=scenarios,
         metrics=engine.snapshot(),
+        tier=tier,
+        decisions=decisions,
     )

@@ -44,6 +44,13 @@ class EngineMetrics:
         self.retries = 0
         self.jobs_rejected_breaker = 0
         self.lint_probes = 0
+        #: analytic-tier jobs executed (the "analytic" job kind)
+        self.analytic_jobs = 0
+        #: tiered queries answered without touching the simulator
+        self.analytic_hits = 0
+        #: tiered queries whose interval straddled the decision and had
+        #: to fall back to a full replay
+        self.escalations = 0
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
         #: per-scheduler-backend breakdown: jobs finished and plan-cache
@@ -68,6 +75,7 @@ class EngineMetrics:
         plan_cache_hits: int = 0,
         plan_cache_misses: int = 0,
         lint_probe: bool = False,
+        analytic: bool = False,
         scheduler: Optional[str] = None,
     ) -> None:
         with self._lock:
@@ -80,6 +88,8 @@ class EngineMetrics:
                 self.jobs_failed += 1
             if lint_probe:
                 self.lint_probes += 1
+            if analytic:
+                self.analytic_jobs += 1
             self.plan_cache_hits += plan_cache_hits
             self.plan_cache_misses += plan_cache_misses
             if scheduler is not None:
@@ -103,6 +113,17 @@ class EngineMetrics:
         """A job was refused outright because the circuit breaker is open."""
         with self._lock:
             self.jobs_rejected_breaker += 1
+
+    def tier_outcome(self, *, analytic_hits: int = 0, escalations: int = 0) -> None:
+        """Account one tiered query's per-cell resolution split.
+
+        Called by the tiering policy (batch runner or service), not the
+        engine: the engine sees jobs, the policy sees *queries* — a cell
+        counts as a hit only when the analytic interval decided it.
+        """
+        with self._lock:
+            self.analytic_hits += analytic_hits
+            self.escalations += escalations
 
     # -- views ----------------------------------------------------------
 
@@ -139,6 +160,12 @@ class EngineMetrics:
                 # predictive-lint manifestation probes executed (the
                 # "lint" job kind; cache hits show under cache stats)
                 "lint_probes": self.lint_probes,
+                # tiered prediction: analytic jobs executed, and the
+                # per-cell split between interval-decided cells and
+                # escalations to full simulation
+                "analytic_jobs": self.analytic_jobs,
+                "analytic_hits": self.analytic_hits,
+                "escalations": self.escalations,
                 "queue_depth": self._queue_depth,
                 # worker-side compile amortisation (plan LRU, see
                 # repro.jobs.worker): hits mean the sweep reused a

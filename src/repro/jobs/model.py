@@ -25,12 +25,13 @@ from repro.core.config import SimConfig
 from repro.core.result import RunStatus
 from repro.core.trace import Trace
 from repro.jobs.fingerprint import (
+    analytic_job_fingerprint,
     job_fingerprint,
     lint_job_fingerprint,
     trace_fingerprint,
 )
 
-__all__ = ["TraceRef", "SimJob", "LintJob", "JobOutcome"]
+__all__ = ["TraceRef", "SimJob", "LintJob", "AnalyticJob", "JobOutcome"]
 
 
 @dataclass(frozen=True)
@@ -125,6 +126,45 @@ class LintJob:
         cls, trace: Trace, config: SimConfig, *, label: str = ""
     ) -> "LintJob":
         return cls(trace=TraceRef.from_trace(trace), config=config, label=label)
+
+
+@dataclass(frozen=True)
+class AnalyticJob:
+    """One analytical estimate: closed-form makespan bounds, no replay.
+
+    Same engine-facing shape as :class:`SimJob`, a third fingerprint
+    namespace.  *profile* is an
+    :class:`~repro.analytic.profile.AnalyticProfile` (typed loosely here
+    to keep :mod:`repro.jobs.model` import-light; only its
+    ``fingerprint()``/``to_dict()`` surface is used).  The worker answers
+    with ``makespan_us`` set to the calibrated point estimate and a
+    ``payload`` carrying the full ``[lo, hi]`` interval
+    (see :func:`repro.jobs.worker.run_payload`).
+    """
+
+    trace: TraceRef
+    config: SimConfig
+    profile: Any
+    label: str = ""
+
+    kind = "analytic"
+
+    @property
+    def fingerprint(self) -> str:
+        return analytic_job_fingerprint(
+            self.trace.fingerprint, self.config, self.profile.fingerprint()
+        )
+
+    @classmethod
+    def for_trace(
+        cls, trace: Trace, config: SimConfig, profile: Any, *, label: str = ""
+    ) -> "AnalyticJob":
+        return cls(
+            trace=TraceRef.from_trace(trace),
+            config=config,
+            profile=profile,
+            label=label,
+        )
 
 
 @dataclass(frozen=True)

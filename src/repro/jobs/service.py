@@ -26,6 +26,15 @@ API (all bodies JSON unless noted):
     predictions; repeated requests are served from the result cache.
     With a deadline (``deadline_s`` key, or front-end default), expiry
     returns 504 carrying a partial-result envelope.
+    Optional ``tier`` (``"sim"`` default / ``"analytic"`` / ``"auto"``)
+    answers cells from the calibrated analytic screen instead of — or,
+    for ``auto``, in front of — full simulation; needs the stock
+    calibration profile (``vppb calibrate-analytic``).  Tiered
+    responses add per-cell ``tier``/``interval`` fields and a
+    ``decisions`` block (best cell, per-group knee at the optional
+    ``target`` fraction).  A tiered request's deadline covers its
+    simulated cells (baseline + escalations) exactly like ``tier=sim``;
+    analytic cells are arithmetic and never time out.
 ``POST /lint``
     Body: ``{"trace": <fingerprint>}`` or ``{"log": <raw text>}``, plus
     optional ``select``/``ignore`` rule lists and an optional ``whatif``
@@ -154,6 +163,8 @@ class PredictionService:
         self.spool_dir.mkdir(parents=True, exist_ok=True)
         self._traces: Dict[str, Path] = {}
         self._lock = threading.Lock()
+        #: lazily resolved stock AnalyticProfile (False = not yet tried)
+        self._analytic_profile: Any = False
         self.requests = 0
         self.errors = 0
         self.requests_shed = 0
@@ -270,6 +281,31 @@ class PredictionService:
             raise ServiceError(400, f"bad configuration: {exc}")
         return cpus, binding, base
 
+    def analytic_profile(self):
+        """The calibration profile backing tiered requests, or a 400.
+
+        Resolved once per service from ``VPPB_ANALYTIC_PROFILE`` / the
+        repo's committed ``profiles/analytic.json`` (see
+        :func:`repro.analytic.profile.load_default_profile`).
+        """
+        from repro.analytic.profile import load_default_profile
+        from repro.core.errors import CalibrationError
+
+        with self._lock:
+            if self._analytic_profile is False:
+                try:
+                    self._analytic_profile = load_default_profile()
+                except CalibrationError as exc:
+                    raise ServiceError(400, f"bad analytic profile: {exc}")
+            profile = self._analytic_profile
+        if profile is None:
+            raise ServiceError(
+                400,
+                "tiered prediction needs an analytic calibration profile; "
+                "run 'vppb calibrate-analytic' or set VPPB_ANALYTIC_PROFILE",
+            )
+        return profile
+
     def check_breaker(self) -> None:
         """503 + ``Retry-After`` while the engine's breaker refuses work."""
         breaker = self.engine.breaker
@@ -298,7 +334,16 @@ class PredictionService:
         """
         ref, trace = self._resolve_trace(request)
         cpus, binding, base = self._parse_predict(request, trace)
+        tier = request.get("tier", "sim")
+        if tier not in ("sim", "analytic", "auto"):
+            raise ServiceError(
+                400, f"unknown tier {tier!r}: expected 'sim', 'analytic' or 'auto'"
+            )
         self.check_breaker()
+        if tier != "sim":
+            return self._predict_tiered(
+                ref, trace, cpus, binding, base, tier, request, deadline_s
+            )
         if deadline_s is None:
             try:
                 predictions = self.engine.predict_speedups(
@@ -420,6 +465,216 @@ class PredictionService:
             f"{len(partial_cells)}/{len(outcomes)} cells salvaged as partial",
             partial=envelope,
         )
+
+    def _predict_tiered(
+        self, ref, trace, cpus, binding, base, tier, request, deadline_s
+    ) -> Dict[str, Any]:
+        """Tiered ``/predict``: analytic intervals, simulate only to decide.
+
+        The baseline is always simulated (every speed-up divides by it);
+        grid cells are answered analytically and, under ``tier=auto``,
+        escalated to simulation only where the intervals cannot decide
+        the best-cell and knee queries (:mod:`repro.jobs.tiering`).  A
+        deadline applies to the simulated cells just like ``tier=sim``:
+        timed-out cells surface as a 504 partial envelope.
+        """
+        from repro.jobs.model import AnalyticJob
+        from repro.jobs.tiering import (
+            DEFAULT_TARGET_FRACTION,
+            TierCell,
+            decide,
+            escalation_labels,
+        )
+        from repro.program.uniexec import uniprocessor_config
+
+        if deadline_s is not None and deadline_s <= 0:
+            raise ServiceError(400, f"bad deadline {deadline_s!r}: must be > 0")
+        target = request.get("target", DEFAULT_TARGET_FRACTION)
+        try:
+            target = float(target)
+        except (TypeError, ValueError):
+            raise ServiceError(400, f"bad 'target' {target!r}: must be a number")
+        if not 0.0 < target <= 1.0:
+            raise ServiceError(400, f"bad 'target' {target!r}: must be in (0, 1]")
+        profile = self.analytic_profile()
+
+        budget = (
+            (self.engine.job_budget[0], deadline_s) if deadline_s is not None else None
+        )
+        baseline_job_outcomes = self.engine.makespans(
+            ref, [uniprocessor_config(base)], labels=["baseline"], budget=budget
+        )
+        baseline = baseline_job_outcomes[0]
+        if not baseline.ok:
+            raise ServiceError(422, f"prediction failed: baseline: {baseline.error}")
+        if not baseline.complete:
+            with self._lock:
+                self.deadline_timeouts += 1
+            raise DeadlineExceeded(
+                f"deadline of {deadline_s}s exceeded while replaying the "
+                "uniprocessor baseline; no cells answered",
+                partial={
+                    "trace": ref.fingerprint,
+                    "program": trace.meta.program,
+                    "binding": binding,
+                    "deadline_s": deadline_s,
+                    "predictions": [],
+                    "incomplete": [
+                        {
+                            "label": baseline.label,
+                            "status": baseline.status,
+                            "reason": baseline.reason,
+                            "simulated_us": baseline.makespan_us,
+                            "engine_events": baseline.engine_events,
+                        }
+                    ],
+                },
+            )
+
+        ana_jobs = [
+            AnalyticJob(
+                trace=ref,
+                config=base.with_cpus(n),
+                profile=profile,
+                label=f"{n}cpu",
+            )
+            for n in cpus
+        ]
+        ana_outcomes = self.engine.run(ana_jobs)
+        cells: Dict[str, Dict[str, Any]] = {}
+        tier_cells: List[TierCell] = []
+        for n, outcome in zip(cpus, ana_outcomes):
+            if not outcome.ok:
+                raise ServiceError(
+                    422, f"prediction failed: {outcome.label}: {outcome.error}"
+                )
+            lo = int(outcome.payload["lo_us"])
+            hi = int(outcome.payload["hi_us"])
+            cells[outcome.label] = {
+                "cpus": n,
+                "makespan_us": outcome.makespan_us,
+                "tier": "analytic",
+                "interval": [lo, hi],
+            }
+            tier_cells.append(
+                TierCell(
+                    label=outcome.label,
+                    group=binding,
+                    cpus=n,
+                    lo_us=lo,
+                    hi_us=hi,
+                    point_us=outcome.makespan_us,
+                    exact=False,
+                )
+            )
+
+        escalated: List[str] = []
+        if tier == "auto":
+            escalated = escalation_labels(
+                tier_cells, baseline.makespan_us, target_fraction=target
+            )
+            if escalated:
+                by_label = {f"{n}cpu": n for n in cpus}
+                sim_outcomes = self.engine.makespans(
+                    ref,
+                    [base.with_cpus(by_label[lbl]) for lbl in escalated],
+                    labels=escalated,
+                    budget=budget,
+                )
+                broken = [o for o in sim_outcomes if not o.ok]
+                if broken:
+                    raise ServiceError(
+                        422,
+                        "prediction failed: "
+                        + "; ".join(f"{o.label}: {o.error}" for o in broken),
+                    )
+                partial = [o for o in sim_outcomes if not o.complete]
+                if partial:
+                    with self._lock:
+                        self.deadline_timeouts += 1
+                    raise DeadlineExceeded(
+                        f"deadline of {deadline_s}s exceeded while escalating "
+                        f"{len(partial)}/{len(escalated)} undecidable cells",
+                        partial={
+                            "trace": ref.fingerprint,
+                            "program": trace.meta.program,
+                            "binding": binding,
+                            "deadline_s": deadline_s,
+                            "predictions": [
+                                dict(
+                                    cells[lbl],
+                                    speedup=round(
+                                        baseline.makespan_us
+                                        / cells[lbl]["makespan_us"],
+                                        6,
+                                    )
+                                    if cells[lbl]["makespan_us"]
+                                    else None,
+                                    uniprocessor_us=baseline.makespan_us,
+                                )
+                                for lbl in cells
+                            ],
+                            "incomplete": [
+                                {
+                                    "label": o.label,
+                                    "status": o.status,
+                                    "reason": o.reason,
+                                    "simulated_us": o.makespan_us,
+                                    "engine_events": o.engine_events,
+                                }
+                                for o in partial
+                            ],
+                        },
+                    )
+                for outcome in sim_outcomes:
+                    cell = cells[outcome.label]
+                    cell["makespan_us"] = outcome.makespan_us
+                    cell["tier"] = "escalated"
+        self.engine.metrics.tier_outcome(
+            analytic_hits=len(cells) - len(escalated),
+            escalations=len(escalated),
+        )
+
+        final_cells = [
+            TierCell(
+                label=lbl,
+                group=binding,
+                cpus=cell["cpus"],
+                lo_us=cell["makespan_us"]
+                if cell["tier"] == "escalated"
+                else cell["interval"][0],
+                hi_us=cell["makespan_us"]
+                if cell["tier"] == "escalated"
+                else cell["interval"][1],
+                point_us=cell["makespan_us"],
+                exact=cell["tier"] == "escalated",
+            )
+            for lbl, cell in cells.items()
+        ]
+        return {
+            "trace": ref.fingerprint,
+            "program": trace.meta.program,
+            "binding": binding,
+            "tier": tier,
+            "predictions": [
+                {
+                    "cpus": cell["cpus"],
+                    "speedup": round(
+                        baseline.makespan_us / cell["makespan_us"], 6
+                    )
+                    if cell["makespan_us"]
+                    else None,
+                    "makespan_us": cell["makespan_us"],
+                    "uniprocessor_us": baseline.makespan_us,
+                    "tier": cell["tier"],
+                    "interval": cell["interval"],
+                }
+                for cell in cells.values()
+            ],
+            "decisions": decide(
+                final_cells, baseline.makespan_us, target_fraction=target
+            ),
+        }
 
     def lint(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Answer one lint request, optionally predictive.

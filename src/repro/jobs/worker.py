@@ -47,6 +47,12 @@ _DEFAULT_PLAN_CACHE_MAX = 4
 #: plan cache — the two caches cover the same working set.
 _LINT_CACHE: "OrderedDict[str, Tuple[Any, Dict[str, Any]]]" = OrderedDict()
 
+#: (trace fingerprint -> extracted TraceStats), per process: an analytic
+#: grid asks about the same trace under N configs, and the one-pass
+#: extraction is the only non-trivial cost — the models themselves are a
+#: handful of arithmetic operations per config.
+_STATS_CACHE: "OrderedDict[str, Any]" = OrderedDict()
+
 
 def _plan_cache_max() -> int:
     """LRU capacity, configurable via ``VPPB_PLAN_CACHE`` (default 4).
@@ -97,8 +103,10 @@ def run_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     ``trace_text`` (one required), ``config`` (a pickled
     :class:`~repro.core.config.SimConfig`), ``budget`` (an optional
     ``(max_events, max_wall_s)`` pair), ``label`` and ``kind`` —
-    ``"sim"`` (default: one replay, makespan out) or ``"lint"`` (one
-    predictive-lint manifestation probe, verdicts in ``payload``).
+    ``"sim"`` (default: one replay, makespan out), ``"lint"`` (one
+    predictive-lint manifestation probe, verdicts in ``payload``) or
+    ``"analytic"`` (closed-form makespan bounds, interval in
+    ``payload``, needs ``analytic_profile``).
     """
     text = payload.get("trace_text")
     if text == CRASH_SENTINEL:
@@ -109,8 +117,11 @@ def run_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         "fingerprint": payload["fingerprint"],
         "label": payload.get("label", ""),
     }
-    if payload.get("kind", "sim") == "lint":
+    kind = payload.get("kind", "sim")
+    if kind == "lint":
         return _run_lint_probe(payload, base, started)
+    if kind == "analytic":
+        return _run_analytic(payload, base, started)
     try:
         plan, cache_hit = _plan_for(
             payload["trace_fp"], payload.get("trace_path"), text
@@ -208,6 +219,67 @@ def _run_lint_probe(
         plan_cache_hits=1 if (plan_hit and lint_hit) else 0,
         plan_cache_misses=0 if (plan_hit and lint_hit) else 1,
         payload=probe,
+    )
+    return base
+
+
+def _stats_for(fingerprint: str, path: Optional[str], text: Optional[str]):
+    """Return ``(TraceStats, cache_hit)`` via the process LRU."""
+    stats = _STATS_CACHE.get(fingerprint)
+    if stats is not None:
+        _STATS_CACHE.move_to_end(fingerprint)
+        return stats, True
+    from repro.analytic.stats import extract_stats
+    from repro.recorder import logfile
+
+    trace = logfile.load(path) if path is not None else logfile.loads(text)
+    stats = extract_stats(trace)
+    _STATS_CACHE[fingerprint] = stats
+    limit = _plan_cache_max()
+    while len(_STATS_CACHE) > limit:
+        _STATS_CACHE.popitem(last=False)
+    return stats, False
+
+
+def _run_analytic(
+    payload: Dict[str, Any], base: Dict[str, Any], started: float
+) -> Dict[str, Any]:
+    """One analytical estimate: calibrated ``[lo, hi]`` makespan bounds.
+
+    ``makespan_us`` carries the calibrated point estimate so downstream
+    consumers that only read makespans keep working; the interval and
+    per-model detail travel in ``payload``.  ``engine_events`` stays 0 —
+    nothing was replayed, which is the whole point.
+    """
+    from repro.analytic.models import estimate_makespan
+    from repro.analytic.profile import AnalyticProfile
+
+    try:
+        stats, cache_hit = _stats_for(
+            payload["trace_fp"], payload.get("trace_path"), payload.get("trace_text")
+        )
+        profile = AnalyticProfile.from_dict(payload["analytic_profile"])
+        interval = estimate_makespan(stats, payload["config"], profile)
+    except VppbError as exc:
+        base.update(
+            status="failed",
+            error=f"{type(exc).__name__}: {exc}",
+            elapsed_s=time.perf_counter() - started,
+            plan_cache_hits=0,
+            plan_cache_misses=1,
+        )
+        return base
+    result_payload = interval.to_dict()
+    result_payload["kind"] = "analytic"
+    result_payload["stats_fingerprint"] = stats.fingerprint()
+    base.update(
+        status="complete",
+        makespan_us=interval.point_us,
+        engine_events=0,
+        elapsed_s=time.perf_counter() - started,
+        plan_cache_hits=1 if cache_hit else 0,
+        plan_cache_misses=0 if cache_hit else 1,
+        payload=result_payload,
     )
     return base
 

@@ -1,0 +1,473 @@
+"""The analytic prediction tier: stats, models, calibration, tiering.
+
+The load-bearing properties, tested end to end:
+
+* **bracketing** — calibrated ``[lo, hi]`` intervals contain the DES
+  makespan for every suite workload across the cpus x binding x
+  scheduler grid (the soundness premise of the whole tier);
+* **decision parity** — ``tier=auto`` reaches decisions identical to
+  full simulation while replaying only the escalated subset, and
+  ``tier=analytic`` agrees too on the calibrated workloads;
+* **content addressing** — analytic answers re-key when the profile
+  (margins) changes, exactly like sim jobs re-key on engine changes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.core.errors import CalibrationError
+from repro.jobs import JobEngine, ResultCache, SweepManifest
+from repro.jobs.manifest import run_manifest
+from repro.jobs.model import AnalyticJob, SimJob, TraceRef
+from repro.jobs.tiering import TierCell, decide, escalation_labels
+from repro.program.uniexec import record_program
+from repro.recorder import logfile
+from repro.workloads import get_workload
+
+from repro.analytic import (
+    AnalyticProfile,
+    MODEL_NAMES,
+    TraceStats,
+    calibrate_analytic,
+    default_analytic_suite,
+    estimate_makespan,
+    extract_stats,
+    margin_key_for,
+    model_points,
+    trace_class,
+    verify_profile,
+)
+
+from tests.conftest import make_fig2_program
+
+
+# ---------------------------------------------------------------------------
+# shared fixtures: one inline engine + one calibration for the module
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def engine():
+    eng = JobEngine(mode="inline", cache=ResultCache(None))
+    yield eng
+    eng.close()
+
+
+@pytest.fixture(scope="module")
+def profile(engine):
+    return calibrate_analytic(engine=engine)
+
+
+@pytest.fixture(scope="module")
+def synthetic_trace():
+    spec = default_analytic_suite()[0]  # synthetic, 8 threads
+    program = get_workload(spec.name).make_program(
+        spec.threads, spec.scale, seed=spec.seed
+    )
+    return record_program(program, overhead_us=spec.probe_overhead_us).trace
+
+
+@pytest.fixture(scope="module")
+def synthetic_stats(synthetic_trace):
+    return extract_stats(synthetic_trace)
+
+
+@pytest.fixture(scope="module")
+def grid_manifest(synthetic_trace, tmp_path_factory):
+    log = tmp_path_factory.mktemp("analytic") / "synthetic.log"
+    logfile.dump(synthetic_trace, log)
+    return SweepManifest.from_dict(
+        {
+            "trace": str(log),
+            "cpus": [1, 2, 4, 8],
+            "bindings": ["unbound", "bound"],
+            "schedulers": ["solaris", "cfs"],
+        }
+    )
+
+
+# ---------------------------------------------------------------------------
+# TraceStats extraction
+# ---------------------------------------------------------------------------
+
+
+class TestTraceStats:
+    def test_decomposition_totals(self, synthetic_trace, synthetic_stats):
+        s = synthetic_stats
+        assert s.n_threads == len(synthetic_trace.thread_ids())
+        assert s.n_events == len(synthetic_trace)
+        assert s.duration_us == synthetic_trace.duration_us
+        assert s.compute_us > 0
+        assert s.busy_us == s.compute_us + s.sync_us + s.io_us + s.overhead_us
+        assert s.compute_us == sum(t.compute_us for t in s.threads)
+        assert 0 <= s.span_us <= s.compute_us
+        assert 0 <= s.serial_us <= s.duration_us
+        assert 0.0 <= s.compute_ratio <= 1.0
+
+    def test_fork_join_counts(self):
+        trace = record_program(make_fig2_program()).trace
+        s = extract_stats(trace)
+        assert s.forks == 2
+        assert s.joins == 2
+        assert s.n_threads == 3
+        assert s.locks == ()  # fig2 has no lock objects
+
+    def test_roundtrip_and_fingerprint(self, synthetic_stats):
+        clone = TraceStats.from_dict(synthetic_stats.to_dict())
+        assert clone == synthetic_stats
+        assert clone.fingerprint() == synthetic_stats.fingerprint()
+        other = extract_stats(record_program(make_fig2_program()).trace)
+        assert other.fingerprint() != synthetic_stats.fingerprint()
+
+    def test_lock_profiles_ordered_and_sane(self, synthetic_stats):
+        names = [(l.kind, l.name) for l in synthetic_stats.locks]
+        assert names == sorted(names)
+        for lock in synthetic_stats.locks:
+            assert lock.acquisitions >= lock.contended >= 0
+            assert lock.held_us >= lock.max_held_us >= 0
+
+
+# ---------------------------------------------------------------------------
+# closed-form models + margin keys
+# ---------------------------------------------------------------------------
+
+
+class TestModels:
+    def test_margin_key_chain_most_specific_first(self, synthetic_stats):
+        config = SimConfig(cpus=4, scheduler="cfs")
+        keys = margin_key_for(synthetic_stats, config)
+        cls = trace_class(synthetic_stats)
+        assert keys[0] == f"{cls}/cfs/unbound/4cpu"
+        assert keys[-1] == "default"
+        assert len(keys) == len(set(keys)) == 6
+
+    def test_trace_class_buckets(self, synthetic_stats):
+        fig2 = extract_stats(record_program(make_fig2_program()).trace)
+        assert trace_class(fig2) == "lock-free"
+        assert trace_class(synthetic_stats) in (
+            "lock-free", "lock-light", "lock-heavy",
+        )
+
+    def test_model_points_positive(self, synthetic_stats):
+        points = model_points(synthetic_stats, SimConfig(cpus=4))
+        assert set(points) == set(MODEL_NAMES)
+        assert all(p > 0 for p in points.values())
+
+    def test_estimate_interval_contains_point(self, synthetic_stats, profile):
+        for cpus in (1, 2, 8):
+            interval = estimate_makespan(
+                synthetic_stats, SimConfig(cpus=cpus), profile
+            )
+            assert 0 < interval.lo_us <= interval.point_us <= interval.hi_us
+            assert interval.brackets(interval.point_us)
+            assert not interval.brackets(interval.hi_us + 1)
+
+
+# ---------------------------------------------------------------------------
+# calibration artifact + the bracketing property
+# ---------------------------------------------------------------------------
+
+
+class TestCalibration:
+    def test_intervals_bracket_des_on_entire_suite(self, profile, engine):
+        # the property behind the tier: every suite workload, every
+        # cpus x binding x scheduler cell, DES inside [lo, hi]
+        assert verify_profile(profile, engine=engine) == []
+
+    def test_committed_profile_is_sound(self, engine):
+        from repro.analytic.profile import default_profile_path
+
+        path = default_profile_path()
+        if path is None:
+            pytest.skip("no committed profiles/analytic.json")
+        committed = AnalyticProfile.load(path)
+        assert verify_profile(committed, engine=engine) == []
+
+    def test_profile_roundtrip(self, profile, tmp_path):
+        saved = profile.save(tmp_path / "analytic.json")
+        loaded = AnalyticProfile.load(saved)
+        assert loaded.to_dict() == profile.to_dict()
+        assert loaded.fingerprint() == profile.fingerprint()
+
+    def test_fingerprint_tracks_content(self, profile):
+        data = profile.to_dict()
+        data["pad"] = 0.5
+        assert AnalyticProfile.from_dict(data).fingerprint() != profile.fingerprint()
+
+    def test_bad_profiles_rejected(self, profile):
+        data = profile.to_dict()
+        del data["margins"]["default"]
+        with pytest.raises(CalibrationError):
+            AnalyticProfile.from_dict(data)
+        with pytest.raises(CalibrationError):
+            calibrate_analytic(pad=-0.1)
+
+
+# ---------------------------------------------------------------------------
+# tiering policy units
+# ---------------------------------------------------------------------------
+
+
+def _cell(label, cpus, lo, hi, *, group="g", exact=False):
+    point = (lo + hi) // 2
+    return TierCell(
+        label=label, group=group, cpus=cpus,
+        lo_us=lo, hi_us=hi, point_us=point, exact=exact,
+    )
+
+
+class TestTieringPolicy:
+    def test_clear_loser_stays_analytic(self):
+        cells = [
+            _cell("2cpu", 2, 480, 520),   # speedup <= 2.08
+            _cell("8cpu", 8, 120, 130),   # speedup >= 7.7: sole contender
+        ]
+        escalated = escalation_labels(cells, 1000)
+        assert "8cpu" in escalated
+        # 2cpu is below every knee threshold too? its hi_sp 2.08 vs
+        # knee_lo 0.8*(1000/130)=6.15 -> decidedly below, stays analytic
+        assert "2cpu" not in escalated
+
+    def test_overlapping_contenders_both_escalate(self):
+        cells = [_cell("a", 4, 200, 300), _cell("b", 8, 250, 350)]
+        assert set(escalation_labels(cells, 1000)) == {"a", "b"}
+
+    def test_exact_cells_never_escalate(self):
+        cells = [_cell("a", 4, 250, 250, exact=True), _cell("b", 8, 200, 300)]
+        assert escalation_labels(cells, 1000) == ["b"]
+
+    def test_unusable_baseline_escalates_everything(self):
+        cells = [_cell("a", 2, 400, 500), _cell("b", 4, 200, 300, exact=True)]
+        assert escalation_labels(cells, 0) == ["a"]
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ValueError):
+            escalation_labels([_cell("a", 2, 1, 2)], 10, target_fraction=1.5)
+
+    def test_decide_best_and_knee(self):
+        cells = [
+            _cell("1cpu", 1, 1000, 1000, exact=True),
+            _cell("2cpu", 2, 520, 540),
+            _cell("4cpu", 4, 260, 280, exact=True),
+        ]
+        decisions = decide(cells, 1000)
+        assert decisions["best"] == "4cpu"
+        # 2cpu's point speedup ~1.89 >= 0.8 * best (~2.96) ? 2.37 -> no;
+        # knee is the smallest cpus reaching the threshold: 4
+        assert decisions["knees"] == {"g": 4}
+        assert decide(cells, None) == {}
+        assert decide([], 1000) == {}
+
+
+# ---------------------------------------------------------------------------
+# tier equivalence on a real grid (the subsystem's contract)
+# ---------------------------------------------------------------------------
+
+
+class TestTierEquivalence:
+    @pytest.fixture(scope="class")
+    def reports(self, grid_manifest, profile, engine):
+        sim = run_manifest(grid_manifest, engine, tier="sim")
+        auto = run_manifest(
+            grid_manifest, engine, tier="auto", analytic_profile=profile
+        )
+        analytic = run_manifest(
+            grid_manifest, engine, tier="analytic", analytic_profile=profile
+        )
+        return sim, auto, analytic
+
+    def test_decisions_identical_across_tiers(self, reports):
+        sim, auto, analytic = reports
+        assert sim.decisions  # non-trivial grid
+        assert auto.decisions == sim.decisions
+        # analytic-only: same best cell and knees; best_speedup is the
+        # model's point estimate, so only the *labels* are guaranteed
+        assert analytic.decisions["best"] == sim.decisions["best"]
+        assert analytic.decisions["knees"] == sim.decisions["knees"]
+
+    def test_escalated_cells_match_simulation_exactly(self, reports):
+        sim, auto, _ = reports
+        sim_by_label = {s.label: s for s in sim.scenarios}
+        for s in auto.scenarios:
+            if s.tier == "escalated":
+                assert s.outcome.makespan_us == sim_by_label[s.label].outcome.makespan_us
+
+    def test_intervals_bracket_simulated_makespans(self, reports):
+        sim, auto, _ = reports
+        sim_by_label = {s.label: s for s in sim.scenarios}
+        for s in auto.scenarios:
+            assert s.interval is not None
+            lo, hi = s.interval
+            assert lo <= sim_by_label[s.label].outcome.makespan_us <= hi
+
+    def test_escalation_stays_under_the_budget(self, reports):
+        _, auto, _ = reports
+        escalated = sum(1 for s in auto.scenarios if s.tier == "escalated")
+        assert escalated / len(auto.scenarios) <= 0.30
+
+    def test_auto_is_deterministic(self, grid_manifest, profile, engine, reports):
+        _, auto, _ = reports
+        again = run_manifest(
+            grid_manifest, engine, tier="auto", analytic_profile=profile
+        )
+        assert [s.tier for s in again.scenarios] == [s.tier for s in auto.scenarios]
+        assert again.decisions == auto.decisions
+
+    def test_report_surfaces_tier_column_and_footer(self, reports):
+        _, auto, _ = reports
+        table = auto.format_table()
+        assert "tier" in table.splitlines()[1]
+        assert "answered analytically" in table
+        assert "decisions: best" in table
+        payload = json.loads(auto.to_json())
+        assert payload["tier"] == "auto"
+        assert payload["decisions"] == auto.decisions
+        assert all("tier" in s for s in payload["scenarios"])
+
+    def test_tier_validation(self, grid_manifest, engine, profile):
+        from repro.core.errors import AnalysisError
+
+        with pytest.raises(AnalysisError, match="unknown tier"):
+            run_manifest(grid_manifest, engine, tier="psychic")
+        with pytest.raises(AnalysisError, match="analytic profile"):
+            run_manifest(grid_manifest, engine, tier="auto")
+
+
+# ---------------------------------------------------------------------------
+# analytic jobs through the engine (content addressing + metrics)
+# ---------------------------------------------------------------------------
+
+
+class TestAnalyticJobs:
+    def test_fingerprint_rekeys_on_profile_change(self, synthetic_trace, profile):
+        ref = TraceRef.from_trace(synthetic_trace)
+        config = SimConfig(cpus=4)
+        job = AnalyticJob.for_trace(synthetic_trace, config, profile)
+        data = profile.to_dict()
+        data["pad"] = 0.5
+        recalibrated = AnalyticProfile.from_dict(data)
+        rekeyed = AnalyticJob(trace=ref, config=config, profile=recalibrated)
+        assert job.fingerprint != rekeyed.fingerprint
+        assert job.fingerprint != SimJob(trace=ref, config=config).fingerprint
+
+    def test_engine_answers_with_interval_payload(self, synthetic_trace, profile):
+        eng = JobEngine(mode="inline", cache=ResultCache(None))
+        try:
+            jobs = [
+                AnalyticJob.for_trace(
+                    synthetic_trace, SimConfig(cpus=n), profile, label=f"{n}cpu"
+                )
+                for n in (2, 4)
+            ]
+            first, second = eng.run(jobs)
+            for outcome in (first, second):
+                assert outcome.ok and outcome.complete
+                assert outcome.payload["kind"] == "analytic"
+                lo, hi = outcome.payload["lo_us"], outcome.payload["hi_us"]
+                assert lo <= outcome.makespan_us <= hi
+                assert outcome.engine_events == 0
+            # the second job reuses the worker's extracted-stats cache
+            assert second.plan_cache_hits == 1
+            assert eng.metrics.snapshot()["analytic_jobs"] == 2
+        finally:
+            eng.close()
+
+
+# ---------------------------------------------------------------------------
+# service + CLI surfaces
+# ---------------------------------------------------------------------------
+
+
+class TestServiceTier:
+    @pytest.fixture()
+    def service(self, profile):
+        from repro.jobs.service import PredictionService
+
+        eng = JobEngine(mode="inline", cache=ResultCache(None))
+        svc = PredictionService(eng)
+        svc._analytic_profile = profile  # skip disk resolution
+        yield svc
+        eng.close()
+
+    def test_auto_matches_sim_decisions(self, service, synthetic_trace):
+        log = logfile.dumps(synthetic_trace)
+        sim = service.predict({"log": log, "cpus": [2, 4, 8]})
+        auto = service.predict({"log": log, "cpus": [2, 4, 8], "tier": "auto"})
+        assert auto["tier"] == "auto"
+        best = max(sim["predictions"], key=lambda p: p["speedup"])
+        assert auto["decisions"]["best"] == f"{best['cpus']}cpu"
+        tiers = {p["cpus"]: p["tier"] for p in auto["predictions"]}
+        assert set(tiers.values()) <= {"analytic", "escalated"}
+        for p in auto["predictions"]:
+            lo, hi = p["interval"]
+            sim_p = next(s for s in sim["predictions"] if s["cpus"] == p["cpus"])
+            assert lo <= sim_p["makespan_us"] <= hi
+        snapshot = service.engine.snapshot()
+        assert snapshot["analytic_hits"] + snapshot["escalations"] == 3
+
+    def test_bad_tier_and_target_rejected(self, service, synthetic_trace):
+        from repro.jobs.service import ServiceError
+
+        log = logfile.dumps(synthetic_trace)
+        with pytest.raises(ServiceError) as err:
+            service.predict({"log": log, "tier": "psychic"})
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            service.predict({"log": log, "tier": "auto", "target": 7})
+        assert err.value.status == 400
+
+    def test_missing_profile_is_a_client_error(self, service, synthetic_trace):
+        from repro.jobs.service import ServiceError
+
+        service._analytic_profile = None
+        with pytest.raises(ServiceError) as err:
+            service.predict(
+                {"log": logfile.dumps(synthetic_trace), "tier": "analytic"}
+            )
+        assert err.value.status == 400
+        assert "calibrate-analytic" in err.value.message
+
+
+class TestCLI:
+    def test_stats_json_dumps_trace_stats(self, synthetic_trace, tmp_path, capsys):
+        from repro.cli import main
+
+        log = tmp_path / "t.log"
+        logfile.dump(synthetic_trace, log)
+        assert main(["stats", str(log), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_threads"] == len(synthetic_trace.thread_ids())
+        assert payload["stats_version"] >= 1
+
+    def test_batch_tier_auto(self, synthetic_trace, profile, tmp_path, capsys):
+        from repro.cli import main
+
+        log = tmp_path / "t.log"
+        logfile.dump(synthetic_trace, log)
+        (tmp_path / "sweep.json").write_text(
+            json.dumps({"trace": str(log), "cpus": [1, 4]})
+        )
+        profile_path = profile.save(tmp_path / "analytic.json")
+        code = main(
+            [
+                "batch", str(tmp_path / "sweep.json"), "--inline", "--no-cache",
+                "--tier", "auto", "--analytic-profile", str(profile_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tier" in out and "decisions: best" in out
+
+    def test_batch_unknown_manifest_key_names_it(self, tmp_path, capsys):
+        from repro.cli import main
+
+        (tmp_path / "sweep.json").write_text(
+            json.dumps({"trace": "x.log", "scheduler": ["solaris"]})
+        )
+        assert main(["batch", str(tmp_path / "sweep.json")]) == 2
+        err = capsys.readouterr().err
+        assert "scheduler" in err and "did you mean 'schedulers'" in err

@@ -412,8 +412,13 @@ class TestManifest:
             SweepManifest.from_dict({"trace": "x", "cpus": [0]})
         with pytest.raises(AnalysisError):
             SweepManifest.from_dict({"trace": "x", "bindings": ["sideways"]})
-        with pytest.raises(AnalysisError):
+        # unknown keys are a ConfigError naming the key + nearest valid one
+        from repro.core.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="typo_key"):
             SweepManifest.from_dict({"trace": "x", "typo_key": 1})
+        with pytest.raises(ConfigError, match="did you mean 'schedulers'"):
+            SweepManifest.from_dict({"trace": "x", "scheduler": ["solaris"]})
 
     def test_relative_trace_path_resolves_against_manifest(self, tmp_path):
         (tmp_path / "sweep.json").write_text(
